@@ -1,0 +1,81 @@
+//! Ablation studies for the design choices DESIGN.md §4 calls out:
+//!
+//! 1. Ensemble diversity — heterogeneous (the paper's) vs homogeneous
+//!    ensembles of the same size.
+//! 2. Knowledge-distillation alpha — the "garbage in, garbage out"
+//!    crossover as teacher weight grows.
+//! 3. Label-correction clean fraction gamma.
+//! 4. Label smoothing alpha, and relaxation vs classic smoothing.
+
+use tdfm_bench::{ad_cell, banner};
+use tdfm_core::technique::{Ensemble, LabelCorrection, SelfDistillation};
+use tdfm_core::{ExperimentConfig, Runner, TechniqueKind};
+use tdfm_data::{DatasetKind, Scale};
+use tdfm_inject::{FaultKind, FaultPlan};
+use tdfm_nn::models::ModelKind;
+
+fn config(scale: Scale, technique: TechniqueKind, percent: f32) -> ExperimentConfig {
+    ExperimentConfig {
+        dataset: DatasetKind::Gtsrb,
+        model: ModelKind::ConvNet,
+        technique,
+        fault_plan: FaultPlan::single(FaultKind::Mislabelling, percent),
+        scale,
+        repetitions: scale.repetitions(),
+        seed: 4,
+    }
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    banner("Ablations (GTSRB, 30% mislabelling unless noted)", scale, "DESIGN.md §4");
+    let runner = Runner::new();
+
+    println!("--- 1. Ensemble diversity ---");
+    let hetero = runner.run_with(
+        &config(scale, TechniqueKind::Ensemble, 30.0),
+        &Ensemble::paper_default(),
+    );
+    let homo = runner.run_with(
+        &config(scale, TechniqueKind::Ensemble, 30.0),
+        &Ensemble::homogeneous(ModelKind::ConvNet, 5),
+    );
+    println!("  heterogeneous (paper): AD {}", ad_cell(&hetero.ad));
+    println!("  homogeneous 5xConvNet: AD {}", ad_cell(&homo.ad));
+
+    println!("\n--- 2. KD teacher weight alpha (50% mislabelling) ---");
+    for alpha in [0.3f32, 0.7, 0.9] {
+        let result = runner.run_with(
+            &config(scale, TechniqueKind::KnowledgeDistillation, 50.0),
+            &SelfDistillation::new(alpha, 4.0),
+        );
+        println!("  alpha {alpha:.1}: AD {}", ad_cell(&result.ad));
+    }
+
+    println!("\n--- 3. LC clean fraction gamma ---");
+    for gamma in [0.05f32, 0.2] {
+        let result = runner.run_with(
+            &config(scale, TechniqueKind::LabelCorrection, 30.0),
+            &LabelCorrection::new(gamma),
+        );
+        println!("  gamma {gamma:.2}: AD {}", ad_cell(&result.ad));
+    }
+
+    println!("\n--- 4. Label smoothing alpha (relaxation) ---");
+    for alpha in [0.05f32, 0.1, 0.4] {
+        let result = runner.run_with(
+            &config(scale, TechniqueKind::LabelSmoothing, 30.0),
+            &tdfm_core::technique::LabelSmoothing::new(alpha),
+        );
+        println!("  alpha {alpha:.2}: AD {}", ad_cell(&result.ad));
+    }
+
+    println!("\n--- 5. Noise model: uniform vs pair-flip mislabelling (baseline) ---");
+    for fault in [FaultKind::Mislabelling, FaultKind::PairFlipMislabelling] {
+        let result = runner.run(&ExperimentConfig {
+            fault_plan: FaultPlan::single(fault, 30.0),
+            ..config(scale, TechniqueKind::Baseline, 30.0)
+        });
+        println!("  {:<12}: AD {}", fault.name(), ad_cell(&result.ad));
+    }
+}

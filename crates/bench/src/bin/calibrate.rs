@@ -1,0 +1,50 @@
+//! Quick calibration probe: verifies that the synthetic substrate shows
+//! the paper's headline effects before running the full figure harnesses.
+//!
+//! Prints golden accuracy and baseline AD for a few anchor configurations:
+//! the motivating example's accuracy collapse (Section II), the
+//! mislabelling dose-response, and the mildness of removal faults.
+
+use tdfm_bench::{ad_cell, banner, pct};
+use tdfm_core::{ExperimentConfig, Runner, TechniqueKind};
+use tdfm_data::{DatasetKind, Scale};
+use tdfm_inject::{FaultKind, FaultPlan};
+use tdfm_nn::models::ModelKind;
+
+fn main() {
+    let scale = Scale::from_env();
+    banner("Calibration probe", scale, "Sections II and IV");
+    let runner = Runner::new();
+    let anchors = [
+        (DatasetKind::Pneumonia, ModelKind::ResNet50),
+        (DatasetKind::Gtsrb, ModelKind::ConvNet),
+        (DatasetKind::Cifar10, ModelKind::ConvNet),
+    ];
+    for (dataset, model) in anchors {
+        println!("--- {dataset} / {model} ---");
+        for (kind, pcts) in [
+            (FaultKind::Mislabelling, &[10.0f32, 30.0, 50.0][..]),
+            (FaultKind::Removal, &[50.0][..]),
+        ] {
+            for &p in pcts {
+                let start = std::time::Instant::now();
+                let result = runner.run(&ExperimentConfig {
+                    dataset,
+                    model,
+                    technique: TechniqueKind::Baseline,
+                    fault_plan: FaultPlan::single(kind, p),
+                    scale,
+                    repetitions: scale.repetitions(),
+                    seed: 7,
+                });
+                println!(
+                    "  {kind:<13} {p:>4}%  golden {}  faulty {}  AD {}   [{:?}]",
+                    pct(result.golden_accuracy.mean),
+                    pct(result.faulty_accuracy.mean),
+                    ad_cell(&result.ad),
+                    start.elapsed(),
+                );
+            }
+        }
+    }
+}

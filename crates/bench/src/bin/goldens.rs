@@ -1,0 +1,35 @@
+//! Probe: golden (fault-free baseline) accuracy of every model on every
+//! dataset at the current scale. A fast sanity check that every
+//! architecture learns every synthetic dataset — the precondition for all
+//! AD measurements.
+
+use tdfm_bench::{banner, pct};
+use tdfm_core::technique::{TechniqueKind, TrainContext};
+use tdfm_core::metrics::accuracy;
+use tdfm_data::{DatasetKind, Scale};
+use tdfm_nn::models::ModelKind;
+
+fn main() {
+    let scale = Scale::from_env();
+    banner("Golden accuracy probe (all models x datasets)", scale, "precondition for Table IV");
+    print!("{:<11}", "Model");
+    for d in DatasetKind::ALL {
+        print!("{:>11}", d.name());
+    }
+    println!();
+    for model in ModelKind::ALL {
+        print!("{:<11}", model.name());
+        for dataset in DatasetKind::ALL {
+            let data = dataset.generate(scale, 7);
+            let mut ctx = TrainContext::new(scale, 7);
+            ctx.tune_for(data.train.len());
+            let start = std::time::Instant::now();
+            let mut fitted =
+                TechniqueKind::Baseline.build().fit(model, &data.train, &ctx);
+            let preds = fitted.predict(data.test.images());
+            let acc = accuracy(&preds, data.test.labels());
+            print!("{:>7} {:>2.0}s", pct(acc), start.elapsed().as_secs_f32());
+        }
+        println!();
+    }
+}

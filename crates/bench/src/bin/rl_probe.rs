@@ -1,0 +1,35 @@
+//! Probe: robust-loss behaviour on GTSRB with the adaptive APL weights —
+//! checks RL is no longer degenerate on the 43-class dataset before the
+//! full figure runs.
+
+use tdfm_bench::{ad_cell, banner};
+use tdfm_core::{ExperimentConfig, Runner, TechniqueKind};
+use tdfm_data::{DatasetKind, Scale};
+use tdfm_inject::{FaultKind, FaultPlan};
+use tdfm_nn::models::ModelKind;
+
+fn main() {
+    let scale = Scale::from_env();
+    banner("RL adaptive-weight probe (GTSRB)", scale, "Section III-B3");
+    let runner = Runner::new();
+    for model in [ModelKind::ConvNet, ModelKind::ResNet50] {
+        for technique in [TechniqueKind::Baseline, TechniqueKind::RobustLoss] {
+            let result = runner.run(&ExperimentConfig {
+                dataset: DatasetKind::Gtsrb,
+                model,
+                technique,
+                fault_plan: FaultPlan::single(FaultKind::Mislabelling, 30.0),
+                scale,
+                repetitions: 2,
+                seed: 4,
+            });
+            println!(
+                "{:<10} {:<5} AD {}  faulty acc {:.0}%",
+                model.name(),
+                technique.abbrev(),
+                ad_cell(&result.ad),
+                100.0 * result.faulty_accuracy.mean
+            );
+        }
+    }
+}

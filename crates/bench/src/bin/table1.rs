@@ -1,0 +1,19 @@
+//! Regenerates Table I: the survey's technique-selection matrix.
+
+use tdfm_survey::{catalog, render_table_i, select_representatives};
+
+fn main() {
+    let cat = catalog();
+    print!("{}", render_table_i(&cat));
+    println!();
+    let reps = select_representatives(&cat);
+    println!("Selected representatives (one per TDFM approach):");
+    for t in &reps {
+        println!("  {:<24} -> {} {}", t.approach.name(), t.name, t.reference);
+    }
+    let json = serde_json::to_string_pretty(&cat).expect("catalogue serialises");
+    match tdfm_bench::write_json("table1.json", &json) {
+        Ok(path) => println!("\nwrote {}", path.display()),
+        Err(e) => eprintln!("could not write results: {e}"),
+    }
+}

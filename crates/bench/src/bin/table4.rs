@@ -1,0 +1,55 @@
+//! Regenerates Table IV: model accuracies when trained **without** fault
+//! injection, for every technique (the golden-accuracy baseline of the
+//! study).
+//!
+//! Paper layout: rows = (model, dataset), columns = Base, LS, LC, RL, KD,
+//! Ens; datasets 1 = CIFAR-10, 2 = GTSRB, 3 = Pneumonia.
+
+use tdfm_bench::{banner, pct, results_to_json, write_json};
+use tdfm_core::{ExperimentConfig, Runner, TechniqueKind};
+use tdfm_data::{DatasetKind, Scale};
+use tdfm_inject::FaultPlan;
+use tdfm_nn::models::ModelKind;
+
+fn main() {
+    let scale = Scale::from_env();
+    banner("Table IV: accuracies without fault injection", scale, "Section IV-A, Table IV");
+    let models = [ModelKind::ResNet50, ModelKind::Vgg16, ModelKind::ConvNet, ModelKind::MobileNet];
+    let runner = Runner::new();
+    let mut results = Vec::new();
+    // Accuracy percentages need fewer repetitions than the AD error bars.
+    let reps = scale.repetitions().min(2);
+
+    println!(
+        "{:<11}{:<11}{:>7}{:>7}{:>7}{:>7}{:>7}{:>7}",
+        "Model", "Dataset", "Base", "LS", "LC", "RL", "KD", "Ens"
+    );
+    println!("{}", "-".repeat(64));
+    for model in models {
+        for (i, dataset) in DatasetKind::ALL.iter().enumerate() {
+            print!("{:<11}{:<11}", model.name(), format!("{} ({})", i + 1, dataset.name()));
+            for technique in TechniqueKind::ALL {
+                let result = runner.run(&ExperimentConfig {
+                    dataset: *dataset,
+                    model,
+                    technique,
+                    fault_plan: FaultPlan::none(),
+                    scale,
+                    repetitions: reps,
+                    seed: 4,
+                });
+                print!("{:>7}", pct(result.faulty_accuracy.mean));
+                results.push(result);
+            }
+            println!();
+        }
+    }
+    match write_json("table4.json", &results_to_json(&results)) {
+        Ok(path) => println!("\nwrote {}", path.display()),
+        Err(e) => eprintln!("could not write results: {e}"),
+    }
+    println!(
+        "\nPaper shape check: techniques should not collapse the golden accuracy in most \
+         cells;\nLC and RL may degrade on Pneumonia (small dataset), as in the paper."
+    );
+}

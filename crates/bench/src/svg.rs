@@ -1,0 +1,313 @@
+//! Paper-style SVG bar charts, dependency-free.
+//!
+//! The harness binaries print ASCII bars for terminals; this module
+//! renders the same panels as standalone SVG documents (grouped bars with
+//! 95% error whiskers, like the paper's Figs. 3 and 4) so results can be
+//! dropped into a report. Everything is plain string generation and fully
+//! unit-tested.
+
+/// One bar: a label, a value in `[0, 1]`, and a 95% half-width.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Bar {
+    /// Category label under the bar (e.g. `"LS"`).
+    pub label: String,
+    /// Bar height as a fraction (AD or accuracy).
+    pub value: f32,
+    /// Error-whisker half-height as a fraction.
+    pub half_width: f32,
+}
+
+/// A group of bars sharing an x position (e.g. one fault percentage).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BarGroup {
+    /// Group label on the x axis (e.g. `"30%"`).
+    pub label: String,
+    /// The group's bars, one per technique.
+    pub bars: Vec<Bar>,
+}
+
+/// Chart geometry and labels.
+#[derive(Debug, Clone)]
+pub struct PanelSpec {
+    /// Panel title (e.g. `"Fig. 3a: GTSRB, ResNet50, Mislabelling"`).
+    pub title: String,
+    /// Y-axis label.
+    pub y_label: String,
+    /// Canvas width in pixels.
+    pub width: u32,
+    /// Canvas height in pixels.
+    pub height: u32,
+}
+
+impl Default for PanelSpec {
+    fn default() -> Self {
+        Self {
+            title: String::new(),
+            y_label: "Accuracy Delta (%)".to_string(),
+            width: 640,
+            height: 360,
+        }
+    }
+}
+
+/// Colour-blind-safe palette for up to six techniques (Okabe–Ito).
+const PALETTE: [&str; 6] = [
+    "#0072B2", "#E69F00", "#009E73", "#D55E00", "#CC79A7", "#56B4E9",
+];
+
+fn esc(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+/// Renders one grouped-bar panel as a complete SVG document.
+///
+/// The y-axis spans `[0, max(value + half_width)]` rounded up to a decade
+/// fraction; groups are evenly spaced; each distinct bar label gets one
+/// palette colour and a legend entry.
+///
+/// # Panics
+///
+/// Panics if `groups` is empty or any group has no bars.
+pub fn render_panel(spec: &PanelSpec, groups: &[BarGroup]) -> String {
+    assert!(!groups.is_empty(), "panel needs at least one group");
+    assert!(groups.iter().all(|g| !g.bars.is_empty()), "every group needs bars");
+
+    let (w, h) = (spec.width as f32, spec.height as f32);
+    let margin = (60.0, 40.0, 30.0, 50.0); // left, top, right, bottom
+    let plot_w = w - margin.0 - margin.2;
+    let plot_h = h - margin.1 - margin.3;
+
+    // Scale: fixed "nice" ceiling.
+    let raw_max = groups
+        .iter()
+        .flat_map(|g| g.bars.iter())
+        .map(|b| b.value + b.half_width)
+        .fold(0.0f32, f32::max)
+        .max(0.05);
+    let y_max = (raw_max * 10.0).ceil() / 10.0;
+
+    // Legend entries: distinct labels in first-seen order.
+    let mut legend: Vec<&str> = Vec::new();
+    for bar in groups.iter().flat_map(|g| g.bars.iter()) {
+        if !legend.contains(&bar.label.as_str()) {
+            legend.push(&bar.label);
+        }
+    }
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{}\" height=\"{}\" \
+         viewBox=\"0 0 {} {}\" font-family=\"sans-serif\" font-size=\"11\">\n",
+        spec.width, spec.height, spec.width, spec.height
+    ));
+    out.push_str(&format!(
+        "<text x=\"{}\" y=\"18\" text-anchor=\"middle\" font-size=\"13\">{}</text>\n",
+        w / 2.0,
+        esc(&spec.title)
+    ));
+    // Axes.
+    out.push_str(&format!(
+        "<line x1=\"{}\" y1=\"{}\" x2=\"{}\" y2=\"{}\" stroke=\"#333\"/>\n",
+        margin.0,
+        margin.1,
+        margin.0,
+        margin.1 + plot_h
+    ));
+    out.push_str(&format!(
+        "<line x1=\"{}\" y1=\"{}\" x2=\"{}\" y2=\"{}\" stroke=\"#333\"/>\n",
+        margin.0,
+        margin.1 + plot_h,
+        margin.0 + plot_w,
+        margin.1 + plot_h
+    ));
+    out.push_str(&format!(
+        "<text x=\"14\" y=\"{}\" transform=\"rotate(-90 14 {})\" text-anchor=\"middle\">{}</text>\n",
+        margin.1 + plot_h / 2.0,
+        margin.1 + plot_h / 2.0,
+        esc(&spec.y_label)
+    ));
+    // Y ticks at 0, 25, 50, 75, 100% of y_max.
+    for i in 0..=4 {
+        let frac = i as f32 / 4.0;
+        let y = margin.1 + plot_h * (1.0 - frac);
+        out.push_str(&format!(
+            "<line x1=\"{}\" y1=\"{y}\" x2=\"{}\" y2=\"{y}\" stroke=\"#ccc\" stroke-dasharray=\"3 3\"/>\n",
+            margin.0,
+            margin.0 + plot_w
+        ));
+        out.push_str(&format!(
+            "<text x=\"{}\" y=\"{}\" text-anchor=\"end\">{:.0}</text>\n",
+            margin.0 - 6.0,
+            y + 4.0,
+            100.0 * y_max * frac
+        ));
+    }
+
+    // Bars.
+    let group_w = plot_w / groups.len() as f32;
+    for (gi, group) in groups.iter().enumerate() {
+        let n = group.bars.len() as f32;
+        let slot = group_w * 0.8 / n;
+        let start = margin.0 + gi as f32 * group_w + group_w * 0.1;
+        for (bi, bar) in group.bars.iter().enumerate() {
+            let x = start + bi as f32 * slot;
+            let frac = (bar.value / y_max).clamp(0.0, 1.0);
+            let bh = plot_h * frac;
+            let y = margin.1 + plot_h - bh;
+            let color_idx = legend.iter().position(|&l| l == bar.label).unwrap_or(0);
+            let color = PALETTE[color_idx % PALETTE.len()];
+            out.push_str(&format!(
+                "<rect x=\"{:.1}\" y=\"{:.1}\" width=\"{:.1}\" height=\"{:.1}\" fill=\"{}\"><title>{} = {:.1}% ± {:.1}</title></rect>\n",
+                x,
+                y,
+                slot * 0.9,
+                bh,
+                color,
+                esc(&bar.label),
+                100.0 * bar.value,
+                100.0 * bar.half_width
+            ));
+            // Error whisker.
+            if bar.half_width > 0.0 {
+                let cx = x + slot * 0.45;
+                let up = margin.1
+                    + plot_h * (1.0 - ((bar.value + bar.half_width) / y_max).clamp(0.0, 1.0));
+                let dn = margin.1
+                    + plot_h * (1.0 - ((bar.value - bar.half_width).max(0.0) / y_max).clamp(0.0, 1.0));
+                out.push_str(&format!(
+                    "<line x1=\"{cx:.1}\" y1=\"{up:.1}\" x2=\"{cx:.1}\" y2=\"{dn:.1}\" stroke=\"#000\"/>\n"
+                ));
+            }
+        }
+        out.push_str(&format!(
+            "<text x=\"{:.1}\" y=\"{:.1}\" text-anchor=\"middle\">{}</text>\n",
+            margin.0 + gi as f32 * group_w + group_w / 2.0,
+            margin.1 + plot_h + 16.0,
+            esc(&group.label)
+        ));
+    }
+
+    // Legend.
+    for (i, label) in legend.iter().enumerate() {
+        let x = margin.0 + 8.0 + i as f32 * 70.0;
+        let y = margin.1 + 6.0;
+        out.push_str(&format!(
+            "<rect x=\"{x}\" y=\"{y}\" width=\"10\" height=\"10\" fill=\"{}\"/>\n",
+            PALETTE[i % PALETTE.len()]
+        ));
+        out.push_str(&format!(
+            "<text x=\"{}\" y=\"{}\">{}</text>\n",
+            x + 14.0,
+            y + 9.0,
+            esc(label)
+        ));
+    }
+    out.push_str("</svg>\n");
+    out
+}
+
+/// Builds the group structure of one figure panel from experiment results:
+/// one group per fault percentage, one bar per technique.
+pub fn panel_from_results(
+    results: &[tdfm_core::ExperimentResult],
+    percents: &[f32],
+) -> Vec<BarGroup> {
+    percents
+        .iter()
+        .map(|&p| {
+            let label = format!("{p:.0}%");
+            let bars = results
+                .iter()
+                .filter(|r| {
+                    r.config
+                        .fault_plan
+                        .specs()
+                        .first()
+                        .is_some_and(|s| (s.percent - p).abs() < 1e-6)
+                })
+                .map(|r| Bar {
+                    label: r.config.technique.abbrev().to_string(),
+                    value: r.ad.mean,
+                    half_width: r.ad.half_width,
+                })
+                .collect();
+            BarGroup { label, bars }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_groups() -> Vec<BarGroup> {
+        vec![
+            BarGroup {
+                label: "10%".to_string(),
+                bars: vec![
+                    Bar { label: "Base".to_string(), value: 0.10, half_width: 0.02 },
+                    Bar { label: "Ens".to_string(), value: 0.02, half_width: 0.01 },
+                ],
+            },
+            BarGroup {
+                label: "30%".to_string(),
+                bars: vec![
+                    Bar { label: "Base".to_string(), value: 0.30, half_width: 0.05 },
+                    Bar { label: "Ens".to_string(), value: 0.08, half_width: 0.02 },
+                ],
+            },
+        ]
+    }
+
+    #[test]
+    fn renders_well_formed_svg() {
+        let spec = PanelSpec { title: "Fig. test".to_string(), ..PanelSpec::default() };
+        let svg = render_panel(&spec, &sample_groups());
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        // 4 bars + 2 legend swatches.
+        assert_eq!(svg.matches("<rect").count(), 6);
+        // Every bar has an error whisker plus the two axes + 5 gridlines.
+        assert_eq!(svg.matches("<line").count(), 4 + 2 + 5);
+        assert!(svg.contains("Fig. test"));
+        assert!(svg.contains(">10%<"));
+        assert!(svg.contains(">30%<"));
+    }
+
+    #[test]
+    fn escapes_markup_in_labels() {
+        let spec = PanelSpec { title: "a < b & c".to_string(), ..PanelSpec::default() };
+        let groups = vec![BarGroup {
+            label: "g".to_string(),
+            bars: vec![Bar { label: "x".to_string(), value: 0.1, half_width: 0.0 }],
+        }];
+        let svg = render_panel(&spec, &groups);
+        assert!(svg.contains("a &lt; b &amp; c"));
+        assert!(!svg.contains("a < b"));
+    }
+
+    #[test]
+    fn legend_is_deduplicated_across_groups() {
+        let svg = render_panel(&PanelSpec::default(), &sample_groups());
+        // "Base" appears in tooltips and once in the legend text.
+        let legend_entries = svg.matches(">Base<").count();
+        assert_eq!(legend_entries, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one group")]
+    fn empty_panel_rejected() {
+        let _ = render_panel(&PanelSpec::default(), &[]);
+    }
+
+    #[test]
+    fn zero_half_width_has_no_whisker() {
+        let groups = vec![BarGroup {
+            label: "g".to_string(),
+            bars: vec![Bar { label: "x".to_string(), value: 0.2, half_width: 0.0 }],
+        }];
+        let svg = render_panel(&PanelSpec::default(), &groups);
+        // Axes (2) + gridlines (5), no whisker lines.
+        assert_eq!(svg.matches("<line").count(), 7);
+    }
+}

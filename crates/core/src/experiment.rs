@@ -1,0 +1,464 @@
+//! The experiment protocol of Fig. 2: golden model vs technique-protected
+//! faulty model, repeated and summarised with confidence intervals.
+
+use crate::metrics::{accuracy, accuracy_delta, ConfidenceInterval};
+use crate::technique::{Mitigation, TechniqueKind, TrainContext};
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
+use tdfm_data::{DatasetKind, Scale, TrainTest};
+use tdfm_inject::{split_clean, FaultPlan, Injector};
+use tdfm_nn::models::ModelKind;
+
+/// One experiment cell: a (dataset, model, technique, fault plan) tuple at
+/// a given scale, repeated `repetitions` times.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExperimentConfig {
+    /// Dataset under study.
+    pub dataset: DatasetKind,
+    /// Architecture under study (ignored by the ensemble technique, whose
+    /// composition is fixed — see the paper's figures).
+    pub model: ModelKind,
+    /// Mitigation technique (or the baseline).
+    pub technique: TechniqueKind,
+    /// Faults injected into the training data.
+    pub fault_plan: FaultPlan,
+    /// Experiment scale.
+    pub scale: Scale,
+    /// Number of repetitions (the paper used 20).
+    pub repetitions: usize,
+    /// Base seed; repetition `r` derives its own seed.
+    pub seed: u64,
+}
+
+/// Raw outcome of one repetition.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RepetitionResult {
+    /// Test accuracy of the golden (clean-trained, unprotected) model.
+    pub golden_accuracy: f32,
+    /// Test accuracy of the technique-protected faulty model.
+    pub faulty_accuracy: f32,
+    /// Accuracy delta (Fig. 2).
+    pub accuracy_delta: f32,
+    /// Wall-clock training time of the protected model, seconds.
+    pub train_seconds: f64,
+    /// Wall-clock test-set inference time of the protected model, seconds.
+    pub infer_seconds: f64,
+}
+
+/// Aggregated outcome of one experiment cell.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExperimentResult {
+    /// The configuration this result belongs to.
+    pub config: ExperimentConfig,
+    /// Human-readable fault label (e.g. `"Mislabelling 30%"`).
+    pub fault_label: String,
+    /// Per-repetition raw results.
+    pub repetitions: Vec<RepetitionResult>,
+    /// AD mean and 95% CI over repetitions.
+    pub ad: ConfidenceInterval,
+    /// Golden accuracy mean and CI.
+    pub golden_accuracy: ConfidenceInterval,
+    /// Faulty (protected) accuracy mean and CI.
+    pub faulty_accuracy: ConfidenceInterval,
+}
+
+impl ExperimentResult {
+    /// Serialises the result as pretty JSON.
+    ///
+    /// # Panics
+    ///
+    /// Never panics for the types involved (no non-string map keys).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("result serialisation cannot fail")
+    }
+}
+
+#[derive(Clone)]
+struct GoldenEntry {
+    predictions: Vec<u32>,
+    accuracy: f32,
+}
+
+type GoldenKey = (DatasetKind, ModelKind, Scale, u64);
+
+#[derive(Clone)]
+struct SharedFit {
+    predictions: Vec<u32>,
+    train_seconds: f64,
+    infer_seconds: f64,
+}
+
+/// Key for model-independent techniques: (technique name, dataset, scale,
+/// repetition seed, fault label).
+type SharedKey = (&'static str, DatasetKind, Scale, u64, String);
+
+/// Runs experiment cells, caching golden-model predictions.
+///
+/// The golden model for a `(dataset, model, scale, repetition-seed)` tuple
+/// is shared by every technique and fault amount, and fitted ensembles are
+/// shared across per-model panels — the same sharing the paper exploits to
+/// keep 33 days of GPU time tractable.
+#[derive(Default)]
+pub struct Runner {
+    golden: Mutex<HashMap<GoldenKey, Arc<GoldenEntry>>>,
+    shared: Mutex<HashMap<SharedKey, Arc<SharedFit>>>,
+    cache_dir: Option<std::path::PathBuf>,
+}
+
+impl Runner {
+    /// Creates a runner with an empty golden cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a runner that additionally persists golden predictions to
+    /// `dir`, so repeated harness invocations skip retraining golden
+    /// models (created on first write).
+    pub fn with_cache_dir(dir: impl Into<std::path::PathBuf>) -> Self {
+        Self { cache_dir: Some(dir.into()), ..Self::default() }
+    }
+
+    /// Number of cached golden models (useful for tests/diagnostics).
+    pub fn golden_cache_len(&self) -> usize {
+        self.golden.lock().len()
+    }
+
+    fn golden_cache_path(&self, key: &GoldenKey) -> Option<std::path::PathBuf> {
+        self.cache_dir.as_ref().map(|dir| {
+            dir.join(format!(
+                "golden-{}-{}-{}-{}.json",
+                key.0.name().replace('-', ""),
+                key.1.name(),
+                key.2.name(),
+                key.3
+            ))
+        })
+    }
+
+    fn golden_entry(
+        &self,
+        dataset: DatasetKind,
+        model: ModelKind,
+        scale: Scale,
+        rep_seed: u64,
+        data: &TrainTest,
+    ) -> Arc<GoldenEntry> {
+        let key = (dataset, model, scale, rep_seed);
+        if let Some(hit) = self.golden.lock().get(&key) {
+            return Arc::clone(hit);
+        }
+        // Second level: the on-disk cache, when configured.
+        if let Some(path) = self.golden_cache_path(&key) {
+            if let Ok(text) = std::fs::read_to_string(&path) {
+                if let Ok(predictions) = serde_json::from_str::<Vec<u32>>(&text) {
+                    if predictions.len() == data.test.len() {
+                        let entry = Arc::new(GoldenEntry {
+                            accuracy: accuracy(&predictions, data.test.labels()),
+                            predictions,
+                        });
+                        self.golden.lock().insert(key, Arc::clone(&entry));
+                        return entry;
+                    }
+                }
+            }
+        }
+        let mut ctx = TrainContext::new(scale, rep_seed);
+        ctx.tune_for(data.train.len());
+        let mut fitted = TechniqueKind::Baseline.build().fit(model, &data.train, &ctx);
+        let predictions = fitted.predict(data.test.images());
+        if let Some(path) = self.golden_cache_path(&key) {
+            if let Some(dir) = path.parent() {
+                let _ = std::fs::create_dir_all(dir);
+            }
+            let _ = std::fs::write(
+                &path,
+                serde_json::to_string(&predictions).expect("u32 vec serialises"),
+            );
+        }
+        let entry = Arc::new(GoldenEntry {
+            accuracy: accuracy(&predictions, data.test.labels()),
+            predictions,
+        });
+        self.golden.lock().insert(key, Arc::clone(&entry));
+        entry
+    }
+
+    /// Runs one experiment cell.
+    ///
+    /// Per repetition: generate the dataset, obtain (or reuse) the golden
+    /// model's test predictions, inject the fault plan into the training
+    /// data, fit the technique, and measure accuracy + AD on the test set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `repetitions == 0`.
+    pub fn run(&self, config: &ExperimentConfig) -> ExperimentResult {
+        let technique = config.technique.build();
+        self.run_with(config, technique.as_ref())
+    }
+
+    /// Runs one experiment cell with a caller-provided technique (used by
+    /// the ablation studies, e.g. homogeneous ensembles). The
+    /// `config.technique` field is kept for reporting only.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `repetitions == 0`.
+    pub fn run_with(
+        &self,
+        config: &ExperimentConfig,
+        technique: &dyn Mitigation,
+    ) -> ExperimentResult {
+        assert!(config.repetitions > 0, "need at least one repetition");
+        let mut reps = Vec::with_capacity(config.repetitions);
+        for r in 0..config.repetitions {
+            let rep_seed = config.seed.wrapping_add(1 + r as u64).wrapping_mul(0x9E37_79B9);
+            reps.push(self.run_repetition(config, technique, rep_seed));
+        }
+        let ad_samples: Vec<f32> = reps.iter().map(|r| r.accuracy_delta).collect();
+        let golden_samples: Vec<f32> = reps.iter().map(|r| r.golden_accuracy).collect();
+        let faulty_samples: Vec<f32> = reps.iter().map(|r| r.faulty_accuracy).collect();
+        ExperimentResult {
+            fault_label: config.fault_plan.label(),
+            ad: ConfidenceInterval::t95(&ad_samples),
+            golden_accuracy: ConfidenceInterval::t95(&golden_samples),
+            faulty_accuracy: ConfidenceInterval::t95(&faulty_samples),
+            repetitions: reps,
+            config: config.clone(),
+        }
+    }
+
+    fn run_repetition(
+        &self,
+        config: &ExperimentConfig,
+        technique: &dyn Mitigation,
+        rep_seed: u64,
+    ) -> RepetitionResult {
+        let data = config.dataset.generate(config.scale, rep_seed);
+        let golden =
+            self.golden_entry(config.dataset, config.model, config.scale, rep_seed, &data);
+
+        let mut ctx = TrainContext::new(config.scale, rep_seed);
+        ctx.tune_for(data.train.len());
+        let injector = Injector::new(rep_seed ^ 0xFA_17);
+        let faulty_train = if technique.wants_clean_subset() {
+            // Reserve the clean fraction *before* injection (III-B2).
+            let (clean, rest) = split_clean(&data.train, 0.1, rep_seed ^ 0xC1EA);
+            ctx.clean_subset = Some(clean);
+            injector.apply(&rest, &config.fault_plan).0
+        } else {
+            injector.apply(&data.train, &config.fault_plan).0
+        };
+
+        let shared_key: Option<SharedKey> = if technique.model_independent() {
+            Some((
+                technique.name(),
+                config.dataset,
+                config.scale,
+                rep_seed,
+                config.fault_plan.label(),
+            ))
+        } else {
+            None
+        };
+        let cached = shared_key
+            .as_ref()
+            .and_then(|k| self.shared.lock().get(k).map(Arc::clone));
+        let (predictions, train_seconds, infer_seconds) = match cached {
+            Some(hit) => (hit.predictions.clone(), hit.train_seconds, hit.infer_seconds),
+            None => {
+                let t0 = Instant::now();
+                let mut fitted = technique.fit(config.model, &faulty_train, &ctx);
+                let train_seconds = t0.elapsed().as_secs_f64();
+                let t1 = Instant::now();
+                let predictions = fitted.predict(data.test.images());
+                let infer_seconds = t1.elapsed().as_secs_f64();
+                if let Some(k) = shared_key {
+                    self.shared.lock().insert(
+                        k,
+                        Arc::new(SharedFit {
+                            predictions: predictions.clone(),
+                            train_seconds,
+                            infer_seconds,
+                        }),
+                    );
+                }
+                (predictions, train_seconds, infer_seconds)
+            }
+        };
+
+        RepetitionResult {
+            golden_accuracy: golden.accuracy,
+            faulty_accuracy: accuracy(&predictions, data.test.labels()),
+            accuracy_delta: accuracy_delta(
+                &golden.predictions,
+                &predictions,
+                data.test.labels(),
+            ),
+            train_seconds,
+            infer_seconds,
+        }
+    }
+
+    /// Runs several cells in sequence, returning results in input order.
+    pub fn run_all(&self, configs: &[ExperimentConfig]) -> Vec<ExperimentResult> {
+        configs.iter().map(|c| self.run(c)).collect()
+    }
+
+    /// Runs several cells on `workers` threads, returning results in input
+    /// order. Falls back to the sequential path for one worker (the study
+    /// machine) — results are identical either way because every cell is
+    /// deterministic in its own seeds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers == 0`.
+    pub fn run_all_parallel(
+        &self,
+        configs: &[ExperimentConfig],
+        workers: usize,
+    ) -> Vec<ExperimentResult> {
+        assert!(workers > 0, "need at least one worker");
+        if workers == 1 || configs.len() <= 1 {
+            return self.run_all(configs);
+        }
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<ExperimentResult>>> =
+            configs.iter().map(|_| Mutex::new(None)).collect();
+        crossbeam::scope(|scope| {
+            for _ in 0..workers.min(configs.len()) {
+                let next = &next;
+                let slots = &slots;
+                scope.spawn(move |_| loop {
+                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if i >= configs.len() {
+                        break;
+                    }
+                    let result = self.run(&configs[i]);
+                    *slots[i].lock() = Some(result);
+                });
+            }
+        })
+        .expect("experiment worker panicked");
+        slots
+            .into_iter()
+            .map(|slot| slot.into_inner().expect("every slot is filled"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tdfm_inject::FaultKind;
+
+    fn tiny_config(technique: TechniqueKind, percent: f32) -> ExperimentConfig {
+        ExperimentConfig {
+            dataset: DatasetKind::Pneumonia,
+            model: ModelKind::ConvNet,
+            technique,
+            fault_plan: if percent > 0.0 {
+                FaultPlan::single(FaultKind::Mislabelling, percent)
+            } else {
+                FaultPlan::none()
+            },
+            scale: Scale::Tiny,
+            repetitions: 2,
+            seed: 42,
+        }
+    }
+
+    #[test]
+    fn runner_produces_valid_metrics() {
+        let runner = Runner::new();
+        let result = runner.run(&tiny_config(TechniqueKind::Baseline, 30.0));
+        assert_eq!(result.repetitions.len(), 2);
+        for rep in &result.repetitions {
+            assert!((0.0..=1.0).contains(&rep.accuracy_delta));
+            assert!((0.0..=1.0).contains(&rep.golden_accuracy));
+            assert!((0.0..=1.0).contains(&rep.faulty_accuracy));
+            assert!(rep.train_seconds > 0.0);
+        }
+        assert!((0.0..=1.0).contains(&result.ad.mean));
+    }
+
+    #[test]
+    fn golden_cache_is_shared_across_techniques() {
+        let runner = Runner::new();
+        let _ = runner.run(&tiny_config(TechniqueKind::Baseline, 10.0));
+        let after_first = runner.golden_cache_len();
+        let _ = runner.run(&tiny_config(TechniqueKind::LabelSmoothing, 10.0));
+        // Same dataset/model/scale/seed tuple: no new golden trainings.
+        assert_eq!(runner.golden_cache_len(), after_first);
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let runner = Runner::new();
+        let a = runner.run(&tiny_config(TechniqueKind::Baseline, 30.0));
+        let b = runner.run(&tiny_config(TechniqueKind::Baseline, 30.0));
+        assert_eq!(a.ad.mean, b.ad.mean);
+        assert_eq!(a.faulty_accuracy.mean, b.faulty_accuracy.mean);
+    }
+
+    #[test]
+    fn clean_plan_yields_zero_ish_ad_for_baseline() {
+        // With no faults, the "faulty" model is the golden model retrained
+        // with the same seed — predictions should match almost exactly.
+        let runner = Runner::new();
+        let result = runner.run(&tiny_config(TechniqueKind::Baseline, 0.0));
+        assert!(result.ad.mean < 0.05, "AD {}", result.ad.mean);
+    }
+
+    #[test]
+    fn json_serialisation_round_trips() {
+        let runner = Runner::new();
+        let result = runner.run(&tiny_config(TechniqueKind::Baseline, 10.0));
+        let json = result.to_json();
+        let back: ExperimentResult = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.ad.mean, result.ad.mean);
+        assert_eq!(back.fault_label, result.fault_label);
+    }
+
+    #[test]
+    fn parallel_run_matches_sequential() {
+        let runner = Runner::new();
+        let configs = vec![
+            tiny_config(TechniqueKind::Baseline, 10.0),
+            tiny_config(TechniqueKind::LabelSmoothing, 30.0),
+        ];
+        let seq = runner.run_all(&configs);
+        let par = Runner::new().run_all_parallel(&configs, 2);
+        for (a, b) in seq.iter().zip(&par) {
+            assert_eq!(a.ad.mean, b.ad.mean);
+            assert_eq!(a.faulty_accuracy.mean, b.faulty_accuracy.mean);
+        }
+    }
+
+    #[test]
+    fn disk_cache_round_trips_golden_predictions() {
+        let dir = std::env::temp_dir().join("tdfm-golden-cache-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let config = tiny_config(TechniqueKind::Baseline, 10.0);
+        let first = Runner::with_cache_dir(&dir).run(&config);
+        // Cache files were written.
+        let entries = std::fs::read_dir(&dir).unwrap().count();
+        assert!(entries > 0, "no cache files written");
+        // A fresh runner reading the same cache reproduces the metrics.
+        let second = Runner::with_cache_dir(&dir).run(&config);
+        assert_eq!(first.ad.mean, second.ad.mean);
+        assert_eq!(first.golden_accuracy.mean, second.golden_accuracy.mean);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn label_correction_gets_clean_subset() {
+        let runner = Runner::new();
+        // Must not panic; LC path reserves the clean subset internally.
+        let result = runner.run(&tiny_config(TechniqueKind::LabelCorrection, 30.0));
+        assert!((0.0..=1.0).contains(&result.ad.mean));
+    }
+}

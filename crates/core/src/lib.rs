@@ -1,0 +1,53 @@
+//! # tdfm-core
+//!
+//! The primary contribution of the TDFM reproduction ("The Fault in Our
+//! Data Stars", DSN 2022): the five training-data fault-mitigation
+//! techniques, the reliability metrics, and the experiment runner that
+//! regenerates the paper's tables and figures.
+//!
+//! * [`technique`] — the representative implementations of the five TDFM
+//!   approaches (Table I): label smoothing (via label relaxation), meta
+//!   label correction, robust loss (NCE+RCE), self-distillation, and
+//!   heterogeneous majority-vote ensembles — plus the unprotected
+//!   [`technique::TechniqueKind::Baseline`].
+//! * [`metrics`] — accuracy and the paper's **accuracy delta** (AD,
+//!   Section III-C / Fig. 2), with Student-t 95% confidence intervals.
+//! * [`experiment`] — the golden/faulty experiment protocol of Fig. 2 with
+//!   golden-prediction caching and JSON-serialisable results.
+//! * [`overhead`] — the training/inference overhead study (Section IV-E).
+//!
+//! # Examples
+//!
+//! Measure how well label smoothing tolerates 30% mislabelling on the
+//! synthetic Pneumonia dataset:
+//!
+//! ```no_run
+//! use tdfm_core::experiment::{ExperimentConfig, Runner};
+//! use tdfm_core::technique::TechniqueKind;
+//! use tdfm_data::{DatasetKind, Scale};
+//! use tdfm_inject::{FaultKind, FaultPlan};
+//! use tdfm_nn::models::ModelKind;
+//!
+//! let mut runner = Runner::new();
+//! let result = runner.run(&ExperimentConfig {
+//!     dataset: DatasetKind::Pneumonia,
+//!     model: ModelKind::ResNet50,
+//!     technique: TechniqueKind::LabelSmoothing,
+//!     fault_plan: FaultPlan::single(FaultKind::Mislabelling, 30.0),
+//!     scale: Scale::Smoke,
+//!     repetitions: 3,
+//!     seed: 0,
+//! });
+//! println!("AD = {:.1}% ± {:.1}", 100.0 * result.ad.mean, 100.0 * result.ad.half_width);
+//! ```
+
+pub mod detect;
+pub mod experiment;
+pub mod metrics;
+pub mod overhead;
+pub mod stats;
+pub mod technique;
+
+pub use experiment::{ExperimentConfig, ExperimentResult, Runner};
+pub use metrics::{accuracy, accuracy_delta, ConfidenceInterval, ConfusionMatrix};
+pub use technique::{FittedModel, Mitigation, TechniqueKind, TrainContext};

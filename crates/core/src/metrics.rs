@@ -1,0 +1,355 @@
+//! Reliability metrics: accuracy, accuracy delta (AD) and confidence
+//! intervals (paper Section III-C, Fig. 2).
+
+use serde::{Deserialize, Serialize};
+
+/// Fraction of predictions equal to the labels.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or are empty.
+pub fn accuracy(predictions: &[u32], labels: &[u32]) -> f32 {
+    assert_eq!(predictions.len(), labels.len(), "prediction/label count mismatch");
+    assert!(!labels.is_empty(), "accuracy of an empty set is undefined");
+    let correct = predictions.iter().zip(labels).filter(|(p, l)| p == l).count();
+    correct as f32 / labels.len() as f32
+}
+
+/// The paper's **accuracy delta** (AD): among test images the *golden*
+/// model classifies correctly, the fraction the *faulty* model gets wrong.
+///
+/// Lower is better; a perfectly resilient technique has AD = 0. Unlike a
+/// plain accuracy difference, AD does not double-count images both models
+/// misclassify (Section III-C).
+///
+/// Returns 0 when the golden model classifies nothing correctly (no basis
+/// for comparison).
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or are empty.
+///
+/// # Examples
+///
+/// ```
+/// use tdfm_core::accuracy_delta;
+///
+/// let labels = [0, 1, 2, 3];
+/// let golden = [0, 1, 2, 9]; // golden correct on first three
+/// let faulty = [0, 9, 9, 3]; // faulty wrong on two of those
+/// assert!((accuracy_delta(&golden, &faulty, &labels) - 2.0 / 3.0).abs() < 1e-6);
+/// ```
+pub fn accuracy_delta(golden: &[u32], faulty: &[u32], labels: &[u32]) -> f32 {
+    assert_eq!(golden.len(), labels.len(), "golden/label count mismatch");
+    assert_eq!(faulty.len(), labels.len(), "faulty/label count mismatch");
+    assert!(!labels.is_empty(), "AD of an empty set is undefined");
+    let mut golden_correct = 0usize;
+    let mut now_wrong = 0usize;
+    for ((&g, &f), &l) in golden.iter().zip(faulty).zip(labels) {
+        if g == l {
+            golden_correct += 1;
+            if f != l {
+                now_wrong += 1;
+            }
+        }
+    }
+    if golden_correct == 0 {
+        return 0.0;
+    }
+    now_wrong as f32 / golden_correct as f32
+}
+
+/// A full confusion matrix: `counts[actual][predicted]`.
+///
+/// The paper's Fig. 1 discussion — pneumonia read as normal, normal read
+/// as pneumonia — is a statement about specific confusion-matrix cells;
+/// this type makes those analyses first-class.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConfusionMatrix {
+    classes: usize,
+    counts: Vec<usize>,
+}
+
+impl ConfusionMatrix {
+    /// Builds the matrix from predictions and labels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ or any value is `>= classes`.
+    pub fn new(predictions: &[u32], labels: &[u32], classes: usize) -> Self {
+        assert_eq!(predictions.len(), labels.len(), "prediction/label count mismatch");
+        assert!(classes > 0, "need at least one class");
+        let mut counts = vec![0usize; classes * classes];
+        for (&p, &l) in predictions.iter().zip(labels) {
+            assert!((p as usize) < classes, "prediction {p} out of range");
+            assert!((l as usize) < classes, "label {l} out of range");
+            counts[l as usize * classes + p as usize] += 1;
+        }
+        Self { classes, counts }
+    }
+
+    /// Number of classes.
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// Count of samples with true class `actual` predicted as `predicted`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn count(&self, actual: usize, predicted: usize) -> usize {
+        assert!(actual < self.classes && predicted < self.classes, "class out of range");
+        self.counts[actual * self.classes + predicted]
+    }
+
+    /// Total number of samples.
+    pub fn total(&self) -> usize {
+        self.counts.iter().sum()
+    }
+
+    /// Overall accuracy (trace over total).
+    pub fn accuracy(&self) -> f32 {
+        let correct: usize = (0..self.classes).map(|k| self.count(k, k)).sum();
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        correct as f32 / total as f32
+    }
+
+    /// Recall of class `k` (`None` when the class has no samples).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is out of range.
+    pub fn recall(&self, k: usize) -> Option<f32> {
+        let row: usize = (0..self.classes).map(|j| self.count(k, j)).sum();
+        if row == 0 {
+            return None;
+        }
+        Some(self.count(k, k) as f32 / row as f32)
+    }
+
+    /// Precision of class `k` (`None` when the class is never predicted).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is out of range.
+    pub fn precision(&self, k: usize) -> Option<f32> {
+        let col: usize = (0..self.classes).map(|i| self.count(i, k)).sum();
+        if col == 0 {
+            return None;
+        }
+        Some(self.count(k, k) as f32 / col as f32)
+    }
+
+    /// The `(actual, predicted, count)` off-diagonal cells, most frequent
+    /// first — "what does the faulty model confuse with what".
+    pub fn top_confusions(&self, limit: usize) -> Vec<(usize, usize, usize)> {
+        let mut cells: Vec<(usize, usize, usize)> = (0..self.classes)
+            .flat_map(|a| (0..self.classes).map(move |p| (a, p)))
+            .filter(|&(a, p)| a != p)
+            .map(|(a, p)| (a, p, self.count(a, p)))
+            .filter(|&(_, _, c)| c > 0)
+            .collect();
+        cells.sort_by(|x, y| y.2.cmp(&x.2).then_with(|| (x.0, x.1).cmp(&(y.0, y.1))));
+        cells.truncate(limit);
+        cells
+    }
+}
+
+/// A mean with a 95% Student-t confidence half-width — the error bars on
+/// every figure of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ConfidenceInterval {
+    /// Sample mean.
+    pub mean: f32,
+    /// Half-width of the 95% interval (0 for a single sample).
+    pub half_width: f32,
+}
+
+/// Two-sided 97.5% Student-t quantiles for small degrees of freedom.
+const T_975: [f32; 30] = [
+    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179, 2.160,
+    2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056,
+    2.052, 2.048, 2.045, 2.042,
+];
+
+impl ConfidenceInterval {
+    /// Computes the mean and 95% t-interval of a sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty.
+    pub fn t95(samples: &[f32]) -> Self {
+        assert!(!samples.is_empty(), "confidence interval of an empty sample");
+        let n = samples.len();
+        let mean = samples.iter().sum::<f32>() / n as f32;
+        if n == 1 {
+            return Self { mean, half_width: 0.0 };
+        }
+        let var =
+            samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / (n as f32 - 1.0);
+        let t = if n - 1 <= 30 { T_975[n - 2] } else { 1.96 };
+        Self { mean, half_width: t * (var / n as f32).sqrt() }
+    }
+
+    /// `true` when `other`'s interval overlaps this one — the paper's
+    /// "statistically similar" test in Section IV-C.
+    pub fn overlaps(&self, other: &ConfidenceInterval) -> bool {
+        (self.mean - other.mean).abs() <= self.half_width + other.half_width
+    }
+}
+
+impl std::fmt::Display for ConfidenceInterval {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.3} ± {:.3}", self.mean, self.half_width)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn accuracy_basics() {
+        assert_eq!(accuracy(&[1, 2, 3], &[1, 2, 3]), 1.0);
+        assert_eq!(accuracy(&[1, 2, 3], &[3, 2, 1]), 1.0 / 3.0);
+        assert_eq!(accuracy(&[0, 0], &[1, 1]), 0.0);
+    }
+
+    #[test]
+    fn ad_matches_fig2_definition() {
+        let labels = [0u32, 1, 2, 3, 4];
+        let golden = [0u32, 1, 2, 9, 9]; // correct on 3
+        let faulty = [9u32, 1, 9, 3, 4]; // wrong on 2 of the golden-correct
+        assert!((accuracy_delta(&golden, &faulty, &labels) - 2.0 / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ad_ignores_images_both_models_miss() {
+        let labels = [0u32, 1];
+        let golden = [9u32, 1];
+        let faulty = [8u32, 1]; // both wrong on image 0 -> not counted
+        assert_eq!(accuracy_delta(&golden, &faulty, &labels), 0.0);
+    }
+
+    #[test]
+    fn ad_zero_when_golden_useless() {
+        let labels = [0u32, 1];
+        assert_eq!(accuracy_delta(&[9, 9], &[0, 1], &labels), 0.0);
+    }
+
+    #[test]
+    fn identical_models_have_zero_ad() {
+        let labels = [0u32, 1, 2];
+        let preds = [0u32, 9, 2];
+        assert_eq!(accuracy_delta(&preds, &preds, &labels), 0.0);
+    }
+
+    #[test]
+    fn ci_single_sample_has_zero_width() {
+        let ci = ConfidenceInterval::t95(&[0.5]);
+        assert_eq!(ci.mean, 0.5);
+        assert_eq!(ci.half_width, 0.0);
+    }
+
+    #[test]
+    fn ci_matches_hand_computed_t_interval() {
+        // Samples 1..=5: mean 3, sd sqrt(2.5), t_{0.975,4} = 2.776.
+        let ci = ConfidenceInterval::t95(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert!((ci.mean - 3.0).abs() < 1e-6);
+        let expect = 2.776 * (2.5f32 / 5.0).sqrt();
+        assert!((ci.half_width - expect).abs() < 1e-3);
+    }
+
+    #[test]
+    fn overlap_detection() {
+        let a = ConfidenceInterval { mean: 0.5, half_width: 0.1 };
+        let b = ConfidenceInterval { mean: 0.65, half_width: 0.1 };
+        let c = ConfidenceInterval { mean: 0.9, half_width: 0.1 };
+        assert!(a.overlaps(&b));
+        assert!(!a.overlaps(&c));
+    }
+
+    #[test]
+    fn confusion_matrix_counts_cells() {
+        let labels = [0u32, 0, 1, 1, 1];
+        let preds = [0u32, 1, 1, 1, 0];
+        let m = ConfusionMatrix::new(&preds, &labels, 2);
+        assert_eq!(m.count(0, 0), 1);
+        assert_eq!(m.count(0, 1), 1);
+        assert_eq!(m.count(1, 1), 2);
+        assert_eq!(m.count(1, 0), 1);
+        assert_eq!(m.total(), 5);
+        assert!((m.accuracy() - 0.6).abs() < 1e-6);
+    }
+
+    #[test]
+    fn recall_and_precision() {
+        let labels = [0u32, 0, 1, 1, 1, 2];
+        let preds = [0u32, 1, 1, 1, 0, 0];
+        let m = ConfusionMatrix::new(&preds, &labels, 3);
+        assert!((m.recall(0).unwrap() - 0.5).abs() < 1e-6);
+        assert!((m.recall(1).unwrap() - 2.0 / 3.0).abs() < 1e-6);
+        assert_eq!(m.recall(2).unwrap(), 0.0);
+        // Class 2 is never predicted.
+        assert!(m.precision(2).is_none());
+        assert!((m.precision(1).unwrap() - 2.0 / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn top_confusions_ranked() {
+        let labels = [0u32, 0, 0, 1, 1, 2];
+        let preds = [1u32, 1, 2, 0, 0, 2];
+        let m = ConfusionMatrix::new(&preds, &labels, 3);
+        let top = m.top_confusions(2);
+        assert_eq!(top[0].2, 2);
+        assert!(top[0] == (0, 1, 2) || top[0] == (1, 0, 2));
+        assert_eq!(top.len(), 2);
+    }
+
+    #[test]
+    fn confusion_accuracy_matches_plain_accuracy() {
+        let labels = [0u32, 1, 2, 1, 0];
+        let preds = [0u32, 2, 2, 1, 1];
+        let m = ConfusionMatrix::new(&preds, &labels, 3);
+        assert!((m.accuracy() - accuracy(&preds, &labels)).abs() < 1e-6);
+    }
+
+    proptest! {
+        #[test]
+        fn confusion_diagonal_counts_correct(
+            seed in 0u64..500, n in 1usize..60
+        ) {
+            let mut rng = tdfm_tensor::rng::Rng::seed_from(seed);
+            let labels: Vec<u32> = (0..n).map(|_| rng.below(3) as u32).collect();
+            let preds: Vec<u32> = (0..n).map(|_| rng.below(3) as u32).collect();
+            let m = ConfusionMatrix::new(&preds, &labels, 3);
+            prop_assert_eq!(m.total(), n);
+            prop_assert!((m.accuracy() - accuracy(&preds, &labels)).abs() < 1e-6);
+        }
+
+        #[test]
+        fn ad_is_a_probability(
+            seed in 0u64..1000, n in 1usize..50
+        ) {
+            let mut rng = tdfm_tensor::rng::Rng::seed_from(seed);
+            let labels: Vec<u32> = (0..n).map(|_| rng.below(4) as u32).collect();
+            let golden: Vec<u32> = (0..n).map(|_| rng.below(4) as u32).collect();
+            let faulty: Vec<u32> = (0..n).map(|_| rng.below(4) as u32).collect();
+            let ad = accuracy_delta(&golden, &faulty, &labels);
+            prop_assert!((0.0..=1.0).contains(&ad));
+        }
+
+        #[test]
+        fn ci_mean_is_sample_mean(v in proptest::collection::vec(0.0f32..1.0, 1..20)) {
+            let ci = ConfidenceInterval::t95(&v);
+            let mean = v.iter().sum::<f32>() / v.len() as f32;
+            prop_assert!((ci.mean - mean).abs() < 1e-5);
+            prop_assert!(ci.half_width >= 0.0);
+        }
+    }
+}

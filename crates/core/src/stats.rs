@@ -1,0 +1,258 @@
+//! Statistical machinery behind the paper's claims: Welch's t-test for
+//! "statistically similar" comparisons (Section IV-C) and the special
+//! functions it needs.
+//!
+//! The paper reports combined-fault ADs as "statistically similar" to
+//! single-fault ADs. Confidence-interval overlap (the figures' error bars)
+//! is a coarse version of that; this module provides the real two-sample
+//! Welch test with p-values so the `fault_combos` harness can report both.
+
+use serde::{Deserialize, Serialize};
+
+/// Result of a two-sample Welch t-test.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WelchTest {
+    /// The t statistic.
+    pub t: f32,
+    /// Welch–Satterthwaite degrees of freedom.
+    pub df: f32,
+    /// Two-sided p-value.
+    pub p_value: f32,
+}
+
+impl WelchTest {
+    /// `true` when the difference is *not* significant at the given level
+    /// (the paper's "statistically similar").
+    pub fn similar_at(&self, alpha: f32) -> bool {
+        self.p_value >= alpha
+    }
+}
+
+/// Natural log of the gamma function (Lanczos approximation).
+///
+/// Accurate to ~1e-7 over the range the t-distribution needs.
+pub fn ln_gamma(x: f64) -> f64 {
+    // Lanczos coefficients (g = 7, n = 9).
+    const COEF: [f64; 9] = [
+        0.999_999_999_999_809_93,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_13,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula.
+        return std::f64::consts::PI.ln() - (std::f64::consts::PI * x).sin().ln()
+            - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut a = COEF[0];
+    let t = x + 7.5;
+    for (i, &c) in COEF.iter().enumerate().skip(1) {
+        a += c / (x + i as f64);
+    }
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + a.ln()
+}
+
+/// Regularised incomplete beta function `I_x(a, b)` via the continued
+/// fraction of Numerical Recipes.
+///
+/// # Panics
+///
+/// Panics unless `0 <= x <= 1` and `a, b > 0`.
+pub fn incomplete_beta(a: f64, b: f64, x: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&x), "x must be in [0, 1]");
+    assert!(a > 0.0 && b > 0.0, "a and b must be positive");
+    if x == 0.0 {
+        return 0.0;
+    }
+    if x == 1.0 {
+        return 1.0;
+    }
+    let ln_front = ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln();
+    let front = ln_front.exp();
+    // Use the symmetry relation for faster convergence.
+    if x < (a + 1.0) / (a + b + 2.0) {
+        front * beta_cf(a, b, x) / a
+    } else {
+        1.0 - incomplete_beta(b, a, 1.0 - x)
+    }
+}
+
+/// Continued fraction for the incomplete beta (Lentz's method).
+fn beta_cf(a: f64, b: f64, x: f64) -> f64 {
+    const MAX_ITER: usize = 200;
+    const EPS: f64 = 1e-12;
+    const TINY: f64 = 1e-300;
+    let qab = a + b;
+    let qap = a + 1.0;
+    let qam = a - 1.0;
+    let mut c = 1.0;
+    let mut d = 1.0 - qab * x / qap;
+    if d.abs() < TINY {
+        d = TINY;
+    }
+    d = 1.0 / d;
+    let mut h = d;
+    for m in 1..=MAX_ITER {
+        let m = m as f64;
+        let m2 = 2.0 * m;
+        // Even step.
+        let aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        h *= d * c;
+        // Odd step.
+        let aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < EPS {
+            break;
+        }
+    }
+    h
+}
+
+/// Two-sided p-value of a t statistic with `df` degrees of freedom.
+///
+/// # Panics
+///
+/// Panics unless `df > 0`.
+pub fn t_two_sided_p(t: f64, df: f64) -> f64 {
+    assert!(df > 0.0, "degrees of freedom must be positive");
+    let x = df / (df + t * t);
+    incomplete_beta(df / 2.0, 0.5, x).clamp(0.0, 1.0)
+}
+
+/// Two-sample Welch t-test (unequal variances).
+///
+/// Degenerate inputs (fewer than two samples on either side, or both
+/// variances zero) yield `p = 1` when the means are equal and `p = 0`
+/// otherwise, which is the practical reading for deterministic repeats.
+pub fn welch_t_test(a: &[f32], b: &[f32]) -> WelchTest {
+    let mean = |v: &[f32]| v.iter().sum::<f32>() as f64 / v.len() as f64;
+    let var = |v: &[f32], m: f64| {
+        if v.len() < 2 {
+            0.0
+        } else {
+            v.iter().map(|&x| (x as f64 - m).powi(2)).sum::<f64>() / (v.len() as f64 - 1.0)
+        }
+    };
+    let (ma, mb) = (mean(a), mean(b));
+    let (va, vb) = (var(a, ma), var(b, mb));
+    let (na, nb) = (a.len() as f64, b.len() as f64);
+    let se2 = va / na + vb / nb;
+    if se2 <= 0.0 || a.len() < 2 || b.len() < 2 {
+        let equal = (ma - mb).abs() < 1e-12;
+        return WelchTest {
+            t: if equal { 0.0 } else { f32::INFINITY },
+            df: 1.0,
+            p_value: if equal { 1.0 } else { 0.0 },
+        };
+    }
+    let t = (ma - mb) / se2.sqrt();
+    let df = se2 * se2 / ((va / na).powi(2) / (na - 1.0) + (vb / nb).powi(2) / (nb - 1.0));
+    WelchTest {
+        t: t as f32,
+        df: df as f32,
+        p_value: t_two_sided_p(t, df) as f32,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ln_gamma_matches_known_values() {
+        // Gamma(1) = 1, Gamma(2) = 1, Gamma(5) = 24, Gamma(0.5) = sqrt(pi).
+        assert!(ln_gamma(1.0).abs() < 1e-9);
+        assert!(ln_gamma(2.0).abs() < 1e-9);
+        assert!((ln_gamma(5.0) - 24f64.ln()).abs() < 1e-9);
+        assert!((ln_gamma(0.5) - std::f64::consts::PI.sqrt().ln()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn incomplete_beta_boundaries_and_symmetry() {
+        assert_eq!(incomplete_beta(2.0, 3.0, 0.0), 0.0);
+        assert_eq!(incomplete_beta(2.0, 3.0, 1.0), 1.0);
+        // I_x(a, b) = 1 - I_{1-x}(b, a).
+        let x = 0.37;
+        let lhs = incomplete_beta(2.5, 1.5, x);
+        let rhs = 1.0 - incomplete_beta(1.5, 2.5, 1.0 - x);
+        assert!((lhs - rhs).abs() < 1e-10);
+        // I_x(1, 1) = x (uniform distribution).
+        assert!((incomplete_beta(1.0, 1.0, 0.42) - 0.42).abs() < 1e-10);
+    }
+
+    #[test]
+    fn t_p_values_match_tables() {
+        // t = 2.776, df = 4 is the 95% two-sided critical value.
+        let p = t_two_sided_p(2.776, 4.0);
+        assert!((p - 0.05).abs() < 2e-3, "p {p}");
+        // t = 1.96, df -> large approaches 0.05.
+        let p = t_two_sided_p(1.96, 1000.0);
+        assert!((p - 0.05).abs() < 2e-3, "p {p}");
+        // t = 0 means p = 1.
+        assert!((t_two_sided_p(0.0, 5.0) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn welch_detects_clear_difference() {
+        let a = [1.0f32, 1.1, 0.9, 1.05, 0.95];
+        let b = [2.0f32, 2.1, 1.9, 2.05, 1.95];
+        let result = welch_t_test(&a, &b);
+        assert!(result.p_value < 0.001, "p {}", result.p_value);
+        assert!(!result.similar_at(0.05));
+    }
+
+    #[test]
+    fn welch_accepts_same_distribution() {
+        let a = [0.50f32, 0.52, 0.48, 0.51, 0.49];
+        let b = [0.51f32, 0.49, 0.52, 0.50, 0.48];
+        let result = welch_t_test(&a, &b);
+        assert!(result.p_value > 0.2, "p {}", result.p_value);
+        assert!(result.similar_at(0.05));
+    }
+
+    #[test]
+    fn welch_handles_degenerate_inputs() {
+        let same = welch_t_test(&[0.5], &[0.5]);
+        assert_eq!(same.p_value, 1.0);
+        let diff = welch_t_test(&[0.5], &[0.9]);
+        assert_eq!(diff.p_value, 0.0);
+        // Zero variance both sides, equal means.
+        let zv = welch_t_test(&[0.3, 0.3], &[0.3, 0.3]);
+        assert_eq!(zv.p_value, 1.0);
+    }
+
+    #[test]
+    fn welch_df_between_bounds() {
+        // Welch df lies between min(na, nb) - 1 and na + nb - 2.
+        let a = [1.0f32, 2.0, 3.0, 4.0];
+        let b = [1.5f32, 2.5, 3.5];
+        let result = welch_t_test(&a, &b);
+        assert!(result.df >= 2.0 - 1e-3);
+        assert!(result.df <= 5.0 + 1e-3);
+    }
+}

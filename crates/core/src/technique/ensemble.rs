@@ -1,0 +1,169 @@
+//! Ensemble learning (paper Section III-B5).
+
+use super::{FittedModel, Mitigation, TrainContext};
+use tdfm_data::LabeledDataset;
+use tdfm_nn::loss::CrossEntropy;
+use tdfm_nn::models::ModelKind;
+use tdfm_nn::trainer::{fit, FitConfig, TargetSource};
+use tdfm_nn::Network;
+
+/// A majority-vote ensemble of independently trained networks.
+///
+/// The paper's ensemble is the five models with the lowest baseline AD —
+/// ConvNet, MobileNet, ResNet18, VGG11 and VGG16 (Section IV) — each
+/// trained on the same (faulty) data with its own initialisation, combined
+/// by simple majority vote at inference time. Architecture diversity is
+/// what lets the ensemble tolerate faults: a fault must fool a majority of
+/// structurally different models simultaneously.
+///
+/// Members are trained on worker threads (the study's stand-in for the
+/// paper's GPU cluster). The `model` argument of [`Mitigation::fit`] is
+/// ignored — the ensemble's composition is part of the technique, exactly
+/// as in the paper's figures where the "Ens" bar is the same in every
+/// per-model panel.
+#[derive(Debug, Clone)]
+pub struct Ensemble {
+    members: Vec<ModelKind>,
+}
+
+impl Ensemble {
+    /// The paper's 5-model ensemble.
+    pub fn paper_default() -> Self {
+        Self {
+            members: vec![
+                ModelKind::ConvNet,
+                ModelKind::MobileNet,
+                ModelKind::ResNet18,
+                ModelKind::Vgg11,
+                ModelKind::Vgg16,
+            ],
+        }
+    }
+
+    /// An ensemble of `n` copies of one architecture (differing only in
+    /// initialisation) — the diversity-ablation configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn homogeneous(kind: ModelKind, n: usize) -> Self {
+        assert!(n > 0, "ensemble needs at least one member");
+        Self { members: vec![kind; n] }
+    }
+
+    /// A custom member list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `members` is empty.
+    pub fn with_members(members: Vec<ModelKind>) -> Self {
+        assert!(!members.is_empty(), "ensemble needs at least one member");
+        Self { members }
+    }
+
+    /// The member architectures.
+    pub fn members(&self) -> &[ModelKind] {
+        &self.members
+    }
+}
+
+impl Mitigation for Ensemble {
+    fn name(&self) -> &'static str {
+        "Ens"
+    }
+
+    fn model_independent(&self) -> bool {
+        true
+    }
+
+    fn fit(&self, _model: ModelKind, train: &LabeledDataset, ctx: &TrainContext) -> FittedModel {
+        let nets: Vec<Network> = crossbeam::scope(|scope| {
+            let handles: Vec<_> = self
+                .members
+                .iter()
+                .enumerate()
+                .map(|(i, &kind)| {
+                    scope.spawn(move |_| {
+                        let mut cfg = ctx.model_config(train);
+                        // Decorrelate members: distinct init and batch order.
+                        cfg.seed = ctx.seed ^ ((i as u64 + 1) * 0x9E37_79B9);
+                        let mut net = kind.build(&cfg);
+                        fit(
+                            &mut net,
+                            &CrossEntropy,
+                            train.images(),
+                            &TargetSource::Hard(train.labels().to_vec()),
+                            &FitConfig {
+                                shuffle_seed: ctx.fit.shuffle_seed ^ (i as u64) << 8,
+                                ..ctx.fit
+                            },
+                        );
+                        net
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("member training panicked")).collect()
+        })
+        .expect("ensemble training scope failed");
+        FittedModel::Ensemble(nets)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::technique::test_support::tiny_setup;
+
+    #[test]
+    fn paper_default_has_the_five_models() {
+        let e = Ensemble::paper_default();
+        assert_eq!(
+            e.members(),
+            &[
+                ModelKind::ConvNet,
+                ModelKind::MobileNet,
+                ModelKind::ResNet18,
+                ModelKind::Vgg11,
+                ModelKind::Vgg16,
+            ]
+        );
+    }
+
+    #[test]
+    fn ensemble_learns_tiny_pneumonia() {
+        let (train, test, ctx) = tiny_setup();
+        // Three members keep the unit test quick; the experiment runner
+        // uses the paper's five.
+        let ens = Ensemble::with_members(vec![
+            ModelKind::ConvNet,
+            ModelKind::DeconvNet,
+            ModelKind::MobileNet,
+        ]);
+        let mut fitted = ens.fit(ModelKind::ConvNet, &train, &ctx);
+        assert_eq!(fitted.member_count(), 3);
+        assert!(fitted.accuracy(&test) > 0.5);
+    }
+
+    #[test]
+    fn homogeneous_members_differ_by_seed() {
+        let (train, test, ctx) = tiny_setup();
+        let ens = Ensemble::homogeneous(ModelKind::ConvNet, 2);
+        let mut fitted = ens.fit(ModelKind::ConvNet, &train, &ctx);
+        if let FittedModel::Ensemble(nets) = &mut fitted {
+            let a = nets[0].logits(test.images(), 32);
+            let b = nets[1].logits(test.images(), 32);
+            assert_ne!(a.data(), b.data(), "members should not be identical");
+        } else {
+            panic!("expected an ensemble");
+        }
+    }
+
+    #[test]
+    fn majority_vote_is_deterministic() {
+        let (train, test, ctx) = tiny_setup();
+        let ens = Ensemble::homogeneous(ModelKind::ConvNet, 3);
+        let mut a = ens.fit(ModelKind::ConvNet, &train, &ctx);
+        let mut b = ens.fit(ModelKind::ConvNet, &train, &ctx);
+        assert_eq!(a.predict(test.images()), b.predict(test.images()));
+    }
+}

@@ -1,0 +1,323 @@
+//! The five TDFM techniques (paper Section III-B) behind one trait.
+
+mod correction;
+mod distillation;
+mod ensemble;
+mod simple;
+
+pub use correction::LabelCorrection;
+pub use distillation::SelfDistillation;
+pub use ensemble::Ensemble;
+pub use simple::{Baseline, LabelSmoothing, RobustLoss};
+
+use serde::{Deserialize, Serialize};
+use tdfm_data::{LabeledDataset, Scale};
+use tdfm_nn::models::{ModelConfig, ModelKind};
+use tdfm_nn::trainer::FitConfig;
+use tdfm_nn::Network;
+use tdfm_tensor::ops::softmax_rows;
+use tdfm_tensor::Tensor;
+
+/// Batch size used for evaluation-mode inference.
+pub const EVAL_BATCH: usize = 64;
+
+/// Everything a technique needs besides the (possibly faulty) training set.
+#[derive(Debug, Clone)]
+pub struct TrainContext {
+    /// Experiment scale (drives width/epochs).
+    pub scale: Scale,
+    /// Per-repetition seed.
+    pub seed: u64,
+    /// Shared training hyperparameters.
+    pub fit: FitConfig,
+    /// Clean subset reserved from fault injection (label correction only;
+    /// Section III-B2).
+    pub clean_subset: Option<LabeledDataset>,
+}
+
+impl TrainContext {
+    /// Builds a context with the scale's default hyperparameters.
+    pub fn new(scale: Scale, seed: u64) -> Self {
+        Self {
+            scale,
+            seed,
+            fit: FitConfig {
+                epochs: scale.epochs(),
+                batch_size: 32,
+                lr: 0.05,
+                momentum: 0.9,
+                weight_decay: 1e-4,
+                lr_decay: 0.9,
+                grad_clip: 5.0,
+                shuffle_seed: seed,
+            },
+            clean_subset: None,
+        }
+    }
+
+    /// Adapts the optimisation schedule to the training-set size.
+    ///
+    /// Small datasets (the Pneumonia analogue) would otherwise see a
+    /// handful of gradient steps: the batch size targets roughly eight
+    /// batches per epoch (clamped to `[4, 32]`), and the epoch count is
+    /// raised until the run performs at least ~300 optimiser steps — the
+    /// long-training regime in which the paper's models memorise label
+    /// noise (its configurations trained ~45 minutes each).
+    pub fn tune_for(&mut self, train_len: usize) {
+        self.fit.batch_size = (train_len / 8).clamp(4, 32);
+        let batches_per_epoch = train_len.div_ceil(self.fit.batch_size).max(1);
+        let min_epochs = 300usize.div_ceil(batches_per_epoch);
+        if min_epochs > self.fit.epochs {
+            self.fit.epochs = min_epochs;
+            // Stretch the decay schedule over the longer run.
+            self.fit.lr_decay = self.fit.lr_decay.max(0.97);
+        }
+    }
+
+    /// Model construction parameters matching a training set.
+    pub fn model_config(&self, train: &LabeledDataset) -> ModelConfig {
+        let (c, h, w) = train.image_shape();
+        ModelConfig {
+            in_shape: (c, h, w),
+            classes: train.classes(),
+            width: self.scale.model_width(),
+            seed: self.seed,
+        }
+    }
+}
+
+/// A model (or ensemble of models) produced by a technique.
+pub enum FittedModel {
+    /// One network.
+    Single(Network),
+    /// Several networks combined by majority vote (Section III-B5).
+    Ensemble(Vec<Network>),
+}
+
+impl FittedModel {
+    /// Predicted class per test image.
+    ///
+    /// Ensembles take a simple majority vote; ties are broken by the
+    /// summed softmax probability, then by the lowest class index.
+    pub fn predict(&mut self, images: &Tensor) -> Vec<u32> {
+        match self {
+            FittedModel::Single(net) => net.predict(images, EVAL_BATCH),
+            FittedModel::Ensemble(nets) => {
+                assert!(!nets.is_empty(), "empty ensemble");
+                let n = images.shape().dim(0);
+                let k = nets[0].classes();
+                let mut votes = vec![0u32; n * k];
+                let mut prob_sum = Tensor::zeros(&[n, k]);
+                for net in nets.iter_mut() {
+                    let logits = net.logits(images, EVAL_BATCH);
+                    let preds = tdfm_tensor::ops::argmax_rows(&logits);
+                    for (i, &p) in preds.iter().enumerate() {
+                        votes[i * k + p as usize] += 1;
+                    }
+                    prob_sum.axpy(1.0, &softmax_rows(&logits, 1.0));
+                }
+                (0..n)
+                    .map(|i| {
+                        let v = &votes[i * k..(i + 1) * k];
+                        let p = &prob_sum.data()[i * k..(i + 1) * k];
+                        let mut best = 0usize;
+                        for j in 1..k {
+                            let better_votes = v[j] > v[best];
+                            let tie_better_prob = v[j] == v[best] && p[j] > p[best];
+                            if better_votes || tie_better_prob {
+                                best = j;
+                            }
+                        }
+                        best as u32
+                    })
+                    .collect()
+            }
+        }
+    }
+
+    /// Accuracy on a labelled dataset.
+    pub fn accuracy(&mut self, ds: &LabeledDataset) -> f32 {
+        crate::metrics::accuracy(&self.predict(ds.images()), ds.labels())
+    }
+
+    /// Number of member networks (1 unless this is an ensemble).
+    pub fn member_count(&self) -> usize {
+        match self {
+            FittedModel::Single(_) => 1,
+            FittedModel::Ensemble(nets) => nets.len(),
+        }
+    }
+}
+
+impl std::fmt::Debug for FittedModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FittedModel::Single(net) => write!(f, "FittedModel::Single({})", net.name()),
+            FittedModel::Ensemble(nets) => {
+                write!(f, "FittedModel::Ensemble({} members)", nets.len())
+            }
+        }
+    }
+}
+
+/// A training-data fault-mitigation technique.
+///
+/// Implementations train on the *faulty* dataset the experiment runner
+/// hands them (Fig. 2) and return a fitted model; the runner measures AD
+/// against the architecture's golden model.
+pub trait Mitigation: Send + Sync {
+    /// Short name matching the paper's figures (`"LS"`, `"LC"`, ...).
+    fn name(&self) -> &'static str;
+
+    /// Trains a protected model of the given architecture.
+    fn fit(&self, model: ModelKind, train: &LabeledDataset, ctx: &TrainContext) -> FittedModel;
+
+    /// Whether the technique consumes the reserved clean subset
+    /// (label correction does; everything else ignores it).
+    fn wants_clean_subset(&self) -> bool {
+        false
+    }
+
+    /// Whether the fitted model is independent of the `model` argument.
+    ///
+    /// True for ensembles, whose composition is fixed by the technique —
+    /// the experiment runner then shares one fitted ensemble across the
+    /// per-model panels of a figure, exactly as the paper's "Ens" bar is
+    /// identical in every panel.
+    fn model_independent(&self) -> bool {
+        false
+    }
+}
+
+/// The six columns of the paper's figures: the baseline plus the five
+/// mitigation techniques, with the paper's hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TechniqueKind {
+    /// Unprotected model trained with plain cross entropy.
+    Baseline,
+    /// Label relaxation with `alpha = 0.1` (Section III-B1).
+    LabelSmoothing,
+    /// Meta label correction with clean fraction `gamma = 0.1` (III-B2).
+    LabelCorrection,
+    /// NCE+RCE active-passive loss with Ma et al.'s recommended
+    /// per-dataset weights (III-B3).
+    RobustLoss,
+    /// Self-distillation with `alpha = 0.7`, `T = 4` (III-B4).
+    KnowledgeDistillation,
+    /// 5-model heterogeneous majority-vote ensemble (III-B5).
+    Ensemble,
+}
+
+impl TechniqueKind {
+    /// All techniques in the paper's column order.
+    pub const ALL: [TechniqueKind; 6] = [
+        TechniqueKind::Baseline,
+        TechniqueKind::LabelSmoothing,
+        TechniqueKind::LabelCorrection,
+        TechniqueKind::RobustLoss,
+        TechniqueKind::KnowledgeDistillation,
+        TechniqueKind::Ensemble,
+    ];
+
+    /// Abbreviation used in the paper's tables (`Base`, `LS`, ...).
+    pub fn abbrev(self) -> &'static str {
+        match self {
+            TechniqueKind::Baseline => "Base",
+            TechniqueKind::LabelSmoothing => "LS",
+            TechniqueKind::LabelCorrection => "LC",
+            TechniqueKind::RobustLoss => "RL",
+            TechniqueKind::KnowledgeDistillation => "KD",
+            TechniqueKind::Ensemble => "Ens",
+        }
+    }
+
+    /// Full name.
+    pub fn full_name(self) -> &'static str {
+        match self {
+            TechniqueKind::Baseline => "Baseline",
+            TechniqueKind::LabelSmoothing => "Label Smoothing",
+            TechniqueKind::LabelCorrection => "Label Correction",
+            TechniqueKind::RobustLoss => "Robust Loss",
+            TechniqueKind::KnowledgeDistillation => "Knowledge Distillation",
+            TechniqueKind::Ensemble => "Ensemble",
+        }
+    }
+
+    /// Instantiates the representative implementation with the paper's
+    /// hyperparameters.
+    pub fn build(self) -> Box<dyn Mitigation> {
+        match self {
+            TechniqueKind::Baseline => Box::new(Baseline),
+            TechniqueKind::LabelSmoothing => Box::new(LabelSmoothing::new(0.1)),
+            TechniqueKind::LabelCorrection => Box::new(LabelCorrection::new(0.1)),
+            TechniqueKind::RobustLoss => Box::new(RobustLoss::adaptive()),
+            TechniqueKind::KnowledgeDistillation => Box::new(SelfDistillation::new(0.7, 4.0)),
+            TechniqueKind::Ensemble => Box::new(Ensemble::paper_default()),
+        }
+    }
+}
+
+impl std::fmt::Display for TechniqueKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.abbrev())
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    use super::*;
+    use tdfm_data::DatasetKind;
+
+    /// A tiny train/test pair plus context for technique unit tests.
+    ///
+    /// The Pneumonia analogue at `Scale::Tiny` has only ~24 training
+    /// samples; with the scale's default batch size and epochs the models
+    /// would see a handful of gradient steps, so the test context trains a
+    /// little longer with small batches.
+    pub fn tiny_setup() -> (LabeledDataset, LabeledDataset, TrainContext) {
+        let tt = DatasetKind::Pneumonia.generate(Scale::Tiny, 1);
+        let mut ctx = TrainContext::new(Scale::Tiny, 1);
+        ctx.fit.epochs = 12;
+        ctx.fit.batch_size = 8;
+        (tt.train, tt.test, ctx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_have_unique_abbrevs() {
+        let set: std::collections::HashSet<_> =
+            TechniqueKind::ALL.iter().map(|t| t.abbrev()).collect();
+        assert_eq!(set.len(), 6);
+    }
+
+    #[test]
+    fn build_matches_names() {
+        assert_eq!(TechniqueKind::Baseline.build().name(), "Base");
+        assert_eq!(TechniqueKind::LabelSmoothing.build().name(), "LS");
+        assert_eq!(TechniqueKind::LabelCorrection.build().name(), "LC");
+        assert_eq!(TechniqueKind::RobustLoss.build().name(), "RL");
+        assert_eq!(TechniqueKind::KnowledgeDistillation.build().name(), "KD");
+        assert_eq!(TechniqueKind::Ensemble.build().name(), "Ens");
+    }
+
+    #[test]
+    fn only_label_correction_wants_clean_data() {
+        for kind in TechniqueKind::ALL {
+            let wants = kind.build().wants_clean_subset();
+            assert_eq!(wants, kind == TechniqueKind::LabelCorrection, "{kind}");
+        }
+    }
+
+    #[test]
+    fn context_derives_model_config() {
+        let (train, _, ctx) = test_support::tiny_setup();
+        let cfg = ctx.model_config(&train);
+        assert_eq!(cfg.classes, 2);
+        assert_eq!(cfg.in_shape.0, 1);
+        assert_eq!(cfg.width, Scale::Tiny.model_width());
+    }
+}

@@ -1,0 +1,173 @@
+//! Labelled image datasets.
+
+use tdfm_tensor::Tensor;
+
+/// A labelled image-classification dataset: an NCHW image tensor plus one
+/// integer label per image.
+///
+/// This is the unit the fault injector mutates and the techniques train on.
+///
+/// # Examples
+///
+/// ```
+/// use tdfm_data::LabeledDataset;
+/// use tdfm_tensor::Tensor;
+///
+/// let images = Tensor::zeros(&[4, 1, 4, 4]);
+/// let ds = LabeledDataset::new(images, vec![0, 1, 0, 1], 2);
+/// assert_eq!(ds.len(), 4);
+/// assert_eq!(ds.class_histogram(), vec![2, 2]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct LabeledDataset {
+    images: Tensor,
+    labels: Vec<u32>,
+    classes: usize,
+}
+
+impl LabeledDataset {
+    /// Bundles images and labels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `images` is not NCHW, if counts disagree, or if any label
+    /// is out of range.
+    pub fn new(images: Tensor, labels: Vec<u32>, classes: usize) -> Self {
+        assert_eq!(images.shape().rank(), 4, "images must be NCHW");
+        assert_eq!(images.shape().dim(0), labels.len(), "image/label count mismatch");
+        assert!(classes > 0, "need at least one class");
+        assert!(
+            labels.iter().all(|&l| (l as usize) < classes),
+            "label out of range for {classes} classes"
+        );
+        Self { images, labels, classes }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// `true` when the dataset holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Number of label classes.
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// The image tensor, `[N, C, H, W]`.
+    pub fn images(&self) -> &Tensor {
+        &self.images
+    }
+
+    /// The labels, one per image.
+    pub fn labels(&self) -> &[u32] {
+        &self.labels
+    }
+
+    /// Image shape as `(channels, height, width)`.
+    pub fn image_shape(&self) -> (usize, usize, usize) {
+        let d = self.images.shape().dims();
+        (d[1], d[2], d[3])
+    }
+
+    /// Per-class sample counts.
+    pub fn class_histogram(&self) -> Vec<usize> {
+        let mut hist = vec![0usize; self.classes];
+        for &l in &self.labels {
+            hist[l as usize] += 1;
+        }
+        hist
+    }
+
+    /// Returns a copy with different labels (used by mislabelling injection
+    /// and label correction).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label count or range is wrong.
+    pub fn with_labels(&self, labels: Vec<u32>) -> Self {
+        Self::new(self.images.clone(), labels, self.classes)
+    }
+
+    /// Selects the given sample indices into a new dataset (duplicates
+    /// allowed — that is how repetition faults are materialised).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `indices` is empty or out of range.
+    pub fn select(&self, indices: &[usize]) -> Self {
+        let images = self.images.gather_rows(indices);
+        let labels = indices.iter().map(|&i| self.labels[i]).collect();
+        Self { images, labels, classes: self.classes }
+    }
+
+    /// Splits into `(first k, rest)` by index order.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < k < len`.
+    pub fn split_at(&self, k: usize) -> (Self, Self) {
+        assert!(k > 0 && k < self.len(), "split point {k} out of range");
+        let head: Vec<usize> = (0..k).collect();
+        let tail: Vec<usize> = (k..self.len()).collect();
+        (self.select(&head), self.select(&tail))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> LabeledDataset {
+        let images = Tensor::from_vec((0..4 * 4).map(|v| v as f32).collect(), &[4, 1, 2, 2]);
+        LabeledDataset::new(images, vec![0, 1, 2, 1], 3)
+    }
+
+    #[test]
+    fn histogram_counts_labels() {
+        assert_eq!(tiny().class_histogram(), vec![1, 2, 1]);
+    }
+
+    #[test]
+    fn select_allows_duplicates() {
+        let ds = tiny();
+        let dup = ds.select(&[1, 1, 3]);
+        assert_eq!(dup.len(), 3);
+        assert_eq!(dup.labels(), &[1, 1, 1]);
+        // Images of index 1 appear twice.
+        assert_eq!(&dup.images().data()[0..4], &dup.images().data()[4..8]);
+    }
+
+    #[test]
+    fn split_at_partitions() {
+        let ds = tiny();
+        let (a, b) = ds.split_at(1);
+        assert_eq!(a.len(), 1);
+        assert_eq!(b.len(), 3);
+        assert_eq!(a.labels(), &[0]);
+        assert_eq!(b.labels(), &[1, 2, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "label out of range")]
+    fn out_of_range_label_rejected() {
+        let images = Tensor::zeros(&[1, 1, 2, 2]);
+        let _ = LabeledDataset::new(images, vec![5], 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "count mismatch")]
+    fn count_mismatch_rejected() {
+        let images = Tensor::zeros(&[2, 1, 2, 2]);
+        let _ = LabeledDataset::new(images, vec![0], 2);
+    }
+
+    #[test]
+    fn image_shape_reports_chw() {
+        assert_eq!(tiny().image_shape(), (1, 2, 2));
+    }
+}

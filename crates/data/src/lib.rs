@@ -1,0 +1,34 @@
+//! # tdfm-data
+//!
+//! Datasets for the TDFM reproduction ("The Fault in Our Data Stars",
+//! DSN 2022).
+//!
+//! The paper evaluates on CIFAR-10, GTSRB and a paediatric Pneumonia X-ray
+//! dataset (Table II). Those images cannot ship with this repository, so
+//! this crate provides *synthetic stand-ins* that preserve exactly the
+//! properties the paper's findings depend on (see `DESIGN.md` §1):
+//!
+//! * **CIFAR-10 analogue** — 10 balanced classes, colour images with heavy
+//!   background clutter and distractor objects (the paper attributes
+//!   CIFAR-10's higher accuracy-delta to multi-object backgrounds).
+//! * **GTSRB analogue** — 43 classes of centred, high-contrast "sign"
+//!   glyphs with an imbalanced class distribution (the paper attributes
+//!   GTSRB's lower AD to image focus, and label correction's failure on it
+//!   to the class count).
+//! * **Pneumonia analogue** — 2 grayscale classes at ~1/10 the size of the
+//!   other datasets with a 74/26 class imbalance (small-data effects drive
+//!   the paper's Pneumonia findings).
+//!
+//! [`Scale`] selects how large the whole study runs (image side, sample
+//! counts, model width, epochs) so the same experiment code serves unit
+//! tests, smoke benchmarks and full runs.
+
+pub mod analysis;
+mod dataset;
+mod registry;
+mod scale;
+pub mod synth;
+
+pub use dataset::LabeledDataset;
+pub use registry::{DatasetInfo, DatasetKind, TrainTest};
+pub use scale::Scale;

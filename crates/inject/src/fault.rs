@@ -1,0 +1,183 @@
+//! Fault taxonomy: kinds, amounts and plans.
+
+use serde::{Deserialize, Serialize};
+
+/// The training-data fault types: the paper's three (Section I) plus a
+/// class-dependent mislabelling extension.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// Data is erroneously labelled (uniformly random wrong class).
+    Mislabelling,
+    /// Input–output pairs are repeated.
+    Repetition,
+    /// A fraction of the data is deleted.
+    Removal,
+    /// *Extension*: class-dependent ("pair-flip") mislabelling — class `k`
+    /// is always relabelled `k+1 mod K`, modelling systematic annotator
+    /// confusion between similar classes rather than the paper's uniform
+    /// noise. Not part of [`FaultKind::ALL`].
+    PairFlipMislabelling,
+}
+
+impl FaultKind {
+    /// The paper's three fault kinds, in its order (the pair-flip
+    /// extension is excluded).
+    pub const ALL: [FaultKind; 3] =
+        [FaultKind::Mislabelling, FaultKind::Repetition, FaultKind::Removal];
+
+    /// Name as printed in the paper (extensions use their own names).
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::Mislabelling => "Mislabelling",
+            FaultKind::Repetition => "Repetition",
+            FaultKind::Removal => "Removal",
+            FaultKind::PairFlipMislabelling => "PairFlip",
+        }
+    }
+}
+
+impl std::fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One fault type at one injection amount.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultSpec {
+    /// What to inject.
+    pub kind: FaultKind,
+    /// Percentage of the training set affected (the paper sweeps 10, 30
+    /// and 50).
+    pub percent: f32,
+}
+
+impl FaultSpec {
+    /// Creates a spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 <= percent <= 100`.
+    pub fn new(kind: FaultKind, percent: f32) -> Self {
+        assert!(
+            (0.0..=100.0).contains(&percent),
+            "fault percentage must be in [0, 100], got {percent}"
+        );
+        Self { kind, percent }
+    }
+
+    /// Number of affected samples in a dataset of `n` records.
+    pub fn count(&self, n: usize) -> usize {
+        ((self.percent / 100.0) * n as f32).round() as usize
+    }
+}
+
+impl std::fmt::Display for FaultSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} {}%", self.kind, self.percent)
+    }
+}
+
+/// A set of faults injected together (Section IV-C combines fault types).
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct FaultPlan {
+    specs: Vec<FaultSpec>,
+}
+
+impl FaultPlan {
+    /// A plan injecting nothing (the golden model's "plan").
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// A single-fault plan.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the percentage is out of range.
+    pub fn single(kind: FaultKind, percent: f32) -> Self {
+        Self { specs: vec![FaultSpec::new(kind, percent)] }
+    }
+
+    /// Builds a plan from several specs.
+    pub fn combined(specs: Vec<FaultSpec>) -> Self {
+        Self { specs }
+    }
+
+    /// Adds a fault (builder style).
+    #[must_use]
+    pub fn and(mut self, kind: FaultKind, percent: f32) -> Self {
+        self.specs.push(FaultSpec::new(kind, percent));
+        self
+    }
+
+    /// The planned faults in injection order.
+    pub fn specs(&self) -> &[FaultSpec] {
+        &self.specs
+    }
+
+    /// `true` when the plan injects nothing.
+    pub fn is_clean(&self) -> bool {
+        self.specs.iter().all(|s| s.percent == 0.0)
+    }
+
+    /// Short label like `"Mislabelling 30%"` or `"clean"`.
+    pub fn label(&self) -> String {
+        if self.is_clean() {
+            return "clean".to_string();
+        }
+        self.specs
+            .iter()
+            .filter(|s| s.percent > 0.0)
+            .map(|s| s.to_string())
+            .collect::<Vec<_>>()
+            .join(" + ")
+    }
+}
+
+impl std::fmt::Display for FaultPlan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn count_rounds_to_nearest() {
+        assert_eq!(FaultSpec::new(FaultKind::Mislabelling, 10.0).count(100), 10);
+        assert_eq!(FaultSpec::new(FaultKind::Removal, 33.0).count(10), 3);
+        assert_eq!(FaultSpec::new(FaultKind::Repetition, 50.0).count(3), 2);
+        assert_eq!(FaultSpec::new(FaultKind::Removal, 0.0).count(100), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in [0, 100]")]
+    fn out_of_range_percent_rejected() {
+        let _ = FaultSpec::new(FaultKind::Removal, 101.0);
+    }
+
+    #[test]
+    fn plan_labels() {
+        assert_eq!(FaultPlan::none().label(), "clean");
+        assert_eq!(
+            FaultPlan::single(FaultKind::Mislabelling, 30.0).label(),
+            "Mislabelling 30%"
+        );
+        assert_eq!(
+            FaultPlan::single(FaultKind::Mislabelling, 10.0)
+                .and(FaultKind::Removal, 20.0)
+                .label(),
+            "Mislabelling 10% + Removal 20%"
+        );
+    }
+
+    #[test]
+    fn clean_plan_detection() {
+        assert!(FaultPlan::none().is_clean());
+        assert!(FaultPlan::single(FaultKind::Removal, 0.0).is_clean());
+        assert!(!FaultPlan::single(FaultKind::Removal, 1.0).is_clean());
+    }
+}

@@ -1,0 +1,346 @@
+//! The injector itself: applies a [`FaultPlan`] to a dataset.
+
+use crate::{FaultKind, FaultPlan};
+use serde::{Deserialize, Serialize};
+use tdfm_data::LabeledDataset;
+use tdfm_tensor::rng::Rng;
+
+/// Exact record of what one injection did.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InjectionReport {
+    /// Samples whose label was flipped.
+    pub mislabelled: usize,
+    /// Samples duplicated (appended to the dataset).
+    pub repeated: usize,
+    /// Samples deleted.
+    pub removed: usize,
+    /// Dataset size before injection.
+    pub before: usize,
+    /// Dataset size after injection.
+    pub after: usize,
+    /// Positions (in the dataset as it was when the mislabelling step ran)
+    /// whose labels were flipped — the ground truth that noise *detectors*
+    /// are scored against.
+    pub mislabelled_indices: Vec<usize>,
+}
+
+/// Deterministic fault injector (the TF-DM analogue).
+///
+/// The same `(seed, dataset, plan)` triple always produces the same faulty
+/// dataset, which is what lets the experiment runner replay any repetition
+/// of the study.
+#[derive(Debug, Clone)]
+pub struct Injector {
+    seed: u64,
+}
+
+impl Injector {
+    /// Creates an injector with a seed.
+    pub fn new(seed: u64) -> Self {
+        Self { seed }
+    }
+
+    /// Applies every fault in the plan, in order, returning the faulty
+    /// dataset and a report of exact counts.
+    ///
+    /// Mislabelling flips `round(p% * N)` distinct labels to a uniformly
+    /// random *different* class. Repetition appends `round(p% * N)`
+    /// duplicated records. Removal deletes `round(p% * N)` records (always
+    /// leaving at least one).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dataset is empty, or if mislabelling is requested on a
+    /// single-class dataset (no different label exists).
+    pub fn apply(&self, dataset: &LabeledDataset, plan: &FaultPlan) -> (LabeledDataset, InjectionReport) {
+        assert!(!dataset.is_empty(), "cannot inject into an empty dataset");
+        let mut current = dataset.clone();
+        let mut report = InjectionReport { before: dataset.len(), ..Default::default() };
+        let rng = Rng::seed_from(self.seed ^ 0xFA_017);
+        for (i, spec) in plan.specs().iter().enumerate() {
+            let mut stream = rng.derive(i as u64);
+            let count = spec.count(current.len());
+            match spec.kind {
+                FaultKind::Mislabelling => {
+                    let (next, victims) = mislabel(&current, count, &mut stream);
+                    current = next;
+                    report.mislabelled += count;
+                    report.mislabelled_indices.extend(victims);
+                }
+                FaultKind::PairFlipMislabelling => {
+                    let (next, victims) = pair_flip(&current, count, &mut stream);
+                    current = next;
+                    report.mislabelled += count;
+                    report.mislabelled_indices.extend(victims);
+                }
+                FaultKind::Repetition => {
+                    current = repeat(&current, count, &mut stream);
+                    report.repeated += count;
+                }
+                FaultKind::Removal => {
+                    let removable = count.min(current.len().saturating_sub(1));
+                    current = remove(&current, removable, &mut stream);
+                    report.removed += removable;
+                }
+            }
+        }
+        report.after = current.len();
+        (current, report)
+    }
+}
+
+fn mislabel(ds: &LabeledDataset, count: usize, rng: &mut Rng) -> (LabeledDataset, Vec<usize>) {
+    if count == 0 {
+        return (ds.clone(), Vec::new());
+    }
+    assert!(ds.classes() > 1, "mislabelling needs at least two classes");
+    let victims = rng.sample_indices(ds.len(), count.min(ds.len()));
+    let mut labels = ds.labels().to_vec();
+    for &v in &victims {
+        let old = labels[v];
+        // Uniform over the *other* classes.
+        let mut new = rng.below(ds.classes() - 1) as u32;
+        if new >= old {
+            new += 1;
+        }
+        labels[v] = new;
+    }
+    (ds.with_labels(labels), victims)
+}
+
+fn pair_flip(ds: &LabeledDataset, count: usize, rng: &mut Rng) -> (LabeledDataset, Vec<usize>) {
+    if count == 0 {
+        return (ds.clone(), Vec::new());
+    }
+    assert!(ds.classes() > 1, "mislabelling needs at least two classes");
+    let victims = rng.sample_indices(ds.len(), count.min(ds.len()));
+    let mut labels = ds.labels().to_vec();
+    for &v in &victims {
+        labels[v] = (labels[v] + 1) % ds.classes() as u32;
+    }
+    (ds.with_labels(labels), victims)
+}
+
+fn repeat(ds: &LabeledDataset, count: usize, rng: &mut Rng) -> LabeledDataset {
+    if count == 0 {
+        return ds.clone();
+    }
+    let mut indices: Vec<usize> = (0..ds.len()).collect();
+    // Duplicate `count` randomly chosen records (with replacement, like a
+    // data pipeline reading some shards twice).
+    for _ in 0..count {
+        indices.push(rng.below(ds.len()));
+    }
+    ds.select(&indices)
+}
+
+fn remove(ds: &LabeledDataset, count: usize, rng: &mut Rng) -> LabeledDataset {
+    if count == 0 {
+        return ds.clone();
+    }
+    let doomed: std::collections::HashSet<usize> =
+        rng.sample_indices(ds.len(), count).into_iter().collect();
+    let keep: Vec<usize> = (0..ds.len()).filter(|i| !doomed.contains(i)).collect();
+    ds.select(&keep)
+}
+
+/// Reserves a clean fraction `gamma` of the dataset before injection — the
+/// clean subset label correction trains its secondary model on
+/// (Section III-B2).
+///
+/// Returns `(clean, rest)`; the injector should only ever see `rest`.
+/// Sampling is uniform without replacement, so class proportions are
+/// preserved in expectation.
+///
+/// # Panics
+///
+/// Panics unless `0 < gamma < 1` and both parts end up non-empty.
+pub fn split_clean(
+    dataset: &LabeledDataset,
+    gamma: f32,
+    seed: u64,
+) -> (LabeledDataset, LabeledDataset) {
+    assert!(gamma > 0.0 && gamma < 1.0, "gamma must be in (0, 1), got {gamma}");
+    let n = dataset.len();
+    let k = (((gamma * n as f32).round() as usize).max(1)).min(n - 1);
+    let mut rng = Rng::seed_from(seed ^ 0xC1EA_4);
+    let clean_idx = rng.sample_indices(n, k);
+    let clean_set: std::collections::HashSet<usize> = clean_idx.iter().copied().collect();
+    let rest_idx: Vec<usize> = (0..n).filter(|i| !clean_set.contains(i)).collect();
+    (dataset.select(&clean_idx), dataset.select(&rest_idx))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use tdfm_tensor::Tensor;
+
+    fn dataset(n: usize, classes: usize) -> LabeledDataset {
+        let images = Tensor::from_vec(
+            (0..n * 4).map(|v| v as f32).collect(),
+            &[n, 1, 2, 2],
+        );
+        let labels = (0..n).map(|i| (i % classes) as u32).collect();
+        LabeledDataset::new(images, labels, classes)
+    }
+
+    #[test]
+    fn mislabelling_flips_exact_count_to_different_classes() {
+        let ds = dataset(100, 5);
+        let plan = FaultPlan::single(FaultKind::Mislabelling, 30.0);
+        let (faulty, report) = Injector::new(1).apply(&ds, &plan);
+        assert_eq!(report.mislabelled, 30);
+        let flipped: Vec<usize> = ds
+            .labels()
+            .iter()
+            .zip(faulty.labels())
+            .enumerate()
+            .filter(|(_, (a, b))| a != b)
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(flipped.len(), 30);
+        // The report names exactly the flipped positions.
+        let mut reported = report.mislabelled_indices.clone();
+        reported.sort_unstable();
+        assert_eq!(reported, flipped);
+        assert_eq!(faulty.len(), 100);
+        // Images untouched.
+        assert_eq!(faulty.images().data(), ds.images().data());
+    }
+
+    #[test]
+    fn repetition_appends_duplicates() {
+        let ds = dataset(50, 2);
+        let plan = FaultPlan::single(FaultKind::Repetition, 20.0);
+        let (faulty, report) = Injector::new(2).apply(&ds, &plan);
+        assert_eq!(report.repeated, 10);
+        assert_eq!(faulty.len(), 60);
+        // Originals preserved as a prefix.
+        assert_eq!(&faulty.images().data()[..50 * 4], ds.images().data());
+        assert_eq!(&faulty.labels()[..50], ds.labels());
+    }
+
+    #[test]
+    fn removal_deletes_exact_count() {
+        let ds = dataset(40, 4);
+        let plan = FaultPlan::single(FaultKind::Removal, 50.0);
+        let (faulty, report) = Injector::new(3).apply(&ds, &plan);
+        assert_eq!(report.removed, 20);
+        assert_eq!(faulty.len(), 20);
+    }
+
+    #[test]
+    fn removal_never_empties_dataset() {
+        let ds = dataset(2, 2);
+        let plan = FaultPlan::single(FaultKind::Removal, 100.0);
+        let (faulty, _) = Injector::new(4).apply(&ds, &plan);
+        assert_eq!(faulty.len(), 1);
+    }
+
+    #[test]
+    fn combined_plan_applies_in_order() {
+        let ds = dataset(100, 4);
+        let plan = FaultPlan::single(FaultKind::Mislabelling, 10.0).and(FaultKind::Removal, 10.0);
+        let (faulty, report) = Injector::new(5).apply(&ds, &plan);
+        assert_eq!(report.mislabelled, 10);
+        assert_eq!(report.removed, 10);
+        assert_eq!(faulty.len(), 90);
+        assert_eq!(report.before, 100);
+        assert_eq!(report.after, 90);
+    }
+
+    #[test]
+    fn injection_is_deterministic() {
+        let ds = dataset(60, 3);
+        let plan = FaultPlan::single(FaultKind::Mislabelling, 25.0);
+        let (a, _) = Injector::new(9).apply(&ds, &plan);
+        let (b, _) = Injector::new(9).apply(&ds, &plan);
+        assert_eq!(a, b);
+        let (c, _) = Injector::new(10).apply(&ds, &plan);
+        assert_ne!(a.labels(), c.labels());
+    }
+
+    #[test]
+    fn clean_plan_is_identity() {
+        let ds = dataset(10, 2);
+        let (faulty, report) = Injector::new(0).apply(&ds, &FaultPlan::none());
+        assert_eq!(faulty, ds);
+        assert_eq!(report.after, report.before);
+    }
+
+    #[test]
+    fn pair_flip_is_deterministic_per_class() {
+        let ds = dataset(60, 3);
+        let plan = FaultPlan::single(FaultKind::PairFlipMislabelling, 50.0);
+        let (faulty, report) = Injector::new(6).apply(&ds, &plan);
+        assert_eq!(report.mislabelled, 30);
+        // Every flip follows k -> (k+1) mod K.
+        for (&old, &new) in ds.labels().iter().zip(faulty.labels()) {
+            if old != new {
+                assert_eq!(new, (old + 1) % 3);
+            }
+        }
+        let flipped = ds.labels().iter().zip(faulty.labels()).filter(|(a, b)| a != b).count();
+        assert_eq!(flipped, 30);
+    }
+
+    #[test]
+    fn split_clean_partitions() {
+        let ds = dataset(100, 4);
+        let (clean, rest) = split_clean(&ds, 0.1, 7);
+        assert_eq!(clean.len(), 10);
+        assert_eq!(rest.len(), 90);
+    }
+
+    #[test]
+    #[should_panic(expected = "gamma must be in (0, 1)")]
+    fn bad_gamma_rejected() {
+        let ds = dataset(10, 2);
+        let _ = split_clean(&ds, 1.5, 0);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn mislabel_count_matches_formula(
+            n in 2usize..150, pct in 0.0f32..100.0, seed in 0u64..100
+        ) {
+            let ds = dataset(n, 4);
+            let plan = FaultPlan::single(FaultKind::Mislabelling, pct);
+            let (faulty, report) = Injector::new(seed).apply(&ds, &plan);
+            let expect = ((pct / 100.0) * n as f32).round() as usize;
+            prop_assert_eq!(report.mislabelled, expect.min(n));
+            let flipped = ds.labels().iter().zip(faulty.labels()).filter(|(a, b)| a != b).count();
+            prop_assert_eq!(flipped, expect.min(n));
+        }
+
+        #[test]
+        fn removal_then_repetition_size_algebra(
+            n in 4usize..100, rm in 0.0f32..60.0, rp in 0.0f32..60.0, seed in 0u64..50
+        ) {
+            let ds = dataset(n, 3);
+            let plan = FaultPlan::single(FaultKind::Removal, rm).and(FaultKind::Repetition, rp);
+            let (faulty, report) = Injector::new(seed).apply(&ds, &plan);
+            prop_assert_eq!(faulty.len(), n - report.removed + report.repeated);
+        }
+
+        #[test]
+        fn repetition_only_adds_existing_images(
+            n in 2usize..40, pct in 1.0f32..80.0, seed in 0u64..50
+        ) {
+            let ds = dataset(n, 2);
+            let plan = FaultPlan::single(FaultKind::Repetition, pct);
+            let (faulty, _) = Injector::new(seed).apply(&ds, &plan);
+            // Every appended image must equal one of the originals.
+            let pix = 4;
+            for i in n..faulty.len() {
+                let img = &faulty.images().data()[i * pix..(i + 1) * pix];
+                let found = (0..n).any(|j| {
+                    &ds.images().data()[j * pix..(j + 1) * pix] == img
+                });
+                prop_assert!(found);
+            }
+        }
+    }
+}

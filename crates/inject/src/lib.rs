@@ -1,0 +1,37 @@
+//! # tdfm-inject
+//!
+//! A deterministic training-data fault injector — the reproduction's
+//! equivalent of the TF-DM tool the paper uses (reference \[51\]).
+//!
+//! Three fault types are injected into *training* data (never test data),
+//! matching Section I of the paper:
+//!
+//! * **Mislabelling** — a fraction of samples get a different label,
+//!   uniformly at random over the other classes.
+//! * **Repetition** — a fraction of input–output pairs are duplicated.
+//! * **Removal** — a fraction of samples are deleted.
+//!
+//! [`FaultPlan`]s can combine fault types (the paper's Section IV-C
+//! experiments). [`split_clean`] reserves the clean subset label
+//! correction requires (Section III-B2). Every injection is reproducible
+//! from a seed and returns an [`InjectionReport`] with exact counts.
+//!
+//! # Examples
+//!
+//! ```
+//! use tdfm_inject::{FaultKind, FaultPlan, Injector};
+//! use tdfm_data::LabeledDataset;
+//! use tdfm_tensor::Tensor;
+//!
+//! let ds = LabeledDataset::new(Tensor::zeros(&[10, 1, 4, 4]), vec![0; 10], 2);
+//! let plan = FaultPlan::single(FaultKind::Mislabelling, 30.0);
+//! let (faulty, report) = Injector::new(42).apply(&ds, &plan);
+//! assert_eq!(report.mislabelled, 3);
+//! assert_eq!(faulty.len(), 10);
+//! ```
+
+mod fault;
+mod injector;
+
+pub use fault::{FaultKind, FaultPlan, FaultSpec};
+pub use injector::{split_clean, InjectionReport, Injector};

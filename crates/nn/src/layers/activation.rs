@@ -1,0 +1,75 @@
+//! Activation functions.
+
+use crate::layer::{Layer, Mode};
+use tdfm_tensor::Tensor;
+
+/// Rectified linear unit: `y = max(0, x)`.
+///
+/// The only activation the seven architectures of the study use between
+/// layers (softmax lives inside the losses).
+#[derive(Debug, Default)]
+pub struct ReLU {
+    mask: Vec<bool>,
+}
+
+impl ReLU {
+    /// Creates a ReLU layer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Layer for ReLU {
+    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Tensor {
+        self.mask = input.data().iter().map(|&x| x > 0.0).collect();
+        input.map(|x| x.max(0.0))
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        assert_eq!(
+            grad_output.numel(),
+            self.mask.len(),
+            "backward called with mismatched shape (or before forward)"
+        );
+        let mut out = grad_output.clone();
+        for (g, &m) in out.data_mut().iter_mut().zip(&self.mask) {
+            if !m {
+                *g = 0.0;
+            }
+        }
+        out
+    }
+
+    fn name(&self) -> &'static str {
+        "ReLU"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_clamps_negatives() {
+        let mut r = ReLU::new();
+        let x = Tensor::from_vec(vec![-1.0, 0.0, 2.0], &[1, 3]);
+        let y = r.forward(&x, Mode::Train);
+        assert_eq!(y.data(), &[0.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn backward_masks_gradient() {
+        let mut r = ReLU::new();
+        let x = Tensor::from_vec(vec![-1.0, 3.0], &[1, 2]);
+        let _ = r.forward(&x, Mode::Train);
+        let gx = r.backward(&Tensor::from_vec(vec![5.0, 7.0], &[1, 2]));
+        assert_eq!(gx.data(), &[0.0, 7.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatched shape")]
+    fn backward_before_forward_panics() {
+        let mut r = ReLU::new();
+        let _ = r.backward(&Tensor::ones(&[1, 2]));
+    }
+}

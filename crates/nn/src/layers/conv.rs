@@ -1,0 +1,123 @@
+//! Convolution layer wrapping the `tdfm-tensor` conv kernels.
+
+use crate::layer::{Layer, Mode, Param};
+use tdfm_tensor::ops::{conv2d_backward, conv2d_forward, Conv2dSpec};
+use tdfm_tensor::rng::Rng;
+use tdfm_tensor::Tensor;
+
+/// A 2-D convolution layer with optional stride, padding and groups.
+///
+/// `groups == in_channels` produces the depthwise convolution MobileNet
+/// uses; `kernel == 1` with `groups == 1` is its pointwise companion.
+#[derive(Debug)]
+pub struct Conv2d {
+    weight: Param,
+    bias: Param,
+    spec: Conv2dSpec,
+    input_cache: Option<Tensor>,
+}
+
+impl Conv2d {
+    /// Creates a convolution with He-initialised kernels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if channel counts are not divisible by `spec.groups`.
+    pub fn new(
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        spec: Conv2dSpec,
+        rng: &mut Rng,
+    ) -> Self {
+        assert!(in_channels % spec.groups == 0, "in_channels vs groups");
+        assert!(out_channels % spec.groups == 0, "out_channels vs groups");
+        let fan_in = (in_channels / spec.groups) * kernel * kernel;
+        let std = (2.0 / fan_in as f32).sqrt();
+        Self {
+            weight: Param::new(Tensor::randn(
+                &[out_channels, in_channels / spec.groups, kernel, kernel],
+                std,
+                rng,
+            )),
+            bias: Param::new(Tensor::zeros(&[out_channels])),
+            spec,
+            input_cache: None,
+        }
+    }
+
+    /// The convolution geometry.
+    pub fn spec(&self) -> Conv2dSpec {
+        self.spec
+    }
+
+    /// Output channel count.
+    pub fn out_channels(&self) -> usize {
+        self.weight.value.shape().dim(0)
+    }
+}
+
+impl Layer for Conv2d {
+    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Tensor {
+        let out = conv2d_forward(input, &self.weight.value, Some(&self.bias.value), self.spec);
+        self.input_cache = Some(input.clone());
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let input = self.input_cache.as_ref().expect("forward before backward");
+        let grads = conv2d_backward(input, &self.weight.value, grad_output, self.spec);
+        self.weight.grad.axpy(1.0, &grads.grad_weight);
+        self.bias.grad.axpy(1.0, &grads.grad_bias);
+        grads.grad_input
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.weight, &mut self.bias]
+    }
+
+    fn name(&self) -> &'static str {
+        "Conv2d"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_shape_respects_spec() {
+        let mut rng = Rng::seed_from(0);
+        let mut c = Conv2d::new(3, 8, 3, Conv2dSpec { stride: 2, pad: 1, groups: 1 }, &mut rng);
+        let x = Tensor::zeros(&[2, 3, 8, 8]);
+        let y = c.forward(&x, Mode::Train);
+        assert_eq!(y.shape().dims(), &[2, 8, 4, 4]);
+    }
+
+    #[test]
+    fn depthwise_parameter_count() {
+        let mut rng = Rng::seed_from(1);
+        let mut c = Conv2d::new(8, 8, 3, Conv2dSpec { stride: 1, pad: 1, groups: 8 }, &mut rng);
+        // 8 kernels of 1x3x3 plus 8 biases.
+        assert_eq!(c.param_count(), 8 * 9 + 8);
+    }
+
+    #[test]
+    fn backward_gradient_check() {
+        let mut rng = Rng::seed_from(2);
+        let mut c = Conv2d::new(2, 3, 3, Conv2dSpec::same(3), &mut rng);
+        let x = Tensor::randn(&[1, 2, 5, 5], 1.0, &mut rng);
+        let y = c.forward(&x, Mode::Train);
+        let gx = c.backward(&Tensor::ones(y.shape().dims()));
+        let eps = 1e-2;
+        for i in [0usize, 13, 27, 49] {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[i] -= eps;
+            let num =
+                (c.forward(&xp, Mode::Train).sum() - c.forward(&xm, Mode::Train).sum()) / (2.0 * eps);
+            assert!((num - gx.data()[i]).abs() < 2e-2, "x[{i}]");
+        }
+    }
+}

@@ -1,0 +1,160 @@
+//! Fully-connected layer.
+
+use crate::layer::{Layer, Mode, Param};
+use tdfm_tensor::ops::{matmul, matmul_a_bt, matmul_at_b, sum_rows};
+use tdfm_tensor::rng::Rng;
+use tdfm_tensor::Tensor;
+
+/// A fully-connected (dense) layer: `y = x · W + b`.
+///
+/// `x` is `[N, in]`, `W` is `[in, out]`, `b` is `[out]`.
+///
+/// Weights use He initialisation (`std = sqrt(2 / in)`), the convention for
+/// the ReLU networks of the study.
+#[derive(Debug)]
+pub struct Dense {
+    weight: Param,
+    bias: Param,
+    input_cache: Option<Tensor>,
+}
+
+impl Dense {
+    /// Creates a dense layer with He-initialised weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(in_features: usize, out_features: usize, rng: &mut Rng) -> Self {
+        assert!(in_features > 0 && out_features > 0, "dense dims must be positive");
+        let std = (2.0 / in_features as f32).sqrt();
+        Self {
+            weight: Param::new(Tensor::randn(&[in_features, out_features], std, rng)),
+            bias: Param::new(Tensor::zeros(&[out_features])),
+            input_cache: None,
+        }
+    }
+
+    /// Input width.
+    pub fn in_features(&self) -> usize {
+        self.weight.value.shape().dim(0)
+    }
+
+    /// Output width.
+    pub fn out_features(&self) -> usize {
+        self.weight.value.shape().dim(1)
+    }
+}
+
+impl Layer for Dense {
+    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Tensor {
+        assert_eq!(input.shape().rank(), 2, "dense input must be [N, in]");
+        let mut out = matmul(input, &self.weight.value);
+        let k = self.out_features();
+        let b = self.bias.value.data();
+        for row in out.data_mut().chunks_mut(k) {
+            for (o, &bv) in row.iter_mut().zip(b) {
+                *o += bv;
+            }
+        }
+        self.input_cache = Some(input.clone());
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let input = self.input_cache.as_ref().expect("forward before backward");
+        self.weight.grad.axpy(1.0, &matmul_at_b(input, grad_output));
+        self.bias.grad.axpy(1.0, &sum_rows(grad_output));
+        matmul_a_bt(grad_output, &self.weight.value)
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.weight, &mut self.bias]
+    }
+
+    fn name(&self) -> &'static str {
+        "Dense"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tdfm_tensor::assert_close;
+
+    fn loss_sum(layer: &mut Dense, x: &Tensor) -> f32 {
+        layer.forward(x, Mode::Train).sum()
+    }
+
+    #[test]
+    fn forward_matches_hand_computed() {
+        let mut rng = Rng::seed_from(0);
+        let mut d = Dense::new(2, 2, &mut rng);
+        d.weight.value = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        d.bias.value = Tensor::from_vec(vec![0.5, -0.5], &[2]);
+        let x = Tensor::from_vec(vec![1.0, 1.0], &[1, 2]);
+        let y = d.forward(&x, Mode::Train);
+        assert_eq!(y.data(), &[4.5, 5.5]);
+    }
+
+    #[test]
+    fn gradients_match_finite_differences() {
+        let mut rng = Rng::seed_from(1);
+        let mut d = Dense::new(3, 4, &mut rng);
+        let x = Tensor::randn(&[2, 3], 1.0, &mut rng);
+        let y = d.forward(&x, Mode::Train);
+        let gx = d.backward(&Tensor::ones(y.shape().dims()));
+
+        let eps = 1e-2;
+        for i in 0..x.numel() {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[i] -= eps;
+            let num = (loss_sum(&mut d, &xp) - loss_sum(&mut d, &xm)) / (2.0 * eps);
+            assert!((num - gx.data()[i]).abs() < 1e-2, "x[{i}]");
+        }
+        // Weight gradient: restore cache with original input first.
+        let _ = d.forward(&x, Mode::Train);
+        for p in d.params_mut() {
+            p.zero_grad();
+        }
+        let _ = d.backward(&Tensor::ones(&[2, 4]));
+        for i in [0usize, 5, 11] {
+            let orig = d.weight.value.data()[i];
+            d.weight.value.data_mut()[i] = orig + eps;
+            let fp = loss_sum(&mut d, &x);
+            d.weight.value.data_mut()[i] = orig - eps;
+            let fm = loss_sum(&mut d, &x);
+            d.weight.value.data_mut()[i] = orig;
+            let num = (fp - fm) / (2.0 * eps);
+            assert!((num - d.weight.grad.data()[i]).abs() < 1e-2, "w[{i}]");
+        }
+    }
+
+    #[test]
+    fn bias_grad_counts_rows() {
+        let mut rng = Rng::seed_from(2);
+        let mut d = Dense::new(2, 3, &mut rng);
+        let x = Tensor::randn(&[5, 2], 1.0, &mut rng);
+        let _ = d.forward(&x, Mode::Train);
+        let _ = d.backward(&Tensor::ones(&[5, 3]));
+        assert_close(d.bias.grad.data(), &[5.0, 5.0, 5.0], 1e-5);
+    }
+
+    #[test]
+    fn grad_accumulates_across_backwards() {
+        let mut rng = Rng::seed_from(3);
+        let mut d = Dense::new(2, 2, &mut rng);
+        let x = Tensor::ones(&[1, 2]);
+        let _ = d.forward(&x, Mode::Train);
+        let _ = d.backward(&Tensor::ones(&[1, 2]));
+        let first = d.bias.grad.clone();
+        let _ = d.forward(&x, Mode::Train);
+        let _ = d.backward(&Tensor::ones(&[1, 2]));
+        assert_close(
+            d.bias.grad.data(),
+            first.map(|v| v * 2.0).data(),
+            1e-6,
+        );
+    }
+}

@@ -1,0 +1,115 @@
+//! Inverted dropout.
+
+use crate::layer::{Layer, Mode};
+use tdfm_tensor::rng::Rng;
+use tdfm_tensor::Tensor;
+
+/// Inverted dropout: during training each activation is zeroed with
+/// probability `p` and the survivors are scaled by `1/(1-p)`; evaluation is
+/// the identity.
+///
+/// DeconvNet (Table III) uses `p = 0.5` before its dense layers.
+#[derive(Debug)]
+pub struct Dropout {
+    p: f32,
+    rng: Rng,
+    mask: Vec<f32>,
+    last_was_train: bool,
+}
+
+impl Dropout {
+    /// Creates a dropout layer with drop probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 <= p < 1`.
+    pub fn new(p: f32, rng: Rng) -> Self {
+        assert!((0.0..1.0).contains(&p), "dropout probability must be in [0, 1)");
+        Self { p, rng, mask: Vec::new(), last_was_train: false }
+    }
+
+    /// Drop probability.
+    pub fn probability(&self) -> f32 {
+        self.p
+    }
+}
+
+impl Layer for Dropout {
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
+        match mode {
+            Mode::Eval => {
+                self.last_was_train = false;
+                input.clone()
+            }
+            Mode::Train => {
+                self.last_was_train = true;
+                let keep = 1.0 - self.p;
+                let scale = 1.0 / keep;
+                self.mask = (0..input.numel())
+                    .map(|_| if self.rng.chance(keep) { scale } else { 0.0 })
+                    .collect();
+                let mut out = input.clone();
+                for (o, &m) in out.data_mut().iter_mut().zip(&self.mask) {
+                    *o *= m;
+                }
+                out
+            }
+        }
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        if !self.last_was_train {
+            return grad_output.clone();
+        }
+        assert_eq!(grad_output.numel(), self.mask.len(), "forward before backward");
+        let mut out = grad_output.clone();
+        for (g, &m) in out.data_mut().iter_mut().zip(&self.mask) {
+            *g *= m;
+        }
+        out
+    }
+
+    fn name(&self) -> &'static str {
+        "Dropout"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_is_identity() {
+        let mut d = Dropout::new(0.5, Rng::seed_from(0));
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[1, 3]);
+        assert_eq!(d.forward(&x, Mode::Eval), x);
+    }
+
+    #[test]
+    fn train_preserves_expectation() {
+        let mut d = Dropout::new(0.5, Rng::seed_from(1));
+        let x = Tensor::ones(&[1, 10_000]);
+        let y = d.forward(&x, Mode::Train);
+        // E[y] = 1; with 10k samples the mean should be close.
+        assert!((y.mean() - 1.0).abs() < 0.05, "mean {}", y.mean());
+    }
+
+    #[test]
+    fn backward_uses_same_mask() {
+        let mut d = Dropout::new(0.5, Rng::seed_from(2));
+        let x = Tensor::ones(&[1, 64]);
+        let y = d.forward(&x, Mode::Train);
+        let gx = d.backward(&Tensor::ones(&[1, 64]));
+        // Grad must be zero exactly where the output was zero.
+        for (o, g) in y.data().iter().zip(gx.data()) {
+            assert_eq!(*o == 0.0, *g == 0.0);
+        }
+    }
+
+    #[test]
+    fn zero_probability_is_identity_in_train() {
+        let mut d = Dropout::new(0.0, Rng::seed_from(3));
+        let x = Tensor::from_vec(vec![1.0, -2.0], &[1, 2]);
+        assert_eq!(d.forward(&x, Mode::Train).data(), x.data());
+    }
+}

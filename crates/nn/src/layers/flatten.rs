@@ -1,0 +1,51 @@
+//! Flattening between convolutional and dense stages.
+
+use crate::layer::{Layer, Mode};
+use tdfm_tensor::Tensor;
+
+/// Flattens `[N, ...]` to `[N, prod(...)]`, remembering the original shape
+/// for the backward pass.
+#[derive(Debug, Default)]
+pub struct Flatten {
+    input_dims: Vec<usize>,
+}
+
+impl Flatten {
+    /// Creates a flatten layer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Layer for Flatten {
+    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Tensor {
+        self.input_dims = input.shape().dims().to_vec();
+        let n = self.input_dims[0];
+        input.reshape(&[n, input.numel() / n])
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        assert!(!self.input_dims.is_empty(), "forward before backward");
+        grad_output.reshape(&self.input_dims)
+    }
+
+    fn name(&self) -> &'static str {
+        "Flatten"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flatten_roundtrip() {
+        let mut f = Flatten::new();
+        let x = Tensor::from_vec((0..24).map(|v| v as f32).collect(), &[2, 3, 2, 2]);
+        let y = f.forward(&x, Mode::Train);
+        assert_eq!(y.shape().dims(), &[2, 12]);
+        let gx = f.backward(&y);
+        assert_eq!(gx.shape().dims(), &[2, 3, 2, 2]);
+        assert_eq!(gx.data(), x.data());
+    }
+}

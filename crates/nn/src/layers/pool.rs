@@ -1,0 +1,145 @@
+//! Pooling layers wrapping the `tdfm-tensor` kernels.
+
+use crate::layer::{Layer, Mode};
+use tdfm_tensor::ops::{
+    avg_pool2d_backward, avg_pool2d_forward, global_avg_pool_backward, global_avg_pool_forward,
+    max_pool2d_backward, max_pool2d_forward, MaxPoolCache,
+};
+use tdfm_tensor::Tensor;
+
+/// Max pooling over square windows (ConvNet / VGG families).
+#[derive(Debug)]
+pub struct MaxPool2d {
+    k: usize,
+    s: usize,
+    cache: Option<MaxPoolCache>,
+}
+
+impl MaxPool2d {
+    /// Creates a max pool with window `k` and stride `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0` or `s == 0`.
+    pub fn new(k: usize, s: usize) -> Self {
+        assert!(k > 0 && s > 0, "pool window and stride must be positive");
+        Self { k, s, cache: None }
+    }
+}
+
+impl Layer for MaxPool2d {
+    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Tensor {
+        let (out, cache) = max_pool2d_forward(input, self.k, self.s);
+        self.cache = Some(cache);
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let cache = self.cache.as_ref().expect("forward before backward");
+        max_pool2d_backward(grad_output, cache)
+    }
+
+    fn name(&self) -> &'static str {
+        "MaxPool2d"
+    }
+}
+
+/// Average pooling over square windows.
+#[derive(Debug)]
+pub struct AvgPool2d {
+    k: usize,
+    s: usize,
+    input_dims: Vec<usize>,
+}
+
+impl AvgPool2d {
+    /// Creates an average pool with window `k` and stride `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0` or `s == 0`.
+    pub fn new(k: usize, s: usize) -> Self {
+        assert!(k > 0 && s > 0, "pool window and stride must be positive");
+        Self { k, s, input_dims: Vec::new() }
+    }
+}
+
+impl Layer for AvgPool2d {
+    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Tensor {
+        self.input_dims = input.shape().dims().to_vec();
+        avg_pool2d_forward(input, self.k, self.s)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        assert!(!self.input_dims.is_empty(), "forward before backward");
+        avg_pool2d_backward(grad_output, &self.input_dims, self.k, self.s)
+    }
+
+    fn name(&self) -> &'static str {
+        "AvgPool2d"
+    }
+}
+
+/// Global average pooling: `[N,C,H,W] -> [N,C]` (ResNet / MobileNet heads).
+#[derive(Debug, Default)]
+pub struct GlobalAvgPool {
+    input_dims: Vec<usize>,
+}
+
+impl GlobalAvgPool {
+    /// Creates a global average pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Layer for GlobalAvgPool {
+    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Tensor {
+        self.input_dims = input.shape().dims().to_vec();
+        global_avg_pool_forward(input)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        assert!(!self.input_dims.is_empty(), "forward before backward");
+        global_avg_pool_backward(grad_output, &self.input_dims)
+    }
+
+    fn name(&self) -> &'static str {
+        "GlobalAvgPool"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn max_pool_layer_roundtrip() {
+        let mut p = MaxPool2d::new(2, 2);
+        let x = Tensor::from_vec((0..16).map(|v| v as f32).collect(), &[1, 1, 4, 4]);
+        let y = p.forward(&x, Mode::Train);
+        assert_eq!(y.shape().dims(), &[1, 1, 2, 2]);
+        let gx = p.backward(&Tensor::ones(&[1, 1, 2, 2]));
+        assert_eq!(gx.data().iter().sum::<f32>(), 4.0);
+    }
+
+    #[test]
+    fn global_avg_pool_layer_shapes() {
+        let mut p = GlobalAvgPool::new();
+        let x = Tensor::ones(&[2, 3, 4, 4]);
+        let y = p.forward(&x, Mode::Eval);
+        assert_eq!(y.shape().dims(), &[2, 3]);
+        assert!(y.data().iter().all(|&v| (v - 1.0).abs() < 1e-6));
+        let gx = p.backward(&Tensor::ones(&[2, 3]));
+        assert_eq!(gx.shape().dims(), &[2, 3, 4, 4]);
+    }
+
+    #[test]
+    fn avg_pool_layer_gradient_is_uniform() {
+        let mut p = AvgPool2d::new(2, 2);
+        let x = Tensor::ones(&[1, 1, 4, 4]);
+        let _ = p.forward(&x, Mode::Train);
+        let gx = p.backward(&Tensor::ones(&[1, 1, 2, 2]));
+        assert!(gx.data().iter().all(|&v| (v - 0.25).abs() < 1e-6));
+    }
+}

@@ -1,0 +1,160 @@
+//! Residual blocks (the ResNet family's distinguishing mechanism).
+
+use crate::layer::{Layer, Mode, Param};
+use crate::layers::Sequential;
+use tdfm_tensor::Tensor;
+
+/// A residual block: `y = relu(main(x) + skip(x))`.
+///
+/// `skip` is the identity when the main path preserves shape, or a
+/// projection (typically a strided 1×1 convolution + batch norm) when it
+/// does not. The paper attributes part of ensemble diversity to exactly
+/// this structural difference between ResNet and the plain-stack families
+/// (Section IV-B).
+pub struct ResidualBlock {
+    main: Sequential,
+    skip: Option<Sequential>,
+    sum_cache: Option<Tensor>,
+}
+
+impl ResidualBlock {
+    /// Creates a block with an identity skip connection.
+    pub fn identity(main: Sequential) -> Self {
+        Self { main, skip: None, sum_cache: None }
+    }
+
+    /// Creates a block with a projection skip path.
+    pub fn projected(main: Sequential, skip: Sequential) -> Self {
+        Self { main, skip: Some(skip), sum_cache: None }
+    }
+}
+
+impl std::fmt::Debug for ResidualBlock {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "ResidualBlock {{ main: {:?}, skip: {} }}",
+            self.main,
+            if self.skip.is_some() { "projection" } else { "identity" }
+        )
+    }
+}
+
+impl Layer for ResidualBlock {
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
+        let main_out = self.main.forward(input, mode);
+        let skip_out = match &mut self.skip {
+            Some(proj) => proj.forward(input, mode),
+            None => input.clone(),
+        };
+        assert_eq!(
+            main_out.shape(),
+            skip_out.shape(),
+            "residual paths must produce identical shapes"
+        );
+        let sum = main_out.zip(&skip_out, |a, b| a + b);
+        let out = sum.map(|v| v.max(0.0));
+        self.sum_cache = Some(sum);
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let sum = self.sum_cache.as_ref().expect("forward before backward");
+        // ReLU gradient on the summed pre-activation.
+        let g = grad_output.zip(sum, |g, s| if s > 0.0 { g } else { 0.0 });
+        let g_main = self.main.backward(&g);
+        let g_skip = match &mut self.skip {
+            Some(proj) => proj.backward(&g),
+            None => g,
+        };
+        g_main.zip(&g_skip, |a, b| a + b)
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        let mut params = self.main.params_mut();
+        if let Some(proj) = &mut self.skip {
+            params.extend(proj.params_mut());
+        }
+        params
+    }
+
+    fn state_mut(&mut self) -> Vec<&mut [f32]> {
+        let mut state = self.main.state_mut();
+        if let Some(proj) = &mut self.skip {
+            state.extend(proj.state_mut());
+        }
+        state
+    }
+
+    fn name(&self) -> &'static str {
+        "ResidualBlock"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{Conv2d, Dense};
+    use tdfm_tensor::ops::Conv2dSpec;
+    use tdfm_tensor::rng::Rng;
+
+    #[test]
+    fn identity_skip_adds_input() {
+        let mut rng = Rng::seed_from(0);
+        // Main path that outputs all zeros -> block is relu(x).
+        let mut zero = Dense::new(3, 3, &mut rng);
+        for p in zero.params_mut() {
+            p.value.fill(0.0);
+        }
+        let mut block = ResidualBlock::identity(Sequential::new().push(zero));
+        let x = Tensor::from_vec(vec![1.0, -2.0, 3.0], &[1, 3]);
+        let y = block.forward(&x, Mode::Train);
+        assert_eq!(y.data(), &[1.0, 0.0, 3.0]);
+    }
+
+    #[test]
+    fn gradient_flows_through_both_paths() {
+        let mut rng = Rng::seed_from(1);
+        let main = Sequential::new().push(Conv2d::new(2, 2, 3, Conv2dSpec::same(3), &mut rng));
+        let mut block = ResidualBlock::identity(main);
+        let x = Tensor::randn(&[1, 2, 4, 4], 1.0, &mut rng);
+        let y = block.forward(&x, Mode::Train);
+        let gx = block.backward(&Tensor::ones(y.shape().dims()));
+        let eps = 1e-2;
+        for i in [0usize, 9, 22, 31] {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[i] -= eps;
+            let num = (block.forward(&xp, Mode::Train).sum()
+                - block.forward(&xm, Mode::Train).sum())
+                / (2.0 * eps);
+            assert!((num - gx.data()[i]).abs() < 3e-2, "x[{i}]");
+        }
+    }
+
+    #[test]
+    fn projection_skip_changes_shape() {
+        let mut rng = Rng::seed_from(2);
+        let main = Sequential::new().push(Conv2d::new(
+            2,
+            4,
+            3,
+            Conv2dSpec { stride: 2, pad: 1, groups: 1 },
+            &mut rng,
+        ));
+        let skip = Sequential::new().push(Conv2d::new(
+            2,
+            4,
+            1,
+            Conv2dSpec { stride: 2, pad: 0, groups: 1 },
+            &mut rng,
+        ));
+        let mut block = ResidualBlock::projected(main, skip);
+        let x = Tensor::randn(&[1, 2, 4, 4], 1.0, &mut rng);
+        let y = block.forward(&x, Mode::Train);
+        assert_eq!(y.shape().dims(), &[1, 4, 2, 2]);
+        let gx = block.backward(&Tensor::ones(y.shape().dims()));
+        assert_eq!(gx.shape().dims(), x.shape().dims());
+    }
+}

@@ -1,0 +1,143 @@
+//! Ordered composition of layers.
+
+use crate::layer::{Layer, Mode, Param};
+use tdfm_tensor::Tensor;
+
+/// A straight-line stack of layers applied in order.
+///
+/// Most of the seven architectures are a single `Sequential`; the ResNet
+/// analogues nest [`crate::layers::ResidualBlock`]s inside one.
+#[derive(Default)]
+pub struct Sequential {
+    layers: Vec<Box<dyn Layer>>,
+}
+
+impl Sequential {
+    /// Creates an empty stack.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a layer (builder style).
+    #[must_use]
+    pub fn push(mut self, layer: impl Layer + 'static) -> Self {
+        self.layers.push(Box::new(layer));
+        self
+    }
+
+    /// Appends a boxed layer in place.
+    pub fn add(&mut self, layer: Box<dyn Layer>) {
+        self.layers.push(layer);
+    }
+
+    /// Number of directly contained layers.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// `true` when the stack contains no layers.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// Names of the contained layers, in order.
+    pub fn layer_names(&self) -> Vec<&'static str> {
+        self.layers.iter().map(|l| l.name()).collect()
+    }
+}
+
+impl std::fmt::Debug for Sequential {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Sequential({:?})", self.layer_names())
+    }
+}
+
+impl Layer for Sequential {
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
+        let mut x = input.clone();
+        for layer in &mut self.layers {
+            x = layer.forward(&x, mode);
+        }
+        x
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let mut g = grad_output.clone();
+        for layer in self.layers.iter_mut().rev() {
+            g = layer.backward(&g);
+        }
+        g
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        self.layers.iter_mut().flat_map(|l| l.params_mut()).collect()
+    }
+
+    fn state_mut(&mut self) -> Vec<&mut [f32]> {
+        self.layers.iter_mut().flat_map(|l| l.state_mut()).collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "Sequential"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{Dense, ReLU};
+    use tdfm_tensor::rng::Rng;
+
+    #[test]
+    fn forward_composes_in_order() {
+        let mut rng = Rng::seed_from(0);
+        // Compose an identity map with a doubling map.
+        let mut seq = Sequential::new();
+        let mut id = Dense::new(2, 2, &mut rng);
+        id.params_mut()[0].value = Tensor::eye(2);
+        id.params_mut()[1].value.fill(0.0);
+        let mut dbl = Dense::new(2, 2, &mut rng);
+        dbl.params_mut()[0].value = Tensor::from_vec(vec![2.0, 0.0, 0.0, 2.0], &[2, 2]);
+        dbl.params_mut()[1].value.fill(0.0);
+        seq.add(Box::new(id));
+        seq.add(Box::new(dbl));
+        let x = Tensor::from_vec(vec![1.0, -1.0], &[1, 2]);
+        let y = seq.forward(&x, Mode::Train);
+        assert_eq!(y.data(), &[2.0, -2.0]);
+    }
+
+    #[test]
+    fn backward_composes_in_reverse() {
+        let mut rng = Rng::seed_from(1);
+        let seq = Sequential::new()
+            .push(Dense::new(3, 4, &mut rng))
+            .push(ReLU::new())
+            .push(Dense::new(4, 2, &mut rng));
+        let mut seq = seq;
+        let x = Tensor::randn(&[2, 3], 1.0, &mut rng);
+        let y = seq.forward(&x, Mode::Train);
+        let gx = seq.backward(&Tensor::ones(y.shape().dims()));
+        assert_eq!(gx.shape().dims(), x.shape().dims());
+        // Finite-difference check through the whole stack.
+        let eps = 1e-2;
+        for i in [0usize, 3, 5] {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[i] -= eps;
+            let num = (seq.forward(&xp, Mode::Train).sum() - seq.forward(&xm, Mode::Train).sum())
+                / (2.0 * eps);
+            assert!((num - gx.data()[i]).abs() < 2e-2, "x[{i}]");
+        }
+    }
+
+    #[test]
+    fn params_collects_all_layers() {
+        let mut rng = Rng::seed_from(2);
+        let mut seq = Sequential::new()
+            .push(Dense::new(2, 3, &mut rng))
+            .push(Dense::new(3, 2, &mut rng));
+        assert_eq!(seq.params_mut().len(), 4);
+        assert_eq!(seq.param_count(), 2 * 3 + 3 + 3 * 2 + 2);
+    }
+}

@@ -1,0 +1,114 @@
+//! Plain cross entropy — the study's baseline criterion.
+
+use super::{check_logits, Loss, LossOutput, Target};
+use tdfm_tensor::ops::{log_softmax_rows, softmax_rows};
+use tdfm_tensor::Tensor;
+
+/// Softmax cross entropy.
+///
+/// This is the criterion every *baseline* (unprotected) model in the paper
+/// trains with; the paper notes it is not robust to label noise
+/// (Section III-B3), which is what the mitigation techniques address.
+///
+/// Accepts [`Target::Hard`] and [`Target::Soft`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CrossEntropy;
+
+impl Loss for CrossEntropy {
+    fn evaluate(&self, logits: &Tensor, target: &Target<'_>) -> LossOutput {
+        let (n, k) = check_logits(logits, target);
+        let log_p = log_softmax_rows(logits);
+        let p = softmax_rows(logits, 1.0);
+        let inv_n = 1.0 / n as f32;
+        match target {
+            Target::Hard(labels) => {
+                let mut loss = 0.0;
+                let mut grad = p;
+                for (i, &y) in labels.iter().enumerate() {
+                    assert!((y as usize) < k, "label {y} out of range");
+                    loss -= log_p.data()[i * k + y as usize];
+                    grad.data_mut()[i * k + y as usize] -= 1.0;
+                }
+                grad.scale(inv_n);
+                LossOutput { loss: loss * inv_n, grad }
+            }
+            Target::Soft(q) => {
+                assert_eq!(q.shape().dims(), logits.shape().dims(), "soft target shape");
+                let loss = -q
+                    .data()
+                    .iter()
+                    .zip(log_p.data())
+                    .map(|(&qi, &lp)| qi * lp)
+                    .sum::<f32>()
+                    * inv_n;
+                let mut grad = p.zip(q, |pi, qi| pi - qi);
+                grad.scale(inv_n);
+                LossOutput { loss, grad }
+            }
+            Target::Distill { .. } => panic!("CrossEntropy does not accept Distill targets"),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "CE"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loss::grad_check;
+    use tdfm_tensor::rng::Rng;
+
+    #[test]
+    fn uniform_logits_give_log_k() {
+        let logits = Tensor::zeros(&[2, 4]);
+        let out = CrossEntropy.evaluate(&logits, &Target::Hard(&[0, 3]));
+        assert!((out.loss - (4.0f32).ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn perfect_prediction_has_near_zero_loss() {
+        let logits = Tensor::from_vec(vec![20.0, 0.0, 0.0, 20.0], &[2, 2]);
+        let out = CrossEntropy.evaluate(&logits, &Target::Hard(&[0, 1]));
+        assert!(out.loss < 1e-4);
+    }
+
+    #[test]
+    fn hard_gradient_check() {
+        let mut rng = Rng::seed_from(0);
+        let logits = Tensor::randn(&[3, 5], 2.0, &mut rng);
+        grad_check(&CrossEntropy, &logits, &Target::Hard(&[1, 4, 0]), 1e-3);
+    }
+
+    #[test]
+    fn soft_gradient_check() {
+        let mut rng = Rng::seed_from(1);
+        let logits = Tensor::randn(&[2, 4], 2.0, &mut rng);
+        let q = tdfm_tensor::ops::softmax_rows(&Tensor::randn(&[2, 4], 1.0, &mut rng), 1.0);
+        grad_check(&CrossEntropy, &logits, &Target::Soft(&q), 1e-3);
+    }
+
+    #[test]
+    fn soft_equals_hard_for_one_hot() {
+        let mut rng = Rng::seed_from(2);
+        let logits = Tensor::randn(&[3, 4], 1.0, &mut rng);
+        let labels = [2u32, 0, 3];
+        let one_hot = tdfm_tensor::ops::one_hot(&labels, 4);
+        let hard = CrossEntropy.evaluate(&logits, &Target::Hard(&labels));
+        let soft = CrossEntropy.evaluate(&logits, &Target::Soft(&one_hot));
+        assert!((hard.loss - soft.loss).abs() < 1e-5);
+        tdfm_tensor::assert_close(hard.grad.data(), soft.grad.data(), 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "Distill")]
+    fn distill_target_rejected() {
+        let logits = Tensor::zeros(&[1, 2]);
+        let teacher = Tensor::zeros(&[1, 2]);
+        let _ = CrossEntropy.evaluate(
+            &logits,
+            &Target::Distill { labels: &[0], teacher_logits: &teacher },
+        );
+    }
+}

@@ -1,0 +1,168 @@
+//! Knowledge-distillation loss (Hinton et al.; paper Section III-B4).
+
+use super::{check_logits, Loss, LossOutput, Target};
+use tdfm_tensor::ops::softmax_rows;
+use tdfm_tensor::Tensor;
+
+/// The student criterion of (self-)distillation:
+///
+/// `L = (1 - alpha) * CE(p, y) + alpha * T^2 * KL(q_T || p_T)`
+///
+/// where `p` is the student's softmax, `q_T`/`p_T` are teacher/student
+/// softmaxes at temperature `T`. A larger `alpha` weights the teacher's
+/// distilled knowledge more — which is exactly why distillation degrades at
+/// high mislabelling rates ("garbage in, garbage out", Section IV-B): the
+/// teacher itself was trained on the faulty data.
+///
+/// Accepts [`Target::Distill`].
+#[derive(Debug, Clone, Copy)]
+pub struct DistillationLoss {
+    alpha: f32,
+    temperature: f32,
+}
+
+impl DistillationLoss {
+    /// Creates a distillation loss; the study uses `alpha = 0.7`, `T = 4`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 <= alpha <= 1` and `temperature > 0`.
+    pub fn new(alpha: f32, temperature: f32) -> Self {
+        assert!((0.0..=1.0).contains(&alpha), "alpha must be in [0, 1]");
+        assert!(temperature > 0.0, "temperature must be positive");
+        Self { alpha, temperature }
+    }
+
+    /// Teacher-knowledge weight.
+    pub fn alpha(&self) -> f32 {
+        self.alpha
+    }
+
+    /// Softmax temperature.
+    pub fn temperature(&self) -> f32 {
+        self.temperature
+    }
+}
+
+impl Loss for DistillationLoss {
+    fn evaluate(&self, logits: &Tensor, target: &Target<'_>) -> LossOutput {
+        let (n, k) = check_logits(logits, target);
+        let (labels, teacher_logits) = match target {
+            Target::Distill { labels, teacher_logits } => (*labels, *teacher_logits),
+            _ => panic!("DistillationLoss accepts only Distill targets"),
+        };
+        assert_eq!(
+            teacher_logits.shape().dims(),
+            logits.shape().dims(),
+            "teacher logits shape mismatch"
+        );
+        let t = self.temperature;
+        let p = softmax_rows(logits, 1.0);
+        let p_t = softmax_rows(logits, t);
+        let q_t = softmax_rows(teacher_logits, t);
+        let inv_n = 1.0 / n as f32;
+        let eps = 1e-8;
+
+        // Hard-label CE part.
+        let mut loss = 0.0;
+        let mut grad = Tensor::zeros(&[n, k]);
+        for (i, &y) in labels.iter().enumerate() {
+            let yi = y as usize;
+            assert!(yi < k, "label {y} out of range");
+            loss += -(1.0 - self.alpha) * (p.data()[i * k + yi] + eps).ln();
+            for j in 0..k {
+                let delta = if j == yi { 1.0 } else { 0.0 };
+                grad.data_mut()[i * k + j] +=
+                    (1.0 - self.alpha) * (p.data()[i * k + j] - delta) * inv_n;
+            }
+        }
+
+        // Distillation part: alpha * T^2 * KL(q_T || p_T).
+        // d/dz of that term is alpha * T * (p_T - q_T).
+        for i in 0..n {
+            for j in 0..k {
+                let q = q_t.data()[i * k + j];
+                let pt = p_t.data()[i * k + j];
+                if q > 0.0 {
+                    loss += self.alpha * t * t * q * ((q + eps).ln() - (pt + eps).ln());
+                }
+                grad.data_mut()[i * k + j] += self.alpha * t * (pt - q) * inv_n;
+            }
+        }
+        LossOutput { loss: loss * inv_n, grad }
+    }
+
+    fn name(&self) -> &'static str {
+        "KD"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loss::grad_check;
+    use tdfm_tensor::rng::Rng;
+
+    #[test]
+    fn matching_teacher_and_correct_label_give_low_loss() {
+        let logits = Tensor::from_vec(vec![8.0, 0.0], &[1, 2]);
+        let teacher = logits.clone();
+        let out = DistillationLoss::new(0.7, 4.0)
+            .evaluate(&logits, &Target::Distill { labels: &[0], teacher_logits: &teacher });
+        assert!(out.loss < 1e-2, "loss {}", out.loss);
+    }
+
+    #[test]
+    fn gradient_check() {
+        let mut rng = Rng::seed_from(0);
+        let logits = Tensor::randn(&[2, 4], 1.0, &mut rng);
+        let teacher = Tensor::randn(&[2, 4], 1.0, &mut rng);
+        grad_check(
+            &DistillationLoss::new(0.7, 4.0),
+            &logits,
+            &Target::Distill { labels: &[1, 3], teacher_logits: &teacher },
+            2e-3,
+        );
+    }
+
+    #[test]
+    fn alpha_zero_reduces_to_cross_entropy() {
+        let mut rng = Rng::seed_from(1);
+        let logits = Tensor::randn(&[3, 4], 1.0, &mut rng);
+        let teacher = Tensor::randn(&[3, 4], 1.0, &mut rng);
+        let labels = [0u32, 1, 2];
+        let kd = DistillationLoss::new(0.0, 4.0)
+            .evaluate(&logits, &Target::Distill { labels: &labels, teacher_logits: &teacher });
+        let ce = super::super::CrossEntropy.evaluate(&logits, &Target::Hard(&labels));
+        assert!((kd.loss - ce.loss).abs() < 1e-4);
+        tdfm_tensor::assert_close(kd.grad.data(), ce.grad.data(), 1e-5);
+    }
+
+    #[test]
+    fn alpha_one_ignores_labels() {
+        let mut rng = Rng::seed_from(2);
+        let logits = Tensor::randn(&[2, 3], 1.0, &mut rng);
+        let teacher = Tensor::randn(&[2, 3], 1.0, &mut rng);
+        let a = DistillationLoss::new(1.0, 2.0)
+            .evaluate(&logits, &Target::Distill { labels: &[0, 0], teacher_logits: &teacher });
+        let b = DistillationLoss::new(1.0, 2.0)
+            .evaluate(&logits, &Target::Distill { labels: &[2, 1], teacher_logits: &teacher });
+        assert!((a.loss - b.loss).abs() < 1e-6);
+    }
+
+    #[test]
+    fn teacher_pull_strengthens_with_alpha() {
+        // A teacher that disagrees with the label pulls the student harder
+        // as alpha grows — the mechanism behind garbage-in-garbage-out.
+        let logits = Tensor::from_vec(vec![0.0, 0.0], &[1, 2]);
+        let teacher = Tensor::from_vec(vec![6.0, 0.0], &[1, 2]);
+        // Label says class 1, teacher says class 0.
+        let low = DistillationLoss::new(0.2, 4.0)
+            .evaluate(&logits, &Target::Distill { labels: &[1], teacher_logits: &teacher });
+        let high = DistillationLoss::new(0.9, 4.0)
+            .evaluate(&logits, &Target::Distill { labels: &[1], teacher_logits: &teacher });
+        // With high alpha, the gradient on logit 0 is more negative
+        // (pushing towards the teacher's class 0).
+        assert!(high.grad.data()[0] < low.grad.data()[0]);
+    }
+}

@@ -1,0 +1,179 @@
+//! Every loss function in the study (paper Section III-B).
+//!
+//! All losses consume raw logits and produce the mean loss over the batch
+//! plus its gradient w.r.t. the logits, so networks never apply softmax
+//! themselves.
+
+mod cross_entropy;
+mod distill;
+mod robust;
+mod smoothing;
+
+pub use cross_entropy::CrossEntropy;
+pub use distill::DistillationLoss;
+pub use robust::{ActivePassiveLoss, NormalizedCrossEntropy, ReverseCrossEntropy};
+pub use smoothing::{LabelRelaxationLoss, LabelSmoothingLoss};
+
+use tdfm_tensor::Tensor;
+
+/// The training target a loss is evaluated against.
+#[derive(Debug, Clone, Copy)]
+pub enum Target<'a> {
+    /// Integer class labels (possibly faulty — that is the point of the
+    /// study).
+    Hard(&'a [u32]),
+    /// A full `[N, K]` probability distribution per sample (used by label
+    /// correction's corrected targets).
+    Soft(&'a Tensor),
+    /// Hard labels plus a teacher's logits (knowledge distillation).
+    Distill {
+        /// Ground-truth (possibly faulty) labels.
+        labels: &'a [u32],
+        /// Raw logits produced by the teacher network.
+        teacher_logits: &'a Tensor,
+    },
+}
+
+impl Target<'_> {
+    /// Number of samples in the target.
+    pub fn len(&self) -> usize {
+        match self {
+            Target::Hard(l) => l.len(),
+            Target::Soft(t) => t.shape().dim(0),
+            Target::Distill { labels, .. } => labels.len(),
+        }
+    }
+
+    /// `true` when the target covers zero samples.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Mean loss over a batch and its gradient w.r.t. the logits.
+#[derive(Debug, Clone)]
+pub struct LossOutput {
+    /// Mean loss value.
+    pub loss: f32,
+    /// Gradient of the mean loss w.r.t. the logits, shaped `[N, K]`.
+    pub grad: Tensor,
+}
+
+/// A differentiable training criterion over logits.
+///
+/// Implementations document which [`Target`] variants they accept and panic
+/// on the others — mixing a loss with the wrong target is a programming
+/// error in an experiment definition, not a runtime condition.
+pub trait Loss: Send + Sync {
+    /// Computes mean loss and logits gradient for one batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the target variant is unsupported or shapes disagree.
+    fn evaluate(&self, logits: &Tensor, target: &Target<'_>) -> LossOutput;
+
+    /// Short name for reports (e.g. `"NCE+RCE"`).
+    fn name(&self) -> &'static str;
+}
+
+pub(crate) fn check_logits(logits: &Tensor, target: &Target<'_>) -> (usize, usize) {
+    assert_eq!(logits.shape().rank(), 2, "logits must be [N, K]");
+    let n = logits.shape().dim(0);
+    let k = logits.shape().dim(1);
+    assert_eq!(n, target.len(), "target count must match batch size");
+    (n, k)
+}
+
+/// Central-difference gradient check used by the loss tests.
+#[cfg(test)]
+pub(crate) fn grad_check(loss: &dyn Loss, logits: &Tensor, target: &Target<'_>, tol: f32) {
+    let out = loss.evaluate(logits, target);
+    let eps = 1e-2;
+    for i in 0..logits.numel() {
+        let mut lp = logits.clone();
+        lp.data_mut()[i] += eps;
+        let mut lm = logits.clone();
+        lm.data_mut()[i] -= eps;
+        let num = (loss.evaluate(&lp, target).loss - loss.evaluate(&lm, target).loss) / (2.0 * eps);
+        let ana = out.grad.data()[i];
+        assert!(
+            (num - ana).abs() < tol,
+            "{}: grad[{i}] numeric {num} vs analytic {ana}",
+            loss.name()
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use tdfm_tensor::rng::Rng;
+
+    /// Every softmax-based loss has logits-gradients that sum to zero per
+    /// sample: adding a constant to all logits of a row cannot change the
+    /// loss (softmax shift invariance), so the directional derivative
+    /// along the all-ones vector must vanish.
+    fn assert_row_sums_zero(loss: &dyn Loss, logits: &Tensor, target: &Target<'_>) {
+        let out = loss.evaluate(logits, target);
+        let k = logits.shape().dim(1);
+        for (i, row) in out.grad.data().chunks(k).enumerate() {
+            let s: f32 = row.iter().sum();
+            assert!(s.abs() < 1e-4, "{}: row {i} gradient sums to {s}", loss.name());
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+        #[test]
+        fn gradients_are_shift_invariant(seed in 0u64..10_000) {
+            let mut rng = Rng::seed_from(seed);
+            let n = 3usize;
+            let k = 2 + (seed % 5) as usize;
+            let logits = Tensor::randn(&[n, k], 2.0, &mut rng);
+            let labels: Vec<u32> = (0..n).map(|_| rng.below(k) as u32).collect();
+            let hard = Target::Hard(&labels);
+
+            assert_row_sums_zero(&CrossEntropy, &logits, &hard);
+            assert_row_sums_zero(&LabelSmoothingLoss::new(0.1), &logits, &hard);
+            assert_row_sums_zero(&LabelRelaxationLoss::new(0.1), &logits, &hard);
+            assert_row_sums_zero(&NormalizedCrossEntropy, &logits, &hard);
+            assert_row_sums_zero(&ReverseCrossEntropy::new(), &logits, &hard);
+            assert_row_sums_zero(&ActivePassiveLoss::new(1.0, 1.0), &logits, &hard);
+
+            let teacher = Tensor::randn(&[n, k], 2.0, &mut rng);
+            let distill = Target::Distill { labels: &labels, teacher_logits: &teacher };
+            assert_row_sums_zero(&DistillationLoss::new(0.7, 4.0), &logits, &distill);
+        }
+
+        #[test]
+        fn losses_are_finite_on_extreme_logits(scale in 1.0f32..50.0) {
+            let logits = Tensor::from_vec(vec![scale, -scale, 0.0, scale * 0.5], &[1, 4]);
+            let labels = [2u32];
+            let hard = Target::Hard(&labels);
+            for loss in [
+                &CrossEntropy as &dyn Loss,
+                &LabelSmoothingLoss::new(0.1),
+                &LabelRelaxationLoss::new(0.1),
+                &NormalizedCrossEntropy,
+                &ReverseCrossEntropy::new(),
+                &ActivePassiveLoss::new(1.0, 1.0),
+            ] {
+                let out = loss.evaluate(&logits, &hard);
+                prop_assert!(out.loss.is_finite(), "{} loss not finite", loss.name());
+                prop_assert!(!out.grad.has_non_finite(), "{} grad not finite", loss.name());
+            }
+        }
+    }
+
+    #[test]
+    fn target_len_variants() {
+        let labels = [0u32, 1];
+        let soft = Tensor::zeros(&[3, 4]);
+        let teacher = Tensor::zeros(&[2, 4]);
+        assert_eq!(Target::Hard(&labels).len(), 2);
+        assert_eq!(Target::Soft(&soft).len(), 3);
+        assert_eq!(Target::Distill { labels: &labels, teacher_logits: &teacher }.len(), 2);
+        assert!(!Target::Hard(&labels).is_empty());
+    }
+}

@@ -1,0 +1,232 @@
+//! Robust losses: NCE, RCE and their Active-Passive combination
+//! (Ma et al., ICML'20 — the paper's representative robust-loss technique).
+
+use super::{check_logits, Loss, LossOutput, Target};
+use tdfm_tensor::ops::{log_softmax_rows, softmax_rows};
+use tdfm_tensor::Tensor;
+
+/// Normalized Cross Entropy — the *active* half of the paper's robust loss.
+///
+/// `NCE = (-log p_y) / (-sum_k log p_k)`. Normalisation bounds the loss
+/// in `[0, 1]`, making it robust to label noise but prone to underfitting —
+/// the property behind the paper's finding that robust loss harms shallow
+/// models (Section IV-B). Accepts [`Target::Hard`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NormalizedCrossEntropy;
+
+impl Loss for NormalizedCrossEntropy {
+    fn evaluate(&self, logits: &Tensor, target: &Target<'_>) -> LossOutput {
+        let (n, k) = check_logits(logits, target);
+        let labels = match target {
+            Target::Hard(l) => *l,
+            _ => panic!("NormalizedCrossEntropy accepts only Hard targets"),
+        };
+        let log_p = log_softmax_rows(logits);
+        let p = softmax_rows(logits, 1.0);
+        let inv_n = 1.0 / n as f32;
+        let mut loss = 0.0;
+        let mut grad = Tensor::zeros(&[n, k]);
+        for (i, &y) in labels.iter().enumerate() {
+            let yi = y as usize;
+            assert!(yi < k, "label {y} out of range");
+            let row_log = &log_p.data()[i * k..(i + 1) * k];
+            let a = -row_log[yi]; // numerator
+            let b: f32 = -row_log.iter().sum::<f32>(); // denominator
+            loss += a / b;
+            // dA/dz_j = p_j - delta_jy ; dB/dz_j = K p_j - 1.
+            for j in 0..k {
+                let pj = p.data()[i * k + j];
+                let da = pj - if j == yi { 1.0 } else { 0.0 };
+                let db = k as f32 * pj - 1.0;
+                grad.data_mut()[i * k + j] = (da * b - a * db) / (b * b) * inv_n;
+            }
+        }
+        LossOutput { loss: loss * inv_n, grad }
+    }
+
+    fn name(&self) -> &'static str {
+        "NCE"
+    }
+}
+
+/// Reverse Cross Entropy — the *passive* half of the paper's robust loss.
+///
+/// `RCE = -sum_k p_k log q_k` with the one-hot `q` and `log 0` clipped to
+/// `A = -4` (Ma et al.'s convention), which reduces to `-A * (1 - p_y)`.
+/// Accepts [`Target::Hard`].
+#[derive(Debug, Clone, Copy)]
+pub struct ReverseCrossEntropy {
+    clip: f32,
+}
+
+impl Default for ReverseCrossEntropy {
+    fn default() -> Self {
+        Self { clip: -4.0 }
+    }
+}
+
+impl ReverseCrossEntropy {
+    /// Creates an RCE loss with the standard `log 0 ~ -4` clipping.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Loss for ReverseCrossEntropy {
+    fn evaluate(&self, logits: &Tensor, target: &Target<'_>) -> LossOutput {
+        let (n, k) = check_logits(logits, target);
+        let labels = match target {
+            Target::Hard(l) => *l,
+            _ => panic!("ReverseCrossEntropy accepts only Hard targets"),
+        };
+        let p = softmax_rows(logits, 1.0);
+        let inv_n = 1.0 / n as f32;
+        let a = self.clip;
+        let mut loss = 0.0;
+        let mut grad = Tensor::zeros(&[n, k]);
+        for (i, &y) in labels.iter().enumerate() {
+            let yi = y as usize;
+            assert!(yi < k, "label {y} out of range");
+            let py = p.data()[i * k + yi];
+            loss += -a * (1.0 - py);
+            // dL/dz_j = A * dp_y/dz_j = A * p_y (delta_jy - p_j).
+            for j in 0..k {
+                let pj = p.data()[i * k + j];
+                let delta = if j == yi { 1.0 } else { 0.0 };
+                grad.data_mut()[i * k + j] = a * py * (delta - pj) * inv_n;
+            }
+        }
+        LossOutput { loss: loss * inv_n, grad }
+    }
+
+    fn name(&self) -> &'static str {
+        "RCE"
+    }
+}
+
+/// Active-Passive Loss: `alpha * NCE + beta * RCE` (paper Section III-B3).
+///
+/// The active term drives the target class up; the passive term drives the
+/// non-target classes down, compensating the active term's underfitting.
+/// Accepts [`Target::Hard`].
+#[derive(Debug, Clone, Copy)]
+pub struct ActivePassiveLoss {
+    alpha: f32,
+    beta: f32,
+    active: NormalizedCrossEntropy,
+    passive: ReverseCrossEntropy,
+}
+
+impl ActivePassiveLoss {
+    /// Creates an APL loss; the study uses `alpha = beta = 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either weight is negative.
+    pub fn new(alpha: f32, beta: f32) -> Self {
+        assert!(alpha >= 0.0 && beta >= 0.0, "APL weights must be non-negative");
+        Self {
+            alpha,
+            beta,
+            active: NormalizedCrossEntropy,
+            passive: ReverseCrossEntropy::new(),
+        }
+    }
+
+    /// Weight of the active (NCE) term.
+    pub fn alpha(&self) -> f32 {
+        self.alpha
+    }
+
+    /// Weight of the passive (RCE) term.
+    pub fn beta(&self) -> f32 {
+        self.beta
+    }
+}
+
+impl Loss for ActivePassiveLoss {
+    fn evaluate(&self, logits: &Tensor, target: &Target<'_>) -> LossOutput {
+        let a = self.active.evaluate(logits, target);
+        let b = self.passive.evaluate(logits, target);
+        let mut grad = a.grad;
+        grad.scale(self.alpha);
+        grad.axpy(self.beta, &b.grad);
+        LossOutput { loss: self.alpha * a.loss + self.beta * b.loss, grad }
+    }
+
+    fn name(&self) -> &'static str {
+        "NCE+RCE"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loss::grad_check;
+    use tdfm_tensor::rng::Rng;
+
+    #[test]
+    fn nce_is_bounded_by_one() {
+        let mut rng = Rng::seed_from(0);
+        for _ in 0..16 {
+            let logits = Tensor::randn(&[4, 6], 3.0, &mut rng);
+            let labels = [0u32, 1, 2, 3];
+            let out = NormalizedCrossEntropy.evaluate(&logits, &Target::Hard(&labels));
+            assert!((0.0..=1.0).contains(&out.loss), "loss {}", out.loss);
+        }
+    }
+
+    #[test]
+    fn nce_gradient_check() {
+        let mut rng = Rng::seed_from(1);
+        let logits = Tensor::randn(&[3, 4], 1.5, &mut rng);
+        grad_check(&NormalizedCrossEntropy, &logits, &Target::Hard(&[1, 0, 3]), 2e-3);
+    }
+
+    #[test]
+    fn rce_matches_closed_form() {
+        let logits = Tensor::from_vec(vec![0.0, 0.0], &[1, 2]);
+        // p_y = 0.5 -> loss = 4 * 0.5 = 2.
+        let out = ReverseCrossEntropy::new().evaluate(&logits, &Target::Hard(&[0]));
+        assert!((out.loss - 2.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn rce_gradient_check() {
+        let mut rng = Rng::seed_from(2);
+        let logits = Tensor::randn(&[3, 5], 1.5, &mut rng);
+        grad_check(&ReverseCrossEntropy::new(), &logits, &Target::Hard(&[4, 2, 0]), 2e-3);
+    }
+
+    #[test]
+    fn apl_is_weighted_sum() {
+        let mut rng = Rng::seed_from(3);
+        let logits = Tensor::randn(&[2, 3], 1.0, &mut rng);
+        let labels = [0u32, 2];
+        let t = Target::Hard(&labels);
+        let apl = ActivePassiveLoss::new(1.0, 1.0).evaluate(&logits, &t);
+        let nce = NormalizedCrossEntropy.evaluate(&logits, &t);
+        let rce = ReverseCrossEntropy::new().evaluate(&logits, &t);
+        assert!((apl.loss - (nce.loss + rce.loss)).abs() < 1e-5);
+    }
+
+    #[test]
+    fn apl_gradient_check() {
+        let mut rng = Rng::seed_from(4);
+        let logits = Tensor::randn(&[2, 4], 1.0, &mut rng);
+        grad_check(&ActivePassiveLoss::new(1.0, 1.0), &logits, &Target::Hard(&[3, 1]), 2e-3);
+    }
+
+    #[test]
+    fn robust_losses_saturate_under_noise() {
+        // Under a wrong (noisy) label, CE grows without bound as the model
+        // becomes confident, but NCE stays bounded — the robustness the
+        // paper relies on.
+        let confident = Tensor::from_vec(vec![12.0, 0.0], &[1, 2]);
+        let wrong = Target::Hard(&[1]);
+        let ce = super::super::CrossEntropy.evaluate(&confident, &wrong).loss;
+        let nce = NormalizedCrossEntropy.evaluate(&confident, &wrong).loss;
+        assert!(ce > 5.0);
+        assert!(nce <= 1.0);
+    }
+}

@@ -1,0 +1,226 @@
+//! Label smoothing and label relaxation (paper Section III-B1).
+
+use super::{check_logits, Loss, LossOutput, Target};
+use tdfm_tensor::ops::{log_softmax_rows, softmax_rows};
+
+/// Classic label smoothing: the one-hot target is mixed with the uniform
+/// distribution, `q_i = (1 - alpha) * p_i + alpha / K`.
+///
+/// Accepts [`Target::Hard`].
+#[derive(Debug, Clone, Copy)]
+pub struct LabelSmoothingLoss {
+    alpha: f32,
+}
+
+impl LabelSmoothingLoss {
+    /// Creates a smoothing loss; the paper's configurations use
+    /// `alpha = 0.1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 <= alpha < 1`.
+    pub fn new(alpha: f32) -> Self {
+        assert!((0.0..1.0).contains(&alpha), "alpha must be in [0, 1)");
+        Self { alpha }
+    }
+
+    /// The smoothing coefficient.
+    pub fn alpha(&self) -> f32 {
+        self.alpha
+    }
+}
+
+impl Loss for LabelSmoothingLoss {
+    fn evaluate(&self, logits: &tdfm_tensor::Tensor, target: &Target<'_>) -> LossOutput {
+        let (n, k) = check_logits(logits, target);
+        let labels = match target {
+            Target::Hard(l) => *l,
+            _ => panic!("LabelSmoothingLoss accepts only Hard targets"),
+        };
+        let log_p = log_softmax_rows(logits);
+        let p = softmax_rows(logits, 1.0);
+        let off = self.alpha / k as f32;
+        let on = 1.0 - self.alpha + off;
+        let inv_n = 1.0 / n as f32;
+        let mut loss = 0.0;
+        let mut grad = p;
+        for (i, &y) in labels.iter().enumerate() {
+            assert!((y as usize) < k, "label {y} out of range");
+            for j in 0..k {
+                let q = if j == y as usize { on } else { off };
+                loss -= q * log_p.data()[i * k + j];
+                grad.data_mut()[i * k + j] -= q;
+            }
+        }
+        grad.scale(inv_n);
+        LossOutput { loss: loss * inv_n, grad }
+    }
+
+    fn name(&self) -> &'static str {
+        "LS"
+    }
+}
+
+/// Label relaxation (Lienen & Hüllermeier, AAAI'21) — the paper's
+/// *representative* label-smoothing technique (Table I).
+///
+/// Instead of a single smoothed target, the target is the *credal set* of
+/// distributions giving the true class at least `1 - alpha` mass. The loss
+/// is zero when the prediction already lies in the set; otherwise it is the
+/// KL divergence to the set's closest member, whose off-target mass is
+/// distributed proportionally to the prediction itself:
+///
+/// `pr_y = 1 - alpha`, `pr_j = alpha * p_j / (1 - p_y)` for `j != y`.
+///
+/// This is what lets the model "choose from any distribution" over the
+/// non-target classes (Section III-B1). Accepts [`Target::Hard`].
+#[derive(Debug, Clone, Copy)]
+pub struct LabelRelaxationLoss {
+    alpha: f32,
+}
+
+impl LabelRelaxationLoss {
+    /// Creates a relaxation loss; the paper's configurations use
+    /// `alpha = 0.1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < alpha < 1`.
+    pub fn new(alpha: f32) -> Self {
+        assert!(alpha > 0.0 && alpha < 1.0, "alpha must be in (0, 1)");
+        Self { alpha }
+    }
+
+    /// The relaxation coefficient.
+    pub fn alpha(&self) -> f32 {
+        self.alpha
+    }
+}
+
+impl Loss for LabelRelaxationLoss {
+    fn evaluate(&self, logits: &tdfm_tensor::Tensor, target: &Target<'_>) -> LossOutput {
+        let (n, k) = check_logits(logits, target);
+        let labels = match target {
+            Target::Hard(l) => *l,
+            _ => panic!("LabelRelaxationLoss accepts only Hard targets"),
+        };
+        let p = softmax_rows(logits, 1.0);
+        let log_p = log_softmax_rows(logits);
+        let inv_n = 1.0 / n as f32;
+        let mut loss = 0.0;
+        let mut grad = tdfm_tensor::Tensor::zeros(&[n, k]);
+        let eps = 1e-8;
+        for (i, &y) in labels.iter().enumerate() {
+            let yi = y as usize;
+            assert!(yi < k, "label {y} out of range");
+            let py = p.data()[i * k + yi];
+            if py >= 1.0 - self.alpha {
+                // Prediction already inside the credal set: zero loss.
+                continue;
+            }
+            // Projection onto the credal set boundary.
+            let rest = (1.0 - py).max(eps);
+            for j in 0..k {
+                let pj = p.data()[i * k + j];
+                let pr = if j == yi { 1.0 - self.alpha } else { self.alpha * pj / rest };
+                // KL(pr || p) = sum pr log(pr / p); gradient w.r.t. logits
+                // with pr treated as constant is (p - pr).
+                if pr > 0.0 {
+                    loss += pr * ((pr + eps).ln() - log_p.data()[i * k + j]);
+                }
+                grad.data_mut()[i * k + j] = (pj - pr) * inv_n;
+            }
+        }
+        LossOutput { loss: loss * inv_n, grad }
+    }
+
+    fn name(&self) -> &'static str {
+        "LR"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loss::Target;
+    use tdfm_tensor::rng::Rng;
+    use tdfm_tensor::Tensor;
+
+    #[test]
+    fn smoothing_matches_paper_example() {
+        // alpha = 0.1 turns [0, 1, 0] into [0.033, 0.933, 0.033]
+        // (Section III-B1). Verify via the implied target in the gradient:
+        // at p == q the gradient is zero.
+        let ls = LabelSmoothingLoss::new(0.1);
+        // Build logits whose softmax equals the smoothed target.
+        let q = [0.1f32 / 3.0, 1.0 - 0.1 + 0.1 / 3.0, 0.1 / 3.0];
+        let logits = Tensor::from_vec(q.iter().map(|x| x.ln()).collect(), &[1, 3]);
+        let out = ls.evaluate(&logits, &Target::Hard(&[1]));
+        assert!(out.grad.max_abs() < 1e-4, "gradient at the target should vanish");
+    }
+
+    #[test]
+    fn smoothing_gradient_check() {
+        let mut rng = Rng::seed_from(0);
+        let logits = Tensor::randn(&[3, 4], 2.0, &mut rng);
+        crate::loss::grad_check(
+            &LabelSmoothingLoss::new(0.1),
+            &logits,
+            &Target::Hard(&[0, 2, 3]),
+            1e-3,
+        );
+    }
+
+    #[test]
+    fn smoothing_with_zero_alpha_is_cross_entropy() {
+        let mut rng = Rng::seed_from(1);
+        let logits = Tensor::randn(&[2, 5], 1.0, &mut rng);
+        let labels = [4u32, 1];
+        let ls = LabelSmoothingLoss::new(0.0).evaluate(&logits, &Target::Hard(&labels));
+        let ce = super::super::CrossEntropy.evaluate(&logits, &Target::Hard(&labels));
+        assert!((ls.loss - ce.loss).abs() < 1e-5);
+        tdfm_tensor::assert_close(ls.grad.data(), ce.grad.data(), 1e-6);
+    }
+
+    #[test]
+    fn relaxation_zero_inside_credal_set() {
+        // Confident correct prediction: p_y > 1 - alpha -> loss 0, grad 0.
+        let logits = Tensor::from_vec(vec![10.0, 0.0, 0.0], &[1, 3]);
+        let lr = LabelRelaxationLoss::new(0.1);
+        let out = lr.evaluate(&logits, &Target::Hard(&[0]));
+        assert_eq!(out.loss, 0.0);
+        assert_eq!(out.grad.max_abs(), 0.0);
+    }
+
+    #[test]
+    fn relaxation_penalises_outside_credal_set() {
+        let logits = Tensor::from_vec(vec![0.0, 0.0, 0.0], &[1, 3]);
+        let lr = LabelRelaxationLoss::new(0.1);
+        let out = lr.evaluate(&logits, &Target::Hard(&[0]));
+        assert!(out.loss > 0.0);
+        // Gradient pushes the target logit up.
+        assert!(out.grad.data()[0] < 0.0);
+    }
+
+    #[test]
+    fn relaxation_softer_than_cross_entropy() {
+        // The relaxed target demands less than the one-hot target, so the
+        // loss should be smaller on imperfect predictions — the mechanism
+        // by which it "reduces the distance between correct and incorrect
+        // encodings" (Section III-B1).
+        let mut rng = Rng::seed_from(2);
+        let logits = Tensor::randn(&[4, 6], 1.0, &mut rng);
+        let labels = [0u32, 1, 2, 3];
+        let lr = LabelRelaxationLoss::new(0.1).evaluate(&logits, &Target::Hard(&labels));
+        let ce = super::super::CrossEntropy.evaluate(&logits, &Target::Hard(&labels));
+        assert!(lr.loss < ce.loss);
+    }
+
+    #[test]
+    #[should_panic(expected = "Hard targets")]
+    fn relaxation_rejects_soft_targets() {
+        let logits = Tensor::zeros(&[1, 2]);
+        let q = Tensor::zeros(&[1, 2]);
+        let _ = LabelRelaxationLoss::new(0.1).evaluate(&logits, &Target::Soft(&q));
+    }
+}

@@ -1,0 +1,160 @@
+//! A trained (or trainable) classifier: layers plus classifier metadata.
+
+use crate::layer::{Layer, Mode, Param};
+use crate::layers::Sequential;
+use tdfm_tensor::ops::argmax_rows;
+use tdfm_tensor::Tensor;
+
+/// A classification network: a layer stack producing `[N, classes]` logits.
+///
+/// `Network` adds to [`Sequential`] the conveniences the study needs —
+/// batched evaluation-mode inference ([`Network::logits`],
+/// [`Network::predict`]) and gradient bookkeeping.
+pub struct Network {
+    name: String,
+    classes: usize,
+    body: Sequential,
+}
+
+impl Network {
+    /// Wraps a layer stack.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `classes == 0`.
+    pub fn new(name: impl Into<String>, classes: usize, body: Sequential) -> Self {
+        assert!(classes > 0, "a classifier needs at least one class");
+        Self { name: name.into(), classes, body }
+    }
+
+    /// Human-readable architecture name (e.g. `"ResNet50"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of output classes.
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// Training-mode forward pass (caches activations for `backward`).
+    pub fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
+        self.body.forward(input, mode)
+    }
+
+    /// Backpropagates a logits gradient, accumulating parameter gradients.
+    pub fn backward(&mut self, grad_logits: &Tensor) -> Tensor {
+        self.body.backward(grad_logits)
+    }
+
+    /// All trainable parameters.
+    pub fn params_mut(&mut self) -> Vec<&mut Param> {
+        self.body.params_mut()
+    }
+
+    /// All non-trainable state buffers (batch-norm running statistics),
+    /// in deterministic construction order — see
+    /// [`crate::serialize::SavedModel`].
+    pub fn state_mut(&mut self) -> Vec<&mut [f32]> {
+        self.body.state_mut()
+    }
+
+    /// Zeroes every parameter gradient.
+    pub fn zero_grad(&mut self) {
+        for p in self.body.params_mut() {
+            p.zero_grad();
+        }
+    }
+
+    /// Total scalar parameter count.
+    pub fn param_count(&mut self) -> usize {
+        self.body.param_count()
+    }
+
+    /// Evaluation-mode logits over a whole set, processed in mini-batches
+    /// of `batch` to bound activation memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch == 0`.
+    pub fn logits(&mut self, inputs: &Tensor, batch: usize) -> Tensor {
+        assert!(batch > 0, "batch size must be positive");
+        let n = inputs.shape().dim(0);
+        let mut out = Tensor::zeros(&[n, self.classes]);
+        let mut start = 0;
+        while start < n {
+            let end = (start + batch).min(n);
+            let chunk = inputs.slice_rows(start, end);
+            let logits = self.body.forward(&chunk, Mode::Eval);
+            assert_eq!(
+                logits.shape().dims(),
+                &[end - start, self.classes],
+                "network produced wrong logits shape"
+            );
+            out.data_mut()[start * self.classes..end * self.classes]
+                .copy_from_slice(logits.data());
+            start = end;
+        }
+        out
+    }
+
+    /// Predicted class per input (argmax of evaluation-mode logits).
+    pub fn predict(&mut self, inputs: &Tensor, batch: usize) -> Vec<u32> {
+        argmax_rows(&self.logits(inputs, batch))
+    }
+
+    /// Fraction of `labels` the network predicts correctly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `labels.len()` differs from the input batch dimension.
+    pub fn accuracy(&mut self, inputs: &Tensor, labels: &[u32], batch: usize) -> f32 {
+        assert_eq!(inputs.shape().dim(0), labels.len(), "label count mismatch");
+        let preds = self.predict(inputs, batch);
+        let correct = preds.iter().zip(labels).filter(|(p, l)| p == l).count();
+        correct as f32 / labels.len() as f32
+    }
+}
+
+impl std::fmt::Debug for Network {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Network {{ name: {}, classes: {}, body: {:?} }}", self.name, self.classes, self.body)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{Dense, Flatten};
+    use tdfm_tensor::rng::Rng;
+
+    fn tiny_net(rng: &mut Rng) -> Network {
+        let body = Sequential::new().push(Flatten::new()).push(Dense::new(4, 3, rng));
+        Network::new("tiny", 3, body)
+    }
+
+    #[test]
+    fn logits_batching_matches_single_pass() {
+        let mut rng = Rng::seed_from(0);
+        let mut net = tiny_net(&mut rng);
+        let x = Tensor::randn(&[7, 1, 2, 2], 1.0, &mut rng);
+        let full = net.logits(&x, 7);
+        let chunked = net.logits(&x, 3);
+        tdfm_tensor::assert_close(full.data(), chunked.data(), 1e-5);
+    }
+
+    #[test]
+    fn accuracy_of_perfect_predictor_is_one() {
+        let mut rng = Rng::seed_from(1);
+        let mut net = tiny_net(&mut rng);
+        let x = Tensor::randn(&[5, 1, 2, 2], 1.0, &mut rng);
+        let preds = net.predict(&x, 2);
+        assert!((net.accuracy(&x, &preds, 2) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one class")]
+    fn zero_classes_rejected() {
+        let _ = Network::new("bad", 0, Sequential::new());
+    }
+}

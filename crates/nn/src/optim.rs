@@ -1,0 +1,227 @@
+//! Optimisers: SGD with momentum and Adam.
+
+use crate::layer::Param;
+use tdfm_tensor::Tensor;
+
+/// A gradient-descent update rule.
+///
+/// Optimisers keep per-parameter state indexed by position, so the same
+/// parameter list (in the same order) must be passed to every `step` —
+/// which [`crate::trainer::fit`] guarantees.
+pub trait Optimizer: Send {
+    /// Applies one update using each parameter's accumulated gradient,
+    /// then zeroes the gradients.
+    fn step(&mut self, params: &mut [&mut Param]);
+
+    /// Adjusts the learning rate (used for per-epoch decay schedules).
+    fn set_learning_rate(&mut self, lr: f32);
+
+    /// Current learning rate.
+    fn learning_rate(&self) -> f32;
+}
+
+/// Stochastic gradient descent with momentum and decoupled weight decay.
+///
+/// `v = momentum * v + g + weight_decay * w; w -= lr * v` — the classic
+/// recipe the paper's TensorFlow configurations used.
+#[derive(Debug)]
+pub struct Sgd {
+    lr: f32,
+    momentum: f32,
+    weight_decay: f32,
+    velocity: Vec<Tensor>,
+}
+
+impl Sgd {
+    /// Creates an SGD optimiser.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr <= 0`, `momentum < 0` or `weight_decay < 0`.
+    pub fn new(lr: f32, momentum: f32, weight_decay: f32) -> Self {
+        assert!(lr > 0.0, "learning rate must be positive");
+        assert!(momentum >= 0.0 && momentum < 1.0, "momentum must be in [0, 1)");
+        assert!(weight_decay >= 0.0, "weight decay must be non-negative");
+        Self { lr, momentum, weight_decay, velocity: Vec::new() }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, params: &mut [&mut Param]) {
+        if self.velocity.is_empty() {
+            self.velocity = params.iter().map(|p| Tensor::zeros(p.value.shape().dims())).collect();
+        }
+        assert_eq!(self.velocity.len(), params.len(), "parameter list changed between steps");
+        for (p, v) in params.iter_mut().zip(self.velocity.iter_mut()) {
+            let m = self.momentum;
+            let wd = self.weight_decay;
+            for ((vi, &gi), wi) in
+                v.data_mut().iter_mut().zip(p.grad.data()).zip(p.value.data().iter())
+            {
+                *vi = m * *vi + gi + wd * *wi;
+            }
+            p.value.axpy(-self.lr, v);
+            p.zero_grad();
+        }
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+}
+
+/// Adam (Kingma & Ba) with bias correction.
+#[derive(Debug)]
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    weight_decay: f32,
+    t: u64,
+    m: Vec<Tensor>,
+    v: Vec<Tensor>,
+}
+
+impl Adam {
+    /// Creates an Adam optimiser with the standard `beta = (0.9, 0.999)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr <= 0`.
+    pub fn new(lr: f32, weight_decay: f32) -> Self {
+        assert!(lr > 0.0, "learning rate must be positive");
+        Self {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, params: &mut [&mut Param]) {
+        if self.m.is_empty() {
+            self.m = params.iter().map(|p| Tensor::zeros(p.value.shape().dims())).collect();
+            self.v = self.m.clone();
+        }
+        assert_eq!(self.m.len(), params.len(), "parameter list changed between steps");
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for ((p, m), v) in params.iter_mut().zip(self.m.iter_mut()).zip(self.v.iter_mut()) {
+            for (((wi, &gi), mi), vi) in p
+                .value
+                .data_mut()
+                .iter_mut()
+                .zip(p.grad.data())
+                .zip(m.data_mut().iter_mut())
+                .zip(v.data_mut().iter_mut())
+            {
+                let g = gi + self.weight_decay * *wi;
+                *mi = self.beta1 * *mi + (1.0 - self.beta1) * g;
+                *vi = self.beta2 * *vi + (1.0 - self.beta2) * g * g;
+                let m_hat = *mi / bc1;
+                let v_hat = *vi / bc2;
+                *wi -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
+            }
+            p.zero_grad();
+        }
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quadratic_step(opt: &mut dyn Optimizer, w: &mut Param) {
+        // Loss = 0.5 * w^2 -> grad = w.
+        w.grad = w.value.clone();
+        opt.step(&mut [w]);
+    }
+
+    #[test]
+    fn sgd_minimises_quadratic() {
+        let mut opt = Sgd::new(0.1, 0.0, 0.0);
+        let mut w = Param::new(Tensor::full(&[4], 10.0));
+        for _ in 0..200 {
+            quadratic_step(&mut opt, &mut w);
+        }
+        assert!(w.value.max_abs() < 1e-3, "{:?}", w.value);
+    }
+
+    #[test]
+    fn momentum_accelerates_convergence() {
+        let run = |momentum: f32| {
+            let mut opt = Sgd::new(0.01, momentum, 0.0);
+            let mut w = Param::new(Tensor::full(&[1], 10.0));
+            for _ in 0..50 {
+                quadratic_step(&mut opt, &mut w);
+            }
+            w.value.data()[0].abs()
+        };
+        assert!(run(0.9) < run(0.0));
+    }
+
+    #[test]
+    fn weight_decay_shrinks_weights_without_gradient() {
+        let mut opt = Sgd::new(0.1, 0.0, 0.1);
+        let mut w = Param::new(Tensor::full(&[1], 1.0));
+        // Zero gradient; decay alone should shrink the weight.
+        opt.step(&mut [&mut w]);
+        assert!(w.value.data()[0] < 1.0);
+    }
+
+    #[test]
+    fn adam_minimises_quadratic() {
+        let mut opt = Adam::new(0.1, 0.0);
+        let mut w = Param::new(Tensor::full(&[4], 10.0));
+        for _ in 0..300 {
+            quadratic_step(&mut opt, &mut w);
+        }
+        assert!(w.value.max_abs() < 1e-2, "{:?}", w.value);
+    }
+
+    #[test]
+    fn step_zeroes_gradients() {
+        let mut opt = Sgd::new(0.1, 0.0, 0.0);
+        let mut w = Param::new(Tensor::full(&[2], 1.0));
+        w.grad.fill(3.0);
+        opt.step(&mut [&mut w]);
+        assert_eq!(w.grad.data(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn learning_rate_is_adjustable() {
+        let mut opt = Sgd::new(0.1, 0.0, 0.0);
+        opt.set_learning_rate(0.05);
+        assert_eq!(opt.learning_rate(), 0.05);
+    }
+
+    #[test]
+    #[should_panic(expected = "parameter list changed")]
+    fn changing_param_list_is_detected() {
+        let mut opt = Sgd::new(0.1, 0.0, 0.0);
+        let mut a = Param::new(Tensor::zeros(&[1]));
+        let mut b = Param::new(Tensor::zeros(&[1]));
+        opt.step(&mut [&mut a]);
+        opt.step(&mut [&mut a, &mut b]);
+    }
+}

@@ -1,0 +1,251 @@
+//! Saving and loading trained models.
+//!
+//! Networks are rebuilt from their `(ModelKind, ModelConfig)` recipe, so a
+//! saved model is just that recipe plus the flat parameter buffers in
+//! construction order — compact, versionable, and independent of layer
+//! internals. The experiment runner's golden models and the examples'
+//! trained classifiers can thus be checkpointed to disk and reloaded
+//! bit-exactly.
+
+use crate::models::{ModelConfig, ModelKind};
+use crate::Network;
+use serde::{Deserialize, Serialize};
+
+/// A serialisable snapshot of a trained [`Network`].
+///
+/// # Examples
+///
+/// ```
+/// use tdfm_nn::models::{ModelConfig, ModelKind};
+/// use tdfm_nn::serialize::SavedModel;
+///
+/// let cfg = ModelConfig { in_shape: (1, 4, 4), classes: 2, width: 2, seed: 0 };
+/// let mut net = ModelKind::ConvNet.build(&cfg);
+/// let saved = SavedModel::capture(ModelKind::ConvNet, cfg, &mut net);
+/// let mut restored = saved.restore().unwrap();
+/// assert_eq!(restored.param_count(), net.param_count());
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SavedModel {
+    /// Architecture recipe.
+    pub kind: ModelKind,
+    /// Construction parameters.
+    pub config: ModelConfig,
+    /// Flat parameter buffers in `params_mut()` order.
+    pub params: Vec<Vec<f32>>,
+    /// Non-trainable state (batch-norm running statistics) in
+    /// `state_mut()` order.
+    #[serde(default)]
+    pub state: Vec<Vec<f32>>,
+}
+
+/// Errors returned when restoring a saved model.
+#[derive(Debug)]
+pub enum RestoreError {
+    /// The snapshot's parameter count does not match the rebuilt network
+    /// (e.g. the snapshot was produced by an incompatible version).
+    ParameterMismatch {
+        /// Parameter tensors the architecture expects.
+        expected: usize,
+        /// Parameter tensors found in the snapshot.
+        found: usize,
+    },
+    /// One parameter buffer has the wrong number of elements.
+    ShapeMismatch {
+        /// Index of the offending parameter.
+        index: usize,
+        /// Elements the architecture expects.
+        expected: usize,
+        /// Elements found in the snapshot.
+        found: usize,
+    },
+}
+
+impl std::fmt::Display for RestoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RestoreError::ParameterMismatch { expected, found } => write!(
+                f,
+                "snapshot has {found} parameter tensors, architecture expects {expected}"
+            ),
+            RestoreError::ShapeMismatch { index, expected, found } => write!(
+                f,
+                "parameter {index} has {found} elements, architecture expects {expected}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RestoreError {}
+
+impl SavedModel {
+    /// Captures the current parameters and state of a network built from
+    /// `(kind, config)`.
+    pub fn capture(kind: ModelKind, config: ModelConfig, net: &mut Network) -> Self {
+        let params = net.params_mut().iter().map(|p| p.value.data().to_vec()).collect();
+        let state = net.state_mut().iter().map(|s| s.to_vec()).collect();
+        Self { kind, config, params, state }
+    }
+
+    /// Rebuilds the network and restores the captured parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RestoreError`] when the snapshot does not match the
+    /// architecture the recipe builds.
+    pub fn restore(&self) -> Result<Network, RestoreError> {
+        let mut net = self.kind.build(&self.config);
+        let mut params = net.params_mut();
+        if params.len() != self.params.len() {
+            return Err(RestoreError::ParameterMismatch {
+                expected: params.len(),
+                found: self.params.len(),
+            });
+        }
+        for (i, (param, saved)) in params.iter_mut().zip(&self.params).enumerate() {
+            if param.value.numel() != saved.len() {
+                return Err(RestoreError::ShapeMismatch {
+                    index: i,
+                    expected: param.value.numel(),
+                    found: saved.len(),
+                });
+            }
+            param.value.data_mut().copy_from_slice(saved);
+        }
+        let mut state = net.state_mut();
+        if state.len() != self.state.len() {
+            return Err(RestoreError::ParameterMismatch {
+                expected: state.len(),
+                found: self.state.len(),
+            });
+        }
+        for (i, (buf, saved)) in state.iter_mut().zip(&self.state).enumerate() {
+            if buf.len() != saved.len() {
+                return Err(RestoreError::ShapeMismatch {
+                    index: i,
+                    expected: buf.len(),
+                    found: saved.len(),
+                });
+            }
+            buf.copy_from_slice(saved);
+        }
+        Ok(net)
+    }
+
+    /// Serialises to JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("snapshot serialisation cannot fail")
+    }
+
+    /// Deserialises from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying parse error on malformed input.
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loss::CrossEntropy;
+    use crate::trainer::{fit, FitConfig, TargetSource};
+    use tdfm_tensor::rng::Rng;
+    use tdfm_tensor::Tensor;
+
+    fn trained_net() -> (ModelConfig, Network, Tensor) {
+        let cfg = ModelConfig { in_shape: (1, 4, 4), classes: 2, width: 2, seed: 3 };
+        let mut net = ModelKind::ConvNet.build(&cfg);
+        let mut rng = Rng::seed_from(0);
+        let x = Tensor::randn(&[16, 1, 4, 4], 1.0, &mut rng);
+        let y: Vec<u32> = (0..16).map(|i| (i % 2) as u32).collect();
+        fit(
+            &mut net,
+            &CrossEntropy,
+            &x,
+            &TargetSource::Hard(y),
+            &FitConfig { epochs: 2, batch_size: 8, ..FitConfig::default() },
+        );
+        (cfg, net, x)
+    }
+
+    #[test]
+    fn roundtrip_preserves_predictions() {
+        let (cfg, mut net, x) = trained_net();
+        let saved = SavedModel::capture(ModelKind::ConvNet, cfg, &mut net);
+        let mut restored = saved.restore().unwrap();
+        assert_eq!(restored.predict(&x, 8), net.predict(&x, 8));
+        let logits_a = net.logits(&x, 8);
+        let logits_b = restored.logits(&x, 8);
+        assert_eq!(logits_a.data(), logits_b.data());
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let (cfg, mut net, x) = trained_net();
+        let saved = SavedModel::capture(ModelKind::ConvNet, cfg, &mut net);
+        let json = saved.to_json();
+        let back = SavedModel::from_json(&json).unwrap();
+        let mut restored = back.restore().unwrap();
+        assert_eq!(restored.predict(&x, 8), net.predict(&x, 8));
+    }
+
+    #[test]
+    fn mismatched_snapshot_is_rejected() {
+        let (cfg, mut net, _) = trained_net();
+        let mut saved = SavedModel::capture(ModelKind::ConvNet, cfg, &mut net);
+        saved.params.pop();
+        assert!(matches!(saved.restore(), Err(RestoreError::ParameterMismatch { .. })));
+
+        let mut saved2 = SavedModel::capture(ModelKind::ConvNet, cfg, &mut net);
+        saved2.params[0].push(0.0);
+        assert!(matches!(saved2.restore(), Err(RestoreError::ShapeMismatch { .. })));
+    }
+
+    #[test]
+    fn batch_norm_running_statistics_survive_checkpointing() {
+        // Regression test: running statistics are state, not parameters;
+        // dropping them silently changes eval-mode predictions.
+        let cfg = ModelConfig { in_shape: (1, 4, 4), classes: 2, width: 2, seed: 5 };
+        let mut net = ModelKind::ResNet18.build(&cfg);
+        let mut rng = Rng::seed_from(2);
+        let x = Tensor::randn(&[8, 1, 4, 4], 1.0, &mut rng).map(|v| v * 3.0 + 1.0);
+        let y: Vec<u32> = (0..8).map(|i| (i % 2) as u32).collect();
+        fit(
+            &mut net,
+            &CrossEntropy,
+            &x,
+            &TargetSource::Hard(y),
+            &FitConfig { epochs: 3, batch_size: 4, ..FitConfig::default() },
+        );
+        let saved = SavedModel::capture(ModelKind::ResNet18, cfg, &mut net);
+        assert!(!saved.state.is_empty(), "ResNet18 must expose BN state");
+        // Trained running stats are not the initialisation values.
+        assert!(saved.state.iter().any(|s| s.iter().any(|&v| v != 0.0 && v != 1.0)));
+        let mut restored = saved.restore().unwrap();
+        assert_eq!(
+            restored.logits(&x, 4).data(),
+            net.logits(&x, 4).data(),
+            "eval-mode outputs must match bit-for-bit"
+        );
+    }
+
+    #[test]
+    fn works_for_every_architecture() {
+        let cfg = ModelConfig { in_shape: (3, 6, 6), classes: 4, width: 2, seed: 9 };
+        let mut rng = Rng::seed_from(1);
+        let x = Tensor::randn(&[2, 3, 6, 6], 1.0, &mut rng);
+        for kind in ModelKind::ALL {
+            let mut net = kind.build(&cfg);
+            let saved = SavedModel::capture(kind, cfg, &mut net);
+            let mut restored = saved.restore().unwrap();
+            assert_eq!(
+                restored.logits(&x, 2).data(),
+                net.logits(&x, 2).data(),
+                "{kind}"
+            );
+        }
+    }
+}

@@ -1,0 +1,289 @@
+//! The candidate-technique catalogue (Table I of the paper).
+
+use serde::{Deserialize, Serialize};
+
+/// The five TDFM approaches (Section I-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Approach {
+    /// Softens one-hot targets (Section III-B1).
+    LabelSmoothing,
+    /// Meta-learning that corrects faulty labels during training (III-B2).
+    LabelCorrection,
+    /// Noise-robust training criteria (III-B3).
+    RobustLoss,
+    /// Teacher/student training (III-B4).
+    KnowledgeDistillation,
+    /// Majority voting over several models (III-B5).
+    Ensemble,
+}
+
+impl Approach {
+    /// All approaches in Table I order.
+    pub const ALL: [Approach; 5] = [
+        Approach::LabelSmoothing,
+        Approach::LabelCorrection,
+        Approach::RobustLoss,
+        Approach::KnowledgeDistillation,
+        Approach::Ensemble,
+    ];
+
+    /// Name as printed in the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            Approach::LabelSmoothing => "Label Smoothing",
+            Approach::LabelCorrection => "Label Correction",
+            Approach::RobustLoss => "Robust Loss",
+            Approach::KnowledgeDistillation => "Knowledge Distillation",
+            Approach::Ensemble => "Ensemble",
+        }
+    }
+}
+
+impl std::fmt::Display for Approach {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The five selection criteria of Section III-A.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Criteria {
+    /// (1) Code is available and easily modifiable.
+    pub code_available: bool,
+    /// (2) Evaluated on more than one architecture type and dataset.
+    pub architecture_agnostic: bool,
+    /// (3) Capable of tolerating artificial noise.
+    pub artificial_noise: bool,
+    /// (4) Does not rely on pre-trained weights.
+    pub not_pretrained: bool,
+    /// (5) Standalone (not a combination of other techniques).
+    pub standalone: bool,
+}
+
+impl Criteria {
+    /// `true` when all five criteria are met (the starring rule).
+    pub fn meets_all(&self) -> bool {
+        self.code_available
+            && self.architecture_agnostic
+            && self.artificial_noise
+            && self.not_pretrained
+            && self.standalone
+    }
+
+    /// Number of criteria met (for ranking near-misses).
+    pub fn score(&self) -> usize {
+        [
+            self.code_available,
+            self.architecture_agnostic,
+            self.artificial_noise,
+            self.not_pretrained,
+            self.standalone,
+        ]
+        .iter()
+        .filter(|&&b| b)
+        .count()
+    }
+}
+
+/// One candidate row of Table I.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Technique {
+    /// Technique name as printed in the paper.
+    pub name: &'static str,
+    /// Citation key in the paper's bibliography.
+    pub reference: &'static str,
+    /// Which approach the technique belongs to.
+    pub approach: Approach,
+    /// The five criteria columns.
+    pub criteria: Criteria,
+    /// Starred in Table I (meets every criterion).
+    pub starred: bool,
+    /// The paper re-implemented this candidate as the approach's
+    /// representative because no candidate met every criterion.
+    pub reimplemented: bool,
+}
+
+const fn crit(c: bool, a: bool, n: bool, p: bool, s: bool) -> Criteria {
+    Criteria {
+        code_available: c,
+        architecture_agnostic: a,
+        artificial_noise: n,
+        not_pretrained: p,
+        standalone: s,
+    }
+}
+
+/// The full Table I catalogue: three candidates per approach.
+pub fn catalog() -> Vec<Technique> {
+    vec![
+        // Label Smoothing.
+        Technique {
+            name: "Label Relaxation",
+            reference: "[16]",
+            approach: Approach::LabelSmoothing,
+            criteria: crit(true, true, true, true, true),
+            starred: true,
+            reimplemented: false,
+        },
+        Technique {
+            name: "Lukasik et al.",
+            reference: "[27]",
+            approach: Approach::LabelSmoothing,
+            criteria: crit(false, false, true, true, false),
+            starred: false,
+            reimplemented: false,
+        },
+        Technique {
+            name: "OLS",
+            reference: "[28]",
+            approach: Approach::LabelSmoothing,
+            criteria: crit(false, true, true, true, true),
+            starred: false,
+            reimplemented: false,
+        },
+        // Label Correction.
+        Technique {
+            name: "Meta Label Correction",
+            reference: "[17]",
+            approach: Approach::LabelCorrection,
+            criteria: crit(true, true, true, true, true),
+            starred: true,
+            reimplemented: false,
+        },
+        Technique {
+            name: "ProSelfLC",
+            reference: "[29]",
+            approach: Approach::LabelCorrection,
+            criteria: crit(false, false, true, true, true),
+            starred: false,
+            reimplemented: false,
+        },
+        Technique {
+            name: "SMP",
+            reference: "[30]",
+            approach: Approach::LabelCorrection,
+            criteria: crit(true, false, false, false, true),
+            starred: false,
+            reimplemented: false,
+        },
+        // Robust Loss.
+        Technique {
+            name: "Active-Passive Losses",
+            reference: "[18]",
+            approach: Approach::RobustLoss,
+            criteria: crit(true, true, true, true, true),
+            starred: true,
+            reimplemented: false,
+        },
+        Technique {
+            name: "Charoenphakdee et al.",
+            reference: "[31]",
+            approach: Approach::RobustLoss,
+            criteria: crit(true, false, true, true, true),
+            starred: false,
+            reimplemented: false,
+        },
+        Technique {
+            name: "Zhang et al.",
+            reference: "[32]",
+            approach: Approach::RobustLoss,
+            criteria: crit(true, false, true, true, true),
+            starred: false,
+            reimplemented: false,
+        },
+        // Knowledge Distillation (no candidate meets all criteria; the
+        // paper re-implemented self distillation in its own framework).
+        Technique {
+            name: "CMD-P",
+            reference: "[33]",
+            approach: Approach::KnowledgeDistillation,
+            criteria: crit(false, true, true, false, true),
+            starred: false,
+            reimplemented: false,
+        },
+        Technique {
+            name: "KD-Lib",
+            reference: "[34]",
+            approach: Approach::KnowledgeDistillation,
+            criteria: crit(true, true, false, true, false),
+            starred: false,
+            reimplemented: false,
+        },
+        Technique {
+            name: "Self Distillation",
+            reference: "[19]",
+            approach: Approach::KnowledgeDistillation,
+            criteria: crit(true, true, false, true, true),
+            starred: false,
+            reimplemented: true,
+        },
+        // Ensemble (likewise re-implemented).
+        Technique {
+            name: "LTEC",
+            reference: "[35]",
+            approach: Approach::Ensemble,
+            criteria: crit(true, false, true, true, true),
+            starred: false,
+            reimplemented: true,
+        },
+        Technique {
+            name: "SELF",
+            reference: "[36]",
+            approach: Approach::Ensemble,
+            criteria: crit(false, false, true, true, false),
+            starred: false,
+            reimplemented: false,
+        },
+        Technique {
+            name: "Super-Learner",
+            reference: "[20]",
+            approach: Approach::Ensemble,
+            criteria: crit(false, true, false, true, true),
+            starred: false,
+            reimplemented: false,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_has_fifteen_rows() {
+        assert_eq!(catalog().len(), 15);
+    }
+
+    #[test]
+    fn three_techniques_meet_all_criteria() {
+        let full: Vec<&'static str> = catalog()
+            .iter()
+            .filter(|t| t.criteria.meets_all())
+            .map(|t| t.name)
+            .collect();
+        assert_eq!(
+            full,
+            vec!["Label Relaxation", "Meta Label Correction", "Active-Passive Losses"]
+        );
+    }
+
+    #[test]
+    fn criteria_score_counts() {
+        assert_eq!(crit(true, true, true, true, true).score(), 5);
+        assert_eq!(crit(true, false, true, false, true).score(), 3);
+        assert_eq!(crit(false, false, false, false, false).score(), 0);
+    }
+
+    #[test]
+    fn kd_and_ensemble_have_reimplemented_fallbacks() {
+        let cat = catalog();
+        for approach in [Approach::KnowledgeDistillation, Approach::Ensemble] {
+            assert!(cat
+                .iter()
+                .any(|t| t.approach == approach && t.reimplemented));
+            assert!(!cat
+                .iter()
+                .any(|t| t.approach == approach && t.criteria.meets_all()));
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! ASCII rendering of Table I.
+
+use crate::{Approach, Technique};
+
+fn tick(b: bool) -> &'static str {
+    if b {
+        "yes"
+    } else {
+        "no"
+    }
+}
+
+/// Renders Table I as fixed-width ASCII, one approach section at a time,
+/// with representatives marked `*` exactly as in the paper.
+pub fn render_table_i(techniques: &[Technique]) -> String {
+    let mut out = String::new();
+    out.push_str(
+        "TABLE I: Top three techniques for the five TDFM approaches \
+         (representatives marked *)\n",
+    );
+    out.push_str(&format!(
+        "{:<24}{:<28}{:>6}{:>12}{:>8}{:>14}{:>12}\n",
+        "Approach", "Technique", "Code?", "ArchAgn?", "Noise?", "NotPreTrain?", "Standalone?"
+    ));
+    out.push_str(&"-".repeat(104));
+    out.push('\n');
+    for approach in Approach::ALL {
+        for t in techniques.iter().filter(|t| t.approach == approach) {
+            let star = if t.starred || t.reimplemented { "*" } else { "" };
+            out.push_str(&format!(
+                "{:<24}{:<28}{:>6}{:>12}{:>8}{:>14}{:>12}\n",
+                approach.name(),
+                format!("{}{} {}", t.name, star, t.reference),
+                tick(t.criteria.code_available),
+                tick(t.criteria.architecture_agnostic),
+                tick(t.criteria.artificial_noise),
+                tick(t.criteria.not_pretrained),
+                tick(t.criteria.standalone),
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog;
+
+    #[test]
+    fn render_contains_all_rows() {
+        let s = render_table_i(&catalog());
+        for t in catalog() {
+            assert!(s.contains(t.name), "missing {}", t.name);
+        }
+        // 15 technique rows + 3 header lines.
+        assert_eq!(s.lines().count(), 18);
+    }
+
+    #[test]
+    fn representatives_are_starred_in_output() {
+        let s = render_table_i(&catalog());
+        assert!(s.contains("Label Relaxation* [16]"));
+        assert!(s.contains("Self Distillation* [19]"));
+        assert!(s.contains("LTEC* [35]"));
+    }
+}

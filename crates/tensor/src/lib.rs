@@ -1,0 +1,69 @@
+//! # tdfm-tensor
+//!
+//! Pure-Rust CPU tensor substrate for the TDFM reproduction ("The Fault in
+//! Our Data Stars", DSN 2022). The paper's experiments ran on TensorFlow;
+//! this crate replaces the numerical kernels TensorFlow provided:
+//!
+//! * [`Shape`] and [`Tensor`] — dense row-major `f32` tensors with the NCHW
+//!   image convention used throughout the study.
+//! * [`parallel`] — a crossbeam-based data-parallel runtime used by the
+//!   convolution/matmul kernels and by ensemble training.
+//! * [`ops`] — blocked matrix multiplication, im2col convolution
+//!   (forward/backward, with strides, padding and groups for depthwise
+//!   convolutions), max/average pooling, reductions and softmax.
+//! * [`rng`] — deterministic random-number helpers so every experiment in
+//!   the study is reproducible from a single seed.
+//!
+//! # Examples
+//!
+//! ```
+//! use tdfm_tensor::{Tensor, ops};
+//!
+//! let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+//! let b = Tensor::eye(2);
+//! let c = ops::matmul(&a, &b);
+//! assert_eq!(c.data(), a.data());
+//! ```
+
+pub mod ops;
+pub mod parallel;
+pub mod rng;
+mod shape;
+mod tensor;
+
+pub use shape::Shape;
+pub use tensor::Tensor;
+
+/// Absolute tolerance used by the crate's own tests when comparing floats.
+pub const TEST_EPS: f32 = 1e-4;
+
+/// Asserts that two float slices are element-wise close.
+///
+/// # Panics
+///
+/// Panics if lengths differ or any element pair differs by more than `tol`.
+pub fn assert_close(a: &[f32], b: &[f32], tol: f32) {
+    assert_eq!(a.len(), b.len(), "length mismatch: {} vs {}", a.len(), b.len());
+    for (i, (x, y)) in a.iter().zip(b.iter()).enumerate() {
+        assert!(
+            (x - y).abs() <= tol,
+            "element {i} differs: {x} vs {y} (tol {tol})"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assert_close_accepts_equal() {
+        assert_close(&[1.0, 2.0], &[1.0, 2.0], 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "element 1 differs")]
+    fn assert_close_rejects_distant() {
+        assert_close(&[1.0, 2.0], &[1.0, 3.0], 1e-3);
+    }
+}

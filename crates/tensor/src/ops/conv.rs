@@ -1,0 +1,662 @@
+//! 2-D convolution via im2col, with strides, zero padding and groups.
+//!
+//! `groups == in_channels` yields the depthwise convolutions MobileNet is
+//! built from (Table III of the paper); `groups == 1` is an ordinary dense
+//! convolution. The batch dimension is processed on worker threads; the
+//! per-sample GEMMs are deliberately serial to avoid nested parallelism.
+
+use crate::parallel::{parallel_chunks_mut, parallel_map_reduce};
+use crate::Tensor;
+
+/// Stride / padding / groups configuration of one convolution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Conv2dSpec {
+    /// Step between output samples, in input pixels (same for both axes).
+    pub stride: usize,
+    /// Zero padding added on every border.
+    pub pad: usize,
+    /// Channel groups; `in_channels` gives a depthwise convolution.
+    pub groups: usize,
+}
+
+impl Default for Conv2dSpec {
+    fn default() -> Self {
+        Self { stride: 1, pad: 0, groups: 1 }
+    }
+}
+
+impl Conv2dSpec {
+    /// A stride-1 convolution with "same" padding for odd kernel `k`.
+    pub fn same(k: usize) -> Self {
+        Self { stride: 1, pad: k / 2, groups: 1 }
+    }
+}
+
+/// Output extent of one spatial axis.
+///
+/// # Panics
+///
+/// Panics if the kernel does not fit in the padded input.
+pub fn conv_out_dim(input: usize, kernel: usize, stride: usize, pad: usize) -> usize {
+    let padded = input + 2 * pad;
+    assert!(
+        padded >= kernel && stride > 0,
+        "kernel {kernel} does not fit input {input} with pad {pad}"
+    );
+    (padded - kernel) / stride + 1
+}
+
+/// Gradients produced by [`conv2d_backward`].
+#[derive(Debug, Clone)]
+pub struct ConvGrads {
+    /// Gradient w.r.t. the input, shaped like the input.
+    pub grad_input: Tensor,
+    /// Gradient w.r.t. the kernel weights, shaped like the weights.
+    pub grad_weight: Tensor,
+    /// Gradient w.r.t. the bias, shaped `[out_channels]`.
+    pub grad_bias: Tensor,
+}
+
+/// Unfolds one sample's channel range into a column matrix.
+///
+/// `input` is the sample's `[channels, h, w]` buffer; the result is written
+/// into `col`, a `[channels*kh*kw, oh*ow]` buffer (row-major).
+///
+/// # Panics
+///
+/// Panics if `col` has the wrong length.
+pub fn im2col(
+    input: &[f32],
+    (channels, h, w): (usize, usize, usize),
+    (kh, kw): (usize, usize),
+    stride: usize,
+    pad: usize,
+    col: &mut [f32],
+) {
+    let oh = conv_out_dim(h, kh, stride, pad);
+    let ow = conv_out_dim(w, kw, stride, pad);
+    assert_eq!(col.len(), channels * kh * kw * oh * ow, "im2col buffer size");
+    let mut r = 0;
+    for c in 0..channels {
+        let plane = &input[c * h * w..(c + 1) * h * w];
+        for ki in 0..kh {
+            for kj in 0..kw {
+                let row = &mut col[r * oh * ow..(r + 1) * oh * ow];
+                r += 1;
+                for oi in 0..oh {
+                    let ii = (oi * stride + ki) as isize - pad as isize;
+                    let dst = &mut row[oi * ow..(oi + 1) * ow];
+                    if ii < 0 || ii >= h as isize {
+                        dst.fill(0.0);
+                        continue;
+                    }
+                    let src_row = &plane[ii as usize * w..(ii as usize + 1) * w];
+                    for (oj, d) in dst.iter_mut().enumerate() {
+                        let jj = (oj * stride + kj) as isize - pad as isize;
+                        *d = if jj < 0 || jj >= w as isize {
+                            0.0
+                        } else {
+                            src_row[jj as usize]
+                        };
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Folds a column matrix back into an image, accumulating overlaps.
+///
+/// The adjoint of [`im2col`]: used to push output gradients back to the
+/// input.
+///
+/// # Panics
+///
+/// Panics if `col` or `out` has the wrong length.
+pub fn col2im(
+    col: &[f32],
+    (channels, h, w): (usize, usize, usize),
+    (kh, kw): (usize, usize),
+    stride: usize,
+    pad: usize,
+    out: &mut [f32],
+) {
+    let oh = conv_out_dim(h, kh, stride, pad);
+    let ow = conv_out_dim(w, kw, stride, pad);
+    assert_eq!(col.len(), channels * kh * kw * oh * ow, "col2im col size");
+    assert_eq!(out.len(), channels * h * w, "col2im output size");
+    out.fill(0.0);
+    let mut r = 0;
+    for c in 0..channels {
+        let plane_start = c * h * w;
+        for ki in 0..kh {
+            for kj in 0..kw {
+                let row = &col[r * oh * ow..(r + 1) * oh * ow];
+                r += 1;
+                for oi in 0..oh {
+                    let ii = (oi * stride + ki) as isize - pad as isize;
+                    if ii < 0 || ii >= h as isize {
+                        continue;
+                    }
+                    for oj in 0..ow {
+                        let jj = (oj * stride + kj) as isize - pad as isize;
+                        if jj < 0 || jj >= w as isize {
+                            continue;
+                        }
+                        out[plane_start + ii as usize * w + jj as usize] += row[oi * ow + oj];
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Serial GEMM: `out[m,n] += a[m,k] · b[k,n]` over raw slices.
+fn gemm_acc(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: &mut [f32]) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(out.len(), m * n);
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let out_row = &mut out[i * n..(i + 1) * n];
+        for (p, &a_ip) in a_row.iter().enumerate() {
+            if a_ip == 0.0 {
+                continue;
+            }
+            let b_row = &b[p * n..(p + 1) * n];
+            for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                *o += a_ip * bv;
+            }
+        }
+    }
+}
+
+/// Serial GEMM: `out[m,n] += a[m,k] · bᵀ` where `b` is stored `[n,k]`.
+fn gemm_abt_acc(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: &mut [f32]) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), n * k);
+    debug_assert_eq!(out.len(), m * n);
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        for j in 0..n {
+            let b_row = &b[j * k..(j + 1) * k];
+            let mut acc = 0.0;
+            for (&x, &y) in a_row.iter().zip(b_row) {
+                acc += x * y;
+            }
+            out[i * n + j] += acc;
+        }
+    }
+}
+
+/// Serial GEMM: `out[m,n] += aᵀ · b` where `a` is stored `[k,m]`, `b` `[k,n]`.
+fn gemm_atb_acc(a: &[f32], b: &[f32], k: usize, m: usize, n: usize, out: &mut [f32]) {
+    debug_assert_eq!(a.len(), k * m);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(out.len(), m * n);
+    for p in 0..k {
+        let a_row = &a[p * m..(p + 1) * m];
+        let b_row = &b[p * n..(p + 1) * n];
+        for (i, &a_pi) in a_row.iter().enumerate() {
+            if a_pi == 0.0 {
+                continue;
+            }
+            let out_row = &mut out[i * n..(i + 1) * n];
+            for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                *o += a_pi * bv;
+            }
+        }
+    }
+}
+
+struct ConvDims {
+    n: usize,
+    c: usize,
+    h: usize,
+    w: usize,
+    o: usize,
+    kh: usize,
+    kw: usize,
+    oh: usize,
+    ow: usize,
+    cg: usize,
+    og: usize,
+}
+
+fn check_dims(input: &Tensor, weight: &Tensor, spec: Conv2dSpec) -> ConvDims {
+    assert_eq!(input.shape().rank(), 4, "conv input must be NCHW");
+    assert_eq!(weight.shape().rank(), 4, "conv weight must be [O, C/g, KH, KW]");
+    let (n, c, h, w) = (
+        input.shape().dim(0),
+        input.shape().dim(1),
+        input.shape().dim(2),
+        input.shape().dim(3),
+    );
+    let (o, cg, kh, kw) = (
+        weight.shape().dim(0),
+        weight.shape().dim(1),
+        weight.shape().dim(2),
+        weight.shape().dim(3),
+    );
+    assert!(spec.groups > 0, "groups must be positive");
+    assert_eq!(c % spec.groups, 0, "in_channels {c} not divisible by groups {}", spec.groups);
+    assert_eq!(o % spec.groups, 0, "out_channels {o} not divisible by groups {}", spec.groups);
+    assert_eq!(cg, c / spec.groups, "weight channel dim {cg} != C/groups {}", c / spec.groups);
+    let oh = conv_out_dim(h, kh, spec.stride, spec.pad);
+    let ow = conv_out_dim(w, kw, spec.stride, spec.pad);
+    ConvDims { n, c, h, w, o, kh, kw, oh, ow, cg, og: o / spec.groups }
+}
+
+/// Convolution forward pass.
+///
+/// * `input`  — `[N, C, H, W]`
+/// * `weight` — `[O, C/groups, KH, KW]`
+/// * `bias`   — optional `[O]`
+///
+/// Returns `[N, O, OH, OW]`.
+///
+/// # Panics
+///
+/// Panics on any shape inconsistency (see [`Conv2dSpec`]).
+pub fn conv2d_forward(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: Option<&Tensor>,
+    spec: Conv2dSpec,
+) -> Tensor {
+    let d = check_dims(input, weight, spec);
+    if let Some(b) = bias {
+        assert_eq!(b.shape().dims(), &[d.o], "bias must be [out_channels]");
+    }
+    let mut out = Tensor::zeros(&[d.n, d.o, d.oh, d.ow]);
+    let x = input.data();
+    let wt = weight.data();
+    let kdim = d.cg * d.kh * d.kw;
+    let sample_in = d.c * d.h * d.w;
+    let sample_out = d.o * d.oh * d.ow;
+    let work = kdim; // MACs per output element
+    parallel_chunks_mut(out.data_mut(), sample_out, work, |s, y| {
+        let xin = &x[s * sample_in..(s + 1) * sample_in];
+        let mut col = vec![0.0f32; kdim * d.oh * d.ow];
+        for g in 0..spec.groups {
+            im2col(
+                &xin[g * d.cg * d.h * d.w..(g + 1) * d.cg * d.h * d.w],
+                (d.cg, d.h, d.w),
+                (d.kh, d.kw),
+                spec.stride,
+                spec.pad,
+                &mut col,
+            );
+            let w_g = &wt[g * d.og * kdim..(g + 1) * d.og * kdim];
+            let y_g = &mut y[g * d.og * d.oh * d.ow..(g + 1) * d.og * d.oh * d.ow];
+            gemm_acc(w_g, &col, d.og, kdim, d.oh * d.ow, y_g);
+        }
+        if let Some(b) = bias {
+            let bd = b.data();
+            for (oc, plane) in y.chunks_mut(d.oh * d.ow).enumerate() {
+                let bv = bd[oc];
+                for v in plane {
+                    *v += bv;
+                }
+            }
+        }
+    });
+    out
+}
+
+/// Convolution backward pass.
+///
+/// Given the forward inputs and the gradient w.r.t. the output, computes the
+/// gradients w.r.t. input, weights and bias. Weight/bias gradients are
+/// accumulated per worker and reduced.
+///
+/// # Panics
+///
+/// Panics on any shape inconsistency.
+pub fn conv2d_backward(
+    input: &Tensor,
+    weight: &Tensor,
+    grad_output: &Tensor,
+    spec: Conv2dSpec,
+) -> ConvGrads {
+    let d = check_dims(input, weight, spec);
+    assert_eq!(
+        grad_output.shape().dims(),
+        &[d.n, d.o, d.oh, d.ow],
+        "grad_output shape mismatch"
+    );
+    let x = input.data();
+    let wt = weight.data();
+    let gy = grad_output.data();
+    let kdim = d.cg * d.kh * d.kw;
+    let sample_in = d.c * d.h * d.w;
+    let sample_out = d.o * d.oh * d.ow;
+
+    // Input gradient: disjoint per-sample writes.
+    let mut grad_input = Tensor::zeros(input.shape().dims());
+    parallel_chunks_mut(grad_input.data_mut(), sample_in, kdim, |s, gx| {
+        let gys = &gy[s * sample_out..(s + 1) * sample_out];
+        let mut grad_col = vec![0.0f32; kdim * d.oh * d.ow];
+        for g in 0..spec.groups {
+            grad_col.fill(0.0);
+            let w_g = &wt[g * d.og * kdim..(g + 1) * d.og * kdim];
+            let gy_g = &gys[g * d.og * d.oh * d.ow..(g + 1) * d.og * d.oh * d.ow];
+            // grad_col[kdim, ohow] = w_gᵀ[kdim, og] · gy_g[og, ohow]
+            gemm_atb_acc(w_g, gy_g, d.og, kdim, d.oh * d.ow, &mut grad_col);
+            col2im(
+                &grad_col,
+                (d.cg, d.h, d.w),
+                (d.kh, d.kw),
+                spec.stride,
+                spec.pad,
+                &mut gx[g * d.cg * d.h * d.w..(g + 1) * d.cg * d.h * d.w],
+            );
+        }
+    });
+
+    // Weight and bias gradients: map-reduce over samples.
+    let per_sample_work = d.o * d.oh * d.ow * kdim;
+    let reduced = parallel_map_reduce(
+        d.n,
+        per_sample_work,
+        |range| {
+            let mut gw = vec![0.0f32; d.o * kdim];
+            let mut gb = vec![0.0f32; d.o];
+            let mut col = vec![0.0f32; kdim * d.oh * d.ow];
+            for s in range {
+                let xin = &x[s * sample_in..(s + 1) * sample_in];
+                let gys = &gy[s * sample_out..(s + 1) * sample_out];
+                for g in 0..spec.groups {
+                    im2col(
+                        &xin[g * d.cg * d.h * d.w..(g + 1) * d.cg * d.h * d.w],
+                        (d.cg, d.h, d.w),
+                        (d.kh, d.kw),
+                        spec.stride,
+                        spec.pad,
+                        &mut col,
+                    );
+                    let gy_g = &gys[g * d.og * d.oh * d.ow..(g + 1) * d.og * d.oh * d.ow];
+                    // gw_g[og, kdim] += gy_g[og, ohow] · colᵀ[ohow, kdim]
+                    gemm_abt_acc(
+                        gy_g,
+                        &col,
+                        d.og,
+                        d.oh * d.ow,
+                        kdim,
+                        &mut gw[g * d.og * kdim..(g + 1) * d.og * kdim],
+                    );
+                }
+                for (oc, plane) in gys.chunks(d.oh * d.ow).enumerate() {
+                    gb[oc] += plane.iter().sum::<f32>();
+                }
+            }
+            (gw, gb)
+        },
+        |(mut gw_a, mut gb_a), (gw_b, gb_b)| {
+            for (a, b) in gw_a.iter_mut().zip(gw_b) {
+                *a += b;
+            }
+            for (a, b) in gb_a.iter_mut().zip(gb_b) {
+                *a += b;
+            }
+            (gw_a, gb_a)
+        },
+    )
+    .expect("batch dimension is non-zero");
+
+    ConvGrads {
+        grad_input,
+        grad_weight: Tensor::from_vec(reduced.0, weight.shape().dims()),
+        grad_bias: Tensor::from_vec(reduced.1, &[d.o]),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assert_close;
+    use crate::rng::Rng;
+
+    fn naive_conv(
+        input: &Tensor,
+        weight: &Tensor,
+        bias: Option<&Tensor>,
+        spec: Conv2dSpec,
+    ) -> Tensor {
+        let (n, c, h, w) = (
+            input.shape().dim(0),
+            input.shape().dim(1),
+            input.shape().dim(2),
+            input.shape().dim(3),
+        );
+        let (o, cg, kh, kw) = (
+            weight.shape().dim(0),
+            weight.shape().dim(1),
+            weight.shape().dim(2),
+            weight.shape().dim(3),
+        );
+        let oh = conv_out_dim(h, kh, spec.stride, spec.pad);
+        let ow = conv_out_dim(w, kw, spec.stride, spec.pad);
+        let og = o / spec.groups;
+        let mut out = Tensor::zeros(&[n, o, oh, ow]);
+        for s in 0..n {
+            for oc in 0..o {
+                let g = oc / og;
+                for oi in 0..oh {
+                    for oj in 0..ow {
+                        let mut acc = bias.map_or(0.0, |b| b.data()[oc]);
+                        for ic in 0..cg {
+                            let c_in = g * cg + ic;
+                            for ki in 0..kh {
+                                for kj in 0..kw {
+                                    let ii = (oi * spec.stride + ki) as isize - spec.pad as isize;
+                                    let jj = (oj * spec.stride + kj) as isize - spec.pad as isize;
+                                    if ii < 0 || jj < 0 || ii >= h as isize || jj >= w as isize {
+                                        continue;
+                                    }
+                                    acc += input.at(&[s, c_in, ii as usize, jj as usize])
+                                        * weight.at(&[oc, ic, ki, kj]);
+                                }
+                            }
+                        }
+                        out.set(&[s, oc, oi, oj], acc);
+                    }
+                }
+            }
+        }
+        let _ = c;
+        out
+    }
+
+    #[test]
+    fn forward_matches_naive_basic() {
+        let mut rng = Rng::seed_from(1);
+        let x = Tensor::randn(&[2, 3, 6, 6], 1.0, &mut rng);
+        let w = Tensor::randn(&[4, 3, 3, 3], 0.5, &mut rng);
+        let b = Tensor::randn(&[4], 0.5, &mut rng);
+        let spec = Conv2dSpec { stride: 1, pad: 1, groups: 1 };
+        let fast = conv2d_forward(&x, &w, Some(&b), spec);
+        let slow = naive_conv(&x, &w, Some(&b), spec);
+        assert_eq!(fast.shape().dims(), &[2, 4, 6, 6]);
+        assert_close(fast.data(), slow.data(), 1e-4);
+    }
+
+    #[test]
+    fn forward_matches_naive_strided() {
+        let mut rng = Rng::seed_from(2);
+        let x = Tensor::randn(&[1, 2, 7, 7], 1.0, &mut rng);
+        let w = Tensor::randn(&[3, 2, 3, 3], 0.5, &mut rng);
+        let spec = Conv2dSpec { stride: 2, pad: 1, groups: 1 };
+        let fast = conv2d_forward(&x, &w, None, spec);
+        let slow = naive_conv(&x, &w, None, spec);
+        assert_eq!(fast.shape().dims(), &[1, 3, 4, 4]);
+        assert_close(fast.data(), slow.data(), 1e-4);
+    }
+
+    #[test]
+    fn forward_matches_naive_depthwise() {
+        let mut rng = Rng::seed_from(3);
+        let x = Tensor::randn(&[2, 4, 5, 5], 1.0, &mut rng);
+        let w = Tensor::randn(&[4, 1, 3, 3], 0.5, &mut rng);
+        let spec = Conv2dSpec { stride: 1, pad: 1, groups: 4 };
+        let fast = conv2d_forward(&x, &w, None, spec);
+        let slow = naive_conv(&x, &w, None, spec);
+        assert_close(fast.data(), slow.data(), 1e-4);
+    }
+
+    #[test]
+    fn im2col_col2im_adjoint() {
+        // <im2col(x), y> == <x, col2im(y)> — the defining adjoint property.
+        let mut rng = Rng::seed_from(4);
+        let (c, h, w, kh, kw, stride, pad) = (2, 5, 5, 3, 3, 2, 1);
+        let oh = conv_out_dim(h, kh, stride, pad);
+        let ow = conv_out_dim(w, kw, stride, pad);
+        let x = Tensor::randn(&[c * h * w], 1.0, &mut rng);
+        let y = Tensor::randn(&[c * kh * kw * oh * ow], 1.0, &mut rng);
+        let mut cx = vec![0.0; c * kh * kw * oh * ow];
+        im2col(x.data(), (c, h, w), (kh, kw), stride, pad, &mut cx);
+        let mut ay = vec![0.0; c * h * w];
+        col2im(y.data(), (c, h, w), (kh, kw), stride, pad, &mut ay);
+        let lhs: f32 = cx.iter().zip(y.data()).map(|(a, b)| a * b).sum();
+        let rhs: f32 = x.data().iter().zip(&ay).map(|(a, b)| a * b).sum();
+        assert!((lhs - rhs).abs() < 1e-3, "{lhs} vs {rhs}");
+    }
+
+    /// Numerical check of the full backward pass against finite differences.
+    #[test]
+    fn backward_matches_finite_differences() {
+        let mut rng = Rng::seed_from(5);
+        let x = Tensor::randn(&[1, 2, 4, 4], 1.0, &mut rng);
+        let w = Tensor::randn(&[2, 2, 3, 3], 0.5, &mut rng);
+        let b = Tensor::randn(&[2], 0.5, &mut rng);
+        let spec = Conv2dSpec { stride: 1, pad: 1, groups: 1 };
+        // Loss = sum(conv(x)) so grad_output = ones.
+        let y = conv2d_forward(&x, &w, Some(&b), spec);
+        let gy = Tensor::ones(y.shape().dims());
+        let grads = conv2d_backward(&x, &w, &gy, spec);
+
+        let eps = 1e-2;
+        // d loss / d x[i] via central differences.
+        for i in [0usize, 7, 13, 31] {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[i] -= eps;
+            let fp = conv2d_forward(&xp, &w, Some(&b), spec).sum();
+            let fm = conv2d_forward(&xm, &w, Some(&b), spec).sum();
+            let num = (fp - fm) / (2.0 * eps);
+            let ana = grads.grad_input.data()[i];
+            assert!((num - ana).abs() < 1e-2, "x[{i}]: {num} vs {ana}");
+        }
+        for i in [0usize, 5, 17, 35] {
+            let mut wp = w.clone();
+            wp.data_mut()[i] += eps;
+            let mut wm = w.clone();
+            wm.data_mut()[i] -= eps;
+            let fp = conv2d_forward(&x, &wp, Some(&b), spec).sum();
+            let fm = conv2d_forward(&x, &wm, Some(&b), spec).sum();
+            let num = (fp - fm) / (2.0 * eps);
+            let ana = grads.grad_weight.data()[i];
+            assert!((num - ana).abs() < 1e-2, "w[{i}]: {num} vs {ana}");
+        }
+        // Bias gradient is the number of output pixels per channel.
+        let pixels = (y.numel() / 2) as f32;
+        assert_close(grads.grad_bias.data(), &[pixels, pixels], 1e-2);
+    }
+
+    #[test]
+    fn backward_depthwise_finite_differences() {
+        let mut rng = Rng::seed_from(6);
+        let x = Tensor::randn(&[1, 3, 4, 4], 1.0, &mut rng);
+        let w = Tensor::randn(&[3, 1, 3, 3], 0.5, &mut rng);
+        let spec = Conv2dSpec { stride: 1, pad: 1, groups: 3 };
+        let y = conv2d_forward(&x, &w, None, spec);
+        let gy = Tensor::ones(y.shape().dims());
+        let grads = conv2d_backward(&x, &w, &gy, spec);
+        let eps = 1e-2;
+        for i in [0usize, 10, 26] {
+            let mut wp = w.clone();
+            wp.data_mut()[i] += eps;
+            let mut wm = w.clone();
+            wm.data_mut()[i] -= eps;
+            let num = (conv2d_forward(&x, &wp, None, spec).sum()
+                - conv2d_forward(&x, &wm, None, spec).sum())
+                / (2.0 * eps);
+            let ana = grads.grad_weight.data()[i];
+            assert!((num - ana).abs() < 1e-2, "w[{i}]: {num} vs {ana}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not divisible by groups")]
+    fn bad_groups_rejected() {
+        let x = Tensor::zeros(&[1, 3, 4, 4]);
+        let w = Tensor::zeros(&[2, 1, 3, 3]);
+        let _ = conv2d_forward(&x, &w, None, Conv2dSpec { stride: 1, pad: 1, groups: 2 });
+    }
+
+    #[test]
+    fn out_dim_formula() {
+        assert_eq!(conv_out_dim(8, 3, 1, 1), 8); // "same"
+        assert_eq!(conv_out_dim(8, 3, 2, 1), 4);
+        assert_eq!(conv_out_dim(5, 5, 1, 0), 1);
+    }
+
+    #[test]
+    fn pointwise_1x1_is_a_channel_mix() {
+        // A 1x1 convolution is a per-pixel linear map over channels.
+        let mut rng = Rng::seed_from(7);
+        let x = Tensor::randn(&[1, 2, 3, 3], 1.0, &mut rng);
+        let w = Tensor::from_vec(vec![2.0, 0.0, 0.0, 3.0], &[2, 2, 1, 1]);
+        let spec = Conv2dSpec { stride: 1, pad: 0, groups: 1 };
+        let y = conv2d_forward(&x, &w, None, spec);
+        for i in 0..9 {
+            assert!((y.data()[i] - 2.0 * x.data()[i]).abs() < 1e-5);
+            assert!((y.data()[9 + i] - 3.0 * x.data()[9 + i]).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn stride_larger_than_kernel() {
+        let mut rng = Rng::seed_from(8);
+        let x = Tensor::randn(&[1, 1, 7, 7], 1.0, &mut rng);
+        let w = Tensor::randn(&[1, 1, 1, 1], 1.0, &mut rng);
+        let spec = Conv2dSpec { stride: 3, pad: 0, groups: 1 };
+        let y = conv2d_forward(&x, &w, None, spec);
+        assert_eq!(y.shape().dims(), &[1, 1, 3, 3]);
+        let slow = naive_conv(&x, &w, None, spec);
+        assert_close(y.data(), slow.data(), 1e-5);
+    }
+
+    #[test]
+    fn grouped_conv_between_dense_and_depthwise() {
+        // groups = 2 with 4 in / 6 out channels.
+        let mut rng = Rng::seed_from(9);
+        let x = Tensor::randn(&[2, 4, 5, 5], 1.0, &mut rng);
+        let w = Tensor::randn(&[6, 2, 3, 3], 0.4, &mut rng);
+        let spec = Conv2dSpec { stride: 1, pad: 1, groups: 2 };
+        let fast = conv2d_forward(&x, &w, None, spec);
+        // Cross-check group separation: zeroing group 2's input must not
+        // change group 1's output.
+        let mut x2 = x.clone();
+        for s in 0..2 {
+            for c in 2..4 {
+                let base = (s * 4 + c) * 25;
+                x2.data_mut()[base..base + 25].fill(0.0);
+            }
+        }
+        let fast2 = conv2d_forward(&x2, &w, None, spec);
+        // Output channels 0..3 belong to group 1 and depend only on input
+        // channels 0..1.
+        for s in 0..2 {
+            for oc in 0..3 {
+                let base = (s * 6 + oc) * 25;
+                assert_close(
+                    &fast.data()[base..base + 25],
+                    &fast2.data()[base..base + 25],
+                    1e-5,
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,224 @@
+//! Blocked, thread-parallel matrix multiplication.
+//!
+//! Three variants cover everything backpropagation needs without ever
+//! materialising a transpose:
+//!
+//! * [`matmul`]       — `C = A · B`
+//! * [`matmul_at_b`]  — `C = Aᵀ · B` (weight gradients)
+//! * [`matmul_a_bt`]  — `C = A · Bᵀ` (input gradients)
+
+use crate::parallel::parallel_chunks_mut;
+use crate::Tensor;
+
+/// `C[m,n] = A[m,k] · B[k,n]`.
+///
+/// Rows of `C` are computed independently on worker threads with an `ikj`
+/// loop order (unit-stride inner loop over `B` rows) so the compiler can
+/// vectorise the accumulation.
+///
+/// # Panics
+///
+/// Panics if the operands are not 2-D or the inner dimensions disagree.
+///
+/// # Examples
+///
+/// ```
+/// use tdfm_tensor::{ops, Tensor};
+///
+/// let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+/// let b = Tensor::from_vec(vec![5.0, 6.0, 7.0, 8.0], &[2, 2]);
+/// let c = ops::matmul(&a, &b);
+/// assert_eq!(c.data(), &[19.0, 22.0, 43.0, 50.0]);
+/// ```
+pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    assert!(
+        a.shape().matmul_compatible(b.shape()),
+        "matmul shape mismatch: {} x {}",
+        a.shape(),
+        b.shape()
+    );
+    let (m, k) = (a.shape().dim(0), a.shape().dim(1));
+    let n = b.shape().dim(1);
+    let mut out = Tensor::zeros(&[m, n]);
+    let a_data = a.data();
+    let b_data = b.data();
+    parallel_chunks_mut(out.data_mut(), n, k, |i, row| {
+        matmul_row(&a_data[i * k..(i + 1) * k], b_data, n, row);
+    });
+    out
+}
+
+#[inline]
+fn matmul_row(a_row: &[f32], b: &[f32], n: usize, out_row: &mut [f32]) {
+    for (p, &a_ip) in a_row.iter().enumerate() {
+        if a_ip == 0.0 {
+            continue;
+        }
+        let b_row = &b[p * n..(p + 1) * n];
+        for (o, &bv) in out_row.iter_mut().zip(b_row.iter()) {
+            *o += a_ip * bv;
+        }
+    }
+}
+
+/// `C[m,n] = Aᵀ[m,k] · B[k,n]` where `A` is stored as `[k, m]`.
+///
+/// # Panics
+///
+/// Panics if operands are not 2-D or leading dimensions disagree.
+pub fn matmul_at_b(a: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(a.shape().rank(), 2, "matmul_at_b requires matrices");
+    assert_eq!(b.shape().rank(), 2, "matmul_at_b requires matrices");
+    let (k, m) = (a.shape().dim(0), a.shape().dim(1));
+    let (k2, n) = (b.shape().dim(0), b.shape().dim(1));
+    assert_eq!(k, k2, "matmul_at_b inner dim mismatch: {} vs {}", k, k2);
+    let mut out = Tensor::zeros(&[m, n]);
+    let a_data = a.data();
+    let b_data = b.data();
+    // Row i of C gathers column i of A: C[i, :] = sum_p A[p, i] * B[p, :].
+    parallel_chunks_mut(out.data_mut(), n, k, |i, row| {
+        for p in 0..k {
+            let a_pi = a_data[p * m + i];
+            if a_pi == 0.0 {
+                continue;
+            }
+            let b_row = &b_data[p * n..(p + 1) * n];
+            for (o, &bv) in row.iter_mut().zip(b_row.iter()) {
+                *o += a_pi * bv;
+            }
+        }
+    });
+    out
+}
+
+/// `C[m,n] = A[m,k] · Bᵀ[k,n]` where `B` is stored as `[n, k]`.
+///
+/// # Panics
+///
+/// Panics if operands are not 2-D or trailing dimensions disagree.
+pub fn matmul_a_bt(a: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(a.shape().rank(), 2, "matmul_a_bt requires matrices");
+    assert_eq!(b.shape().rank(), 2, "matmul_a_bt requires matrices");
+    let (m, k) = (a.shape().dim(0), a.shape().dim(1));
+    let (n, k2) = (b.shape().dim(0), b.shape().dim(1));
+    assert_eq!(k, k2, "matmul_a_bt inner dim mismatch: {} vs {}", k, k2);
+    let mut out = Tensor::zeros(&[m, n]);
+    let a_data = a.data();
+    let b_data = b.data();
+    // C[i, j] = dot(A[i, :], B[j, :]) — both unit stride.
+    parallel_chunks_mut(out.data_mut(), n, k, |i, row| {
+        let a_row = &a_data[i * k..(i + 1) * k];
+        for (j, o) in row.iter_mut().enumerate() {
+            let b_row = &b_data[j * k..(j + 1) * k];
+            let mut acc = 0.0;
+            for (&x, &y) in a_row.iter().zip(b_row.iter()) {
+                acc += x * y;
+            }
+            *o = acc;
+        }
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Rng;
+    use crate::assert_close;
+    use proptest::prelude::*;
+
+    fn naive(a: &Tensor, b: &Tensor) -> Tensor {
+        let (m, k) = (a.shape().dim(0), a.shape().dim(1));
+        let n = b.shape().dim(1);
+        let mut out = Tensor::zeros(&[m, n]);
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0;
+                for p in 0..k {
+                    acc += a.at(&[i, p]) * b.at(&[p, j]);
+                }
+                out.set(&[i, j], acc);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn matmul_matches_hand_computed() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        let b = Tensor::from_vec(vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0], &[3, 2]);
+        let c = matmul(&a, &b);
+        assert_eq!(c.data(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let mut rng = Rng::seed_from(1);
+        let a = Tensor::randn(&[5, 5], 1.0, &mut rng);
+        assert_close(matmul(&a, &Tensor::eye(5)).data(), a.data(), 1e-6);
+        assert_close(matmul(&Tensor::eye(5), &a).data(), a.data(), 1e-6);
+    }
+
+    #[test]
+    fn transposed_variants_match_explicit_transpose() {
+        let mut rng = Rng::seed_from(2);
+        let a = Tensor::randn(&[4, 6], 1.0, &mut rng);
+        let b = Tensor::randn(&[4, 5], 1.0, &mut rng);
+        let c = matmul_at_b(&a, &b);
+        let reference = matmul(&a.transpose2d(), &b);
+        assert_close(c.data(), reference.data(), 1e-5);
+
+        let a2 = Tensor::randn(&[3, 7], 1.0, &mut rng);
+        let b2 = Tensor::randn(&[5, 7], 1.0, &mut rng);
+        let c2 = matmul_a_bt(&a2, &b2);
+        let reference2 = matmul(&a2, &b2.transpose2d());
+        assert_close(c2.data(), reference2.data(), 1e-5);
+    }
+
+    #[test]
+    fn large_matmul_matches_naive() {
+        let mut rng = Rng::seed_from(3);
+        // Large enough to exercise the parallel path.
+        let a = Tensor::randn(&[64, 48], 1.0, &mut rng);
+        let b = Tensor::randn(&[48, 72], 1.0, &mut rng);
+        assert_close(matmul(&a, &b).data(), naive(&a, &b).data(), 1e-3);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn incompatible_shapes_rejected() {
+        let a = Tensor::zeros(&[2, 3]);
+        let b = Tensor::zeros(&[2, 3]);
+        let _ = matmul(&a, &b);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn matmul_matches_naive_random(
+            m in 1usize..9, k in 1usize..9, n in 1usize..9, seed in 0u64..512
+        ) {
+            let mut rng = Rng::seed_from(seed);
+            let a = Tensor::randn(&[m, k], 1.0, &mut rng);
+            let b = Tensor::randn(&[k, n], 1.0, &mut rng);
+            let fast = matmul(&a, &b);
+            let slow = naive(&a, &b);
+            for (x, y) in fast.data().iter().zip(slow.data()) {
+                prop_assert!((x - y).abs() < 1e-4);
+            }
+        }
+
+        #[test]
+        fn matmul_distributes_over_addition(seed in 0u64..256) {
+            let mut rng = Rng::seed_from(seed);
+            let a = Tensor::randn(&[4, 4], 1.0, &mut rng);
+            let b = Tensor::randn(&[4, 4], 1.0, &mut rng);
+            let c = Tensor::randn(&[4, 4], 1.0, &mut rng);
+            let lhs = matmul(&a, &b.zip(&c, |x, y| x + y));
+            let rhs = matmul(&a, &b).zip(&matmul(&a, &c), |x, y| x + y);
+            for (x, y) in lhs.data().iter().zip(rhs.data()) {
+                prop_assert!((x - y).abs() < 1e-3);
+            }
+        }
+    }
+}

@@ -1,0 +1,18 @@
+//! Numerical kernels: matrix multiplication, convolution, pooling,
+//! reductions and softmax.
+//!
+//! These are the operations the paper's TensorFlow stack provided; every
+//! model in the study (Table III) is built from exactly these kernels.
+
+mod conv;
+mod matmul;
+mod pool;
+mod reduce;
+
+pub use conv::{col2im, conv2d_backward, conv2d_forward, conv_out_dim, im2col, Conv2dSpec, ConvGrads};
+pub use matmul::{matmul, matmul_a_bt, matmul_at_b};
+pub use pool::{
+    avg_pool2d_backward, avg_pool2d_forward, global_avg_pool_backward, global_avg_pool_forward,
+    max_pool2d_backward, max_pool2d_forward, MaxPoolCache,
+};
+pub use reduce::{argmax_rows, log_softmax_rows, one_hot, softmax_rows, sum_rows};

@@ -1,0 +1,306 @@
+//! Max, average and global-average pooling (forward + backward).
+//!
+//! Table III of the paper distinguishes the architecture families partly by
+//! their pooling: ConvNet/VGG use max pooling, ResNet/MobileNet end in
+//! (global) average pooling.
+
+use crate::ops::conv_out_dim;
+use crate::parallel::parallel_chunks_mut;
+use crate::Tensor;
+
+/// Indices of the winning elements of a max-pool forward pass, needed to
+/// route gradients in the backward pass.
+#[derive(Debug, Clone)]
+pub struct MaxPoolCache {
+    argmax: Vec<u32>,
+    input_dims: Vec<usize>,
+}
+
+/// Max pooling over `k`×`k` windows with stride `s`.
+///
+/// Returns the pooled tensor and a cache for [`max_pool2d_backward`].
+///
+/// # Panics
+///
+/// Panics if the input is not NCHW or the window does not fit.
+pub fn max_pool2d_forward(input: &Tensor, k: usize, s: usize) -> (Tensor, MaxPoolCache) {
+    assert_eq!(input.shape().rank(), 4, "max pool input must be NCHW");
+    let (n, c, h, w) = (
+        input.shape().dim(0),
+        input.shape().dim(1),
+        input.shape().dim(2),
+        input.shape().dim(3),
+    );
+    let oh = conv_out_dim(h, k, s, 0);
+    let ow = conv_out_dim(w, k, s, 0);
+    let mut out = Tensor::zeros(&[n, c, oh, ow]);
+    let mut argmax = vec![0u32; n * c * oh * ow];
+    let x = input.data();
+    let plane_in = h * w;
+    let plane_out = oh * ow;
+    // One (sample, channel) plane per task; interleave output and argmax by
+    // splitting both with identical chunking.
+    {
+        let out_data = out.data_mut();
+        let arg_chunks: Vec<&mut [u32]> = argmax.chunks_mut(plane_out).collect();
+        let args = parking_lot::Mutex::new(arg_chunks);
+        parallel_chunks_mut(out_data, plane_out, k * k, |p, y| {
+            let plane = &x[p * plane_in..(p + 1) * plane_in];
+            let mut local = vec![0u32; plane_out];
+            for oi in 0..oh {
+                for oj in 0..ow {
+                    let mut best = f32::NEG_INFINITY;
+                    let mut best_idx = 0usize;
+                    for ki in 0..k {
+                        for kj in 0..k {
+                            let idx = (oi * s + ki) * w + (oj * s + kj);
+                            let v = plane[idx];
+                            if v > best {
+                                best = v;
+                                best_idx = idx;
+                            }
+                        }
+                    }
+                    y[oi * ow + oj] = best;
+                    local[oi * ow + oj] = best_idx as u32;
+                }
+            }
+            let mut guard = args.lock();
+            guard[p].copy_from_slice(&local);
+        });
+    }
+    (
+        out,
+        MaxPoolCache { argmax, input_dims: vec![n, c, h, w] },
+    )
+}
+
+/// Routes output gradients back to the winning input positions.
+///
+/// # Panics
+///
+/// Panics if `grad_output` does not match the cached geometry.
+pub fn max_pool2d_backward(grad_output: &Tensor, cache: &MaxPoolCache) -> Tensor {
+    let mut grad_input = Tensor::zeros(&cache.input_dims);
+    let (n, c) = (cache.input_dims[0], cache.input_dims[1]);
+    let plane_in = cache.input_dims[2] * cache.input_dims[3];
+    let planes = n * c;
+    assert_eq!(grad_output.numel(), cache.argmax.len(), "grad_output size mismatch");
+    let plane_out = grad_output.numel() / planes;
+    let gy = grad_output.data();
+    let arg = &cache.argmax;
+    parallel_chunks_mut(grad_input.data_mut(), plane_in, 1, |p, gx| {
+        let gy_plane = &gy[p * plane_out..(p + 1) * plane_out];
+        let arg_plane = &arg[p * plane_out..(p + 1) * plane_out];
+        for (g, &a) in gy_plane.iter().zip(arg_plane) {
+            gx[a as usize] += g;
+        }
+    });
+    grad_input
+}
+
+/// Average pooling over `k`×`k` windows with stride `s`.
+///
+/// # Panics
+///
+/// Panics if the input is not NCHW or the window does not fit.
+pub fn avg_pool2d_forward(input: &Tensor, k: usize, s: usize) -> Tensor {
+    assert_eq!(input.shape().rank(), 4, "avg pool input must be NCHW");
+    let (n, c, h, w) = (
+        input.shape().dim(0),
+        input.shape().dim(1),
+        input.shape().dim(2),
+        input.shape().dim(3),
+    );
+    let oh = conv_out_dim(h, k, s, 0);
+    let ow = conv_out_dim(w, k, s, 0);
+    let mut out = Tensor::zeros(&[n, c, oh, ow]);
+    let x = input.data();
+    let plane_in = h * w;
+    let plane_out = oh * ow;
+    let inv = 1.0 / (k * k) as f32;
+    parallel_chunks_mut(out.data_mut(), plane_out, k * k, |p, y| {
+        let plane = &x[p * plane_in..(p + 1) * plane_in];
+        for oi in 0..oh {
+            for oj in 0..ow {
+                let mut acc = 0.0;
+                for ki in 0..k {
+                    for kj in 0..k {
+                        acc += plane[(oi * s + ki) * w + (oj * s + kj)];
+                    }
+                }
+                y[oi * ow + oj] = acc * inv;
+            }
+        }
+    });
+    out
+}
+
+/// Backward pass of [`avg_pool2d_forward`].
+///
+/// # Panics
+///
+/// Panics if the geometries are inconsistent.
+pub fn avg_pool2d_backward(
+    grad_output: &Tensor,
+    input_dims: &[usize],
+    k: usize,
+    s: usize,
+) -> Tensor {
+    assert_eq!(input_dims.len(), 4, "input dims must be NCHW");
+    let (h, w) = (input_dims[2], input_dims[3]);
+    let oh = conv_out_dim(h, k, s, 0);
+    let ow = conv_out_dim(w, k, s, 0);
+    assert_eq!(
+        grad_output.shape().dims(),
+        &[input_dims[0], input_dims[1], oh, ow],
+        "grad_output shape mismatch"
+    );
+    let mut grad_input = Tensor::zeros(input_dims);
+    let plane_in = h * w;
+    let plane_out = oh * ow;
+    let gy = grad_output.data();
+    let inv = 1.0 / (k * k) as f32;
+    parallel_chunks_mut(grad_input.data_mut(), plane_in, k * k, |p, gx| {
+        let gy_plane = &gy[p * plane_out..(p + 1) * plane_out];
+        for oi in 0..oh {
+            for oj in 0..ow {
+                let g = gy_plane[oi * ow + oj] * inv;
+                for ki in 0..k {
+                    for kj in 0..k {
+                        gx[(oi * s + ki) * w + (oj * s + kj)] += g;
+                    }
+                }
+            }
+        }
+    });
+    grad_input
+}
+
+/// Collapses each channel plane to its mean: `[N,C,H,W] -> [N,C]`.
+///
+/// # Panics
+///
+/// Panics if the input is not 4-D.
+pub fn global_avg_pool_forward(input: &Tensor) -> Tensor {
+    assert_eq!(input.shape().rank(), 4, "global avg pool input must be NCHW");
+    let (n, c, h, w) = (
+        input.shape().dim(0),
+        input.shape().dim(1),
+        input.shape().dim(2),
+        input.shape().dim(3),
+    );
+    let mut out = Tensor::zeros(&[n, c]);
+    let plane = h * w;
+    let inv = 1.0 / plane as f32;
+    for (i, o) in out.data_mut().iter_mut().enumerate() {
+        let start = i * plane;
+        *o = input.data()[start..start + plane].iter().sum::<f32>() * inv;
+    }
+    out
+}
+
+/// Backward pass of [`global_avg_pool_forward`].
+///
+/// # Panics
+///
+/// Panics if shapes are inconsistent.
+pub fn global_avg_pool_backward(grad_output: &Tensor, input_dims: &[usize]) -> Tensor {
+    assert_eq!(input_dims.len(), 4, "input dims must be NCHW");
+    assert_eq!(
+        grad_output.shape().dims(),
+        &[input_dims[0], input_dims[1]],
+        "grad_output must be [N, C]"
+    );
+    let plane = input_dims[2] * input_dims[3];
+    let inv = 1.0 / plane as f32;
+    let mut grad_input = Tensor::zeros(input_dims);
+    for (i, chunk) in grad_input.data_mut().chunks_mut(plane).enumerate() {
+        chunk.fill(grad_output.data()[i] * inv);
+    }
+    grad_input
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assert_close;
+    use crate::rng::Rng;
+
+    #[test]
+    fn max_pool_picks_window_maxima() {
+        let x = Tensor::from_vec(
+            vec![
+                1.0, 2.0, 5.0, 6.0, //
+                3.0, 4.0, 7.0, 8.0, //
+                9.0, 10.0, 13.0, 14.0, //
+                11.0, 12.0, 15.0, 16.0,
+            ],
+            &[1, 1, 4, 4],
+        );
+        let (y, _) = max_pool2d_forward(&x, 2, 2);
+        assert_eq!(y.data(), &[4.0, 8.0, 12.0, 16.0]);
+    }
+
+    #[test]
+    fn max_pool_backward_routes_to_argmax() {
+        let x = Tensor::from_vec(vec![1.0, 3.0, 2.0, 0.0], &[1, 1, 2, 2]);
+        let (_, cache) = max_pool2d_forward(&x, 2, 2);
+        let gy = Tensor::from_vec(vec![5.0], &[1, 1, 1, 1]);
+        let gx = max_pool2d_backward(&gy, &cache);
+        assert_eq!(gx.data(), &[0.0, 5.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn avg_pool_matches_mean() {
+        let x = Tensor::from_vec((1..=16).map(|v| v as f32).collect(), &[1, 1, 4, 4]);
+        let y = avg_pool2d_forward(&x, 2, 2);
+        assert_eq!(y.data(), &[3.5, 5.5, 11.5, 13.5]);
+    }
+
+    #[test]
+    fn avg_pool_backward_finite_differences() {
+        let mut rng = Rng::seed_from(1);
+        let x = Tensor::randn(&[1, 2, 4, 4], 1.0, &mut rng);
+        let y = avg_pool2d_forward(&x, 2, 2);
+        let gy = Tensor::ones(y.shape().dims());
+        let gx = avg_pool2d_backward(&gy, x.shape().dims(), 2, 2);
+        let eps = 1e-2;
+        for i in [0usize, 9, 21, 31] {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[i] -= eps;
+            let num = (avg_pool2d_forward(&xp, 2, 2).sum() - avg_pool2d_forward(&xm, 2, 2).sum())
+                / (2.0 * eps);
+            assert!((num - gx.data()[i]).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn global_avg_pool_roundtrip() {
+        let mut rng = Rng::seed_from(2);
+        let x = Tensor::randn(&[2, 3, 4, 4], 1.0, &mut rng);
+        let y = global_avg_pool_forward(&x);
+        assert_eq!(y.shape().dims(), &[2, 3]);
+        // Mean of channel 0 of sample 0.
+        let expect: f32 = x.data()[0..16].iter().sum::<f32>() / 16.0;
+        assert!((y.data()[0] - expect).abs() < 1e-5);
+        let gy = Tensor::ones(&[2, 3]);
+        let gx = global_avg_pool_backward(&gy, x.shape().dims());
+        assert_close(&[gx.data().iter().sum::<f32>()], &[6.0], 1e-4);
+    }
+
+    #[test]
+    fn max_pool_stride_one_overlapping() {
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0], &[1, 1, 3, 3]);
+        let (y, cache) = max_pool2d_forward(&x, 2, 1);
+        assert_eq!(y.data(), &[5.0, 6.0, 8.0, 9.0]);
+        let gy = Tensor::ones(&[1, 1, 2, 2]);
+        let gx = max_pool2d_backward(&gy, &cache);
+        // Each window winner receives exactly one unit.
+        assert_eq!(gx.data()[4], 1.0); // value 5
+        assert_eq!(gx.data()[8], 1.0); // value 9
+        assert_eq!(gx.data().iter().sum::<f32>(), 4.0);
+    }
+}

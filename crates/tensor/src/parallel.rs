@@ -1,0 +1,237 @@
+//! A small data-parallel runtime built on crossbeam scoped threads.
+//!
+//! The TDFM study replaces the paper's GPU cluster with CPU threads: the
+//! convolution and matmul kernels split their output across worker threads,
+//! and ensemble members train on separate threads. Work below a threshold is
+//! run inline to avoid thread overhead on the study's many small kernels.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Estimated total work (elements x per-element cost) below which a kernel
+/// runs serially. Scoped worker threads cost tens of microseconds to spawn,
+/// so small kernels are cheaper inline.
+pub const SERIAL_THRESHOLD: usize = 1 << 16;
+
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Number of worker threads the runtime will use.
+///
+/// Resolution order: a value set by [`set_num_threads`], then the
+/// `TDFM_THREADS` environment variable, then the machine's available
+/// parallelism (capped at 16 — the kernels stop scaling past that for the
+/// study's tensor sizes).
+pub fn num_threads() -> usize {
+    let forced = THREAD_OVERRIDE.load(Ordering::Relaxed);
+    if forced > 0 {
+        return forced;
+    }
+    if let Ok(v) = std::env::var("TDFM_THREADS") {
+        if let Ok(n) = v.parse::<usize>() {
+            if n > 0 {
+                return n.min(64);
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get().min(16))
+        .unwrap_or(1)
+}
+
+/// Overrides the worker-thread count for this process (0 restores defaults).
+///
+/// Benchmarks use this to pin thread counts for stable measurements.
+pub fn set_num_threads(n: usize) {
+    THREAD_OVERRIDE.store(n, Ordering::Relaxed);
+}
+
+/// Splits `0..n` into at most `parts` contiguous, nearly equal ranges.
+pub fn split_ranges(n: usize, parts: usize) -> Vec<Range<usize>> {
+    if n == 0 {
+        return Vec::new();
+    }
+    let parts = parts.clamp(1, n);
+    let base = n / parts;
+    let extra = n % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0;
+    for i in 0..parts {
+        let len = base + usize::from(i < extra);
+        out.push(start..start + len);
+        start += len;
+    }
+    out
+}
+
+/// Runs `f` over contiguous sub-ranges of `0..n` on worker threads.
+///
+/// `work_per_item` is an estimate of per-item cost used to decide whether
+/// threading is worth it; pass 1 for cheap items.
+pub fn parallel_for(n: usize, work_per_item: usize, f: impl Fn(Range<usize>) + Sync) {
+    let threads = num_threads();
+    if threads <= 1 || n.saturating_mul(work_per_item.max(1)) < SERIAL_THRESHOLD || n < 2 {
+        f(0..n);
+        return;
+    }
+    let ranges = split_ranges(n, threads);
+    crossbeam::scope(|scope| {
+        for range in ranges {
+            let f = &f;
+            scope.spawn(move |_| f(range));
+        }
+    })
+    .expect("worker thread panicked");
+}
+
+/// Splits `data` into `chunk`-sized pieces and runs `f(chunk_index, piece)`
+/// on worker threads. The final piece may be shorter.
+///
+/// This is how kernels write disjoint slices of one output buffer (e.g. one
+/// image of a batch per task) without locks.
+///
+/// # Panics
+///
+/// Panics if `chunk == 0`.
+pub fn parallel_chunks_mut<T: Send>(
+    data: &mut [T],
+    chunk: usize,
+    work_per_item: usize,
+    f: impl Fn(usize, &mut [T]) + Sync,
+) {
+    assert!(chunk > 0, "chunk size must be positive");
+    let threads = num_threads();
+    let total_work = data.len().saturating_mul(work_per_item.max(1));
+    if threads <= 1 || total_work < SERIAL_THRESHOLD {
+        for (i, piece) in data.chunks_mut(chunk).enumerate() {
+            f(i, piece);
+        }
+        return;
+    }
+    let pieces: Vec<(usize, &mut [T])> = data.chunks_mut(chunk).enumerate().collect();
+    let pieces = parking_lot::Mutex::new(pieces);
+    crossbeam::scope(|scope| {
+        for _ in 0..threads {
+            let f = &f;
+            let pieces = &pieces;
+            scope.spawn(move |_| loop {
+                let item = pieces.lock().pop();
+                match item {
+                    Some((idx, piece)) => f(idx, piece),
+                    None => break,
+                }
+            });
+        }
+    })
+    .expect("worker thread panicked");
+}
+
+/// Maps `0..n` in parallel and folds the per-range results with `reduce`.
+///
+/// Used by convolution backward passes: each worker accumulates a private
+/// weight-gradient buffer, and the buffers are summed at the end.
+pub fn parallel_map_reduce<T: Send>(
+    n: usize,
+    work_per_item: usize,
+    map: impl Fn(Range<usize>) -> T + Sync,
+    reduce: impl Fn(T, T) -> T,
+) -> Option<T> {
+    if n == 0 {
+        return None;
+    }
+    let threads = num_threads();
+    if threads <= 1 || n.saturating_mul(work_per_item.max(1)) < SERIAL_THRESHOLD || n < 2 {
+        return Some(map(0..n));
+    }
+    let ranges = split_ranges(n, threads);
+    let results: Vec<T> = crossbeam::scope(|scope| {
+        let handles: Vec<_> = ranges
+            .into_iter()
+            .map(|range| {
+                let map = &map;
+                scope.spawn(move |_| map(range))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+    })
+    .expect("worker thread panicked");
+    results.into_iter().reduce(reduce)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn split_ranges_covers_everything() {
+        for n in [0usize, 1, 7, 100] {
+            for parts in [1usize, 2, 3, 8] {
+                let ranges = split_ranges(n, parts);
+                let total: usize = ranges.iter().map(|r| r.len()).sum();
+                assert_eq!(total, n);
+                let mut expect = 0;
+                for r in &ranges {
+                    assert_eq!(r.start, expect);
+                    expect = r.end;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_for_visits_each_index_once() {
+        let hits = AtomicU64::new(0);
+        parallel_for(10_000, 1, |range| {
+            for _ in range {
+                hits.fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 10_000);
+    }
+
+    #[test]
+    fn parallel_chunks_mut_writes_disjoint() {
+        let mut data = vec![0usize; 10_000];
+        parallel_chunks_mut(&mut data, 100, 10, |i, piece| {
+            for x in piece {
+                *x = i;
+            }
+        });
+        for (j, &x) in data.iter().enumerate() {
+            assert_eq!(x, j / 100);
+        }
+    }
+
+    #[test]
+    fn parallel_map_reduce_sums() {
+        let total = parallel_map_reduce(
+            100_000,
+            1,
+            |range| range.map(|x| x as u64).sum::<u64>(),
+            |a, b| a + b,
+        )
+        .unwrap();
+        assert_eq!(total, (0..100_000u64).sum::<u64>());
+    }
+
+    #[test]
+    fn parallel_map_reduce_empty_is_none() {
+        assert!(parallel_map_reduce(0, 1, |_| 1u32, |a, b| a + b).is_none());
+    }
+
+    #[test]
+    fn small_work_runs_inline() {
+        // Must not deadlock or thread-spawn for tiny inputs.
+        let mut data = vec![0u8; 4];
+        parallel_chunks_mut(&mut data, 2, 1, |i, piece| piece.fill(i as u8));
+        assert_eq!(data, vec![0, 0, 1, 1]);
+    }
+
+    #[test]
+    fn thread_override_roundtrip() {
+        set_num_threads(3);
+        assert_eq!(num_threads(), 3);
+        set_num_threads(0);
+        assert!(num_threads() >= 1);
+    }
+}

@@ -1,0 +1,197 @@
+//! Tensor shapes: dimension lists with row-major stride arithmetic.
+
+use std::fmt;
+
+/// The shape of a [`crate::Tensor`]: an ordered list of dimension extents.
+///
+/// Shapes are row-major ("C order"): the last dimension is contiguous in
+/// memory. Images follow the NCHW convention (batch, channels, height,
+/// width) used by the TDFM study's convolution kernels.
+///
+/// # Examples
+///
+/// ```
+/// use tdfm_tensor::Shape;
+///
+/// let s = Shape::new(&[2, 3, 4]);
+/// assert_eq!(s.numel(), 24);
+/// assert_eq!(s.strides(), vec![12, 4, 1]);
+/// assert_eq!(s.flat_index(&[1, 2, 3]), 23);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct Shape {
+    dims: Vec<usize>,
+}
+
+impl Shape {
+    /// Creates a shape from dimension extents.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero; zero-sized tensors are never valid
+    /// inside the study's pipelines, so the error is caught at construction.
+    pub fn new(dims: &[usize]) -> Self {
+        assert!(
+            dims.iter().all(|&d| d > 0),
+            "shape dimensions must be positive, got {dims:?}"
+        );
+        Self { dims: dims.to_vec() }
+    }
+
+    /// The dimension extents.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Number of dimensions (the tensor's rank).
+    pub fn rank(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Extent of dimension `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= rank()`.
+    pub fn dim(&self, i: usize) -> usize {
+        self.dims[i]
+    }
+
+    /// Total number of elements.
+    pub fn numel(&self) -> usize {
+        self.dims.iter().product()
+    }
+
+    /// Row-major strides, in elements.
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![1; self.dims.len()];
+        for i in (0..self.dims.len().saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1] * self.dims[i + 1];
+        }
+        strides
+    }
+
+    /// Converts a multi-dimensional index into a flat offset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` has the wrong rank or any coordinate is out of range.
+    pub fn flat_index(&self, idx: &[usize]) -> usize {
+        assert_eq!(idx.len(), self.rank(), "index rank mismatch");
+        let mut flat = 0;
+        let strides = self.strides();
+        for (i, (&x, &s)) in idx.iter().zip(strides.iter()).enumerate() {
+            assert!(x < self.dims[i], "index {x} out of range for dim {i} ({})", self.dims[i]);
+            flat += x * s;
+        }
+        flat
+    }
+
+    /// `true` when both shapes can be matrix-multiplied as 2-D operands.
+    pub fn matmul_compatible(&self, rhs: &Shape) -> bool {
+        self.rank() == 2 && rhs.rank() == 2 && self.dims[1] == rhs.dims[0]
+    }
+}
+
+impl fmt::Debug for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Shape{:?}", self.dims)
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, d) in self.dims.iter().enumerate() {
+            if i > 0 {
+                write!(f, "x")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Shape::new(dims)
+    }
+}
+
+impl<const N: usize> From<[usize; N]> for Shape {
+    fn from(dims: [usize; N]) -> Self {
+        Shape::new(&dims)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn strides_are_row_major() {
+        let s = Shape::new(&[4, 3, 2]);
+        assert_eq!(s.strides(), vec![6, 2, 1]);
+    }
+
+    #[test]
+    fn flat_index_roundtrip() {
+        let s = Shape::new(&[2, 3, 4]);
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..2 {
+            for j in 0..3 {
+                for k in 0..4 {
+                    assert!(seen.insert(s.flat_index(&[i, j, k])));
+                }
+            }
+        }
+        assert_eq!(seen.len(), s.numel());
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_dim_rejected() {
+        let _ = Shape::new(&[2, 0, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_index_rejected() {
+        let s = Shape::new(&[2, 2]);
+        let _ = s.flat_index(&[2, 0]);
+    }
+
+    #[test]
+    fn matmul_compat() {
+        assert!(Shape::new(&[2, 3]).matmul_compatible(&Shape::new(&[3, 5])));
+        assert!(!Shape::new(&[2, 3]).matmul_compatible(&Shape::new(&[2, 5])));
+        assert!(!Shape::new(&[2, 3, 1]).matmul_compatible(&Shape::new(&[3, 5])));
+    }
+
+    #[test]
+    fn display_formats_dims() {
+        assert_eq!(Shape::new(&[2, 3, 4]).to_string(), "[2x3x4]");
+    }
+
+    proptest! {
+        #[test]
+        fn numel_is_product(dims in proptest::collection::vec(1usize..6, 1..5)) {
+            let s = Shape::new(&dims);
+            prop_assert_eq!(s.numel(), dims.iter().product::<usize>());
+        }
+
+        #[test]
+        fn last_stride_is_one(dims in proptest::collection::vec(1usize..6, 1..5)) {
+            let s = Shape::new(&dims);
+            prop_assert_eq!(*s.strides().last().unwrap(), 1);
+        }
+
+        #[test]
+        fn flat_index_bounded(dims in proptest::collection::vec(1usize..6, 1..5)) {
+            let s = Shape::new(&dims);
+            let last: Vec<usize> = dims.iter().map(|d| d - 1).collect();
+            prop_assert_eq!(s.flat_index(&last), s.numel() - 1);
+        }
+    }
+}

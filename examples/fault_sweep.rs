@@ -1,0 +1,42 @@
+//! Sweep all three fault types across injection amounts and print the
+//! accuracy-delta grid — a miniature of the paper's full evaluation.
+//!
+//! Run with: `cargo run --release --example fault_sweep`
+
+use tdfm::core::{ExperimentConfig, Runner, TechniqueKind};
+use tdfm::data::{DatasetKind, Scale};
+use tdfm::inject::{FaultKind, FaultPlan};
+use tdfm::nn::models::ModelKind;
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("fault sweep at scale '{scale}': CIFAR-10 analogue, ConvNet, baseline vs ensemble\n");
+    let runner = Runner::new();
+    println!(
+        "{:<14}{:>6}{:>16}{:>16}",
+        "Fault", "%", "baseline AD", "ensemble AD"
+    );
+    println!("{}", "-".repeat(52));
+    for fault in FaultKind::ALL {
+        for percent in [10.0f32, 30.0, 50.0] {
+            print!("{:<14}{:>6}", fault.name(), percent);
+            for technique in [TechniqueKind::Baseline, TechniqueKind::Ensemble] {
+                let result = runner.run(&ExperimentConfig {
+                    dataset: DatasetKind::Cifar10,
+                    model: ModelKind::ConvNet,
+                    technique,
+                    fault_plan: FaultPlan::single(fault, percent),
+                    scale,
+                    repetitions: scale.repetitions(),
+                    seed: 5,
+                });
+                print!("{:>15.1}%", 100.0 * result.ad.mean);
+            }
+            println!();
+        }
+    }
+    println!(
+        "\nExpected shape (paper Sections IV-B/C): mislabelling dominates; removal and\n\
+         repetition are mild; the ensemble column is consistently lower."
+    );
+}

@@ -1,0 +1,47 @@
+#!/usr/bin/env python3
+"""Splices harness outputs from results/ into EXPERIMENTS.md placeholders.
+
+Usage: python3 scripts/fill_experiments.py
+Each `<!-- NAME -->` marker is replaced by the corresponding results file,
+wrapped in a fenced code block. Markers with missing files are left alone.
+"""
+
+import pathlib
+import re
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+DOC = ROOT / "EXPERIMENTS.md"
+
+SOURCES = {
+    "TABLE4": "table4.txt",
+    "FIG3": "fig3.txt",
+    "FIG4": "fig4.txt",
+    "COMBOS": "fault_combos.txt",
+    "ABLATION": "ablation.txt",
+    "DETECTOR": "detector.txt",
+}
+
+
+def main() -> int:
+    text = DOC.read_text()
+    results = ROOT / "results"
+    for marker, filename in SOURCES.items():
+        path = results / filename
+        if not path.exists():
+            print(f"skip {marker}: {path} missing")
+            continue
+        body = path.read_text().rstrip()
+        block = f"```text\n{body}\n```"
+        pattern = re.compile(rf"<!-- {marker} -->")
+        if not pattern.search(text):
+            print(f"skip {marker}: marker not found")
+            continue
+        text = pattern.sub(lambda _: block, text, count=1)
+        print(f"filled {marker} from {filename}")
+    DOC.write_text(text)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,481 @@
+//! `tdfm` — command-line front end to the reproduction.
+//!
+//! ```text
+//! tdfm survey                         print Table I and the representatives
+//! tdfm datasets [--scale S]           print the dataset registry (Table II)
+//! tdfm models [--scale S]             print the architecture registry (Table III)
+//! tdfm run [OPTIONS]                  run one experiment cell and print AD
+//! tdfm detect [OPTIONS]               run the label-noise detector
+//! tdfm help                           this text
+//! ```
+//!
+//! `run`/`detect` options:
+//!
+//! ```text
+//! --dataset  cifar10|gtsrb|pneumonia      (default cifar10)
+//! --model    convnet|deconvnet|vgg11|vgg16|resnet18|resnet50|mobilenet
+//!                                          (default convnet)
+//! --technique base|ls|lc|rl|kd|ens         (default base; run only)
+//! --fault    mislabelling|repetition|removal|pairflip (default mislabelling)
+//! --percent  0..100                        (default 30)
+//! --scale    tiny|smoke|default|full       (default smoke)
+//! --reps     N                             (default: scale preset)
+//! --seed     N                             (default 0)
+//! --json                                   machine-readable output (run only)
+//! ```
+
+use tdfm::core::detect::NoiseDetector;
+use tdfm::core::technique::TrainContext;
+use tdfm::core::{ExperimentConfig, Runner, TechniqueKind};
+use tdfm::data::{DatasetKind, Scale};
+use tdfm::inject::{FaultKind, FaultPlan, Injector};
+use tdfm::nn::models::{ModelConfig, ModelKind};
+use tdfm::survey::{catalog, render_table_i, select_representatives};
+
+/// A parsed invocation.
+#[derive(Debug, Clone, PartialEq)]
+enum Command {
+    Survey,
+    Datasets { scale: Scale },
+    Models { scale: Scale },
+    Run(RunArgs),
+    Detect(RunArgs),
+    Sweep { config: String, output: Option<String> },
+    Help,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+struct RunArgs {
+    dataset: DatasetKind,
+    model: ModelKind,
+    technique: TechniqueKind,
+    fault: FaultKind,
+    percent: f32,
+    scale: Scale,
+    reps: Option<usize>,
+    seed: u64,
+    json: bool,
+}
+
+impl Default for RunArgs {
+    fn default() -> Self {
+        Self {
+            dataset: DatasetKind::Cifar10,
+            model: ModelKind::ConvNet,
+            technique: TechniqueKind::Baseline,
+            fault: FaultKind::Mislabelling,
+            percent: 30.0,
+            scale: Scale::Smoke,
+            reps: None,
+            seed: 0,
+            json: false,
+        }
+    }
+}
+
+fn parse_dataset(s: &str) -> Result<DatasetKind, String> {
+    match s.to_ascii_lowercase().as_str() {
+        "cifar10" | "cifar-10" => Ok(DatasetKind::Cifar10),
+        "gtsrb" => Ok(DatasetKind::Gtsrb),
+        "pneumonia" => Ok(DatasetKind::Pneumonia),
+        other => Err(format!("unknown dataset '{other}'")),
+    }
+}
+
+fn parse_model(s: &str) -> Result<ModelKind, String> {
+    match s.to_ascii_lowercase().as_str() {
+        "convnet" => Ok(ModelKind::ConvNet),
+        "deconvnet" => Ok(ModelKind::DeconvNet),
+        "vgg11" => Ok(ModelKind::Vgg11),
+        "vgg16" => Ok(ModelKind::Vgg16),
+        "resnet18" => Ok(ModelKind::ResNet18),
+        "resnet50" => Ok(ModelKind::ResNet50),
+        "mobilenet" => Ok(ModelKind::MobileNet),
+        other => Err(format!("unknown model '{other}'")),
+    }
+}
+
+fn parse_technique(s: &str) -> Result<TechniqueKind, String> {
+    match s.to_ascii_lowercase().as_str() {
+        "base" | "baseline" => Ok(TechniqueKind::Baseline),
+        "ls" => Ok(TechniqueKind::LabelSmoothing),
+        "lc" => Ok(TechniqueKind::LabelCorrection),
+        "rl" => Ok(TechniqueKind::RobustLoss),
+        "kd" => Ok(TechniqueKind::KnowledgeDistillation),
+        "ens" | "ensemble" => Ok(TechniqueKind::Ensemble),
+        other => Err(format!("unknown technique '{other}'")),
+    }
+}
+
+fn parse_fault(s: &str) -> Result<FaultKind, String> {
+    match s.to_ascii_lowercase().as_str() {
+        "mislabelling" | "mislabeling" | "mislabel" => Ok(FaultKind::Mislabelling),
+        "repetition" | "repeat" => Ok(FaultKind::Repetition),
+        "removal" | "remove" => Ok(FaultKind::Removal),
+        "pairflip" | "pair-flip" => Ok(FaultKind::PairFlipMislabelling),
+        other => Err(format!("unknown fault '{other}'")),
+    }
+}
+
+fn parse_scale(s: &str) -> Result<Scale, String> {
+    match s.to_ascii_lowercase().as_str() {
+        "tiny" => Ok(Scale::Tiny),
+        "smoke" => Ok(Scale::Smoke),
+        "default" => Ok(Scale::Default),
+        "full" => Ok(Scale::Full),
+        other => Err(format!("unknown scale '{other}'")),
+    }
+}
+
+fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
+    let mut out = RunArgs::default();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        if flag == "--json" {
+            out.json = true;
+            continue;
+        }
+        let value = it
+            .next()
+            .ok_or_else(|| format!("flag '{flag}' requires a value"))?;
+        match flag.as_str() {
+            "--dataset" => out.dataset = parse_dataset(value)?,
+            "--model" => out.model = parse_model(value)?,
+            "--technique" => out.technique = parse_technique(value)?,
+            "--fault" => out.fault = parse_fault(value)?,
+            "--percent" => {
+                out.percent = value
+                    .parse::<f32>()
+                    .map_err(|_| format!("bad percent '{value}'"))?;
+                if !(0.0..=100.0).contains(&out.percent) {
+                    return Err(format!("percent {value} out of [0, 100]"));
+                }
+            }
+            "--scale" => out.scale = parse_scale(value)?,
+            "--reps" => {
+                out.reps = Some(
+                    value.parse::<usize>().map_err(|_| format!("bad reps '{value}'"))?,
+                )
+            }
+            "--seed" => {
+                out.seed = value.parse::<u64>().map_err(|_| format!("bad seed '{value}'"))?
+            }
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+    Ok(out)
+}
+
+fn parse_command(args: &[String]) -> Result<Command, String> {
+    let Some(verb) = args.first() else {
+        return Ok(Command::Help);
+    };
+    let rest = &args[1..];
+    match verb.as_str() {
+        "survey" => Ok(Command::Survey),
+        "datasets" => Ok(Command::Datasets { scale: parse_run_args(rest)?.scale }),
+        "models" => Ok(Command::Models { scale: parse_run_args(rest)?.scale }),
+        "run" => Ok(Command::Run(parse_run_args(rest)?)),
+        "detect" => Ok(Command::Detect(parse_run_args(rest)?)),
+        "sweep" => {
+            let mut config = None;
+            let mut output = None;
+            let mut it = rest.iter();
+            while let Some(flag) = it.next() {
+                let value = it
+                    .next()
+                    .ok_or_else(|| format!("flag '{flag}' requires a value"))?;
+                match flag.as_str() {
+                    "--config" => config = Some(value.clone()),
+                    "--output" => output = Some(value.clone()),
+                    other => return Err(format!("unknown flag '{other}'")),
+                }
+            }
+            let config = config.ok_or_else(|| "sweep requires --config FILE".to_string())?;
+            Ok(Command::Sweep { config, output })
+        }
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        other => Err(format!("unknown command '{other}' (try 'tdfm help')")),
+    }
+}
+
+fn cmd_survey() {
+    let cat = catalog();
+    print!("{}", render_table_i(&cat));
+    println!("\nRepresentatives:");
+    for t in select_representatives(&cat) {
+        println!("  {:<24} -> {} {}", t.approach.name(), t.name, t.reference);
+    }
+}
+
+fn cmd_datasets(scale: Scale) {
+    println!("{:<12}{:>8}{:>13}{:>12}  task", "Name", "classes", "synth train", "synth test");
+    for kind in DatasetKind::ALL {
+        let info = kind.info();
+        println!(
+            "{:<12}{:>8}{:>13}{:>12}  {}",
+            info.name,
+            info.classes,
+            kind.train_size(scale),
+            kind.test_size(scale),
+            info.task
+        );
+    }
+}
+
+fn cmd_models(scale: Scale) {
+    println!("{:<12}{:<10}{:<32}{:>10}", "Name", "Depth", "Summary", "Params");
+    let cfg = ModelConfig {
+        in_shape: (3, scale.image_side(), scale.image_side()),
+        classes: 10,
+        width: scale.model_width(),
+        seed: 0,
+    };
+    for kind in ModelKind::ALL {
+        let info = kind.info();
+        let mut net = kind.build(&cfg);
+        println!(
+            "{:<12}{:<10}{:<32}{:>10}",
+            info.name,
+            info.depth.to_string(),
+            info.summary,
+            net.param_count()
+        );
+    }
+}
+
+fn cmd_run(args: RunArgs) {
+    let runner = Runner::new();
+    let result = runner.run(&ExperimentConfig {
+        dataset: args.dataset,
+        model: args.model,
+        technique: args.technique,
+        fault_plan: FaultPlan::single(args.fault, args.percent),
+        scale: args.scale,
+        repetitions: args.reps.unwrap_or_else(|| args.scale.repetitions()),
+        seed: args.seed,
+    });
+    if args.json {
+        println!("{}", result.to_json());
+        return;
+    }
+    println!(
+        "{} / {} / {} / {}",
+        args.dataset,
+        args.model.name(),
+        args.technique.full_name(),
+        result.fault_label
+    );
+    println!("  golden accuracy : {:.1}%", 100.0 * result.golden_accuracy.mean);
+    println!("  faulty accuracy : {:.1}%", 100.0 * result.faulty_accuracy.mean);
+    println!(
+        "  accuracy delta  : {:.1}% ± {:.1}",
+        100.0 * result.ad.mean,
+        100.0 * result.ad.half_width
+    );
+}
+
+fn cmd_detect(args: RunArgs) {
+    let data = args.dataset.generate(args.scale, args.seed);
+    let plan = FaultPlan::single(args.fault, args.percent);
+    let (faulty, report) = Injector::new(args.seed).apply(&data.train, &plan);
+    let mut ctx = TrainContext::new(args.scale, args.seed);
+    ctx.tune_for(faulty.len());
+    let detection = NoiseDetector::new(3, args.model).detect(&faulty, &ctx);
+    let quality = detection.evaluate(&report.mislabelled_indices);
+    println!(
+        "{} with {}: {} of {} samples flagged",
+        args.dataset,
+        plan.label(),
+        detection.suspects.len(),
+        faulty.len()
+    );
+    println!(
+        "  precision {:.1}%  recall {:.1}%  F1 {:.1}%",
+        100.0 * quality.precision,
+        100.0 * quality.recall,
+        100.0 * quality.f1
+    );
+}
+
+fn cmd_sweep(config_path: &str, output: Option<&str>) -> Result<(), String> {
+    let text = std::fs::read_to_string(config_path)
+        .map_err(|e| format!("cannot read {config_path}: {e}"))?;
+    let cells: Vec<ExperimentConfig> =
+        serde_json::from_str(&text).map_err(|e| format!("bad sweep config: {e}"))?;
+    if cells.is_empty() {
+        return Err("sweep config contains no cells".to_string());
+    }
+    let runner = Runner::new();
+    let mut payload = Vec::with_capacity(cells.len());
+    for (i, cell) in cells.iter().enumerate() {
+        let result = runner.run(cell);
+        println!(
+            "[{}/{}] {} / {} / {} / {}: AD {:.1}% ± {:.1}",
+            i + 1,
+            cells.len(),
+            cell.dataset,
+            cell.model.name(),
+            cell.technique.full_name(),
+            result.fault_label,
+            100.0 * result.ad.mean,
+            100.0 * result.ad.half_width,
+        );
+        payload.push(result.to_json());
+    }
+    if let Some(path) = output {
+        let doc = format!("[\n{}\n]", payload.join(",\n"));
+        std::fs::write(path, doc).map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("wrote {path}");
+    }
+    Ok(())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let outcome = match parse_command(&args) {
+        Ok(Command::Survey) => {
+            cmd_survey();
+            Ok(())
+        }
+        Ok(Command::Datasets { scale }) => {
+            cmd_datasets(scale);
+            Ok(())
+        }
+        Ok(Command::Models { scale }) => {
+            cmd_models(scale);
+            Ok(())
+        }
+        Ok(Command::Run(run)) => {
+            cmd_run(run);
+            Ok(())
+        }
+        Ok(Command::Detect(run)) => {
+            cmd_detect(run);
+            Ok(())
+        }
+        Ok(Command::Sweep { config, output }) => cmd_sweep(&config, output.as_deref()),
+        Ok(Command::Help) => {
+            print!("{}", HELP);
+            Ok(())
+        }
+        Err(e) => Err(e),
+    };
+    if let Err(e) = outcome {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    }
+}
+
+const HELP: &str = "tdfm - reproduction of 'The Fault in Our Data Stars' (DSN 2022)
+
+USAGE:
+  tdfm survey                      print Table I and the representatives
+  tdfm datasets [--scale S]        dataset registry (Table II)
+  tdfm models [--scale S]          architecture registry (Table III)
+  tdfm run [OPTIONS]               run one experiment cell, print AD
+  tdfm detect [OPTIONS]            run the label-noise detector
+  tdfm sweep --config FILE [--output FILE]
+                                   run a JSON list of experiment cells
+  tdfm help                        this text
+
+OPTIONS (run/detect):
+  --dataset cifar10|gtsrb|pneumonia      --model convnet|...|mobilenet
+  --technique base|ls|lc|rl|kd|ens       --fault mislabelling|repetition|removal|pairflip
+  --percent 0..100                       --scale tiny|smoke|default|full
+  --reps N  --seed N  --json
+";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn no_args_is_help() {
+        assert_eq!(parse_command(&[]).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn run_with_defaults() {
+        let cmd = parse_command(&argv("run")).unwrap();
+        assert_eq!(cmd, Command::Run(RunArgs::default()));
+    }
+
+    #[test]
+    fn run_with_everything() {
+        let cmd = parse_command(&argv(
+            "run --dataset gtsrb --model resnet50 --technique ens --fault removal \
+             --percent 50 --scale tiny --reps 2 --seed 9 --json",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Run(args) => {
+                assert_eq!(args.dataset, DatasetKind::Gtsrb);
+                assert_eq!(args.model, ModelKind::ResNet50);
+                assert_eq!(args.technique, TechniqueKind::Ensemble);
+                assert_eq!(args.fault, FaultKind::Removal);
+                assert_eq!(args.percent, 50.0);
+                assert_eq!(args.scale, Scale::Tiny);
+                assert_eq!(args.reps, Some(2));
+                assert_eq!(args.seed, 9);
+                assert!(args.json);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_values_are_rejected() {
+        assert!(parse_command(&argv("run --dataset mnist")).is_err());
+        assert!(parse_command(&argv("run --percent 150")).is_err());
+        assert!(parse_command(&argv("run --percent")).is_err());
+        assert!(parse_command(&argv("frobnicate")).is_err());
+        assert!(parse_command(&argv("run --bogus 1")).is_err());
+    }
+
+    #[test]
+    fn fault_aliases() {
+        assert_eq!(parse_fault("mislabel").unwrap(), FaultKind::Mislabelling);
+        assert_eq!(parse_fault("pair-flip").unwrap(), FaultKind::PairFlipMislabelling);
+    }
+
+    #[test]
+    fn detect_parses() {
+        let cmd = parse_command(&argv("detect --dataset cifar10 --percent 30")).unwrap();
+        assert!(matches!(cmd, Command::Detect(_)));
+    }
+
+    #[test]
+    fn sweep_requires_config() {
+        assert!(parse_command(&argv("sweep")).is_err());
+        let cmd = parse_command(&argv("sweep --config cells.json --output out.json")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Sweep {
+                config: "cells.json".to_string(),
+                output: Some("out.json".to_string())
+            }
+        );
+    }
+
+    #[test]
+    fn sweep_config_format_parses() {
+        // The sweep file is a JSON array of ExperimentConfig values.
+        let json = r#"[{
+            "dataset": "Cifar10",
+            "model": "ConvNet",
+            "technique": "LabelSmoothing",
+            "fault_plan": { "specs": [{ "kind": "Mislabelling", "percent": 30.0 }] },
+            "scale": "Tiny",
+            "repetitions": 1,
+            "seed": 0
+        }]"#;
+        let cells: Vec<ExperimentConfig> = serde_json::from_str(json).unwrap();
+        assert_eq!(cells.len(), 1);
+        assert_eq!(cells[0].technique, TechniqueKind::LabelSmoothing);
+    }
+}

@@ -1,0 +1,104 @@
+//! Qualitative reproduction checks at smoke scale: the headline *shapes*
+//! of the paper's findings must hold. These are slower than the pipeline
+//! tests (tens of seconds) but still CI-sized.
+
+use tdfm::core::{ExperimentConfig, Runner, TechniqueKind};
+use tdfm::data::{DatasetKind, Scale};
+use tdfm::inject::{FaultKind, FaultPlan};
+use tdfm::nn::models::ModelKind;
+
+fn smoke(technique: TechniqueKind, fault: FaultKind, percent: f32) -> ExperimentConfig {
+    ExperimentConfig {
+        dataset: DatasetKind::Gtsrb,
+        model: ModelKind::ConvNet,
+        technique,
+        fault_plan: FaultPlan::single(fault, percent),
+        scale: Scale::Smoke,
+        repetitions: 2,
+        seed: 21,
+    }
+}
+
+/// Section IV-B: baseline AD grows with the mislabelling amount.
+#[test]
+fn mislabelling_dose_response() {
+    let runner = Runner::new();
+    let low = runner.run(&smoke(TechniqueKind::Baseline, FaultKind::Mislabelling, 10.0));
+    let high = runner.run(&smoke(TechniqueKind::Baseline, FaultKind::Mislabelling, 50.0));
+    assert!(
+        high.ad.mean > low.ad.mean,
+        "AD should grow with fault amount: 10% -> {}, 50% -> {}",
+        low.ad.mean,
+        high.ad.mean
+    );
+}
+
+/// Section IV-C: removal faults are far milder than mislabelling.
+#[test]
+fn removal_is_milder_than_mislabelling() {
+    let runner = Runner::new();
+    let mis = runner.run(&smoke(TechniqueKind::Baseline, FaultKind::Mislabelling, 50.0));
+    let rem = runner.run(&smoke(TechniqueKind::Baseline, FaultKind::Removal, 50.0));
+    assert!(
+        rem.ad.mean < mis.ad.mean,
+        "removal AD {} should be below mislabelling AD {}",
+        rem.ad.mean,
+        mis.ad.mean
+    );
+}
+
+/// Observation 3: the ensemble beats the unprotected baseline under heavy
+/// mislabelling.
+#[test]
+fn ensemble_beats_baseline_under_mislabelling() {
+    let runner = Runner::new();
+    let base = runner.run(&smoke(TechniqueKind::Baseline, FaultKind::Mislabelling, 50.0));
+    let ens = runner.run(&smoke(TechniqueKind::Ensemble, FaultKind::Mislabelling, 50.0));
+    assert!(
+        ens.ad.mean < base.ad.mean,
+        "ensemble AD {} should be below baseline AD {}",
+        ens.ad.mean,
+        base.ad.mean
+    );
+}
+
+/// Section IV-D: mislabelling hurts the cluttered CIFAR-10 analogue more
+/// than the focused GTSRB analogue.
+#[test]
+fn cifar_is_less_resilient_than_gtsrb() {
+    let runner = Runner::new();
+    let gtsrb = runner.run(&smoke(TechniqueKind::Baseline, FaultKind::Mislabelling, 30.0));
+    let cifar = runner.run(&ExperimentConfig {
+        dataset: DatasetKind::Cifar10,
+        ..smoke(TechniqueKind::Baseline, FaultKind::Mislabelling, 30.0)
+    });
+    assert!(
+        cifar.ad.mean > gtsrb.ad.mean,
+        "CIFAR AD {} should exceed GTSRB AD {}",
+        cifar.ad.mean,
+        gtsrb.ad.mean
+    );
+}
+
+/// Section IV-A: golden accuracy is respectable on every dataset for the
+/// study's anchor model.
+#[test]
+fn golden_models_learn_all_datasets() {
+    let runner = Runner::new();
+    for dataset in DatasetKind::ALL {
+        let result = runner.run(&ExperimentConfig {
+            dataset,
+            model: ModelKind::ConvNet,
+            technique: TechniqueKind::Baseline,
+            fault_plan: FaultPlan::none(),
+            scale: Scale::Smoke,
+            repetitions: 1,
+            seed: 21,
+        });
+        assert!(
+            result.golden_accuracy.mean > 0.6,
+            "{dataset}: golden accuracy {}",
+            result.golden_accuracy.mean
+        );
+    }
+}

@@ -1,0 +1,49 @@
+//! Integration test: checkpointing trained models to JSON and restoring
+//! them reproduces the exact experiment outcome.
+
+use tdfm::core::technique::{Baseline, Mitigation, TrainContext};
+use tdfm::core::FittedModel;
+use tdfm::data::{DatasetKind, Scale};
+use tdfm::nn::models::ModelKind;
+use tdfm::nn::serialize::SavedModel;
+
+#[test]
+fn golden_model_checkpoint_round_trips_through_disk() {
+    let data = DatasetKind::Pneumonia.generate(Scale::Tiny, 17);
+    let mut ctx = TrainContext::new(Scale::Tiny, 17);
+    ctx.tune_for(data.train.len());
+    let fitted = Baseline.fit(ModelKind::ConvNet, &data.train, &ctx);
+    let FittedModel::Single(mut net) = fitted else {
+        panic!("baseline must produce a single network");
+    };
+    let before = net.predict(data.test.images(), 32);
+
+    let cfg = ctx.model_config(&data.train);
+    let saved = SavedModel::capture(ModelKind::ConvNet, cfg, &mut net);
+    let path = std::env::temp_dir().join("tdfm-golden-checkpoint.json");
+    std::fs::write(&path, saved.to_json()).unwrap();
+
+    let loaded = SavedModel::from_json(&std::fs::read_to_string(&path).unwrap()).unwrap();
+    let mut restored = loaded.restore().unwrap();
+    assert_eq!(restored.predict(data.test.images(), 32), before);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn checkpoints_are_portable_across_batch_sizes() {
+    let data = DatasetKind::Cifar10.generate(Scale::Tiny, 18);
+    let mut ctx = TrainContext::new(Scale::Tiny, 18);
+    ctx.tune_for(data.train.len());
+    let fitted = Baseline.fit(ModelKind::MobileNet, &data.train, &ctx);
+    let FittedModel::Single(mut net) = fitted else {
+        panic!("baseline must produce a single network");
+    };
+    let cfg = ctx.model_config(&data.train);
+    let saved = SavedModel::capture(ModelKind::MobileNet, cfg, &mut net);
+    let mut restored = saved.restore().unwrap();
+    // Different inference batch sizes may not change predictions.
+    assert_eq!(
+        restored.predict(data.test.images(), 7),
+        net.predict(data.test.images(), 64)
+    );
+}
