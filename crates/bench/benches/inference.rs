@@ -1,58 +1,33 @@
-//! Criterion benchmarks of per-technique inference cost — the
-//! machine-measured counterpart of the Section IV-E inference-overhead
-//! analysis (everything ~1x except ensembles at ~5x).
+//! Benchmarks of per-technique inference cost — the machine-measured
+//! counterpart of the Section IV-E inference-overhead analysis
+//! (everything ~1x except ensembles at ~5x).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::time::Duration;
+use tdfm_bench::harness::{bench, group};
 use tdfm_core::technique::{Baseline, Ensemble, Mitigation, TrainContext};
 use tdfm_data::{DatasetKind, Scale};
 use tdfm_nn::models::ModelKind;
 
-fn bench_inference(c: &mut Criterion) {
+fn main() {
     let data = DatasetKind::Cifar10.generate(Scale::Tiny, 0);
     let mut ctx = TrainContext::new(Scale::Tiny, 0);
     ctx.fit.epochs = 1;
     let mut single = Baseline.fit(ModelKind::ConvNet, &data.train, &ctx);
     let mut ensemble = Ensemble::paper_default().fit(ModelKind::ConvNet, &data.train, &ctx);
 
-    let mut group = c.benchmark_group("predict_test_set");
-    group.sample_size(20);
-    group.bench_function(BenchmarkId::from_parameter("single"), |bench| {
-        bench.iter(|| single.predict(data.test.images()));
+    group("predict_test_set");
+    bench("predict_test_set/single", || {
+        single.predict(data.test.images())
     });
-    group.bench_function(BenchmarkId::from_parameter("ensemble5"), |bench| {
-        bench.iter(|| ensemble.predict(data.test.images()));
+    bench("predict_test_set/ensemble5", || {
+        ensemble.predict(data.test.images())
     });
-    group.finish();
-}
 
-fn bench_per_model_inference(c: &mut Criterion) {
-    let data = DatasetKind::Cifar10.generate(Scale::Tiny, 0);
-    let mut group = c.benchmark_group("model_inference");
-    group.sample_size(20);
+    group("model_inference");
     for model in ModelKind::ALL {
         let ctx = TrainContext::new(Scale::Tiny, 0);
         let mut net = model.build(&ctx.model_config(&data.train));
-        group.bench_with_input(BenchmarkId::from_parameter(model.name()), &model, |bench, _| {
-            bench.iter(|| net.predict(data.test.images(), 64));
+        bench(&format!("model_inference/{}", model.name()), || {
+            net.predict(data.test.images(), 64)
         });
     }
-    group.finish();
 }
-
-
-/// Short measurement profile: the kernels are small and the study machine
-/// is a single core, so long criterion defaults add nothing.
-fn quick() -> Criterion {
-    Criterion::default()
-        .sample_size(10)
-        .warm_up_time(Duration::from_millis(300))
-        .measurement_time(Duration::from_secs(2))
-}
-
-criterion_group! {
-    name = benches;
-    config = quick();
-    targets = bench_inference, bench_per_model_inference
-}
-criterion_main!(benches);

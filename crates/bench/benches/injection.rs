@@ -1,59 +1,32 @@
-//! Criterion benchmarks of the fault injector (TF-DM analogue): how fast
-//! each fault type corrupts a training set, plus synthetic-dataset
-//! generation throughput.
+//! Benchmarks of the fault injector (TF-DM analogue): how fast each fault
+//! type corrupts a training set, plus synthetic-dataset generation
+//! throughput.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::time::Duration;
+use tdfm_bench::harness::{bench, group};
 use tdfm_data::{DatasetKind, Scale};
 use tdfm_inject::{FaultKind, FaultPlan, Injector};
 
-fn bench_injection(c: &mut Criterion) {
+fn main() {
     let data = DatasetKind::Cifar10.generate(Scale::Smoke, 0);
     let injector = Injector::new(0);
-    let mut group = c.benchmark_group("inject");
+    group("inject");
     for fault in FaultKind::ALL {
         let plan = FaultPlan::single(fault, 30.0);
-        group.bench_with_input(BenchmarkId::from_parameter(fault.name()), &plan, |bench, plan| {
-            bench.iter(|| injector.apply(&data.train, plan));
+        bench(&format!("inject/{}", fault.name()), || {
+            injector.apply(&data.train, &plan)
         });
     }
     let combo = FaultPlan::single(FaultKind::Mislabelling, 30.0)
         .and(FaultKind::Repetition, 20.0)
         .and(FaultKind::Removal, 10.0);
-    group.bench_function("combined", |bench| {
-        bench.iter(|| injector.apply(&data.train, &combo));
-    });
-    group.finish();
-}
+    bench("inject/combined", || injector.apply(&data.train, &combo));
 
-fn bench_generation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("generate");
-    group.sample_size(20);
+    group("generate");
     for kind in DatasetKind::ALL {
-        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |bench, kind| {
-            let mut seed = 0u64;
-            bench.iter(|| {
-                seed += 1;
-                kind.generate(Scale::Tiny, seed)
-            });
+        let mut seed = 0u64;
+        bench(&format!("generate/{}", kind.name()), || {
+            seed += 1;
+            kind.generate(Scale::Tiny, seed)
         });
     }
-    group.finish();
 }
-
-
-/// Short measurement profile: the kernels are small and the study machine
-/// is a single core, so long criterion defaults add nothing.
-fn quick() -> Criterion {
-    Criterion::default()
-        .sample_size(10)
-        .warm_up_time(Duration::from_millis(300))
-        .measurement_time(Duration::from_secs(2))
-}
-
-criterion_group! {
-    name = benches;
-    config = quick();
-    targets = bench_injection, bench_generation
-}
-criterion_main!(benches);

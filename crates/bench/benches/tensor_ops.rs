@@ -1,84 +1,51 @@
-//! Criterion micro-benchmarks of the tensor substrate: the matmul and
-//! convolution kernels every experiment spends its time in.
+//! Micro-benchmarks of the tensor substrate: the matmul and convolution
+//! kernels every experiment spends its time in.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::time::Duration;
+use tdfm_bench::harness::{bench, group};
 use tdfm_tensor::ops::{conv2d_backward, conv2d_forward, matmul, softmax_rows, Conv2dSpec};
 use tdfm_tensor::rng::Rng;
 use tdfm_tensor::Tensor;
 
-fn bench_matmul(c: &mut Criterion) {
-    let mut group = c.benchmark_group("matmul");
+fn main() {
+    group("matmul");
     for &n in &[16usize, 64, 128] {
         let mut rng = Rng::seed_from(0);
         let a = Tensor::randn(&[n, n], 1.0, &mut rng);
         let b = Tensor::randn(&[n, n], 1.0, &mut rng);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
-            bench.iter(|| matmul(&a, &b));
-        });
+        bench(&format!("matmul/{n}"), || matmul(&a, &b));
     }
-    group.finish();
-}
 
-fn bench_conv(c: &mut Criterion) {
-    let mut group = c.benchmark_group("conv2d");
+    group("conv2d");
     let mut rng = Rng::seed_from(1);
     let spec = Conv2dSpec::same(3);
     for &(batch, ch) in &[(8usize, 4usize), (32, 8)] {
         let x = Tensor::randn(&[batch, ch, 8, 8], 1.0, &mut rng);
         let w = Tensor::randn(&[ch * 2, ch, 3, 3], 0.3, &mut rng);
         let bias = Tensor::zeros(&[ch * 2]);
-        group.bench_with_input(
-            BenchmarkId::new("forward", format!("{batch}x{ch}")),
-            &batch,
-            |bench, _| {
-                bench.iter(|| conv2d_forward(&x, &w, Some(&bias), spec));
-            },
-        );
+        bench(&format!("conv2d/forward/{batch}x{ch}"), || {
+            conv2d_forward(&x, &w, Some(&bias), spec)
+        });
         let y = conv2d_forward(&x, &w, Some(&bias), spec);
         let gy = Tensor::ones(y.shape().dims());
-        group.bench_with_input(
-            BenchmarkId::new("backward", format!("{batch}x{ch}")),
-            &batch,
-            |bench, _| {
-                bench.iter(|| conv2d_backward(&x, &w, &gy, spec));
-            },
-        );
+        bench(&format!("conv2d/backward/{batch}x{ch}"), || {
+            conv2d_backward(&x, &w, &gy, spec)
+        });
     }
-    group.finish();
-}
 
-fn bench_depthwise(c: &mut Criterion) {
+    group("depthwise + softmax");
     let mut rng = Rng::seed_from(2);
     let x = Tensor::randn(&[32, 8, 8, 8], 1.0, &mut rng);
     let w = Tensor::randn(&[8, 1, 3, 3], 0.3, &mut rng);
-    let spec = Conv2dSpec { stride: 1, pad: 1, groups: 8 };
-    c.bench_function("depthwise_conv_forward", |bench| {
-        bench.iter(|| conv2d_forward(&x, &w, None, spec));
+    let spec = Conv2dSpec {
+        stride: 1,
+        pad: 1,
+        groups: 8,
+    };
+    bench("depthwise_conv_forward", || {
+        conv2d_forward(&x, &w, None, spec)
     });
-}
 
-fn bench_softmax(c: &mut Criterion) {
     let mut rng = Rng::seed_from(3);
     let logits = Tensor::randn(&[256, 43], 2.0, &mut rng);
-    c.bench_function("softmax_256x43", |bench| {
-        bench.iter(|| softmax_rows(&logits, 1.0));
-    });
+    bench("softmax_256x43", || softmax_rows(&logits, 1.0));
 }
-
-
-/// Short measurement profile: the kernels are small and the study machine
-/// is a single core, so long criterion defaults add nothing.
-fn quick() -> Criterion {
-    Criterion::default()
-        .sample_size(10)
-        .warm_up_time(Duration::from_millis(300))
-        .measurement_time(Duration::from_secs(2))
-}
-
-criterion_group! {
-    name = benches;
-    config = quick();
-    targets = bench_matmul, bench_conv, bench_depthwise, bench_softmax
-}
-criterion_main!(benches);

@@ -1,82 +1,54 @@
-//! Criterion benchmarks of per-technique training cost — the
-//! machine-measured counterpart of the Section IV-E training-overhead
-//! analysis. Each benchmark performs one full (small) training run of the
-//! technique, so the relative times mirror the paper's multipliers.
+//! Benchmarks of per-technique training cost — the machine-measured
+//! counterpart of the Section IV-E training-overhead analysis. Each
+//! benchmark performs one full (small) training run of the technique, so
+//! the relative times mirror the paper's multipliers.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::time::Duration;
+use tdfm_bench::harness::{bench, group};
 use tdfm_core::technique::{TechniqueKind, TrainContext};
 use tdfm_data::{DatasetKind, Scale};
 use tdfm_inject::split_clean;
+use tdfm_nn::loss::CrossEntropy;
 use tdfm_nn::models::ModelKind;
+use tdfm_nn::trainer::{fit, FitConfig, TargetSource};
 
-fn bench_techniques(c: &mut Criterion) {
+fn main() {
     let data = DatasetKind::Pneumonia.generate(Scale::Tiny, 0);
-    let mut group = c.benchmark_group("technique_fit");
-    group.sample_size(10);
+    group("technique_fit");
     for kind in TechniqueKind::ALL {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(kind.abbrev()),
-            &kind,
-            |bench, kind| {
-                let technique = kind.build();
-                bench.iter(|| {
-                    let mut ctx = TrainContext::new(Scale::Tiny, 0);
-                    // Keep the benchmark itself small and fixed-cost.
-                    ctx.fit.epochs = 2;
-                    ctx.fit.batch_size = 8;
-                    let train = if technique.wants_clean_subset() {
-                        let (clean, rest) = split_clean(&data.train, 0.1, 0);
-                        ctx.clean_subset = Some(clean);
-                        rest
-                    } else {
-                        data.train.clone()
-                    };
-                    technique.fit(ModelKind::ConvNet, &train, &ctx)
-                });
-            },
-        );
-    }
-    group.finish();
-}
-
-fn bench_models_one_epoch(c: &mut Criterion) {
-    use tdfm_nn::loss::CrossEntropy;
-    use tdfm_nn::trainer::{fit, FitConfig, TargetSource};
-    let data = DatasetKind::Cifar10.generate(Scale::Tiny, 0);
-    let mut group = c.benchmark_group("model_one_epoch");
-    group.sample_size(10);
-    for model in ModelKind::ALL {
-        group.bench_with_input(BenchmarkId::from_parameter(model.name()), &model, |bench, m| {
-            bench.iter(|| {
-                let ctx = TrainContext::new(Scale::Tiny, 0);
-                let mut net = m.build(&ctx.model_config(&data.train));
-                fit(
-                    &mut net,
-                    &CrossEntropy,
-                    data.train.images(),
-                    &TargetSource::Hard(data.train.labels().to_vec()),
-                    &FitConfig { epochs: 1, batch_size: 16, ..FitConfig::default() },
-                )
-            });
+        let technique = kind.build();
+        bench(&format!("technique_fit/{}", kind.abbrev()), || {
+            let mut ctx = TrainContext::new(Scale::Tiny, 0);
+            // Keep the benchmark itself small and fixed-cost.
+            ctx.fit.epochs = 2;
+            ctx.fit.batch_size = 8;
+            let train = if technique.wants_clean_subset() {
+                let (clean, rest) = split_clean(&data.train, 0.1, 0);
+                ctx.clean_subset = Some(clean);
+                rest
+            } else {
+                data.train.clone()
+            };
+            technique.fit(ModelKind::ConvNet, &train, &ctx)
         });
     }
-    group.finish();
-}
 
-
-/// Short measurement profile: the kernels are small and the study machine
-/// is a single core, so long criterion defaults add nothing.
-fn quick() -> Criterion {
-    Criterion::default()
-        .sample_size(10)
-        .warm_up_time(Duration::from_millis(300))
-        .measurement_time(Duration::from_secs(2))
+    let data = DatasetKind::Cifar10.generate(Scale::Tiny, 0);
+    group("model_one_epoch");
+    for model in ModelKind::ALL {
+        bench(&format!("model_one_epoch/{}", model.name()), || {
+            let ctx = TrainContext::new(Scale::Tiny, 0);
+            let mut net = model.build(&ctx.model_config(&data.train));
+            fit(
+                &mut net,
+                &CrossEntropy,
+                data.train.images(),
+                &TargetSource::Hard(data.train.labels().to_vec()),
+                &FitConfig {
+                    epochs: 1,
+                    batch_size: 16,
+                    ..FitConfig::default()
+                },
+            )
+        });
+    }
 }
-
-criterion_group! {
-    name = benches;
-    config = quick();
-    targets = bench_techniques, bench_models_one_epoch
-}
-criterion_main!(benches);

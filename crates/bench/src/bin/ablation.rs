@@ -8,7 +8,9 @@
 //! 4. Label smoothing alpha, and relaxation vs classic smoothing.
 
 use tdfm_bench::{ad_cell, banner};
-use tdfm_core::technique::{Ensemble, LabelCorrection, SelfDistillation};
+use tdfm_core::technique::{
+    Ensemble, LabelCorrection, LabelSmoothing, Mitigation, SelfDistillation,
+};
 use tdfm_core::{ExperimentConfig, Runner, TechniqueKind};
 use tdfm_data::{DatasetKind, Scale};
 use tdfm_inject::{FaultKind, FaultPlan};
@@ -28,54 +30,88 @@ fn config(scale: Scale, technique: TechniqueKind, percent: f32) -> ExperimentCon
 
 fn main() {
     let scale = Scale::from_env();
-    banner("Ablations (GTSRB, 30% mislabelling unless noted)", scale, "DESIGN.md §4");
+    banner(
+        "Ablations (GTSRB, 30% mislabelling unless noted)",
+        scale,
+        "DESIGN.md §4",
+    );
     let runner = Runner::new();
 
-    println!("--- 1. Ensemble diversity ---");
-    let hetero = runner.run_with(
-        &config(scale, TechniqueKind::Ensemble, 30.0),
-        &Ensemble::paper_default(),
-    );
-    let homo = runner.run_with(
-        &config(scale, TechniqueKind::Ensemble, 30.0),
-        &Ensemble::homogeneous(ModelKind::ConvNet, 5),
-    );
-    println!("  heterogeneous (paper): AD {}", ad_cell(&hetero.ad));
-    println!("  homogeneous 5xConvNet: AD {}", ad_cell(&homo.ad));
-
-    println!("\n--- 2. KD teacher weight alpha (50% mislabelling) ---");
+    // Every ablation cell pairs a config with a custom technique; one
+    // run_grid_with call fans the whole study across the thread budget.
+    let mut labelled: Vec<(String, ExperimentConfig, Box<dyn Mitigation>)> = vec![
+        (
+            "1. Ensemble diversity|  heterogeneous (paper)".to_string(),
+            config(scale, TechniqueKind::Ensemble, 30.0),
+            Box::new(Ensemble::paper_default()),
+        ),
+        (
+            "|  homogeneous 5xConvNet".to_string(),
+            config(scale, TechniqueKind::Ensemble, 30.0),
+            Box::new(Ensemble::homogeneous(ModelKind::ConvNet, 5)),
+        ),
+    ];
     for alpha in [0.3f32, 0.7, 0.9] {
-        let result = runner.run_with(
-            &config(scale, TechniqueKind::KnowledgeDistillation, 50.0),
-            &SelfDistillation::new(alpha, 4.0),
-        );
-        println!("  alpha {alpha:.1}: AD {}", ad_cell(&result.ad));
+        let section = if alpha == 0.3 {
+            "2. KD teacher weight alpha (50% mislabelling)"
+        } else {
+            ""
+        };
+        labelled.push((
+            format!("{section}|  alpha {alpha:.1}"),
+            config(scale, TechniqueKind::KnowledgeDistillation, 50.0),
+            Box::new(SelfDistillation::new(alpha, 4.0)),
+        ));
     }
-
-    println!("\n--- 3. LC clean fraction gamma ---");
     for gamma in [0.05f32, 0.2] {
-        let result = runner.run_with(
-            &config(scale, TechniqueKind::LabelCorrection, 30.0),
-            &LabelCorrection::new(gamma),
-        );
-        println!("  gamma {gamma:.2}: AD {}", ad_cell(&result.ad));
+        let section = if gamma == 0.05 {
+            "3. LC clean fraction gamma"
+        } else {
+            ""
+        };
+        labelled.push((
+            format!("{section}|  gamma {gamma:.2}"),
+            config(scale, TechniqueKind::LabelCorrection, 30.0),
+            Box::new(LabelCorrection::new(gamma)),
+        ));
     }
-
-    println!("\n--- 4. Label smoothing alpha (relaxation) ---");
     for alpha in [0.05f32, 0.1, 0.4] {
-        let result = runner.run_with(
-            &config(scale, TechniqueKind::LabelSmoothing, 30.0),
-            &tdfm_core::technique::LabelSmoothing::new(alpha),
-        );
-        println!("  alpha {alpha:.2}: AD {}", ad_cell(&result.ad));
+        let section = if alpha == 0.05 {
+            "4. Label smoothing alpha (relaxation)"
+        } else {
+            ""
+        };
+        labelled.push((
+            format!("{section}|  alpha {alpha:.2}"),
+            config(scale, TechniqueKind::LabelSmoothing, 30.0),
+            Box::new(LabelSmoothing::new(alpha)),
+        ));
+    }
+    for fault in [FaultKind::Mislabelling, FaultKind::PairFlipMislabelling] {
+        let section = if fault == FaultKind::Mislabelling {
+            "5. Noise model: uniform vs pair-flip mislabelling (baseline)"
+        } else {
+            ""
+        };
+        labelled.push((
+            format!("{section}|  {:<12}", fault.name()),
+            ExperimentConfig {
+                fault_plan: FaultPlan::single(fault, 30.0),
+                ..config(scale, TechniqueKind::Baseline, 30.0)
+            },
+            TechniqueKind::Baseline.build(),
+        ));
     }
 
-    println!("\n--- 5. Noise model: uniform vs pair-flip mislabelling (baseline) ---");
-    for fault in [FaultKind::Mislabelling, FaultKind::PairFlipMislabelling] {
-        let result = runner.run(&ExperimentConfig {
-            fault_plan: FaultPlan::single(fault, 30.0),
-            ..config(scale, TechniqueKind::Baseline, 30.0)
-        });
-        println!("  {:<12}: AD {}", fault.name(), ad_cell(&result.ad));
+    let cells: Vec<(&ExperimentConfig, &dyn Mitigation)> =
+        labelled.iter().map(|(_, c, t)| (c, t.as_ref())).collect();
+    let results = runner.run_grid_with(&cells);
+
+    for ((label, _, _), result) in labelled.iter().zip(&results) {
+        let (section, row) = label.split_once('|').expect("label has a section marker");
+        if !section.is_empty() {
+            println!("--- {section} ---");
+        }
+        println!("{row}: AD {}", ad_cell(&result.ad));
     }
 }

@@ -20,15 +20,15 @@ fn main() {
         (DatasetKind::Gtsrb, ModelKind::ConvNet),
         (DatasetKind::Cifar10, ModelKind::ConvNet),
     ];
-    for (dataset, model) in anchors {
-        println!("--- {dataset} / {model} ---");
-        for (kind, pcts) in [
-            (FaultKind::Mislabelling, &[10.0f32, 30.0, 50.0][..]),
-            (FaultKind::Removal, &[50.0][..]),
-        ] {
-            for &p in pcts {
-                let start = std::time::Instant::now();
-                let result = runner.run(&ExperimentConfig {
+    let doses = [
+        (FaultKind::Mislabelling, &[10.0f32, 30.0, 50.0][..]),
+        (FaultKind::Removal, &[50.0][..]),
+    ];
+    let configs: Vec<ExperimentConfig> = anchors
+        .iter()
+        .flat_map(|&(dataset, model)| {
+            doses.iter().flat_map(move |&(kind, pcts)| {
+                pcts.iter().map(move |&p| ExperimentConfig {
                     dataset,
                     model,
                     technique: TechniqueKind::Baseline,
@@ -36,15 +36,29 @@ fn main() {
                     scale,
                     repetitions: scale.repetitions(),
                     seed: 7,
-                });
+                })
+            })
+        })
+        .collect();
+    let start = std::time::Instant::now();
+    let results = runner.run_grid(&configs);
+    let mut cells = results.iter();
+    for (dataset, model) in anchors {
+        println!("--- {dataset} / {model} ---");
+        for (kind, pcts) in doses {
+            for &p in pcts {
+                let result = cells.next().expect("grid covers every anchor");
                 println!(
-                    "  {kind:<13} {p:>4}%  golden {}  faulty {}  AD {}   [{:?}]",
+                    "  {kind:<13} {p:>4}%  golden {}  faulty {}  AD {}",
                     pct(result.golden_accuracy.mean),
                     pct(result.faulty_accuracy.mean),
                     ad_cell(&result.ad),
-                    start.elapsed(),
                 );
             }
         }
     }
+    println!(
+        "\ntotal wall-clock: {:?} (TDFM_THREADS caps the grid fan-out)",
+        start.elapsed()
+    );
 }

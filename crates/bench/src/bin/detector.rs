@@ -9,7 +9,7 @@
 
 use tdfm_bench::{ad_cell, banner};
 use tdfm_core::detect::{DetectAndFilter, NoiseDetector};
-use tdfm_core::technique::TrainContext;
+use tdfm_core::technique::{Mitigation, TrainContext};
 use tdfm_core::{ExperimentConfig, Runner, TechniqueKind};
 use tdfm_data::{DatasetKind, Scale};
 use tdfm_inject::{FaultKind, FaultPlan, Injector};
@@ -17,12 +17,19 @@ use tdfm_nn::models::ModelKind;
 
 fn main() {
     let scale = Scale::from_env();
-    banner("Extension: detection vs mitigation (CIFAR-10, ConvNet)", scale, "Section III-A scope");
+    banner(
+        "Extension: detection vs mitigation (CIFAR-10, ConvNet)",
+        scale,
+        "Section III-A scope",
+    );
     let runner = Runner::new();
 
     // Raw detection quality per fault amount.
     println!("detector quality (3-fold confident learning):");
-    println!("{:<10}{:>12}{:>12}{:>12}{:>12}", "fault %", "flagged", "precision", "recall", "F1");
+    println!(
+        "{:<10}{:>12}{:>12}{:>12}{:>12}",
+        "fault %", "flagged", "precision", "recall", "F1"
+    );
     for percent in [10.0f32, 30.0, 50.0] {
         let data = DatasetKind::Cifar10.generate(scale, 13);
         let plan = FaultPlan::single(FaultKind::Mislabelling, percent);
@@ -41,48 +48,48 @@ fn main() {
         );
     }
 
-    // AD comparison: detect-and-filter vs the paper's techniques.
+    // AD comparison: detect-and-filter vs the paper's techniques, all
+    // twelve cells fanned out as one grid.
     println!("\nAD under mislabelling (lower is better):");
     println!("{:<22}{:>15}{:>15}{:>15}", "Technique", "10%", "30%", "50%");
-    let mut rows: Vec<(String, Vec<String>)> = Vec::new();
-    for technique in [TechniqueKind::Baseline, TechniqueKind::LabelSmoothing, TechniqueKind::Ensemble] {
-        let mut cells = Vec::new();
+    let cell_config = |technique, percent| ExperimentConfig {
+        dataset: DatasetKind::Cifar10,
+        model: ModelKind::ConvNet,
+        technique,
+        fault_plan: FaultPlan::single(FaultKind::Mislabelling, percent),
+        scale,
+        repetitions: scale.repetitions().min(2),
+        seed: 13,
+    };
+    let mut grid: Vec<(String, ExperimentConfig, Box<dyn Mitigation>)> = Vec::new();
+    for technique in [
+        TechniqueKind::Baseline,
+        TechniqueKind::LabelSmoothing,
+        TechniqueKind::Ensemble,
+    ] {
         for percent in [10.0f32, 30.0, 50.0] {
-            let result = runner.run(&ExperimentConfig {
-                dataset: DatasetKind::Cifar10,
-                model: ModelKind::ConvNet,
-                technique,
-                fault_plan: FaultPlan::single(FaultKind::Mislabelling, percent),
-                scale,
-                repetitions: scale.repetitions().min(2),
-                seed: 13,
-            });
-            cells.push(ad_cell(&result.ad));
+            grid.push((
+                technique.full_name().to_string(),
+                cell_config(technique, percent),
+                technique.build(),
+            ));
         }
-        rows.push((technique.full_name().to_string(), cells));
     }
-    // Detect-and-filter via the custom-technique path.
-    let mut cells = Vec::new();
     for percent in [10.0f32, 30.0, 50.0] {
-        let result = runner.run_with(
-            &ExperimentConfig {
-                dataset: DatasetKind::Cifar10,
-                model: ModelKind::ConvNet,
-                technique: TechniqueKind::Baseline, // reporting label only
-                fault_plan: FaultPlan::single(FaultKind::Mislabelling, percent),
-                scale,
-                repetitions: scale.repetitions().min(2),
-                seed: 13,
-            },
-            &DetectAndFilter::default(),
-        );
-        cells.push(ad_cell(&result.ad));
+        grid.push((
+            "Detect-and-filter".to_string(),
+            // The technique field is the reporting label only.
+            cell_config(TechniqueKind::Baseline, percent),
+            Box::new(DetectAndFilter::default()),
+        ));
     }
-    rows.push(("Detect-and-filter".to_string(), cells));
-    for (name, cells) in rows {
-        print!("{name:<22}");
-        for c in cells {
-            print!("{c:>15}");
+    let cells: Vec<(&ExperimentConfig, &dyn Mitigation)> =
+        grid.iter().map(|(_, c, t)| (c, t.as_ref())).collect();
+    let results = runner.run_grid_with(&cells);
+    for (row, chunk) in grid.chunks(3).zip(results.chunks(3)) {
+        print!("{:<22}", row[0].0);
+        for result in chunk {
+            print!("{:>15}", ad_cell(&result.ad));
         }
         println!();
     }

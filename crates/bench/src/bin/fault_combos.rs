@@ -8,8 +8,8 @@ use tdfm_data::{DatasetKind, Scale};
 use tdfm_inject::{FaultKind, FaultPlan};
 use tdfm_nn::models::ModelKind;
 
-fn run_plan(runner: &Runner, scale: Scale, plan: FaultPlan) -> ExperimentResult {
-    runner.run(&ExperimentConfig {
+fn plan_config(scale: Scale, plan: FaultPlan) -> ExperimentConfig {
+    ExperimentConfig {
         dataset: DatasetKind::Gtsrb,
         model: ModelKind::ConvNet,
         technique: TechniqueKind::Baseline,
@@ -17,33 +17,43 @@ fn run_plan(runner: &Runner, scale: Scale, plan: FaultPlan) -> ExperimentResult 
         scale,
         repetitions: scale.repetitions().max(3),
         seed: 4,
-    })
+    }
 }
 
 fn main() {
     let scale = Scale::from_env();
-    banner("Section IV-C: combined fault types (GTSRB, ConvNet)", scale, "Section IV-C");
+    banner(
+        "Section IV-C: combined fault types (GTSRB, ConvNet)",
+        scale,
+        "Section IV-C",
+    );
     let runner = Runner::new();
-    let mislabel = run_plan(&runner, scale, FaultPlan::single(FaultKind::Mislabelling, 30.0));
-    let removal = run_plan(&runner, scale, FaultPlan::single(FaultKind::Removal, 30.0));
-    let repetition = run_plan(&runner, scale, FaultPlan::single(FaultKind::Repetition, 30.0));
-    let mis_rem = run_plan(
-        &runner,
-        scale,
+    // All six plans share one golden model per repetition seed; the grid
+    // runs them concurrently while the cache trains each golden once.
+    let configs: Vec<ExperimentConfig> = [
+        FaultPlan::single(FaultKind::Mislabelling, 30.0),
+        FaultPlan::single(FaultKind::Removal, 30.0),
+        FaultPlan::single(FaultKind::Repetition, 30.0),
         FaultPlan::single(FaultKind::Mislabelling, 30.0).and(FaultKind::Removal, 30.0),
-    );
-    let mis_rep = run_plan(
-        &runner,
-        scale,
         FaultPlan::single(FaultKind::Mislabelling, 30.0).and(FaultKind::Repetition, 30.0),
-    );
-    let rem_rep = run_plan(
-        &runner,
-        scale,
         FaultPlan::single(FaultKind::Removal, 30.0).and(FaultKind::Repetition, 30.0),
-    );
+    ]
+    .into_iter()
+    .map(|plan| plan_config(scale, plan))
+    .collect();
+    let mut grid = runner.run_grid(&configs).into_iter();
+    let mut next = || grid.next().expect("grid covers every plan");
+    let (mislabel, removal, repetition) = (next(), next(), next());
+    let (mis_rem, mis_rep, rem_rep) = (next(), next(), next());
 
-    let all = [&mislabel, &removal, &repetition, &mis_rem, &mis_rep, &rem_rep];
+    let all = [
+        &mislabel,
+        &removal,
+        &repetition,
+        &mis_rem,
+        &mis_rep,
+        &rem_rep,
+    ];
     println!("{:<36}{:>16}", "Fault plan", "Baseline AD");
     println!("{}", "-".repeat(52));
     for r in all {
@@ -53,17 +63,33 @@ fn main() {
     println!("\nStatistical-similarity checks (CI overlap + Welch t-test, alpha = 0.05):");
     for (label, combo, single) in [
         ("mislabelling+removal ~ mislabelling", &mis_rem, &mislabel),
-        ("mislabelling+repetition ~ mislabelling", &mis_rep, &mislabel),
+        (
+            "mislabelling+repetition ~ mislabelling",
+            &mis_rep,
+            &mislabel,
+        ),
         ("removal+repetition ~ repetition", &rem_rep, &repetition),
     ] {
         let combo_ads: Vec<f32> = combo.repetitions.iter().map(|r| r.accuracy_delta).collect();
-        let single_ads: Vec<f32> = single.repetitions.iter().map(|r| r.accuracy_delta).collect();
+        let single_ads: Vec<f32> = single
+            .repetitions
+            .iter()
+            .map(|r| r.accuracy_delta)
+            .collect();
         let welch = tdfm_core::stats::welch_t_test(&combo_ads, &single_ads);
         println!(
             "  {label}: CI {} / Welch p = {:.3} -> {}",
-            if combo.ad.overlaps(&single.ad) { "overlap" } else { "disjoint" },
+            if combo.ad.overlaps(&single.ad) {
+                "overlap"
+            } else {
+                "disjoint"
+            },
             welch.p_value,
-            if welch.similar_at(0.05) { "similar" } else { "DIFFERENT" }
+            if welch.similar_at(0.05) {
+                "similar"
+            } else {
+                "DIFFERENT"
+            }
         );
     }
 

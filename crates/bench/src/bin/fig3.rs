@@ -2,6 +2,11 @@
 //! with mislabelling faults (panels a-d) and removal faults (panels e-h),
 //! for ResNet50, VGG16, ConvNet and MobileNet at 10/30/50% fault amounts.
 //!
+//! All cells of all eight panels are submitted as one grid to
+//! [`Runner::run_grid`], which fans them across the machine's thread
+//! budget (`TDFM_THREADS`); results come back in submission order, so the
+//! printed panels are identical to a sequential run.
+//!
 //! Each panel is printed as the numeric series plus an ASCII bar chart of
 //! the 30% column (the paper's middle dose).
 
@@ -13,13 +18,12 @@ use tdfm_nn::models::ModelKind;
 
 const PERCENTS: [f32; 3] = [10.0, 30.0, 50.0];
 
-fn run_panel(
-    runner: &Runner,
+fn panel_configs(
     scale: Scale,
     dataset: DatasetKind,
     model: ModelKind,
     fault: FaultKind,
-) -> Vec<(TechniqueKind, Vec<ExperimentResult>)> {
+) -> Vec<(TechniqueKind, Vec<ExperimentConfig>)> {
     TechniqueKind::ALL
         .into_iter()
         .filter(|t| {
@@ -38,16 +42,14 @@ fn run_panel(
             };
             let series = PERCENTS
                 .iter()
-                .map(|&p| {
-                    runner.run(&ExperimentConfig {
-                        dataset,
-                        model,
-                        technique,
-                        fault_plan: FaultPlan::single(fault, p),
-                        scale,
-                        repetitions: reps,
-                        seed: 4,
-                    })
+                .map(|&p| ExperimentConfig {
+                    dataset,
+                    model,
+                    technique,
+                    fault_plan: FaultPlan::single(fault, p),
+                    scale,
+                    repetitions: reps,
+                    seed: 4,
                 })
                 .collect();
             (technique, series)
@@ -68,7 +70,11 @@ fn print_panel(name: &str, rows: &[(TechniqueKind, Vec<ExperimentResult>)]) {
     let bars: Vec<(String, f32, f32)> = rows
         .iter()
         .map(|(t, series)| {
-            (t.abbrev().to_string(), series[1].ad.mean, series[1].ad.half_width)
+            (
+                t.abbrev().to_string(),
+                series[1].ad.mean,
+                series[1].ad.half_width,
+            )
         })
         .collect();
     println!("\n{}", render_bars("AD at 30% (bar chart):", &bars));
@@ -81,21 +87,46 @@ fn main() {
         scale,
         "Section IV-B and IV-C, Fig. 3",
     );
-    let models = [ModelKind::ResNet50, ModelKind::Vgg16, ModelKind::ConvNet, ModelKind::MobileNet];
+    let models = [
+        ModelKind::ResNet50,
+        ModelKind::Vgg16,
+        ModelKind::ConvNet,
+        ModelKind::MobileNet,
+    ];
     let runner = Runner::new();
-    let mut results = Vec::new();
-    let mut panel = b'a';
 
+    // Build every panel's cells up front, then run them as one grid.
+    type PanelSeries = Vec<(TechniqueKind, Vec<ExperimentConfig>)>;
+    let mut panels: Vec<(String, PanelSeries)> = Vec::new();
+    let mut panel = b'a';
     for fault in [FaultKind::Mislabelling, FaultKind::Removal] {
         for model in models {
-            let rows = run_panel(&runner, scale, DatasetKind::Gtsrb, model, fault);
-            print_panel(
-                &format!("Fig. 3{}: GTSRB, {}, {}", panel as char, model.name(), fault),
-                &rows,
-            );
-            results.extend(rows.into_iter().flat_map(|(_, s)| s));
+            panels.push((
+                format!(
+                    "Fig. 3{}: GTSRB, {}, {}",
+                    panel as char,
+                    model.name(),
+                    fault
+                ),
+                panel_configs(scale, DatasetKind::Gtsrb, model, fault),
+            ));
             panel += 1;
         }
+    }
+    let flat: Vec<ExperimentConfig> = panels
+        .iter()
+        .flat_map(|(_, rows)| rows.iter().flat_map(|(_, s)| s.iter().cloned()))
+        .collect();
+    let mut remaining = runner.run_grid(&flat).into_iter();
+
+    let mut results = Vec::new();
+    for (name, config_rows) in &panels {
+        let rows: Vec<(TechniqueKind, Vec<ExperimentResult>)> = config_rows
+            .iter()
+            .map(|(t, series)| (*t, remaining.by_ref().take(series.len()).collect()))
+            .collect();
+        print_panel(name, &rows);
+        results.extend(rows.into_iter().flat_map(|(_, s)| s));
     }
     match write_json("fig3.json", &results_to_json(&results)) {
         Ok(path) => println!("wrote {}", path.display()),

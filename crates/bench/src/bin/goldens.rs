@@ -4,14 +4,18 @@
 //! AD measurements.
 
 use tdfm_bench::{banner, pct};
-use tdfm_core::technique::{TechniqueKind, TrainContext};
 use tdfm_core::metrics::accuracy;
+use tdfm_core::technique::{TechniqueKind, TrainContext};
 use tdfm_data::{DatasetKind, Scale};
 use tdfm_nn::models::ModelKind;
 
 fn main() {
     let scale = Scale::from_env();
-    banner("Golden accuracy probe (all models x datasets)", scale, "precondition for Table IV");
+    banner(
+        "Golden accuracy probe (all models x datasets)",
+        scale,
+        "precondition for Table IV",
+    );
     print!("{:<11}", "Model");
     for d in DatasetKind::ALL {
         print!("{:>11}", d.name());
@@ -24,8 +28,9 @@ fn main() {
             let mut ctx = TrainContext::new(scale, 7);
             ctx.tune_for(data.train.len());
             let start = std::time::Instant::now();
-            let mut fitted =
-                TechniqueKind::Baseline.build().fit(model, &data.train, &ctx);
+            let mut fitted = TechniqueKind::Baseline
+                .build()
+                .fit(model, &data.train, &ctx);
             let preds = fitted.predict(data.test.images());
             let acc = accuracy(&preds, data.test.labels());
             print!("{:>7} {:>2.0}s", pct(acc), start.elapsed().as_secs_f32());

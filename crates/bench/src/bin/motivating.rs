@@ -18,31 +18,15 @@ fn main() {
         "Sections II and III-D",
     );
     let runner = Runner::new();
-    let mut results = Vec::new();
     // The Pneumonia analogue is small and cheap to train, so the headline
     // example affords extra repetitions for tighter intervals.
     let reps = scale.repetitions().max(8);
 
-    // Section II: accuracy collapse of the unprotected model.
-    let base = runner.run(&ExperimentConfig {
-        dataset: DatasetKind::Pneumonia,
-        model: ModelKind::ResNet50,
-        technique: TechniqueKind::Baseline,
-        fault_plan: FaultPlan::single(FaultKind::Mislabelling, 10.0),
-        scale,
-        repetitions: reps,
-        seed: 4,
-    });
-    println!("golden accuracy : {} (paper: 90%)", pct(base.golden_accuracy.mean));
-    println!("faulty accuracy : {} (paper: 55%)", pct(base.faulty_accuracy.mean));
-    println!("baseline AD     : {}\n", ad_cell(&base.ad));
-    results.push(base);
-
-    // Section III-D: each technique applied to the faulty model.
-    println!("{:<10}{:>16}{:>14}", "Technique", "AD (ours)", "AD (paper)");
-    let paper_ad = [("LS", "5%"), ("LC", "29%"), ("RL", "15%"), ("KD", "13%"), ("Ens", "5%")];
-    for technique in TechniqueKind::ALL.into_iter().skip(1) {
-        let result = runner.run(&ExperimentConfig {
+    // One cell per technique (baseline first), run as one grid; every cell
+    // shares the same golden models through the runner's cache.
+    let configs: Vec<ExperimentConfig> = TechniqueKind::ALL
+        .into_iter()
+        .map(|technique| ExperimentConfig {
             dataset: DatasetKind::Pneumonia,
             model: ModelKind::ResNet50,
             technique,
@@ -50,14 +34,43 @@ fn main() {
             scale,
             repetitions: reps,
             seed: 4,
-        });
+        })
+        .collect();
+    let results = runner.run_grid(&configs);
+
+    // Section II: accuracy collapse of the unprotected model.
+    let base = &results[0];
+    println!(
+        "golden accuracy : {} (paper: 90%)",
+        pct(base.golden_accuracy.mean)
+    );
+    println!(
+        "faulty accuracy : {} (paper: 55%)",
+        pct(base.faulty_accuracy.mean)
+    );
+    println!("baseline AD     : {}\n", ad_cell(&base.ad));
+
+    // Section III-D: each technique applied to the faulty model.
+    println!("{:<10}{:>16}{:>14}", "Technique", "AD (ours)", "AD (paper)");
+    let paper_ad = [
+        ("LS", "5%"),
+        ("LC", "29%"),
+        ("RL", "15%"),
+        ("KD", "13%"),
+        ("Ens", "5%"),
+    ];
+    for (technique, result) in TechniqueKind::ALL.into_iter().zip(&results).skip(1) {
         let paper = paper_ad
             .iter()
             .find(|(n, _)| *n == technique.abbrev())
             .map(|(_, v)| *v)
             .unwrap_or("-");
-        println!("{:<10}{:>16}{:>14}", technique.abbrev(), ad_cell(&result.ad), paper);
-        results.push(result);
+        println!(
+            "{:<10}{:>16}{:>14}",
+            technique.abbrev(),
+            ad_cell(&result.ad),
+            paper
+        );
     }
     match write_json("motivating.json", &results_to_json(&results)) {
         Ok(path) => println!("\nwrote {}", path.display()),

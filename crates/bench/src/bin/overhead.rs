@@ -37,7 +37,7 @@ fn main() {
         println!();
         all.extend(rows);
     }
-    let json = serde_json::to_string_pretty(&all).expect("rows serialise");
+    let json = tdfm_json::to_string_pretty(&all);
     match write_json("overhead.json", &json) {
         Ok(path) => println!("wrote {}", path.display()),
         Err(e) => eprintln!("could not write results: {e}"),

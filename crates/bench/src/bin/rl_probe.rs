@@ -12,24 +12,33 @@ fn main() {
     let scale = Scale::from_env();
     banner("RL adaptive-weight probe (GTSRB)", scale, "Section III-B3");
     let runner = Runner::new();
-    for model in [ModelKind::ConvNet, ModelKind::ResNet50] {
-        for technique in [TechniqueKind::Baseline, TechniqueKind::RobustLoss] {
-            let result = runner.run(&ExperimentConfig {
-                dataset: DatasetKind::Gtsrb,
-                model,
-                technique,
-                fault_plan: FaultPlan::single(FaultKind::Mislabelling, 30.0),
-                scale,
-                repetitions: 2,
-                seed: 4,
-            });
-            println!(
-                "{:<10} {:<5} AD {}  faulty acc {:.0}%",
-                model.name(),
-                technique.abbrev(),
-                ad_cell(&result.ad),
-                100.0 * result.faulty_accuracy.mean
-            );
-        }
+    let cells: Vec<(ModelKind, TechniqueKind)> = [ModelKind::ConvNet, ModelKind::ResNet50]
+        .into_iter()
+        .flat_map(|model| {
+            [TechniqueKind::Baseline, TechniqueKind::RobustLoss]
+                .into_iter()
+                .map(move |technique| (model, technique))
+        })
+        .collect();
+    let configs: Vec<ExperimentConfig> = cells
+        .iter()
+        .map(|&(model, technique)| ExperimentConfig {
+            dataset: DatasetKind::Gtsrb,
+            model,
+            technique,
+            fault_plan: FaultPlan::single(FaultKind::Mislabelling, 30.0),
+            scale,
+            repetitions: 2,
+            seed: 4,
+        })
+        .collect();
+    for ((model, technique), result) in cells.iter().zip(runner.run_grid(&configs)) {
+        println!(
+            "{:<10} {:<5} AD {}  faulty acc {:.0}%",
+            model.name(),
+            technique.abbrev(),
+            ad_cell(&result.ad),
+            100.0 * result.faulty_accuracy.mean
+        );
     }
 }

@@ -15,7 +15,7 @@ fn panels_from_file(name: &str) -> Vec<(String, Vec<ExperimentResult>)> {
         eprintln!("skipping {name}: run the corresponding harness binary first");
         return Vec::new();
     };
-    let results: Vec<ExperimentResult> = match serde_json::from_str(&text) {
+    let results: Vec<ExperimentResult> = match tdfm_json::from_str(&text) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("skipping {name}: {e}");
@@ -32,7 +32,12 @@ fn panels_from_file(name: &str) -> Vec<(String, Vec<ExperimentResult>)> {
             .first()
             .map(|s| s.kind.name())
             .unwrap_or("clean");
-        let key = format!("{}, {}, {}", r.config.dataset.name(), r.config.model.name(), fault);
+        let key = format!(
+            "{}, {}, {}",
+            r.config.dataset.name(),
+            r.config.model.name(),
+            fault
+        );
         panels.entry(key).or_default().push(r);
     }
     panels.into_iter().collect()
@@ -47,7 +52,10 @@ fn main() {
             if groups.iter().all(|g| g.bars.is_empty()) {
                 continue;
             }
-            let spec = PanelSpec { title: title.clone(), ..PanelSpec::default() };
+            let spec = PanelSpec {
+                title: title.clone(),
+                ..PanelSpec::default()
+            };
             let svg = render_panel(&spec, &groups);
             let name = format!("{stem}-{}.svg", (b'a' + i as u8) as char);
             match write_json(&name, &svg) {

@@ -11,7 +11,7 @@ fn main() {
     for t in &reps {
         println!("  {:<24} -> {} {}", t.approach.name(), t.name, t.reference);
     }
-    let json = serde_json::to_string_pretty(&cat).expect("catalogue serialises");
+    let json = tdfm_json::to_string_pretty(&cat);
     match tdfm_bench::write_json("table1.json", &json) {
         Ok(path) => println!("\nwrote {}", path.display()),
         Err(e) => eprintln!("could not write results: {e}"),

@@ -6,7 +6,11 @@ use tdfm_data::{DatasetKind, Scale};
 
 fn main() {
     let scale = Scale::from_env();
-    banner("Table II: image classification datasets", scale, "Section IV, Table II");
+    banner(
+        "Table II: image classification datasets",
+        scale,
+        "Section IV, Table II",
+    );
     println!(
         "{:<12}{:>14}{:>12}{:>26}  {:>13}{:>12}",
         "Name", "Paper train", "Paper test", "Task (# classes)", "Synth train", "Synth test"
@@ -28,7 +32,7 @@ fn main() {
     let tt = DatasetKind::Gtsrb.generate(scale, 0);
     assert_eq!(tt.train.classes(), 43);
     let infos: Vec<_> = DatasetKind::ALL.iter().map(|k| k.info()).collect();
-    let json = serde_json::to_string_pretty(&infos).expect("infos serialise");
+    let json = tdfm_json::to_string_pretty(&infos);
     match tdfm_bench::write_json("table2.json", &json) {
         Ok(path) => println!("\nwrote {}", path.display()),
         Err(e) => eprintln!("could not write results: {e}"),

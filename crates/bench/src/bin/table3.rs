@@ -7,7 +7,11 @@ use tdfm_nn::models::{ModelConfig, ModelKind};
 
 fn main() {
     let scale = Scale::from_env();
-    banner("Table III: neural network architectures", scale, "Section IV, Table III");
+    banner(
+        "Table III: neural network architectures",
+        scale,
+        "Section IV, Table III",
+    );
     let cfg = ModelConfig {
         in_shape: (3, scale.image_side(), scale.image_side()),
         classes: 10,
@@ -31,7 +35,7 @@ fn main() {
         );
     }
     let infos: Vec<_> = ModelKind::ALL.iter().map(|k| k.info()).collect();
-    let json = serde_json::to_string_pretty(&infos).expect("infos serialise");
+    let json = tdfm_json::to_string_pretty(&infos);
     match tdfm_bench::write_json("table3.json", &json) {
         Ok(path) => println!("\nwrote {}", path.display()),
         Err(e) => eprintln!("could not write results: {e}"),

@@ -2,6 +2,9 @@
 //! injection, for every technique (the golden-accuracy baseline of the
 //! study).
 //!
+//! All 72 cells run as one [`Runner::run_grid`] call, fanned across the
+//! thread budget (`TDFM_THREADS`); results come back in row-major order.
+//!
 //! Paper layout: rows = (model, dataset), columns = Base, LS, LC, RL, KD,
 //! Ens; datasets 1 = CIFAR-10, 2 = GTSRB, 3 = Pneumonia.
 
@@ -13,33 +16,58 @@ use tdfm_nn::models::ModelKind;
 
 fn main() {
     let scale = Scale::from_env();
-    banner("Table IV: accuracies without fault injection", scale, "Section IV-A, Table IV");
-    let models = [ModelKind::ResNet50, ModelKind::Vgg16, ModelKind::ConvNet, ModelKind::MobileNet];
+    banner(
+        "Table IV: accuracies without fault injection",
+        scale,
+        "Section IV-A, Table IV",
+    );
+    let models = [
+        ModelKind::ResNet50,
+        ModelKind::Vgg16,
+        ModelKind::ConvNet,
+        ModelKind::MobileNet,
+    ];
     let runner = Runner::new();
-    let mut results = Vec::new();
     // Accuracy percentages need fewer repetitions than the AD error bars.
     let reps = scale.repetitions().min(2);
+
+    // Row-major grid: (model, dataset) rows x technique columns.
+    let configs: Vec<ExperimentConfig> = models
+        .iter()
+        .flat_map(|&model| {
+            DatasetKind::ALL.iter().flat_map(move |&dataset| {
+                TechniqueKind::ALL
+                    .into_iter()
+                    .map(move |technique| ExperimentConfig {
+                        dataset,
+                        model,
+                        technique,
+                        fault_plan: FaultPlan::none(),
+                        scale,
+                        repetitions: reps,
+                        seed: 4,
+                    })
+            })
+        })
+        .collect();
+    let results = runner.run_grid(&configs);
 
     println!(
         "{:<11}{:<11}{:>7}{:>7}{:>7}{:>7}{:>7}{:>7}",
         "Model", "Dataset", "Base", "LS", "LC", "RL", "KD", "Ens"
     );
     println!("{}", "-".repeat(64));
+    let mut cells = results.iter();
     for model in models {
         for (i, dataset) in DatasetKind::ALL.iter().enumerate() {
-            print!("{:<11}{:<11}", model.name(), format!("{} ({})", i + 1, dataset.name()));
-            for technique in TechniqueKind::ALL {
-                let result = runner.run(&ExperimentConfig {
-                    dataset: *dataset,
-                    model,
-                    technique,
-                    fault_plan: FaultPlan::none(),
-                    scale,
-                    repetitions: reps,
-                    seed: 4,
-                });
+            print!(
+                "{:<11}{:<11}",
+                model.name(),
+                format!("{} ({})", i + 1, dataset.name())
+            );
+            for _ in TechniqueKind::ALL {
+                let result = cells.next().expect("grid covers every cell");
                 print!("{:>7}", pct(result.faulty_accuracy.mean));
-                results.push(result);
             }
             println!();
         }

@@ -1,0 +1,74 @@
+//! Minimal wall-clock micro-benchmark harness.
+//!
+//! The `benches/` targets are plain `harness = false` binaries built on
+//! this module, so the workspace benchmarks run without any external
+//! benchmarking framework. Reports are printed one line per benchmark
+//! (mean, min, iteration count) — enough to compare the relative costs
+//! the Section IV-E analysis cares about.
+
+use std::time::{Duration, Instant};
+
+/// Timing summary of one benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchReport {
+    /// Benchmark label.
+    pub name: String,
+    /// Mean wall-clock time per iteration.
+    pub mean: Duration,
+    /// Fastest observed iteration.
+    pub min: Duration,
+    /// Number of measured iterations.
+    pub iters: u32,
+}
+
+/// Runs `f` repeatedly and prints one report line.
+///
+/// A short warm-up sizes the measurement loop so cheap kernels get many
+/// iterations while whole training runs get few; total measurement time
+/// stays around a second per benchmark.
+pub fn bench<T>(name: &str, mut f: impl FnMut() -> T) -> BenchReport {
+    // Warm-up: at least one run, at most ~200 ms.
+    let warm_start = Instant::now();
+    let mut warm_iters = 0u32;
+    while warm_iters == 0 || (warm_start.elapsed() < Duration::from_millis(200) && warm_iters < 20)
+    {
+        std::hint::black_box(f());
+        warm_iters += 1;
+    }
+    let per_iter = warm_start.elapsed() / warm_iters;
+    let target = Duration::from_secs(1);
+    let iters = (target.as_nanos() / per_iter.as_nanos().max(1)).clamp(3, 100) as u32;
+
+    let mut times = Vec::with_capacity(iters as usize);
+    for _ in 0..iters {
+        let t = Instant::now();
+        std::hint::black_box(f());
+        times.push(t.elapsed());
+    }
+    let mean = times.iter().sum::<Duration>() / iters;
+    let min = *times.iter().min().expect("at least one iteration");
+    println!("{name:<44} mean {mean:>12.3?}  min {min:>12.3?}  ({iters} iters)");
+    BenchReport {
+        name: name.to_string(),
+        mean,
+        min,
+        iters,
+    }
+}
+
+/// Prints a section header for a group of related benchmarks.
+pub fn group(title: &str) {
+    println!("\n== {title} ==");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_measures_and_reports() {
+        let report = bench("noop", || 1 + 1);
+        assert!(report.iters >= 3);
+        assert!(report.mean >= report.min);
+    }
+}

@@ -18,6 +18,7 @@
 //! | `fault_combos` | Section IV-C (combined fault types)            |
 //! | `ablation`     | DESIGN.md §4 (ensemble diversity, KD, LC, LS)  |
 
+pub mod harness;
 pub mod svg;
 
 use std::io::Write as _;
@@ -83,7 +84,11 @@ pub fn result_exists(name: &str) -> bool {
 pub fn render_bars(title: &str, series: &[(String, f32, f32)]) -> String {
     const WIDTH: usize = 40;
     let mut out = format!("{title}\n");
-    let max = series.iter().map(|(_, v, _)| *v).fold(0.0f32, f32::max).max(1e-6);
+    let max = series
+        .iter()
+        .map(|(_, v, _)| *v)
+        .fold(0.0f32, f32::max)
+        .max(1e-6);
     for (label, value, half) in series {
         let filled = ((value / max) * WIDTH as f32).round() as usize;
         out.push_str(&format!(
@@ -111,7 +116,10 @@ mod tests {
 
     #[test]
     fn ad_cell_formats_mean_and_width() {
-        let ci = tdfm_core::ConfidenceInterval { mean: 0.123, half_width: 0.045 };
+        let ci = tdfm_core::ConfidenceInterval {
+            mean: 0.123,
+            half_width: 0.045,
+        };
         assert_eq!(ad_cell(&ci), " 12.3 ±  4.5");
     }
 

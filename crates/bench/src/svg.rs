@@ -56,7 +56,9 @@ const PALETTE: [&str; 6] = [
 ];
 
 fn esc(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 /// Renders one grouped-bar panel as a complete SVG document.
@@ -70,7 +72,10 @@ fn esc(s: &str) -> String {
 /// Panics if `groups` is empty or any group has no bars.
 pub fn render_panel(spec: &PanelSpec, groups: &[BarGroup]) -> String {
     assert!(!groups.is_empty(), "panel needs at least one group");
-    assert!(groups.iter().all(|g| !g.bars.is_empty()), "every group needs bars");
+    assert!(
+        groups.iter().all(|g| !g.bars.is_empty()),
+        "every group needs bars"
+    );
 
     let (w, h) = (spec.width as f32, spec.height as f32);
     let margin = (60.0, 40.0, 30.0, 50.0); // left, top, right, bottom
@@ -173,7 +178,8 @@ pub fn render_panel(spec: &PanelSpec, groups: &[BarGroup]) -> String {
                 let up = margin.1
                     + plot_h * (1.0 - ((bar.value + bar.half_width) / y_max).clamp(0.0, 1.0));
                 let dn = margin.1
-                    + plot_h * (1.0 - ((bar.value - bar.half_width).max(0.0) / y_max).clamp(0.0, 1.0));
+                    + plot_h
+                        * (1.0 - ((bar.value - bar.half_width).max(0.0) / y_max).clamp(0.0, 1.0));
                 out.push_str(&format!(
                     "<line x1=\"{cx:.1}\" y1=\"{up:.1}\" x2=\"{cx:.1}\" y2=\"{dn:.1}\" stroke=\"#000\"/>\n"
                 ));
@@ -245,15 +251,31 @@ mod tests {
             BarGroup {
                 label: "10%".to_string(),
                 bars: vec![
-                    Bar { label: "Base".to_string(), value: 0.10, half_width: 0.02 },
-                    Bar { label: "Ens".to_string(), value: 0.02, half_width: 0.01 },
+                    Bar {
+                        label: "Base".to_string(),
+                        value: 0.10,
+                        half_width: 0.02,
+                    },
+                    Bar {
+                        label: "Ens".to_string(),
+                        value: 0.02,
+                        half_width: 0.01,
+                    },
                 ],
             },
             BarGroup {
                 label: "30%".to_string(),
                 bars: vec![
-                    Bar { label: "Base".to_string(), value: 0.30, half_width: 0.05 },
-                    Bar { label: "Ens".to_string(), value: 0.08, half_width: 0.02 },
+                    Bar {
+                        label: "Base".to_string(),
+                        value: 0.30,
+                        half_width: 0.05,
+                    },
+                    Bar {
+                        label: "Ens".to_string(),
+                        value: 0.08,
+                        half_width: 0.02,
+                    },
                 ],
             },
         ]
@@ -261,7 +283,10 @@ mod tests {
 
     #[test]
     fn renders_well_formed_svg() {
-        let spec = PanelSpec { title: "Fig. test".to_string(), ..PanelSpec::default() };
+        let spec = PanelSpec {
+            title: "Fig. test".to_string(),
+            ..PanelSpec::default()
+        };
         let svg = render_panel(&spec, &sample_groups());
         assert!(svg.starts_with("<svg"));
         assert!(svg.trim_end().ends_with("</svg>"));
@@ -276,10 +301,17 @@ mod tests {
 
     #[test]
     fn escapes_markup_in_labels() {
-        let spec = PanelSpec { title: "a < b & c".to_string(), ..PanelSpec::default() };
+        let spec = PanelSpec {
+            title: "a < b & c".to_string(),
+            ..PanelSpec::default()
+        };
         let groups = vec![BarGroup {
             label: "g".to_string(),
-            bars: vec![Bar { label: "x".to_string(), value: 0.1, half_width: 0.0 }],
+            bars: vec![Bar {
+                label: "x".to_string(),
+                value: 0.1,
+                half_width: 0.0,
+            }],
         }];
         let svg = render_panel(&spec, &groups);
         assert!(svg.contains("a &lt; b &amp; c"));
@@ -304,7 +336,11 @@ mod tests {
     fn zero_half_width_has_no_whisker() {
         let groups = vec![BarGroup {
             label: "g".to_string(),
-            bars: vec![Bar { label: "x".to_string(), value: 0.2, half_width: 0.0 }],
+            bars: vec![Bar {
+                label: "x".to_string(),
+                value: 0.2,
+                half_width: 0.0,
+            }],
         }];
         let svg = render_panel(&PanelSpec::default(), &groups);
         // Axes (2) + gridlines (5), no whisker lines.

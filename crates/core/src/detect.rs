@@ -13,8 +13,8 @@
 //! usable as a baseline against the paper's five techniques.
 
 use crate::technique::{Baseline, FittedModel, Mitigation, TrainContext, EVAL_BATCH};
-use serde::{Deserialize, Serialize};
 use tdfm_data::LabeledDataset;
+use tdfm_json::json_struct;
 use tdfm_nn::loss::CrossEntropy;
 use tdfm_nn::models::ModelKind;
 use tdfm_nn::trainer::{fit, TargetSource};
@@ -31,7 +31,10 @@ pub struct NoiseDetector {
 
 impl Default for NoiseDetector {
     fn default() -> Self {
-        Self { folds: 3, model: ModelKind::ConvNet }
+        Self {
+            folds: 3,
+            model: ModelKind::ConvNet,
+        }
     }
 }
 
@@ -53,7 +56,7 @@ impl NoiseDetector {
         let n = train.len();
         let classes = train.classes();
         let mut order: Vec<usize> = (0..n).collect();
-        let mut rng = Rng::seed_from(ctx.seed ^ 0xDE7E_C7);
+        let mut rng = Rng::seed_from(ctx.seed ^ 0x00DE_7EC7);
         rng.shuffle(&mut order);
         let mut probs = Tensor::zeros(&[n, classes]);
         for fold in 0..self.folds {
@@ -129,7 +132,7 @@ impl NoiseDetector {
             for (j, (&pj, &tj)) in row.iter().zip(&thresholds).enumerate() {
                 if j != y as usize && pj >= tj && pj > py {
                     let margin = pj - py;
-                    if best.map_or(true, |(_, m)| margin > m) {
+                    if best.is_none_or(|(_, m)| margin > m) {
                         best = Some((j, margin));
                     }
                 }
@@ -141,14 +144,20 @@ impl NoiseDetector {
         }
         // Most suspicious first.
         suspects.sort_by(|&a, &b| {
-            scores[b].partial_cmp(&scores[a]).unwrap_or(std::cmp::Ordering::Equal)
+            scores[b]
+                .partial_cmp(&scores[a])
+                .unwrap_or(std::cmp::Ordering::Equal)
         });
-        DetectionReport { suspects, scores, thresholds }
+        DetectionReport {
+            suspects,
+            scores,
+            thresholds,
+        }
     }
 }
 
 /// What the detector found.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct DetectionReport {
     /// Indices of suspected mislabelled samples, most suspicious first.
     pub suspects: Vec<usize>,
@@ -159,7 +168,7 @@ pub struct DetectionReport {
 }
 
 /// Detection quality against the injector's ground truth.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DetectionQuality {
     /// Fraction of flagged samples that really were mislabelled.
     pub precision: f32,
@@ -169,6 +178,18 @@ pub struct DetectionQuality {
     pub f1: f32,
 }
 
+json_struct!(DetectionReport {
+    suspects,
+    scores,
+    thresholds
+});
+
+json_struct!(DetectionQuality {
+    precision,
+    recall,
+    f1
+});
+
 impl DetectionReport {
     /// Scores the detection against known fault positions (from
     /// [`tdfm_inject::InjectionReport::mislabelled_indices`]).
@@ -176,14 +197,26 @@ impl DetectionReport {
         let truth: std::collections::HashSet<usize> = truly_faulty.iter().copied().collect();
         let flagged: std::collections::HashSet<usize> = self.suspects.iter().copied().collect();
         let hits = flagged.intersection(&truth).count();
-        let precision = if flagged.is_empty() { 0.0 } else { hits as f32 / flagged.len() as f32 };
-        let recall = if truth.is_empty() { 0.0 } else { hits as f32 / truth.len() as f32 };
+        let precision = if flagged.is_empty() {
+            0.0
+        } else {
+            hits as f32 / flagged.len() as f32
+        };
+        let recall = if truth.is_empty() {
+            0.0
+        } else {
+            hits as f32 / truth.len() as f32
+        };
         let f1 = if precision + recall == 0.0 {
             0.0
         } else {
             2.0 * precision * recall / (precision + recall)
         };
-        DetectionQuality { precision, recall, f1 }
+        DetectionQuality {
+            precision,
+            recall,
+            f1,
+        }
     }
 }
 
@@ -265,7 +298,10 @@ mod tests {
         let tt = DatasetKind::Cifar10.generate(Scale::Smoke, 9);
         let mut ctx = TrainContext::new(Scale::Smoke, 9);
         ctx.tune_for(tt.train.len());
-        let clean_flags = NoiseDetector::default().detect(&tt.train, &ctx).suspects.len();
+        let clean_flags = NoiseDetector::default()
+            .detect(&tt.train, &ctx)
+            .suspects
+            .len();
         let plan = FaultPlan::single(FaultKind::Mislabelling, 40.0);
         let (faulty, report) = Injector::new(9).apply(&tt.train, &plan);
         let noisy = NoiseDetector::default().detect(&faulty, &ctx);

@@ -1,20 +1,37 @@
 //! The experiment protocol of Fig. 2: golden model vs technique-protected
 //! faulty model, repeated and summarised with confidence intervals.
+//!
+//! The runner exploits two levels of parallelism, mirroring how the paper
+//! spread its 33 days of GPU time over a cluster:
+//!
+//! * [`Runner::run_grid`] fans independent experiment cells across worker
+//!   threads, and [`Runner::run_with`] does the same for the repetitions
+//!   inside one cell. Results are collected by index, so output order (and
+//!   the serialised JSON) is identical to a sequential run.
+//! * Each worker hands the nested tensor kernels a reduced thread budget
+//!   via [`tdfm_tensor::parallel::with_inner_threads`], so grid-level and
+//!   kernel-level parallelism share one global budget instead of
+//!   oversubscribing the machine.
+//!
+//! Golden-model and shared-fit caches are keyed maps of
+//! [`OnceLock`] slots: concurrent cells that need the same golden model
+//! block on one training instead of racing to train it twice.
 
 use crate::metrics::{accuracy, accuracy_delta, ConfidenceInterval};
 use crate::technique::{Mitigation, TechniqueKind, TrainContext};
-use parking_lot::Mutex;
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 use tdfm_data::{DatasetKind, Scale, TrainTest};
 use tdfm_inject::{split_clean, FaultPlan, Injector};
+use tdfm_json::json_struct;
 use tdfm_nn::models::ModelKind;
+use tdfm_tensor::parallel::{num_threads, with_inner_threads};
 
 /// One experiment cell: a (dataset, model, technique, fault plan) tuple at
 /// a given scale, repeated `repetitions` times.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ExperimentConfig {
     /// Dataset under study.
     pub dataset: DatasetKind,
@@ -33,8 +50,18 @@ pub struct ExperimentConfig {
     pub seed: u64,
 }
 
+json_struct!(ExperimentConfig {
+    dataset,
+    model,
+    technique,
+    fault_plan,
+    scale,
+    repetitions,
+    seed
+});
+
 /// Raw outcome of one repetition.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct RepetitionResult {
     /// Test accuracy of the golden (clean-trained, unprotected) model.
     pub golden_accuracy: f32,
@@ -48,8 +75,16 @@ pub struct RepetitionResult {
     pub infer_seconds: f64,
 }
 
+json_struct!(RepetitionResult {
+    golden_accuracy,
+    faulty_accuracy,
+    accuracy_delta,
+    train_seconds,
+    infer_seconds
+});
+
 /// Aggregated outcome of one experiment cell.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ExperimentResult {
     /// The configuration this result belongs to.
     pub config: ExperimentConfig,
@@ -65,14 +100,29 @@ pub struct ExperimentResult {
     pub faulty_accuracy: ConfidenceInterval,
 }
 
+json_struct!(ExperimentResult {
+    config,
+    fault_label,
+    repetitions,
+    ad,
+    golden_accuracy,
+    faulty_accuracy
+});
+
 impl ExperimentResult {
     /// Serialises the result as pretty JSON.
-    ///
-    /// # Panics
-    ///
-    /// Never panics for the types involved (no non-string map keys).
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("result serialisation cannot fail")
+        tdfm_json::to_string_pretty(self)
+    }
+
+    /// Zeroes the wall-clock fields, which are the only part of a result
+    /// that is not a deterministic function of the configuration. Used by
+    /// callers comparing parallel against sequential output byte for byte.
+    pub fn normalize_timings(&mut self) {
+        for rep in &mut self.repetitions {
+            rep.train_seconds = 0.0;
+            rep.infer_seconds = 0.0;
+        }
     }
 }
 
@@ -95,17 +145,108 @@ struct SharedFit {
 /// repetition seed, fault label).
 type SharedKey = (&'static str, DatasetKind, Scale, u64, String);
 
+/// A cache of `V` values computed at most once per key.
+///
+/// The map lock is only held to look up or insert the per-key slot — never
+/// while computing a value — so concurrent workers stay off each other's
+/// keys. Workers that race on the *same* key block on the slot's
+/// [`OnceLock`] and share the single computed value, which is what makes
+/// the golden cache safe under [`Runner::run_grid`].
+struct OnceMap<K, V> {
+    slots: Mutex<HashMap<K, Arc<OnceLock<Arc<V>>>>>,
+}
+
+impl<K: std::hash::Hash + Eq + Clone, V> OnceMap<K, V> {
+    fn new() -> Self {
+        Self {
+            slots: Mutex::new(HashMap::new()),
+        }
+    }
+
+    fn get_or_compute(&self, key: &K, compute: impl FnOnce() -> V) -> Arc<V> {
+        let slot = {
+            let mut map = self.slots.lock().expect("cache lock poisoned");
+            Arc::clone(map.entry(key.clone()).or_default())
+        };
+        Arc::clone(slot.get_or_init(|| Arc::new(compute())))
+    }
+
+    /// Number of keys whose value has been computed.
+    fn len(&self) -> usize {
+        self.slots
+            .lock()
+            .expect("cache lock poisoned")
+            .values()
+            .filter(|slot| slot.get().is_some())
+            .count()
+    }
+}
+
 /// Runs experiment cells, caching golden-model predictions.
 ///
 /// The golden model for a `(dataset, model, scale, repetition-seed)` tuple
 /// is shared by every technique and fault amount, and fitted ensembles are
 /// shared across per-model panels — the same sharing the paper exploits to
 /// keep 33 days of GPU time tractable.
-#[derive(Default)]
 pub struct Runner {
-    golden: Mutex<HashMap<GoldenKey, Arc<GoldenEntry>>>,
-    shared: Mutex<HashMap<SharedKey, Arc<SharedFit>>>,
+    golden: OnceMap<GoldenKey, GoldenEntry>,
+    shared: OnceMap<SharedKey, SharedFit>,
+    golden_trainings: AtomicUsize,
     cache_dir: Option<std::path::PathBuf>,
+}
+
+impl Default for Runner {
+    fn default() -> Self {
+        Self {
+            golden: OnceMap::new(),
+            shared: OnceMap::new(),
+            golden_trainings: AtomicUsize::new(0),
+            cache_dir: None,
+        }
+    }
+}
+
+/// Runs `work(0..count)` on up to [`num_threads`] workers, collecting the
+/// results by index into a pre-sized vector so output order never depends
+/// on scheduling. Each worker runs under an inner thread budget of
+/// `total / workers`, keeping nested parallelism (tensor kernels, ensemble
+/// members, per-cell repetitions) within the global budget.
+fn run_indexed<T: Send>(count: usize, work: impl Fn(usize) -> T + Sync) -> Vec<T> {
+    let budget = num_threads();
+    let workers = budget.min(count);
+    if workers <= 1 {
+        return (0..count).map(work).collect();
+    }
+    let inner = (budget / workers).max(1);
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<T>>> = (0..count).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let next = &next;
+            let slots = &slots;
+            let work = &work;
+            scope.spawn(move || {
+                // The budget must be re-established here: thread-locals do
+                // not cross the spawn.
+                with_inner_threads(inner, || loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= count {
+                        break;
+                    }
+                    let result = work(i);
+                    *slots[i].lock().expect("slot lock poisoned") = Some(result);
+                });
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("slot lock poisoned")
+                .expect("every slot is filled")
+        })
+        .collect()
 }
 
 impl Runner {
@@ -118,12 +259,23 @@ impl Runner {
     /// `dir`, so repeated harness invocations skip retraining golden
     /// models (created on first write).
     pub fn with_cache_dir(dir: impl Into<std::path::PathBuf>) -> Self {
-        Self { cache_dir: Some(dir.into()), ..Self::default() }
+        Self {
+            cache_dir: Some(dir.into()),
+            ..Self::default()
+        }
     }
 
     /// Number of cached golden models (useful for tests/diagnostics).
     pub fn golden_cache_len(&self) -> usize {
-        self.golden.lock().len()
+        self.golden.len()
+    }
+
+    /// Number of golden models actually *trained* (disk-cache hits and
+    /// in-memory hits don't count). Under [`Runner::run_grid`] this must
+    /// equal the number of distinct golden keys, however many cells share
+    /// them — the regression guard for the cache's in-flight deduplication.
+    pub fn golden_trainings(&self) -> usize {
+        self.golden_trainings.load(Ordering::Relaxed)
     }
 
     fn golden_cache_path(&self, key: &GoldenKey) -> Option<std::path::PathBuf> {
@@ -147,43 +299,38 @@ impl Runner {
         data: &TrainTest,
     ) -> Arc<GoldenEntry> {
         let key = (dataset, model, scale, rep_seed);
-        if let Some(hit) = self.golden.lock().get(&key) {
-            return Arc::clone(hit);
-        }
-        // Second level: the on-disk cache, when configured.
-        if let Some(path) = self.golden_cache_path(&key) {
-            if let Ok(text) = std::fs::read_to_string(&path) {
-                if let Ok(predictions) = serde_json::from_str::<Vec<u32>>(&text) {
-                    if predictions.len() == data.test.len() {
-                        let entry = Arc::new(GoldenEntry {
-                            accuracy: accuracy(&predictions, data.test.labels()),
-                            predictions,
-                        });
-                        self.golden.lock().insert(key, Arc::clone(&entry));
-                        return entry;
+        self.golden.get_or_compute(&key, || {
+            // Second level: the on-disk cache, when configured.
+            if let Some(path) = self.golden_cache_path(&key) {
+                if let Ok(text) = std::fs::read_to_string(&path) {
+                    if let Ok(predictions) = tdfm_json::from_str::<Vec<u32>>(&text) {
+                        if predictions.len() == data.test.len() {
+                            return GoldenEntry {
+                                accuracy: accuracy(&predictions, data.test.labels()),
+                                predictions,
+                            };
+                        }
                     }
                 }
             }
-        }
-        let mut ctx = TrainContext::new(scale, rep_seed);
-        ctx.tune_for(data.train.len());
-        let mut fitted = TechniqueKind::Baseline.build().fit(model, &data.train, &ctx);
-        let predictions = fitted.predict(data.test.images());
-        if let Some(path) = self.golden_cache_path(&key) {
-            if let Some(dir) = path.parent() {
-                let _ = std::fs::create_dir_all(dir);
+            self.golden_trainings.fetch_add(1, Ordering::Relaxed);
+            let mut ctx = TrainContext::new(scale, rep_seed);
+            ctx.tune_for(data.train.len());
+            let mut fitted = TechniqueKind::Baseline
+                .build()
+                .fit(model, &data.train, &ctx);
+            let predictions = fitted.predict(data.test.images());
+            if let Some(path) = self.golden_cache_path(&key) {
+                if let Some(dir) = path.parent() {
+                    let _ = std::fs::create_dir_all(dir);
+                }
+                let _ = std::fs::write(&path, tdfm_json::to_string(&predictions));
             }
-            let _ = std::fs::write(
-                &path,
-                serde_json::to_string(&predictions).expect("u32 vec serialises"),
-            );
-        }
-        let entry = Arc::new(GoldenEntry {
-            accuracy: accuracy(&predictions, data.test.labels()),
-            predictions,
-        });
-        self.golden.lock().insert(key, Arc::clone(&entry));
-        entry
+            GoldenEntry {
+                accuracy: accuracy(&predictions, data.test.labels()),
+                predictions,
+            }
+        })
     }
 
     /// Runs one experiment cell.
@@ -204,6 +351,11 @@ impl Runner {
     /// the ablation studies, e.g. homogeneous ensembles). The
     /// `config.technique` field is kept for reporting only.
     ///
+    /// Repetitions execute on worker threads (within the current thread
+    /// budget) and are collected by index, so the aggregated result is
+    /// identical to a sequential run: each repetition is a deterministic
+    /// function of its derived seed.
+    ///
     /// # Panics
     ///
     /// Panics if `repetitions == 0`.
@@ -213,11 +365,13 @@ impl Runner {
         technique: &dyn Mitigation,
     ) -> ExperimentResult {
         assert!(config.repetitions > 0, "need at least one repetition");
-        let mut reps = Vec::with_capacity(config.repetitions);
-        for r in 0..config.repetitions {
-            let rep_seed = config.seed.wrapping_add(1 + r as u64).wrapping_mul(0x9E37_79B9);
-            reps.push(self.run_repetition(config, technique, rep_seed));
-        }
+        let reps = run_indexed(config.repetitions, |r| {
+            let rep_seed = config
+                .seed
+                .wrapping_add(1 + r as u64)
+                .wrapping_mul(0x9E37_79B9);
+            self.run_repetition(config, technique, rep_seed)
+        });
         let ad_samples: Vec<f32> = reps.iter().map(|r| r.accuracy_delta).collect();
         let golden_samples: Vec<f32> = reps.iter().map(|r| r.golden_accuracy).collect();
         let faulty_samples: Vec<f32> = reps.iter().map(|r| r.faulty_accuracy).collect();
@@ -238,8 +392,7 @@ impl Runner {
         rep_seed: u64,
     ) -> RepetitionResult {
         let data = config.dataset.generate(config.scale, rep_seed);
-        let golden =
-            self.golden_entry(config.dataset, config.model, config.scale, rep_seed, &data);
+        let golden = self.golden_entry(config.dataset, config.model, config.scale, rep_seed, &data);
 
         let mut ctx = TrainContext::new(config.scale, rep_seed);
         ctx.tune_for(data.train.len());
@@ -264,42 +417,34 @@ impl Runner {
         } else {
             None
         };
-        let cached = shared_key
-            .as_ref()
-            .and_then(|k| self.shared.lock().get(k).map(Arc::clone));
-        let (predictions, train_seconds, infer_seconds) = match cached {
-            Some(hit) => (hit.predictions.clone(), hit.train_seconds, hit.infer_seconds),
-            None => {
-                let t0 = Instant::now();
-                let mut fitted = technique.fit(config.model, &faulty_train, &ctx);
-                let train_seconds = t0.elapsed().as_secs_f64();
-                let t1 = Instant::now();
-                let predictions = fitted.predict(data.test.images());
-                let infer_seconds = t1.elapsed().as_secs_f64();
-                if let Some(k) = shared_key {
-                    self.shared.lock().insert(
-                        k,
-                        Arc::new(SharedFit {
-                            predictions: predictions.clone(),
-                            train_seconds,
-                            infer_seconds,
-                        }),
-                    );
-                }
-                (predictions, train_seconds, infer_seconds)
+        let fit_once = || {
+            let t0 = Instant::now();
+            let mut fitted = technique.fit(config.model, &faulty_train, &ctx);
+            let train_seconds = t0.elapsed().as_secs_f64();
+            let t1 = Instant::now();
+            let predictions = fitted.predict(data.test.images());
+            let infer_seconds = t1.elapsed().as_secs_f64();
+            SharedFit {
+                predictions,
+                train_seconds,
+                infer_seconds,
             }
+        };
+        let fit = match shared_key {
+            Some(key) => self.shared.get_or_compute(&key, fit_once),
+            None => Arc::new(fit_once()),
         };
 
         RepetitionResult {
             golden_accuracy: golden.accuracy,
-            faulty_accuracy: accuracy(&predictions, data.test.labels()),
+            faulty_accuracy: accuracy(&fit.predictions, data.test.labels()),
             accuracy_delta: accuracy_delta(
                 &golden.predictions,
-                &predictions,
+                &fit.predictions,
                 data.test.labels(),
             ),
-            train_seconds,
-            infer_seconds,
+            train_seconds: fit.train_seconds,
+            infer_seconds: fit.infer_seconds,
         }
     }
 
@@ -308,10 +453,40 @@ impl Runner {
         configs.iter().map(|c| self.run(c)).collect()
     }
 
-    /// Runs several cells on `workers` threads, returning results in input
-    /// order. Falls back to the sequential path for one worker (the study
-    /// machine) — results are identical either way because every cell is
-    /// deterministic in its own seeds.
+    /// Runs a grid of cells concurrently, returning results in input order.
+    ///
+    /// Cells are fanned across up to [`num_threads`] workers; each worker
+    /// keeps its nested parallelism (repetitions, ensemble members, tensor
+    /// kernels) within its share of the budget. Every cell is deterministic
+    /// in its own seeds, so apart from wall-clock timings the output is
+    /// byte-identical to calling [`Runner::run`] per cell — see
+    /// [`ExperimentResult::normalize_timings`].
+    pub fn run_grid(&self, configs: &[ExperimentConfig]) -> Vec<ExperimentResult> {
+        let techniques: Vec<Box<dyn Mitigation>> =
+            configs.iter().map(|c| c.technique.build()).collect();
+        let cells: Vec<(&ExperimentConfig, &dyn Mitigation)> = configs
+            .iter()
+            .zip(&techniques)
+            .map(|(c, t)| (c, t.as_ref()))
+            .collect();
+        self.run_grid_with(&cells)
+    }
+
+    /// [`Runner::run_grid`] with caller-provided techniques (the ablation
+    /// studies pair each cell with a custom [`Mitigation`]).
+    pub fn run_grid_with(
+        &self,
+        cells: &[(&ExperimentConfig, &dyn Mitigation)],
+    ) -> Vec<ExperimentResult> {
+        run_indexed(cells.len(), |i| {
+            let (config, technique) = cells[i];
+            self.run_with(config, technique)
+        })
+    }
+
+    /// Runs several cells on at most `workers` threads, returning results
+    /// in input order. Results are identical to [`Runner::run_all`] (minus
+    /// timings) because every cell is deterministic in its own seeds.
     ///
     /// # Panics
     ///
@@ -322,31 +497,7 @@ impl Runner {
         workers: usize,
     ) -> Vec<ExperimentResult> {
         assert!(workers > 0, "need at least one worker");
-        if workers == 1 || configs.len() <= 1 {
-            return self.run_all(configs);
-        }
-        let next = std::sync::atomic::AtomicUsize::new(0);
-        let slots: Vec<Mutex<Option<ExperimentResult>>> =
-            configs.iter().map(|_| Mutex::new(None)).collect();
-        crossbeam::scope(|scope| {
-            for _ in 0..workers.min(configs.len()) {
-                let next = &next;
-                let slots = &slots;
-                scope.spawn(move |_| loop {
-                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    if i >= configs.len() {
-                        break;
-                    }
-                    let result = self.run(&configs[i]);
-                    *slots[i].lock() = Some(result);
-                });
-            }
-        })
-        .expect("experiment worker panicked");
-        slots
-            .into_iter()
-            .map(|slot| slot.into_inner().expect("every slot is filled"))
-            .collect()
+        with_inner_threads(workers, || self.run_grid(configs))
     }
 }
 
@@ -393,6 +544,7 @@ mod tests {
         let _ = runner.run(&tiny_config(TechniqueKind::LabelSmoothing, 10.0));
         // Same dataset/model/scale/seed tuple: no new golden trainings.
         assert_eq!(runner.golden_cache_len(), after_first);
+        assert_eq!(runner.golden_trainings(), after_first);
     }
 
     #[test]
@@ -418,7 +570,7 @@ mod tests {
         let runner = Runner::new();
         let result = runner.run(&tiny_config(TechniqueKind::Baseline, 10.0));
         let json = result.to_json();
-        let back: ExperimentResult = serde_json::from_str(&json).unwrap();
+        let back: ExperimentResult = tdfm_json::from_str(&json).unwrap();
         assert_eq!(back.ad.mean, result.ad.mean);
         assert_eq!(back.fault_label, result.fault_label);
     }
@@ -439,6 +591,51 @@ mod tests {
     }
 
     #[test]
+    fn grid_is_byte_identical_to_sequential_and_trains_each_golden_once() {
+        // Four cells: the first two share every golden key (same dataset,
+        // model, scale and seed), the third differs by seed, the fourth by
+        // model. With 2 repetitions each that is 6 distinct golden keys
+        // for 8 (cell, repetition) pairs. (The third seed must not be
+        // adjacent to 42: repetition seeds are (seed + 1 + r) · φ, so seed
+        // 43 would share a golden key with repetition 1 of seed 42.)
+        let mut third = tiny_config(TechniqueKind::Baseline, 30.0);
+        third.seed = 50;
+        let mut fourth = tiny_config(TechniqueKind::Baseline, 10.0);
+        fourth.model = ModelKind::DeconvNet;
+        let configs = vec![
+            tiny_config(TechniqueKind::Baseline, 10.0),
+            tiny_config(TechniqueKind::LabelSmoothing, 30.0),
+            third,
+            fourth,
+        ];
+
+        let sequential_runner = Runner::new();
+        let sequential: Vec<ExperimentResult> =
+            configs.iter().map(|c| sequential_runner.run(c)).collect();
+
+        let grid_runner = Runner::new();
+        // Force real fan-out even on a small CI machine.
+        let grid = with_inner_threads(4, || grid_runner.run_grid(&configs));
+
+        assert_eq!(
+            grid_runner.golden_trainings(),
+            6,
+            "each golden key trains once"
+        );
+        assert_eq!(grid_runner.golden_cache_len(), 6);
+
+        for (mut a, mut b) in sequential.into_iter().zip(grid) {
+            a.normalize_timings();
+            b.normalize_timings();
+            assert_eq!(
+                a.to_json(),
+                b.to_json(),
+                "grid output must match sequential"
+            );
+        }
+    }
+
+    #[test]
     fn disk_cache_round_trips_golden_predictions() {
         let dir = std::env::temp_dir().join("tdfm-golden-cache-test");
         let _ = std::fs::remove_dir_all(&dir);
@@ -447,8 +644,11 @@ mod tests {
         // Cache files were written.
         let entries = std::fs::read_dir(&dir).unwrap().count();
         assert!(entries > 0, "no cache files written");
-        // A fresh runner reading the same cache reproduces the metrics.
-        let second = Runner::with_cache_dir(&dir).run(&config);
+        // A fresh runner reading the same cache reproduces the metrics
+        // without retraining.
+        let reader = Runner::with_cache_dir(&dir);
+        let second = reader.run(&config);
+        assert_eq!(reader.golden_trainings(), 0, "disk hits must not retrain");
         assert_eq!(first.ad.mean, second.ad.mean);
         assert_eq!(first.golden_accuracy.mean, second.golden_accuracy.mean);
         let _ = std::fs::remove_dir_all(&dir);

@@ -5,13 +5,13 @@
 //! property of the technique, not of the faults).
 
 use crate::technique::{TechniqueKind, TrainContext};
-use serde::{Deserialize, Serialize};
 use std::time::Instant;
 use tdfm_data::{DatasetKind, Scale};
+use tdfm_json::json_struct;
 use tdfm_nn::models::ModelKind;
 
 /// One row of the overhead comparison.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct OverheadRow {
     /// The technique measured.
     pub technique: TechniqueKind,
@@ -24,6 +24,14 @@ pub struct OverheadRow {
     /// Inference time relative to the baseline (baseline = 1.0).
     pub infer_multiplier: f64,
 }
+
+json_struct!(OverheadRow {
+    technique,
+    train_seconds,
+    infer_seconds,
+    train_multiplier,
+    infer_multiplier
+});
 
 /// Measures all six techniques once on clean data and normalises by the
 /// baseline.
@@ -68,7 +76,10 @@ pub fn measure_overheads(
         .find(|(k, _, _)| *k == TechniqueKind::Baseline)
         .map(|(_, t, i)| (*t, *i))
         .expect("baseline is always measured");
-    assert!(base_train > 0.0 && base_infer > 0.0, "baseline measured zero time");
+    assert!(
+        base_train > 0.0 && base_infer > 0.0,
+        "baseline measured zero time"
+    );
     raw.into_iter()
         .map(|(technique, train_seconds, infer_seconds)| OverheadRow {
             technique,
@@ -86,12 +97,7 @@ mod tests {
 
     #[test]
     fn overheads_follow_the_papers_ordering() {
-        let rows = measure_overheads(
-            DatasetKind::Pneumonia,
-            ModelKind::ConvNet,
-            Scale::Tiny,
-            7,
-        );
+        let rows = measure_overheads(DatasetKind::Pneumonia, ModelKind::ConvNet, Scale::Tiny, 7);
         assert_eq!(rows.len(), 6);
         let get = |k: TechniqueKind| rows.iter().find(|r| r.technique == k).unwrap();
         let base = get(TechniqueKind::Baseline);
@@ -100,10 +106,22 @@ mod tests {
         // both phases. (Thresholds are loose: the test machine may be
         // loaded, and wall-clock multipliers at tiny scale are noisy.)
         let ens = get(TechniqueKind::Ensemble);
-        assert!(ens.train_multiplier > 1.1, "ens train x{}", ens.train_multiplier);
-        assert!(ens.infer_multiplier > 1.1, "ens infer x{}", ens.infer_multiplier);
+        assert!(
+            ens.train_multiplier > 1.1,
+            "ens train x{}",
+            ens.train_multiplier
+        );
+        assert!(
+            ens.infer_multiplier > 1.1,
+            "ens infer x{}",
+            ens.infer_multiplier
+        );
         // Distillation trains teacher + student.
         let kd = get(TechniqueKind::KnowledgeDistillation);
-        assert!(kd.train_multiplier > 1.05, "kd train x{}", kd.train_multiplier);
+        assert!(
+            kd.train_multiplier > 1.05,
+            "kd train x{}",
+            kd.train_multiplier
+        );
     }
 }

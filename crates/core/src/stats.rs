@@ -7,10 +7,10 @@
 //! is a coarse version of that; this module provides the real two-sample
 //! Welch test with p-values so the `fault_combos` harness can report both.
 
-use serde::{Deserialize, Serialize};
+use tdfm_json::json_struct;
 
 /// Result of a two-sample Welch t-test.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct WelchTest {
     /// The t statistic.
     pub t: f32,
@@ -19,6 +19,8 @@ pub struct WelchTest {
     /// Two-sided p-value.
     pub p_value: f32,
 }
+
+json_struct!(WelchTest { t, df, p_value });
 
 impl WelchTest {
     /// `true` when the difference is *not* significant at the given level
@@ -34,10 +36,10 @@ impl WelchTest {
 pub fn ln_gamma(x: f64) -> f64 {
     // Lanczos coefficients (g = 7, n = 9).
     const COEF: [f64; 9] = [
-        0.999_999_999_999_809_93,
+        0.999_999_999_999_809_9,
         676.520_368_121_885_1,
         -1_259.139_216_722_402_8,
-        771.323_428_777_653_13,
+        771.323_428_777_653_1,
         -176.615_029_162_140_6,
         12.507_343_278_686_905,
         -0.138_571_095_265_720_12,
@@ -46,7 +48,8 @@ pub fn ln_gamma(x: f64) -> f64 {
     ];
     if x < 0.5 {
         // Reflection formula.
-        return std::f64::consts::PI.ln() - (std::f64::consts::PI * x).sin().ln()
+        return std::f64::consts::PI.ln()
+            - (std::f64::consts::PI * x).sin().ln()
             - ln_gamma(1.0 - x);
     }
     let x = x - 1.0;

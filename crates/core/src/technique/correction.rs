@@ -113,12 +113,15 @@ impl Mitigation for LabelCorrection {
             &CrossEntropy,
             noisy.images(),
             &TargetSource::Hard(noisy.labels().to_vec()),
-            &FitConfig { epochs: warmup, ..ctx.fit },
+            &FitConfig {
+                epochs: warmup,
+                ..ctx.fit
+            },
         );
 
         // Phase 2: train the secondary on the clean subset with synthetic
         // flips (we know the true labels there).
-        let mut rng = Rng::seed_from(ctx.seed ^ 0x5EC0_4D);
+        let mut rng = Rng::seed_from(ctx.seed ^ 0x005E_C04D);
         let clean_probs = softmax_rows(&primary.logits(clean.images(), EVAL_BATCH), 1.0);
         let replicas = 4;
         let mut observed = Vec::with_capacity(clean.len() * replicas);
@@ -168,7 +171,10 @@ impl Mitigation for LabelCorrection {
             &CrossEntropy,
             noisy.images(),
             &TargetSource::Soft(corrected),
-            &FitConfig { epochs: finetune, ..ctx.fit },
+            &FitConfig {
+                epochs: finetune,
+                ..ctx.fit
+            },
         );
         FittedModel::Single(primary)
     }
@@ -229,7 +235,9 @@ mod tests {
             probs.data_mut()[i * classes + (1 - y as usize)] = 0.05;
         }
         // Observed labels: half flipped.
-        let observed: Vec<u32> = labels.iter().enumerate()
+        let observed: Vec<u32> = labels
+            .iter()
+            .enumerate()
             .map(|(i, &y)| if i % 4 == 0 { 1 - y } else { y })
             .collect();
         let x = LabelCorrection::meta_features(&probs, &observed, classes);
@@ -239,7 +247,11 @@ mod tests {
             &CrossEntropy,
             &x,
             &TargetSource::Hard(labels.clone()),
-            &FitConfig { epochs: 40, batch_size: 16, ..FitConfig::default() },
+            &FitConfig {
+                epochs: 40,
+                batch_size: 16,
+                ..FitConfig::default()
+            },
         );
         let preds = secondary.predict(&x, 32);
         let acc = crate::metrics::accuracy(&preds, &labels);

@@ -91,8 +91,7 @@ mod tests {
     #[test]
     fn distillation_learns_tiny_pneumonia() {
         let (train, test, ctx) = tiny_setup();
-        let mut fitted =
-            SelfDistillation::new(0.7, 4.0).fit(ModelKind::ConvNet, &train, &ctx);
+        let mut fitted = SelfDistillation::new(0.7, 4.0).fit(ModelKind::ConvNet, &train, &ctx);
         assert!(fitted.accuracy(&test) > 0.5);
     }
 

@@ -48,7 +48,9 @@ impl Ensemble {
     /// Panics if `n == 0`.
     pub fn homogeneous(kind: ModelKind, n: usize) -> Self {
         assert!(n > 0, "ensemble needs at least one member");
-        Self { members: vec![kind; n] }
+        Self {
+            members: vec![kind; n],
+        }
     }
 
     /// A custom member list.
@@ -77,13 +79,13 @@ impl Mitigation for Ensemble {
     }
 
     fn fit(&self, _model: ModelKind, train: &LabeledDataset, ctx: &TrainContext) -> FittedModel {
-        let nets: Vec<Network> = crossbeam::scope(|scope| {
+        let nets: Vec<Network> = std::thread::scope(|scope| {
             let handles: Vec<_> = self
                 .members
                 .iter()
                 .enumerate()
                 .map(|(i, &kind)| {
-                    scope.spawn(move |_| {
+                    scope.spawn(move || {
                         let mut cfg = ctx.model_config(train);
                         // Decorrelate members: distinct init and batch order.
                         cfg.seed = ctx.seed ^ ((i as u64 + 1) * 0x9E37_79B9);
@@ -102,9 +104,11 @@ impl Mitigation for Ensemble {
                     })
                 })
                 .collect();
-            handles.into_iter().map(|h| h.join().expect("member training panicked")).collect()
-        })
-        .expect("ensemble training scope failed");
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("member training panicked"))
+                .collect()
+        });
         FittedModel::Ensemble(nets)
     }
 }

@@ -10,8 +10,8 @@ pub use distillation::SelfDistillation;
 pub use ensemble::Ensemble;
 pub use simple::{Baseline, LabelSmoothing, RobustLoss};
 
-use serde::{Deserialize, Serialize};
 use tdfm_data::{LabeledDataset, Scale};
+use tdfm_json::json_unit_enum;
 use tdfm_nn::models::{ModelConfig, ModelKind};
 use tdfm_nn::trainer::FitConfig;
 use tdfm_nn::Network;
@@ -191,7 +191,7 @@ pub trait Mitigation: Send + Sync {
 
 /// The six columns of the paper's figures: the baseline plus the five
 /// mitigation techniques, with the paper's hyperparameters.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum TechniqueKind {
     /// Unprotected model trained with plain cross entropy.
     Baseline,
@@ -256,6 +256,15 @@ impl TechniqueKind {
         }
     }
 }
+
+json_unit_enum!(TechniqueKind {
+    Baseline,
+    LabelSmoothing,
+    LabelCorrection,
+    RobustLoss,
+    KnowledgeDistillation,
+    Ensemble,
+});
 
 impl std::fmt::Display for TechniqueKind {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {

@@ -96,14 +96,25 @@ impl RobustLoss {
     ///
     /// Panics if either weight is negative.
     pub fn new(alpha: f32, beta: f32) -> Self {
-        assert!(alpha >= 0.0 && beta >= 0.0, "APL weights must be non-negative");
-        Self { alpha, beta, adaptive: false }
+        assert!(
+            alpha >= 0.0 && beta >= 0.0,
+            "APL weights must be non-negative"
+        );
+        Self {
+            alpha,
+            beta,
+            adaptive: false,
+        }
     }
 
     /// Creates the technique with Ma et al.'s per-dataset recommendation:
     /// `(1, 1)` up to 20 classes, `(10, 0.1)` beyond.
     pub fn adaptive() -> Self {
-        Self { alpha: 1.0, beta: 1.0, adaptive: true }
+        Self {
+            alpha: 1.0,
+            beta: 1.0,
+            adaptive: true,
+        }
     }
 
     fn weights_for(&self, classes: usize) -> (f32, f32) {

@@ -27,7 +27,10 @@ pub fn pixel_stats(ds: &LabeledDataset) -> PixelStats {
     let data = ds.images().data();
     let mean = data.iter().sum::<f32>() / data.len() as f32;
     let var = data.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / data.len() as f32;
-    PixelStats { mean, std: var.sqrt() }
+    PixelStats {
+        mean,
+        std: var.sqrt(),
+    }
 }
 
 /// Per-class mean images ("centroids"), `classes x [C*H*W]`.
@@ -109,7 +112,12 @@ pub fn separability_index(ds: &LabeledDataset) -> f32 {
 pub fn imbalance_ratio(ds: &LabeledDataset) -> f32 {
     let hist = ds.class_histogram();
     let max = hist.iter().copied().max().expect("non-empty");
-    let min = hist.iter().copied().filter(|&c| c > 0).min().expect("non-empty");
+    let min = hist
+        .iter()
+        .copied()
+        .filter(|&c| c > 0)
+        .min()
+        .expect("non-empty");
     max as f32 / min as f32
 }
 

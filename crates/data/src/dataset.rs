@@ -34,13 +34,21 @@ impl LabeledDataset {
     /// is out of range.
     pub fn new(images: Tensor, labels: Vec<u32>, classes: usize) -> Self {
         assert_eq!(images.shape().rank(), 4, "images must be NCHW");
-        assert_eq!(images.shape().dim(0), labels.len(), "image/label count mismatch");
+        assert_eq!(
+            images.shape().dim(0),
+            labels.len(),
+            "image/label count mismatch"
+        );
         assert!(classes > 0, "need at least one class");
         assert!(
             labels.iter().all(|&l| (l as usize) < classes),
             "label out of range for {classes} classes"
         );
-        Self { images, labels, classes }
+        Self {
+            images,
+            labels,
+            classes,
+        }
     }
 
     /// Number of samples.
@@ -102,7 +110,11 @@ impl LabeledDataset {
     pub fn select(&self, indices: &[usize]) -> Self {
         let images = self.images.gather_rows(indices);
         let labels = indices.iter().map(|&i| self.labels[i]).collect();
-        Self { images, labels, classes: self.classes }
+        Self {
+            images,
+            labels,
+            classes: self.classes,
+        }
     }
 
     /// Splits into `(first k, rest)` by index order.

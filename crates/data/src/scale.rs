@@ -1,6 +1,6 @@
 //! Experiment scale presets.
 
-use serde::{Deserialize, Serialize};
+use tdfm_json::json_unit_enum;
 
 /// How large the whole study runs.
 ///
@@ -9,7 +9,7 @@ use serde::{Deserialize, Serialize};
 /// size, sample counts, model width, epochs and repetition counts. Relative
 /// effects (which technique wins, where crossovers fall) are stable across
 /// scales; absolute accuracies grow with scale.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Scale {
     /// Minimal: unit tests. Seconds per experiment.
     Tiny,
@@ -20,6 +20,13 @@ pub enum Scale {
     /// The largest preset; closest to the paper's regime. Tens of minutes.
     Full,
 }
+
+json_unit_enum!(Scale {
+    Tiny,
+    Smoke,
+    Default,
+    Full
+});
 
 impl Scale {
     /// Reads the scale from the `TDFM_SCALE` environment variable

@@ -47,7 +47,10 @@ impl ClassWeights {
             }
         };
         let total: f32 = weights.iter().sum();
-        let mut counts: Vec<usize> = weights.iter().map(|w| ((w / total) * n as f32) as usize).collect();
+        let mut counts: Vec<usize> = weights
+            .iter()
+            .map(|w| ((w / total) * n as f32) as usize)
+            .collect();
         // Guarantee coverage, then fix the total with largest remainders.
         if n >= classes {
             for c in counts.iter_mut() {
@@ -112,12 +115,15 @@ impl SynthSpec {
     /// Panics if `n == 0` or the spec is degenerate (no classes/pixels).
     pub fn generate(&self, n: usize, sample_seed: u64) -> LabeledDataset {
         assert!(n > 0, "cannot generate an empty dataset");
-        assert!(self.classes > 0 && self.channels > 0 && self.side > 0, "degenerate spec");
+        assert!(
+            self.classes > 0 && self.channels > 0 && self.side > 0,
+            "degenerate spec"
+        );
         let protos = self.prototypes();
         let counts = self.weights.counts(self.classes, n);
         let mut labels = Vec::with_capacity(n);
         for (k, &c) in counts.iter().enumerate() {
-            labels.extend(std::iter::repeat(k as u32).take(c));
+            labels.extend(std::iter::repeat_n(k as u32, c));
         }
         let mut rng = Rng::seed_from(sample_seed ^ 0xDA7A_5EED);
         rng.shuffle(&mut labels);
@@ -262,7 +268,6 @@ fn blend_quadrant(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     fn spec() -> SynthSpec {
         SynthSpec {
@@ -312,7 +317,11 @@ mod tests {
     fn class_means_are_separable() {
         // Per-class mean images should be closer to their own prototype
         // than to other prototypes; otherwise no model could learn.
-        let s = SynthSpec { sample_noise: 0.1, clutter: 0.2, ..spec() };
+        let s = SynthSpec {
+            sample_noise: 0.1,
+            clutter: 0.2,
+            ..spec()
+        };
         let ds = s.generate(200, 5);
         let protos = s.prototypes();
         let pix = 3 * 8 * 8;
@@ -321,7 +330,9 @@ mod tests {
             let mut count = 0;
             for (i, &l) in ds.labels().iter().enumerate() {
                 if l as usize == k {
-                    for (m, &v) in mean.iter_mut().zip(&ds.images().data()[i * pix..(i + 1) * pix])
+                    for (m, &v) in mean
+                        .iter_mut()
+                        .zip(&ds.images().data()[i * pix..(i + 1) * pix])
                     {
                         *m += v;
                     }
@@ -331,9 +342,8 @@ mod tests {
             for m in &mut mean {
                 *m /= count as f32;
             }
-            let dist = |p: &[f32]| -> f32 {
-                mean.iter().zip(p).map(|(a, b)| (a - b) * (a - b)).sum()
-            };
+            let dist =
+                |p: &[f32]| -> f32 { mean.iter().zip(p).map(|(a, b)| (a - b) * (a - b)).sum() };
             let own = dist(&protos[k]);
             for (j, p) in protos.iter().enumerate() {
                 if j != k {
@@ -368,20 +378,26 @@ mod tests {
         assert!((24..=28).contains(&counts[0]), "{counts:?}");
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(32))]
-        #[test]
-        fn counts_always_sum_to_n(classes in 1usize..20, n in 1usize..500) {
+    #[test]
+    fn counts_always_sum_to_n() {
+        let mut rng = tdfm_tensor::rng::Rng::seed_from(0xC0);
+        for _ in 0..32 {
+            let classes = 1 + rng.below(19);
+            let n = 1 + rng.below(499);
             let counts = ClassWeights::Balanced.counts(classes, n);
-            prop_assert_eq!(counts.iter().sum::<usize>(), n);
+            assert_eq!(counts.iter().sum::<usize>(), n);
         }
+    }
 
-        #[test]
-        fn counts_cover_all_classes_when_possible(classes in 1usize..10, extra in 0usize..100) {
-            let n = classes + extra;
+    #[test]
+    fn counts_cover_all_classes_when_possible() {
+        let mut rng = tdfm_tensor::rng::Rng::seed_from(0xC1);
+        for _ in 0..32 {
+            let classes = 1 + rng.below(9);
+            let n = classes + rng.below(100);
             let counts = ClassWeights::Geometric(0.5).counts(classes, n);
-            prop_assert_eq!(counts.iter().sum::<usize>(), n);
-            prop_assert!(counts.iter().all(|&c| c >= 1));
+            assert_eq!(counts.iter().sum::<usize>(), n);
+            assert!(counts.iter().all(|&c| c >= 1));
         }
     }
 }

@@ -1,10 +1,10 @@
 //! Fault taxonomy: kinds, amounts and plans.
 
-use serde::{Deserialize, Serialize};
+use tdfm_json::{json_struct, json_unit_enum};
 
 /// The training-data fault types: the paper's three (Section I) plus a
 /// class-dependent mislabelling extension.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum FaultKind {
     /// Data is erroneously labelled (uniformly random wrong class).
     Mislabelling,
@@ -19,11 +19,21 @@ pub enum FaultKind {
     PairFlipMislabelling,
 }
 
+json_unit_enum!(FaultKind {
+    Mislabelling,
+    Repetition,
+    Removal,
+    PairFlipMislabelling
+});
+
 impl FaultKind {
     /// The paper's three fault kinds, in its order (the pair-flip
     /// extension is excluded).
-    pub const ALL: [FaultKind; 3] =
-        [FaultKind::Mislabelling, FaultKind::Repetition, FaultKind::Removal];
+    pub const ALL: [FaultKind; 3] = [
+        FaultKind::Mislabelling,
+        FaultKind::Repetition,
+        FaultKind::Removal,
+    ];
 
     /// Name as printed in the paper (extensions use their own names).
     pub fn name(self) -> &'static str {
@@ -43,7 +53,7 @@ impl std::fmt::Display for FaultKind {
 }
 
 /// One fault type at one injection amount.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FaultSpec {
     /// What to inject.
     pub kind: FaultKind,
@@ -51,6 +61,8 @@ pub struct FaultSpec {
     /// and 50).
     pub percent: f32,
 }
+
+json_struct!(FaultSpec { kind, percent });
 
 impl FaultSpec {
     /// Creates a spec.
@@ -79,10 +91,12 @@ impl std::fmt::Display for FaultSpec {
 }
 
 /// A set of faults injected together (Section IV-C combines fault types).
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct FaultPlan {
     specs: Vec<FaultSpec>,
 }
+
+json_struct!(FaultPlan { specs });
 
 impl FaultPlan {
     /// A plan injecting nothing (the golden model's "plan").
@@ -96,7 +110,9 @@ impl FaultPlan {
     ///
     /// Panics if the percentage is out of range.
     pub fn single(kind: FaultKind, percent: f32) -> Self {
-        Self { specs: vec![FaultSpec::new(kind, percent)] }
+        Self {
+            specs: vec![FaultSpec::new(kind, percent)],
+        }
     }
 
     /// Builds a plan from several specs.

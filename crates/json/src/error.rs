@@ -1,0 +1,53 @@
+//! The crate's single error type.
+
+use crate::Value;
+use std::fmt;
+
+/// An error produced while parsing JSON text or converting a [`Value`]
+/// into a concrete type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    message: String,
+    /// Byte offset into the source text, when the error came from the
+    /// parser.
+    offset: Option<usize>,
+}
+
+impl JsonError {
+    /// A conversion error with a free-form message.
+    pub fn msg(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+            offset: None,
+        }
+    }
+
+    /// A parse error anchored at a byte offset in the source text.
+    pub fn at(offset: usize, message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+            offset: Some(offset),
+        }
+    }
+
+    /// A type-mismatch error: wanted `expected`, found `got`.
+    pub fn expected(expected: &str, got: &Value) -> Self {
+        Self::msg(format!("expected {expected}, found {}", got.kind_name()))
+    }
+
+    /// Byte offset in the source text, for parser errors.
+    pub fn offset(&self) -> Option<usize> {
+        self.offset
+    }
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.offset {
+            Some(at) => write!(f, "{} at byte {at}", self.message),
+            None => f.write_str(&self.message),
+        }
+    }
+}
+
+impl std::error::Error for JsonError {}

@@ -1,0 +1,259 @@
+//! [`ToJson`]/[`FromJson`] implementations for primitives, strings,
+//! sequences, options and the small tuples the workspace uses.
+
+use crate::{FromJson, JsonError, Number, ToJson, Value};
+
+impl ToJson for Value {
+    fn to_json(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl FromJson for Value {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        Ok(v.clone())
+    }
+}
+
+impl<T: ToJson + ?Sized> ToJson for &T {
+    fn to_json(&self) -> Value {
+        (**self).to_json()
+    }
+}
+
+impl ToJson for bool {
+    fn to_json(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl FromJson for bool {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        v.as_bool().ok_or_else(|| JsonError::expected("boolean", v))
+    }
+}
+
+impl ToJson for str {
+    fn to_json(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl ToJson for String {
+    fn to_json(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl FromJson for String {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        v.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| JsonError::expected("string", v))
+    }
+}
+
+impl ToJson for f32 {
+    fn to_json(&self) -> Value {
+        Value::Num(Number::F32(*self))
+    }
+}
+
+impl FromJson for f32 {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        // Nulls decode as NaN, mirroring how non-finite floats serialise.
+        if matches!(v, Value::Null) {
+            return Ok(f32::NAN);
+        }
+        v.as_f64()
+            .map(|x| x as f32)
+            .ok_or_else(|| JsonError::expected("number", v))
+    }
+}
+
+impl ToJson for f64 {
+    fn to_json(&self) -> Value {
+        Value::Num(Number::F64(*self))
+    }
+}
+
+impl FromJson for f64 {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        if matches!(v, Value::Null) {
+            return Ok(f64::NAN);
+        }
+        v.as_f64().ok_or_else(|| JsonError::expected("number", v))
+    }
+}
+
+macro_rules! json_uint {
+    ($($ty:ty),+) => {
+        $(
+            impl ToJson for $ty {
+                fn to_json(&self) -> Value {
+                    Value::Num(Number::UInt(*self as u64))
+                }
+            }
+
+            impl FromJson for $ty {
+                fn from_json(v: &Value) -> Result<Self, JsonError> {
+                    let raw = v
+                        .as_u64()
+                        .ok_or_else(|| JsonError::expected("unsigned integer", v))?;
+                    <$ty>::try_from(raw).map_err(|_| {
+                        JsonError::msg(format!(
+                            "{raw} is out of range for {}",
+                            stringify!($ty)
+                        ))
+                    })
+                }
+            }
+        )+
+    };
+}
+
+json_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! json_int {
+    ($($ty:ty),+) => {
+        $(
+            impl ToJson for $ty {
+                fn to_json(&self) -> Value {
+                    let v = *self as i64;
+                    if v < 0 {
+                        Value::Num(Number::Int(v))
+                    } else {
+                        Value::Num(Number::UInt(v as u64))
+                    }
+                }
+            }
+
+            impl FromJson for $ty {
+                fn from_json(v: &Value) -> Result<Self, JsonError> {
+                    let raw = v
+                        .as_i64()
+                        .ok_or_else(|| JsonError::expected("integer", v))?;
+                    <$ty>::try_from(raw).map_err(|_| {
+                        JsonError::msg(format!(
+                            "{raw} is out of range for {}",
+                            stringify!($ty)
+                        ))
+                    })
+                }
+            }
+        )+
+    };
+}
+
+json_int!(i8, i16, i32, i64, isize);
+
+impl<T: ToJson> ToJson for [T] {
+    fn to_json(&self) -> Value {
+        Value::Array(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> Value {
+        self.as_slice().to_json()
+    }
+}
+
+impl<T: FromJson> FromJson for Vec<T> {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        let items = v
+            .as_array()
+            .ok_or_else(|| JsonError::expected("array", v))?;
+        items
+            .iter()
+            .enumerate()
+            .map(|(i, item)| {
+                T::from_json(item).map_err(|e| JsonError::msg(format!("index {i}: {e}")))
+            })
+            .collect()
+    }
+}
+
+impl<T: ToJson> ToJson for Option<T> {
+    fn to_json(&self) -> Value {
+        match self {
+            Some(inner) => inner.to_json(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: FromJson> FromJson for Option<T> {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_json(other).map(Some),
+        }
+    }
+}
+
+impl<A: ToJson, B: ToJson> ToJson for (A, B) {
+    fn to_json(&self) -> Value {
+        Value::Array(vec![self.0.to_json(), self.1.to_json()])
+    }
+}
+
+impl<A: FromJson, B: FromJson> FromJson for (A, B) {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        match v.as_array() {
+            Some([a, b]) => Ok((A::from_json(a)?, B::from_json(b)?)),
+            _ => Err(JsonError::expected("array of length 2", v)),
+        }
+    }
+}
+
+impl<A: ToJson, B: ToJson, C: ToJson> ToJson for (A, B, C) {
+    fn to_json(&self) -> Value {
+        Value::Array(vec![self.0.to_json(), self.1.to_json(), self.2.to_json()])
+    }
+}
+
+impl<A: FromJson, B: FromJson, C: FromJson> FromJson for (A, B, C) {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        match v.as_array() {
+            Some([a, b, c]) => Ok((A::from_json(a)?, B::from_json(b)?, C::from_json(c)?)),
+            _ => Err(JsonError::expected("array of length 3", v)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{from_str, to_string};
+
+    #[test]
+    fn integers_round_trip_with_range_checks() {
+        assert_eq!(to_string(&42u32), "42");
+        assert_eq!(from_str::<u32>("42").unwrap(), 42);
+        assert!(from_str::<u8>("300").is_err());
+        assert!(from_str::<u32>("-1").is_err());
+        assert_eq!(from_str::<i32>("-1").unwrap(), -1);
+        assert_eq!(to_string(&-5i64), "-5");
+    }
+
+    #[test]
+    fn floats_round_trip_through_f64_text() {
+        for v in [0.1f32, 1.0, -2.5, 3.4e38, 1e-7] {
+            let text = to_string(&v);
+            assert_eq!(from_str::<f32>(&text).unwrap(), v, "text {text}");
+        }
+        assert_eq!(to_string(&f32::NAN), "null");
+        assert!(from_str::<f32>("null").unwrap().is_nan());
+    }
+
+    #[test]
+    fn sequences_options_and_tuples_round_trip() {
+        let v: Vec<Option<u32>> = vec![Some(1), None, Some(3)];
+        let text = to_string(&v);
+        assert_eq!(text, "[1,null,3]");
+        assert_eq!(from_str::<Vec<Option<u32>>>(&text).unwrap(), v);
+        let t = (3usize, 4usize, 5usize);
+        assert_eq!(to_string(&t), "[3,4,5]");
+        assert_eq!(from_str::<(usize, usize, usize)>("[3,4,5]").unwrap(), t);
+    }
+}

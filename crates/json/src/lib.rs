@@ -1,0 +1,275 @@
+//! # tdfm-json
+//!
+//! A small, dependency-free JSON library for the TDFM reproduction.
+//!
+//! The study's container builds fully offline, so the usual
+//! serde/serde_json pair is not available; this crate provides the subset
+//! the workspace actually needs, with a wire format identical to what the
+//! previous serde derives produced:
+//!
+//! * [`Value`] — a JSON document model that preserves object key order.
+//! * [`from_str`] / [`parse`] — a strict recursive-descent parser.
+//! * [`to_string`] / [`to_string_pretty`] — compact and 2-space-indented
+//!   writers matching `serde_json`'s output byte for byte for the types
+//!   used here.
+//! * [`ToJson`] / [`FromJson`] — conversion traits, with [`json_struct!`],
+//!   [`json_struct_to!`] and [`json_unit_enum!`] macros standing in for
+//!   `#[derive(Serialize, Deserialize)]`.
+//!
+//! Unit enum variants serialise as their variant name string
+//! (`"Mislabelling"`), structs as objects in field-declaration order, and
+//! `f32` fields keep their shortest-round-trip `f32` representation.
+//!
+//! # Examples
+//!
+//! ```
+//! use tdfm_json::{from_str, to_string, FromJson, ToJson, Value};
+//!
+//! #[derive(Debug, PartialEq)]
+//! struct Point {
+//!     x: f32,
+//!     y: f32,
+//! }
+//! tdfm_json::json_struct!(Point { x, y });
+//!
+//! let p = Point { x: 1.5, y: -2.0 };
+//! let text = to_string(&p);
+//! assert_eq!(text, r#"{"x":1.5,"y":-2.0}"#);
+//! assert_eq!(from_str::<Point>(&text).unwrap(), p);
+//! ```
+
+mod error;
+mod impls;
+mod parse;
+mod value;
+mod write;
+
+pub use error::JsonError;
+pub use parse::parse;
+pub use value::{Number, Value};
+
+/// Converts a value to its JSON document model.
+pub trait ToJson {
+    /// The JSON representation of `self`.
+    fn to_json(&self) -> Value;
+}
+
+/// Reconstructs a value from a JSON document model.
+pub trait FromJson: Sized {
+    /// Converts the document model back into `Self`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] describing the first mismatch between the
+    /// document and the expected shape.
+    fn from_json(v: &Value) -> Result<Self, JsonError>;
+}
+
+/// Serialises `value` to compact JSON (`{"a":1}`).
+pub fn to_string<T: ToJson + ?Sized>(value: &T) -> String {
+    write::write_compact(&value.to_json())
+}
+
+/// Serialises `value` to pretty JSON with 2-space indentation, matching
+/// `serde_json::to_string_pretty`.
+pub fn to_string_pretty<T: ToJson + ?Sized>(value: &T) -> String {
+    write::write_pretty(&value.to_json())
+}
+
+/// Parses `text` and converts it into `T`.
+///
+/// # Errors
+///
+/// Returns a [`JsonError`] if the text is not valid JSON or does not have
+/// the shape `T` expects.
+pub fn from_str<T: FromJson>(text: &str) -> Result<T, JsonError> {
+    let value = parse(text)?;
+    T::from_json(&value)
+}
+
+/// Extracts and converts the field `name` from a JSON object.
+///
+/// Intended for use by [`json_struct!`] expansions and hand-written
+/// [`FromJson`] impls.
+///
+/// # Errors
+///
+/// Returns a [`JsonError`] if `v` is not an object, the field is missing,
+/// or the field fails to convert.
+pub fn field<T: FromJson>(v: &Value, name: &str) -> Result<T, JsonError> {
+    match v.get(name) {
+        Some(inner) => {
+            T::from_json(inner).map_err(|e| JsonError::msg(format!("field `{name}`: {e}")))
+        }
+        None => match v {
+            Value::Object(_) => Err(JsonError::msg(format!("missing field `{name}`"))),
+            other => Err(JsonError::expected("object", other)),
+        },
+    }
+}
+
+/// Like [`field`], but falls back to `T::default()` when the field is
+/// absent — the equivalent of `#[serde(default)]`.
+///
+/// # Errors
+///
+/// Returns a [`JsonError`] if `v` is not an object or a *present* field
+/// fails to convert.
+pub fn field_or_default<T: FromJson + Default>(v: &Value, name: &str) -> Result<T, JsonError> {
+    if !matches!(v, Value::Object(_)) {
+        return Err(JsonError::expected("object", v));
+    }
+    match v.get(name) {
+        Some(inner) => {
+            T::from_json(inner).map_err(|e| JsonError::msg(format!("field `{name}`: {e}")))
+        }
+        None => Ok(T::default()),
+    }
+}
+
+/// Implements [`ToJson`] and [`FromJson`] for a fieldless enum, mapping
+/// each variant to its name string — the same wire format serde uses for
+/// unit variants.
+#[macro_export]
+macro_rules! json_unit_enum {
+    ($ty:ident { $($variant:ident),+ $(,)? }) => {
+        impl $crate::ToJson for $ty {
+            fn to_json(&self) -> $crate::Value {
+                let name = match self {
+                    $( $ty::$variant => stringify!($variant), )+
+                };
+                $crate::Value::Str(name.to_string())
+            }
+        }
+
+        impl $crate::FromJson for $ty {
+            fn from_json(v: &$crate::Value) -> Result<Self, $crate::JsonError> {
+                let name = v
+                    .as_str()
+                    .ok_or_else(|| $crate::JsonError::expected(stringify!($ty), v))?;
+                match name {
+                    $( stringify!($variant) => Ok($ty::$variant), )+
+                    other => Err($crate::JsonError::msg(format!(
+                        concat!("unknown ", stringify!($ty), " variant `{}`"),
+                        other
+                    ))),
+                }
+            }
+        }
+    };
+}
+
+/// Implements [`ToJson`] and [`FromJson`] for a struct with named fields,
+/// serialised as an object in field order. Append `= default` to a field
+/// to make it optional on input (`#[serde(default)]`).
+#[macro_export]
+macro_rules! json_struct {
+    ($ty:ident { $($field:ident $(= $default:ident)?),+ $(,)? }) => {
+        $crate::json_struct_to!($ty { $($field),+ });
+
+        impl $crate::FromJson for $ty {
+            fn from_json(v: &$crate::Value) -> Result<Self, $crate::JsonError> {
+                Ok(Self {
+                    $( $field: $crate::json_struct!(@read v, $field $(= $default)?), )+
+                })
+            }
+        }
+    };
+    (@read $v:ident, $field:ident) => {
+        $crate::field($v, stringify!($field))?
+    };
+    (@read $v:ident, $field:ident = default) => {
+        $crate::field_or_default($v, stringify!($field))?
+    };
+}
+
+/// Implements only [`ToJson`] for a struct with named fields — for types
+/// holding `&'static str` registry data that are exported but never read
+/// back.
+#[macro_export]
+macro_rules! json_struct_to {
+    ($ty:ident { $($field:ident),+ $(,)? }) => {
+        impl $crate::ToJson for $ty {
+            fn to_json(&self) -> $crate::Value {
+                $crate::Value::Object(vec![
+                    $(
+                        (
+                            stringify!($field).to_string(),
+                            $crate::ToJson::to_json(&self.$field),
+                        ),
+                    )+
+                ])
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    enum Kind {
+        Alpha,
+        Beta,
+    }
+    json_unit_enum!(Kind { Alpha, Beta });
+
+    #[derive(Debug, Clone, PartialEq, Default)]
+    struct Rec {
+        kind: Option<u32>,
+        score: f32,
+        tags: Vec<String>,
+        extra: Vec<u32>,
+    }
+    json_struct!(Rec {
+        kind,
+        score,
+        tags,
+        extra = default
+    });
+
+    #[test]
+    fn unit_enum_round_trips_as_name_string() {
+        assert_eq!(to_string(&Kind::Alpha), "\"Alpha\"");
+        assert_eq!(from_str::<Kind>("\"Beta\"").unwrap(), Kind::Beta);
+        assert!(from_str::<Kind>("\"Gamma\"").is_err());
+    }
+
+    #[test]
+    fn struct_round_trips_with_defaulted_field() {
+        let rec = Rec {
+            kind: Some(7),
+            score: 0.25,
+            tags: vec!["a".into()],
+            extra: vec![],
+        };
+        let text = to_string(&rec);
+        assert_eq!(text, r#"{"kind":7,"score":0.25,"tags":["a"],"extra":[]}"#);
+        assert_eq!(from_str::<Rec>(&text).unwrap(), rec);
+        // `extra` may be omitted entirely.
+        let trimmed = r#"{"kind":null,"score":1.0,"tags":[]}"#;
+        let back = from_str::<Rec>(trimmed).unwrap();
+        assert_eq!(back.extra, Vec::<u32>::new());
+        assert_eq!(back.kind, None);
+    }
+
+    #[test]
+    fn missing_required_field_is_reported_by_name() {
+        let err = from_str::<Rec>(r#"{"score":1.0,"tags":[]}"#).unwrap_err();
+        assert!(err.to_string().contains("kind"), "got: {err}");
+    }
+
+    #[test]
+    fn pretty_output_matches_serde_json_layout() {
+        let rec = Rec {
+            kind: None,
+            score: 1.0,
+            tags: vec!["x".into(), "y".into()],
+            extra: vec![],
+        };
+        let pretty = to_string_pretty(&rec);
+        let expected = "{\n  \"kind\": null,\n  \"score\": 1.0,\n  \"tags\": [\n    \"x\",\n    \"y\"\n  ],\n  \"extra\": []\n}";
+        assert_eq!(pretty, expected);
+    }
+}

@@ -1,0 +1,187 @@
+//! The JSON document model.
+
+/// A JSON number, remembering enough about its origin to reproduce
+/// `serde_json`'s output exactly.
+#[derive(Debug, Clone, Copy)]
+pub enum Number {
+    /// A non-negative integer literal.
+    UInt(u64),
+    /// A negative integer literal.
+    Int(i64),
+    /// A binary64 float (parsed fractions/exponents, or computed values).
+    F64(f64),
+    /// A float that originated as `f32` and is written with the `f32`
+    /// shortest round-trip representation.
+    F32(f32),
+}
+
+impl Number {
+    /// The value as a binary64 float.
+    pub fn as_f64(self) -> f64 {
+        match self {
+            Number::UInt(v) => v as f64,
+            Number::Int(v) => v as f64,
+            Number::F64(v) => v,
+            Number::F32(v) => f64::from(v),
+        }
+    }
+
+    /// The value as a `u64`, if it is a non-negative integer (including
+    /// floats with an exact integral value).
+    pub fn as_u64(self) -> Option<u64> {
+        match self {
+            Number::UInt(v) => Some(v),
+            Number::Int(v) => u64::try_from(v).ok(),
+            Number::F64(v) if v >= 0.0 && v.fract() == 0.0 && v <= u64::MAX as f64 => {
+                Some(v as u64)
+            }
+            Number::F32(v) if v >= 0.0 && v.fract() == 0.0 && f64::from(v) <= u64::MAX as f64 => {
+                Some(v as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The value as an `i64`, if it is an integer.
+    pub fn as_i64(self) -> Option<i64> {
+        match self {
+            Number::UInt(v) => i64::try_from(v).ok(),
+            Number::Int(v) => Some(v),
+            Number::F64(v) if v.fract() == 0.0 && v >= i64::MIN as f64 && v <= i64::MAX as f64 => {
+                Some(v as i64)
+            }
+            Number::F32(v) => Number::F64(f64::from(v)).as_i64(),
+            _ => None,
+        }
+    }
+}
+
+impl PartialEq for Number {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_f64() == other.as_f64()
+    }
+}
+
+/// A parsed or constructed JSON document.
+///
+/// Objects preserve insertion order so struct output is reproducible and
+/// matches serde's field-declaration order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number.
+    Num(Number),
+    /// A string.
+    Str(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object, as ordered key/value pairs.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// A short noun for error messages ("string", "object", ...).
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "boolean",
+            Value::Num(_) => "number",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload as `f64`, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(n.as_f64()),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload as a non-negative integer, if applicable.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Num(n) => n.as_u64(),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload as a signed integer, if applicable.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Num(n) => n.as_i64(),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The ordered key/value pairs, if this is an object.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(pairs) => Some(pairs),
+            _ => None,
+        }
+    }
+
+    /// Looks up `key` in an object (first match wins). `None` for missing
+    /// keys and non-objects alike.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object()?
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_finds_keys_in_order() {
+        let v = Value::Object(vec![
+            ("a".into(), Value::Bool(true)),
+            ("b".into(), Value::Null),
+        ]);
+        assert_eq!(v.get("a"), Some(&Value::Bool(true)));
+        assert_eq!(v.get("b"), Some(&Value::Null));
+        assert_eq!(v.get("c"), None);
+    }
+
+    #[test]
+    fn number_accessors_respect_ranges() {
+        assert_eq!(Value::Num(Number::UInt(7)).as_u64(), Some(7));
+        assert_eq!(Value::Num(Number::Int(-7)).as_u64(), None);
+        assert_eq!(Value::Num(Number::Int(-7)).as_i64(), Some(-7));
+        assert_eq!(Value::Num(Number::F64(3.0)).as_u64(), Some(3));
+        assert_eq!(Value::Num(Number::F64(3.5)).as_u64(), None);
+    }
+}

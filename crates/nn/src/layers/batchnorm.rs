@@ -64,10 +64,10 @@ impl Layer for BatchNorm2d {
         let mut var = vec![0.0f32; c];
         if mode == Mode::Train {
             for s in 0..n {
-                for ch in 0..c {
+                for (ch, m) in mean.iter_mut().enumerate() {
                     let base = (s * c + ch) * hw;
                     let slice = &input.data()[base..base + hw];
-                    mean[ch] += slice.iter().sum::<f32>();
+                    *m += slice.iter().sum::<f32>();
                 }
             }
             for m in &mut mean {
@@ -122,7 +122,10 @@ impl Layer for BatchNorm2d {
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
-        assert!(self.last_was_train, "backward requires a Train-mode forward");
+        assert!(
+            self.last_was_train,
+            "backward requires a Train-mode forward"
+        );
         let x_hat = self.x_hat.as_ref().expect("forward before backward");
         let (n, c, hw) = Self::channel_stats(grad_output);
         let count = self.count as f32;
@@ -169,7 +172,10 @@ impl Layer for BatchNorm2d {
     }
 
     fn state_mut(&mut self) -> Vec<&mut [f32]> {
-        vec![self.running_mean.as_mut_slice(), self.running_var.as_mut_slice()]
+        vec![
+            self.running_mean.as_mut_slice(),
+            self.running_var.as_mut_slice(),
+        ]
     }
 
     fn name(&self) -> &'static str {
@@ -196,8 +202,8 @@ mod tests {
                 vals.extend_from_slice(&y.data()[base..base + 9]);
             }
             let mean: f32 = vals.iter().sum::<f32>() / vals.len() as f32;
-            let var: f32 = vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>()
-                / vals.len() as f32;
+            let var: f32 =
+                vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / vals.len() as f32;
             assert!(mean.abs() < 1e-3, "mean {mean}");
             assert!((var - 1.0).abs() < 1e-2, "var {var}");
         }
@@ -239,7 +245,11 @@ mod tests {
             let mut xm = x.clone();
             xm.data_mut()[i] -= eps;
             let num = (loss(&mut bn, &xp) - loss(&mut bn, &xm)) / (2.0 * eps);
-            assert!((num - gx.data()[i]).abs() < 2e-2, "x[{i}]: {num} vs {}", gx.data()[i]);
+            assert!(
+                (num - gx.data()[i]).abs() < 2e-2,
+                "x[{i}]: {num} vs {}",
+                gx.data()[i]
+            );
         }
     }
 }

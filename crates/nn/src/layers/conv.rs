@@ -30,8 +30,14 @@ impl Conv2d {
         spec: Conv2dSpec,
         rng: &mut Rng,
     ) -> Self {
-        assert!(in_channels % spec.groups == 0, "in_channels vs groups");
-        assert!(out_channels % spec.groups == 0, "out_channels vs groups");
+        assert!(
+            in_channels.is_multiple_of(spec.groups),
+            "in_channels vs groups"
+        );
+        assert!(
+            out_channels.is_multiple_of(spec.groups),
+            "out_channels vs groups"
+        );
         let fan_in = (in_channels / spec.groups) * kernel * kernel;
         let std = (2.0 / fan_in as f32).sqrt();
         Self {
@@ -88,7 +94,17 @@ mod tests {
     #[test]
     fn forward_shape_respects_spec() {
         let mut rng = Rng::seed_from(0);
-        let mut c = Conv2d::new(3, 8, 3, Conv2dSpec { stride: 2, pad: 1, groups: 1 }, &mut rng);
+        let mut c = Conv2d::new(
+            3,
+            8,
+            3,
+            Conv2dSpec {
+                stride: 2,
+                pad: 1,
+                groups: 1,
+            },
+            &mut rng,
+        );
         let x = Tensor::zeros(&[2, 3, 8, 8]);
         let y = c.forward(&x, Mode::Train);
         assert_eq!(y.shape().dims(), &[2, 8, 4, 4]);
@@ -97,7 +113,17 @@ mod tests {
     #[test]
     fn depthwise_parameter_count() {
         let mut rng = Rng::seed_from(1);
-        let mut c = Conv2d::new(8, 8, 3, Conv2dSpec { stride: 1, pad: 1, groups: 8 }, &mut rng);
+        let mut c = Conv2d::new(
+            8,
+            8,
+            3,
+            Conv2dSpec {
+                stride: 1,
+                pad: 1,
+                groups: 8,
+            },
+            &mut rng,
+        );
         // 8 kernels of 1x3x3 plus 8 biases.
         assert_eq!(c.param_count(), 8 * 9 + 8);
     }
@@ -115,8 +141,8 @@ mod tests {
             xp.data_mut()[i] += eps;
             let mut xm = x.clone();
             xm.data_mut()[i] -= eps;
-            let num =
-                (c.forward(&xp, Mode::Train).sum() - c.forward(&xm, Mode::Train).sum()) / (2.0 * eps);
+            let num = (c.forward(&xp, Mode::Train).sum() - c.forward(&xm, Mode::Train).sum())
+                / (2.0 * eps);
             assert!((num - gx.data()[i]).abs() < 2e-2, "x[{i}]");
         }
     }

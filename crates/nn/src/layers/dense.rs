@@ -25,7 +25,10 @@ impl Dense {
     ///
     /// Panics if either dimension is zero.
     pub fn new(in_features: usize, out_features: usize, rng: &mut Rng) -> Self {
-        assert!(in_features > 0 && out_features > 0, "dense dims must be positive");
+        assert!(
+            in_features > 0 && out_features > 0,
+            "dense dims must be positive"
+        );
         let std = (2.0 / in_features as f32).sqrt();
         Self {
             weight: Param::new(Tensor::randn(&[in_features, out_features], std, rng)),
@@ -151,10 +154,6 @@ mod tests {
         let first = d.bias.grad.clone();
         let _ = d.forward(&x, Mode::Train);
         let _ = d.backward(&Tensor::ones(&[1, 2]));
-        assert_close(
-            d.bias.grad.data(),
-            first.map(|v| v * 2.0).data(),
-            1e-6,
-        );
+        assert_close(d.bias.grad.data(), first.map(|v| v * 2.0).data(), 1e-6);
     }
 }

@@ -24,8 +24,16 @@ impl Dropout {
     ///
     /// Panics unless `0 <= p < 1`.
     pub fn new(p: f32, rng: Rng) -> Self {
-        assert!((0.0..1.0).contains(&p), "dropout probability must be in [0, 1)");
-        Self { p, rng, mask: Vec::new(), last_was_train: false }
+        assert!(
+            (0.0..1.0).contains(&p),
+            "dropout probability must be in [0, 1)"
+        );
+        Self {
+            p,
+            rng,
+            mask: Vec::new(),
+            last_was_train: false,
+        }
     }
 
     /// Drop probability.
@@ -61,7 +69,11 @@ impl Layer for Dropout {
         if !self.last_was_train {
             return grad_output.clone();
         }
-        assert_eq!(grad_output.numel(), self.mask.len(), "forward before backward");
+        assert_eq!(
+            grad_output.numel(),
+            self.mask.len(),
+            "forward before backward"
+        );
         let mut out = grad_output.clone();
         for (g, &m) in out.data_mut().iter_mut().zip(&self.mask) {
             *g *= m;

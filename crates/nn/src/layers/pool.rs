@@ -60,7 +60,11 @@ impl AvgPool2d {
     /// Panics if `k == 0` or `s == 0`.
     pub fn new(k: usize, s: usize) -> Self {
         assert!(k > 0 && s > 0, "pool window and stride must be positive");
-        Self { k, s, input_dims: Vec::new() }
+        Self {
+            k,
+            s,
+            input_dims: Vec::new(),
+        }
     }
 }
 

@@ -20,12 +20,20 @@ pub struct ResidualBlock {
 impl ResidualBlock {
     /// Creates a block with an identity skip connection.
     pub fn identity(main: Sequential) -> Self {
-        Self { main, skip: None, sum_cache: None }
+        Self {
+            main,
+            skip: None,
+            sum_cache: None,
+        }
     }
 
     /// Creates a block with a projection skip path.
     pub fn projected(main: Sequential, skip: Sequential) -> Self {
-        Self { main, skip: Some(skip), sum_cache: None }
+        Self {
+            main,
+            skip: Some(skip),
+            sum_cache: None,
+        }
     }
 }
 
@@ -35,7 +43,11 @@ impl std::fmt::Debug for ResidualBlock {
             f,
             "ResidualBlock {{ main: {:?}, skip: {} }}",
             self.main,
-            if self.skip.is_some() { "projection" } else { "identity" }
+            if self.skip.is_some() {
+                "projection"
+            } else {
+                "identity"
+            }
         )
     }
 }
@@ -140,14 +152,22 @@ mod tests {
             2,
             4,
             3,
-            Conv2dSpec { stride: 2, pad: 1, groups: 1 },
+            Conv2dSpec {
+                stride: 2,
+                pad: 1,
+                groups: 1,
+            },
             &mut rng,
         ));
         let skip = Sequential::new().push(Conv2d::new(
             2,
             4,
             1,
-            Conv2dSpec { stride: 2, pad: 0, groups: 1 },
+            Conv2dSpec {
+                stride: 2,
+                pad: 0,
+                groups: 1,
+            },
             &mut rng,
         ));
         let mut block = ResidualBlock::projected(main, skip);

@@ -30,7 +30,10 @@ impl Loss for CrossEntropy {
                     grad.data_mut()[i * k + y as usize] -= 1.0;
                 }
                 grad.scale(inv_n);
-                LossOutput { loss: loss * inv_n, grad }
+                LossOutput {
+                    loss: loss * inv_n,
+                    grad,
+                }
             }
             Target::Soft(q) => {
                 assert_eq!(q.shape().dims(), logits.shape().dims(), "soft target shape");
@@ -108,7 +111,10 @@ mod tests {
         let teacher = Tensor::zeros(&[1, 2]);
         let _ = CrossEntropy.evaluate(
             &logits,
-            &Target::Distill { labels: &[0], teacher_logits: &teacher },
+            &Target::Distill {
+                labels: &[0],
+                teacher_logits: &teacher,
+            },
         );
     }
 }

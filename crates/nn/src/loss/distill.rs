@@ -48,7 +48,10 @@ impl Loss for DistillationLoss {
     fn evaluate(&self, logits: &Tensor, target: &Target<'_>) -> LossOutput {
         let (n, k) = check_logits(logits, target);
         let (labels, teacher_logits) = match target {
-            Target::Distill { labels, teacher_logits } => (*labels, *teacher_logits),
+            Target::Distill {
+                labels,
+                teacher_logits,
+            } => (*labels, *teacher_logits),
             _ => panic!("DistillationLoss accepts only Distill targets"),
         };
         assert_eq!(
@@ -89,7 +92,10 @@ impl Loss for DistillationLoss {
                 grad.data_mut()[i * k + j] += self.alpha * t * (pt - q) * inv_n;
             }
         }
-        LossOutput { loss: loss * inv_n, grad }
+        LossOutput {
+            loss: loss * inv_n,
+            grad,
+        }
     }
 
     fn name(&self) -> &'static str {
@@ -107,8 +113,13 @@ mod tests {
     fn matching_teacher_and_correct_label_give_low_loss() {
         let logits = Tensor::from_vec(vec![8.0, 0.0], &[1, 2]);
         let teacher = logits.clone();
-        let out = DistillationLoss::new(0.7, 4.0)
-            .evaluate(&logits, &Target::Distill { labels: &[0], teacher_logits: &teacher });
+        let out = DistillationLoss::new(0.7, 4.0).evaluate(
+            &logits,
+            &Target::Distill {
+                labels: &[0],
+                teacher_logits: &teacher,
+            },
+        );
         assert!(out.loss < 1e-2, "loss {}", out.loss);
     }
 
@@ -120,7 +131,10 @@ mod tests {
         grad_check(
             &DistillationLoss::new(0.7, 4.0),
             &logits,
-            &Target::Distill { labels: &[1, 3], teacher_logits: &teacher },
+            &Target::Distill {
+                labels: &[1, 3],
+                teacher_logits: &teacher,
+            },
             2e-3,
         );
     }
@@ -131,8 +145,13 @@ mod tests {
         let logits = Tensor::randn(&[3, 4], 1.0, &mut rng);
         let teacher = Tensor::randn(&[3, 4], 1.0, &mut rng);
         let labels = [0u32, 1, 2];
-        let kd = DistillationLoss::new(0.0, 4.0)
-            .evaluate(&logits, &Target::Distill { labels: &labels, teacher_logits: &teacher });
+        let kd = DistillationLoss::new(0.0, 4.0).evaluate(
+            &logits,
+            &Target::Distill {
+                labels: &labels,
+                teacher_logits: &teacher,
+            },
+        );
         let ce = super::super::CrossEntropy.evaluate(&logits, &Target::Hard(&labels));
         assert!((kd.loss - ce.loss).abs() < 1e-4);
         tdfm_tensor::assert_close(kd.grad.data(), ce.grad.data(), 1e-5);
@@ -143,10 +162,20 @@ mod tests {
         let mut rng = Rng::seed_from(2);
         let logits = Tensor::randn(&[2, 3], 1.0, &mut rng);
         let teacher = Tensor::randn(&[2, 3], 1.0, &mut rng);
-        let a = DistillationLoss::new(1.0, 2.0)
-            .evaluate(&logits, &Target::Distill { labels: &[0, 0], teacher_logits: &teacher });
-        let b = DistillationLoss::new(1.0, 2.0)
-            .evaluate(&logits, &Target::Distill { labels: &[2, 1], teacher_logits: &teacher });
+        let a = DistillationLoss::new(1.0, 2.0).evaluate(
+            &logits,
+            &Target::Distill {
+                labels: &[0, 0],
+                teacher_logits: &teacher,
+            },
+        );
+        let b = DistillationLoss::new(1.0, 2.0).evaluate(
+            &logits,
+            &Target::Distill {
+                labels: &[2, 1],
+                teacher_logits: &teacher,
+            },
+        );
         assert!((a.loss - b.loss).abs() < 1e-6);
     }
 
@@ -157,10 +186,20 @@ mod tests {
         let logits = Tensor::from_vec(vec![0.0, 0.0], &[1, 2]);
         let teacher = Tensor::from_vec(vec![6.0, 0.0], &[1, 2]);
         // Label says class 1, teacher says class 0.
-        let low = DistillationLoss::new(0.2, 4.0)
-            .evaluate(&logits, &Target::Distill { labels: &[1], teacher_logits: &teacher });
-        let high = DistillationLoss::new(0.9, 4.0)
-            .evaluate(&logits, &Target::Distill { labels: &[1], teacher_logits: &teacher });
+        let low = DistillationLoss::new(0.2, 4.0).evaluate(
+            &logits,
+            &Target::Distill {
+                labels: &[1],
+                teacher_logits: &teacher,
+            },
+        );
+        let high = DistillationLoss::new(0.9, 4.0).evaluate(
+            &logits,
+            &Target::Distill {
+                labels: &[1],
+                teacher_logits: &teacher,
+            },
+        );
         // With high alpha, the gradient on logit 0 is more negative
         // (pushing towards the teacher's class 0).
         assert!(high.grad.data()[0] < low.grad.data()[0]);

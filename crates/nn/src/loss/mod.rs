@@ -107,7 +107,6 @@ pub(crate) fn grad_check(loss: &dyn Loss, logits: &Tensor, target: &Target<'_>, 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
     use tdfm_tensor::rng::Rng;
 
     /// Every softmax-based loss has logits-gradients that sum to zero per
@@ -119,14 +118,17 @@ mod tests {
         let k = logits.shape().dim(1);
         for (i, row) in out.grad.data().chunks(k).enumerate() {
             let s: f32 = row.iter().sum();
-            assert!(s.abs() < 1e-4, "{}: row {i} gradient sums to {s}", loss.name());
+            assert!(
+                s.abs() < 1e-4,
+                "{}: row {i} gradient sums to {s}",
+                loss.name()
+            );
         }
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(24))]
-        #[test]
-        fn gradients_are_shift_invariant(seed in 0u64..10_000) {
+    #[test]
+    fn gradients_are_shift_invariant() {
+        for seed in (0..24u64).map(|i| i * 417) {
             let mut rng = Rng::seed_from(seed);
             let n = 3usize;
             let k = 2 + (seed % 5) as usize;
@@ -142,12 +144,19 @@ mod tests {
             assert_row_sums_zero(&ActivePassiveLoss::new(1.0, 1.0), &logits, &hard);
 
             let teacher = Tensor::randn(&[n, k], 2.0, &mut rng);
-            let distill = Target::Distill { labels: &labels, teacher_logits: &teacher };
+            let distill = Target::Distill {
+                labels: &labels,
+                teacher_logits: &teacher,
+            };
             assert_row_sums_zero(&DistillationLoss::new(0.7, 4.0), &logits, &distill);
         }
+    }
 
-        #[test]
-        fn losses_are_finite_on_extreme_logits(scale in 1.0f32..50.0) {
+    #[test]
+    fn losses_are_finite_on_extreme_logits() {
+        let mut rng = Rng::seed_from(0xF1);
+        for _ in 0..24 {
+            let scale = rng.uniform(1.0, 50.0);
             let logits = Tensor::from_vec(vec![scale, -scale, 0.0, scale * 0.5], &[1, 4]);
             let labels = [2u32];
             let hard = Target::Hard(&labels);
@@ -160,8 +169,12 @@ mod tests {
                 &ActivePassiveLoss::new(1.0, 1.0),
             ] {
                 let out = loss.evaluate(&logits, &hard);
-                prop_assert!(out.loss.is_finite(), "{} loss not finite", loss.name());
-                prop_assert!(!out.grad.has_non_finite(), "{} grad not finite", loss.name());
+                assert!(out.loss.is_finite(), "{} loss not finite", loss.name());
+                assert!(
+                    !out.grad.has_non_finite(),
+                    "{} grad not finite",
+                    loss.name()
+                );
             }
         }
     }
@@ -173,7 +186,14 @@ mod tests {
         let teacher = Tensor::zeros(&[2, 4]);
         assert_eq!(Target::Hard(&labels).len(), 2);
         assert_eq!(Target::Soft(&soft).len(), 3);
-        assert_eq!(Target::Distill { labels: &labels, teacher_logits: &teacher }.len(), 2);
+        assert_eq!(
+            Target::Distill {
+                labels: &labels,
+                teacher_logits: &teacher
+            }
+            .len(),
+            2
+        );
         assert!(!Target::Hard(&labels).is_empty());
     }
 }

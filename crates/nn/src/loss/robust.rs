@@ -41,7 +41,10 @@ impl Loss for NormalizedCrossEntropy {
                 grad.data_mut()[i * k + j] = (da * b - a * db) / (b * b) * inv_n;
             }
         }
-        LossOutput { loss: loss * inv_n, grad }
+        LossOutput {
+            loss: loss * inv_n,
+            grad,
+        }
     }
 
     fn name(&self) -> &'static str {
@@ -96,7 +99,10 @@ impl Loss for ReverseCrossEntropy {
                 grad.data_mut()[i * k + j] = a * py * (delta - pj) * inv_n;
             }
         }
-        LossOutput { loss: loss * inv_n, grad }
+        LossOutput {
+            loss: loss * inv_n,
+            grad,
+        }
     }
 
     fn name(&self) -> &'static str {
@@ -124,7 +130,10 @@ impl ActivePassiveLoss {
     ///
     /// Panics if either weight is negative.
     pub fn new(alpha: f32, beta: f32) -> Self {
-        assert!(alpha >= 0.0 && beta >= 0.0, "APL weights must be non-negative");
+        assert!(
+            alpha >= 0.0 && beta >= 0.0,
+            "APL weights must be non-negative"
+        );
         Self {
             alpha,
             beta,
@@ -151,7 +160,10 @@ impl Loss for ActivePassiveLoss {
         let mut grad = a.grad;
         grad.scale(self.alpha);
         grad.axpy(self.beta, &b.grad);
-        LossOutput { loss: self.alpha * a.loss + self.beta * b.loss, grad }
+        LossOutput {
+            loss: self.alpha * a.loss + self.beta * b.loss,
+            grad,
+        }
     }
 
     fn name(&self) -> &'static str {
@@ -180,7 +192,12 @@ mod tests {
     fn nce_gradient_check() {
         let mut rng = Rng::seed_from(1);
         let logits = Tensor::randn(&[3, 4], 1.5, &mut rng);
-        grad_check(&NormalizedCrossEntropy, &logits, &Target::Hard(&[1, 0, 3]), 2e-3);
+        grad_check(
+            &NormalizedCrossEntropy,
+            &logits,
+            &Target::Hard(&[1, 0, 3]),
+            2e-3,
+        );
     }
 
     #[test]
@@ -195,7 +212,12 @@ mod tests {
     fn rce_gradient_check() {
         let mut rng = Rng::seed_from(2);
         let logits = Tensor::randn(&[3, 5], 1.5, &mut rng);
-        grad_check(&ReverseCrossEntropy::new(), &logits, &Target::Hard(&[4, 2, 0]), 2e-3);
+        grad_check(
+            &ReverseCrossEntropy::new(),
+            &logits,
+            &Target::Hard(&[4, 2, 0]),
+            2e-3,
+        );
     }
 
     #[test]
@@ -214,7 +236,12 @@ mod tests {
     fn apl_gradient_check() {
         let mut rng = Rng::seed_from(4);
         let logits = Tensor::randn(&[2, 4], 1.0, &mut rng);
-        grad_check(&ActivePassiveLoss::new(1.0, 1.0), &logits, &Target::Hard(&[3, 1]), 2e-3);
+        grad_check(
+            &ActivePassiveLoss::new(1.0, 1.0),
+            &logits,
+            &Target::Hard(&[3, 1]),
+            2e-3,
+        );
     }
 
     #[test]

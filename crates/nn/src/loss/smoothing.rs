@@ -53,7 +53,10 @@ impl Loss for LabelSmoothingLoss {
             }
         }
         grad.scale(inv_n);
-        LossOutput { loss: loss * inv_n, grad }
+        LossOutput {
+            loss: loss * inv_n,
+            grad,
+        }
     }
 
     fn name(&self) -> &'static str {
@@ -122,7 +125,11 @@ impl Loss for LabelRelaxationLoss {
             let rest = (1.0 - py).max(eps);
             for j in 0..k {
                 let pj = p.data()[i * k + j];
-                let pr = if j == yi { 1.0 - self.alpha } else { self.alpha * pj / rest };
+                let pr = if j == yi {
+                    1.0 - self.alpha
+                } else {
+                    self.alpha * pj / rest
+                };
                 // KL(pr || p) = sum pr log(pr / p); gradient w.r.t. logits
                 // with pr treated as constant is (p - pr).
                 if pr > 0.0 {
@@ -131,7 +138,10 @@ impl Loss for LabelRelaxationLoss {
                 grad.data_mut()[i * k + j] = (pj - pr) * inv_n;
             }
         }
-        LossOutput { loss: loss * inv_n, grad }
+        LossOutput {
+            loss: loss * inv_n,
+            grad,
+        }
     }
 
     fn name(&self) -> &'static str {
@@ -156,7 +166,10 @@ mod tests {
         let q = [0.1f32 / 3.0, 1.0 - 0.1 + 0.1 / 3.0, 0.1 / 3.0];
         let logits = Tensor::from_vec(q.iter().map(|x| x.ln()).collect(), &[1, 3]);
         let out = ls.evaluate(&logits, &Target::Hard(&[1]));
-        assert!(out.grad.max_abs() < 1e-4, "gradient at the target should vanish");
+        assert!(
+            out.grad.max_abs() < 1e-4,
+            "gradient at the target should vanish"
+        );
     }
 
     #[test]

@@ -22,12 +22,12 @@ use crate::layers::{
     Sequential,
 };
 use crate::network::Network;
-use serde::{Deserialize, Serialize};
+use tdfm_json::{json_struct, json_struct_to, json_unit_enum};
 use tdfm_tensor::ops::Conv2dSpec;
 use tdfm_tensor::rng::Rng;
 
 /// Construction parameters shared by all architectures.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ModelConfig {
     /// Input image shape `(channels, height, width)`.
     pub in_shape: (usize, usize, usize),
@@ -39,14 +39,26 @@ pub struct ModelConfig {
     pub seed: u64,
 }
 
+json_struct!(ModelConfig {
+    in_shape,
+    classes,
+    width,
+    seed
+});
+
 impl Default for ModelConfig {
     fn default() -> Self {
-        Self { in_shape: (3, 12, 12), classes: 10, width: 8, seed: 0 }
+        Self {
+            in_shape: (3, 12, 12),
+            classes: 10,
+            width: 8,
+            seed: 0,
+        }
     }
 }
 
 /// The architectures of Table III.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ModelKind {
     /// 3 conv + 3 FC + max pooling (moderate depth).
     ConvNet,
@@ -64,14 +76,26 @@ pub enum ModelKind {
     MobileNet,
 }
 
+json_unit_enum!(ModelKind {
+    ConvNet,
+    DeconvNet,
+    Vgg11,
+    Vgg16,
+    ResNet18,
+    ResNet50,
+    MobileNet
+});
+
 /// Depth classification used by Table III.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DepthClass {
     /// Few layers; the paper shows these react badly to softened losses.
     Moderate,
     /// Many layers.
     Deep,
 }
+
+json_unit_enum!(DepthClass { Moderate, Deep });
 
 impl std::fmt::Display for DepthClass {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -83,7 +107,7 @@ impl std::fmt::Display for DepthClass {
 }
 
 /// Registry row describing one architecture (renders Table III).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ModelInfo {
     /// Architecture name as printed in the paper.
     pub name: &'static str,
@@ -92,6 +116,12 @@ pub struct ModelInfo {
     /// The paper's architecture summary string.
     pub summary: &'static str,
 }
+
+json_struct_to!(ModelInfo {
+    name,
+    depth,
+    summary
+});
 
 impl ModelKind {
     /// All seven architectures in Table III order.
@@ -129,7 +159,11 @@ impl ModelKind {
             ModelKind::ResNet50 => (DepthClass::Deep, "25 Conv + 1 FC + Avg Pooling"),
             ModelKind::MobileNet => (DepthClass::Deep, "13 Conv + 1 FC + Avg Pooling"),
         };
-        ModelInfo { name: self.name(), depth, summary }
+        ModelInfo {
+            name: self.name(),
+            depth,
+            summary,
+        }
     }
 
     /// Builds a freshly initialised network of this architecture.
@@ -201,7 +235,13 @@ impl Dims {
 }
 
 fn conv_relu(seq: &mut Sequential, dims: &mut Dims, out_c: usize, rng: &mut Rng) {
-    seq.add(Box::new(Conv2d::new(dims.c, out_c, 3, Conv2dSpec::same(3), rng)));
+    seq.add(Box::new(Conv2d::new(
+        dims.c,
+        out_c,
+        3,
+        Conv2dSpec::same(3),
+        rng,
+    )));
     seq.add(Box::new(ReLU::new()));
     dims.c = out_c;
 }
@@ -209,7 +249,13 @@ fn conv_relu(seq: &mut Sequential, dims: &mut Dims, out_c: usize, rng: &mut Rng)
 /// Conv + batch norm + ReLU — the stabilised block the deeper plain stacks
 /// (VGG, DeconvNet) need to train at the study's reduced widths.
 fn conv_bn_relu(seq: &mut Sequential, dims: &mut Dims, out_c: usize, rng: &mut Rng) {
-    seq.add(Box::new(Conv2d::new(dims.c, out_c, 3, Conv2dSpec::same(3), rng)));
+    seq.add(Box::new(Conv2d::new(
+        dims.c,
+        out_c,
+        3,
+        Conv2dSpec::same(3),
+        rng,
+    )));
     seq.add(Box::new(BatchNorm2d::new(out_c)));
     seq.add(Box::new(ReLU::new()));
     dims.c = out_c;
@@ -235,7 +281,11 @@ fn head_3fc(seq: &mut Sequential, dims: Dims, cfg: &ModelConfig, rng: &mut Rng) 
 
 fn build_convnet(cfg: &ModelConfig, rng: &mut Rng) -> Sequential {
     let mut seq = Sequential::new();
-    let mut dims = Dims { c: cfg.in_shape.0, h: cfg.in_shape.1, w: cfg.in_shape.2 };
+    let mut dims = Dims {
+        c: cfg.in_shape.0,
+        h: cfg.in_shape.1,
+        w: cfg.in_shape.2,
+    };
     let w = cfg.width;
     conv_relu(&mut seq, &mut dims, w, rng);
     maybe_pool(&mut seq, &mut dims);
@@ -248,7 +298,11 @@ fn build_convnet(cfg: &ModelConfig, rng: &mut Rng) -> Sequential {
 
 fn build_deconvnet(cfg: &ModelConfig, rng: &mut Rng) -> Sequential {
     let mut seq = Sequential::new();
-    let mut dims = Dims { c: cfg.in_shape.0, h: cfg.in_shape.1, w: cfg.in_shape.2 };
+    let mut dims = Dims {
+        c: cfg.in_shape.0,
+        h: cfg.in_shape.1,
+        w: cfg.in_shape.2,
+    };
     let w = cfg.width;
     conv_bn_relu(&mut seq, &mut dims, w, rng);
     conv_bn_relu(&mut seq, &mut dims, w, rng);
@@ -267,7 +321,11 @@ fn build_deconvnet(cfg: &ModelConfig, rng: &mut Rng) -> Sequential {
 
 fn build_vgg(cfg: &ModelConfig, stage_convs: &[usize], rng: &mut Rng) -> Sequential {
     let mut seq = Sequential::new();
-    let mut dims = Dims { c: cfg.in_shape.0, h: cfg.in_shape.1, w: cfg.in_shape.2 };
+    let mut dims = Dims {
+        c: cfg.in_shape.0,
+        h: cfg.in_shape.1,
+        w: cfg.in_shape.2,
+    };
     let w = cfg.width;
     let stage_width = [w, 2 * w, 4 * w, 4 * w, 4 * w];
     for (stage, &n_convs) in stage_convs.iter().enumerate() {
@@ -282,7 +340,11 @@ fn build_vgg(cfg: &ModelConfig, stage_convs: &[usize], rng: &mut Rng) -> Sequent
 
 fn basic_block(dims: &mut Dims, out_c: usize, downsample: bool, rng: &mut Rng) -> ResidualBlock {
     let stride_spec = if downsample {
-        Conv2dSpec { stride: 2, pad: 1, groups: 1 }
+        Conv2dSpec {
+            stride: 2,
+            pad: 1,
+            groups: 1,
+        }
     } else {
         Conv2dSpec::same(3)
     };
@@ -290,15 +352,29 @@ fn basic_block(dims: &mut Dims, out_c: usize, downsample: bool, rng: &mut Rng) -
     main.add(Box::new(Conv2d::new(dims.c, out_c, 3, stride_spec, rng)));
     main.add(Box::new(BatchNorm2d::new(out_c)));
     main.add(Box::new(ReLU::new()));
-    main.add(Box::new(Conv2d::new(out_c, out_c, 3, Conv2dSpec::same(3), rng)));
+    main.add(Box::new(Conv2d::new(
+        out_c,
+        out_c,
+        3,
+        Conv2dSpec::same(3),
+        rng,
+    )));
     main.add(Box::new(BatchNorm2d::new(out_c)));
     let needs_projection = downsample || dims.c != out_c;
     let block = if needs_projection {
         let mut skip = Sequential::new();
         let skip_spec = if downsample {
-            Conv2dSpec { stride: 2, pad: 0, groups: 1 }
+            Conv2dSpec {
+                stride: 2,
+                pad: 0,
+                groups: 1,
+            }
         } else {
-            Conv2dSpec { stride: 1, pad: 0, groups: 1 }
+            Conv2dSpec {
+                stride: 1,
+                pad: 0,
+                groups: 1,
+            }
         };
         skip.add(Box::new(Conv2d::new(dims.c, out_c, 1, skip_spec, rng)));
         skip.add(Box::new(BatchNorm2d::new(out_c)));
@@ -315,10 +391,20 @@ fn basic_block(dims: &mut Dims, out_c: usize, downsample: bool, rng: &mut Rng) -
 
 fn build_resnet(cfg: &ModelConfig, stage_blocks: &[usize], rng: &mut Rng) -> Sequential {
     let mut seq = Sequential::new();
-    let mut dims = Dims { c: cfg.in_shape.0, h: cfg.in_shape.1, w: cfg.in_shape.2 };
+    let mut dims = Dims {
+        c: cfg.in_shape.0,
+        h: cfg.in_shape.1,
+        w: cfg.in_shape.2,
+    };
     let w = cfg.width;
     // Stem.
-    seq.add(Box::new(Conv2d::new(dims.c, w, 3, Conv2dSpec::same(3), rng)));
+    seq.add(Box::new(Conv2d::new(
+        dims.c,
+        w,
+        3,
+        Conv2dSpec::same(3),
+        rng,
+    )));
     seq.add(Box::new(BatchNorm2d::new(w)));
     seq.add(Box::new(ReLU::new()));
     dims.c = w;
@@ -326,7 +412,12 @@ fn build_resnet(cfg: &ModelConfig, stage_blocks: &[usize], rng: &mut Rng) -> Seq
     for (stage, &n_blocks) in stage_blocks.iter().enumerate() {
         for b in 0..n_blocks {
             let downsample = stage > 0 && b == 0 && dims.h >= 2;
-            seq.add(Box::new(basic_block(&mut dims, stage_width[stage], downsample, rng)));
+            seq.add(Box::new(basic_block(
+                &mut dims,
+                stage_width[stage],
+                downsample,
+                rng,
+            )));
         }
     }
     seq.add(Box::new(GlobalAvgPool::new()));
@@ -336,10 +427,20 @@ fn build_resnet(cfg: &ModelConfig, stage_blocks: &[usize], rng: &mut Rng) -> Seq
 
 fn build_mobilenet(cfg: &ModelConfig, rng: &mut Rng) -> Sequential {
     let mut seq = Sequential::new();
-    let mut dims = Dims { c: cfg.in_shape.0, h: cfg.in_shape.1, w: cfg.in_shape.2 };
+    let mut dims = Dims {
+        c: cfg.in_shape.0,
+        h: cfg.in_shape.1,
+        w: cfg.in_shape.2,
+    };
     let w = cfg.width;
     // Stem.
-    seq.add(Box::new(Conv2d::new(dims.c, w, 3, Conv2dSpec::same(3), rng)));
+    seq.add(Box::new(Conv2d::new(
+        dims.c,
+        w,
+        3,
+        Conv2dSpec::same(3),
+        rng,
+    )));
     seq.add(Box::new(BatchNorm2d::new(w)));
     seq.add(Box::new(ReLU::new()));
     dims.c = w;
@@ -359,7 +460,11 @@ fn build_mobilenet(cfg: &ModelConfig, rng: &mut Rng) -> Sequential {
             dims.c,
             dims.c,
             3,
-            Conv2dSpec { stride, pad: 1, groups: dims.c },
+            Conv2dSpec {
+                stride,
+                pad: 1,
+                groups: dims.c,
+            },
             rng,
         )));
         seq.add(Box::new(BatchNorm2d::new(dims.c)));
@@ -372,7 +477,11 @@ fn build_mobilenet(cfg: &ModelConfig, rng: &mut Rng) -> Sequential {
             dims.c,
             out_c,
             1,
-            Conv2dSpec { stride: 1, pad: 0, groups: 1 },
+            Conv2dSpec {
+                stride: 1,
+                pad: 0,
+                groups: 1,
+            },
             rng,
         )));
         seq.add(Box::new(BatchNorm2d::new(out_c)));
@@ -391,7 +500,12 @@ mod tests {
     use tdfm_tensor::Tensor;
 
     fn small_cfg() -> ModelConfig {
-        ModelConfig { in_shape: (3, 8, 8), classes: 5, width: 4, seed: 7 }
+        ModelConfig {
+            in_shape: (3, 8, 8),
+            classes: 5,
+            width: 4,
+            seed: 7,
+        }
     }
 
     #[test]
@@ -457,7 +571,15 @@ mod tests {
         let names: Vec<&str> = ModelKind::ALL.iter().map(|k| k.info().name).collect();
         assert_eq!(
             names,
-            vec!["ConvNet", "DeconvNet", "VGG11", "VGG16", "ResNet18", "MobileNet", "ResNet50"]
+            vec![
+                "ConvNet",
+                "DeconvNet",
+                "VGG11",
+                "VGG16",
+                "ResNet18",
+                "MobileNet",
+                "ResNet50"
+            ]
         );
         assert_eq!(ModelKind::ConvNet.info().depth, DepthClass::Moderate);
         assert_eq!(ModelKind::ResNet50.info().depth, DepthClass::Deep);
@@ -465,7 +587,12 @@ mod tests {
 
     #[test]
     fn tiny_4x4_input_is_supported() {
-        let cfg = ModelConfig { in_shape: (1, 4, 4), classes: 2, width: 2, seed: 0 };
+        let cfg = ModelConfig {
+            in_shape: (1, 4, 4),
+            classes: 2,
+            width: 2,
+            seed: 0,
+        };
         let x = Tensor::zeros(&[1, 1, 4, 4]);
         for kind in ModelKind::ALL {
             let mut net = kind.build(&cfg);
@@ -477,7 +604,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least 4x4")]
     fn too_small_input_rejected() {
-        let cfg = ModelConfig { in_shape: (1, 2, 2), classes: 2, width: 2, seed: 0 };
+        let cfg = ModelConfig {
+            in_shape: (1, 2, 2),
+            classes: 2,
+            width: 2,
+            seed: 0,
+        };
         let _ = ModelKind::ConvNet.build(&cfg);
     }
 }

@@ -24,7 +24,11 @@ impl Network {
     /// Panics if `classes == 0`.
     pub fn new(name: impl Into<String>, classes: usize, body: Sequential) -> Self {
         assert!(classes > 0, "a classifier needs at least one class");
-        Self { name: name.into(), classes, body }
+        Self {
+            name: name.into(),
+            classes,
+            body,
+        }
     }
 
     /// Human-readable architecture name (e.g. `"ResNet50"`).
@@ -91,8 +95,7 @@ impl Network {
                 &[end - start, self.classes],
                 "network produced wrong logits shape"
             );
-            out.data_mut()[start * self.classes..end * self.classes]
-                .copy_from_slice(logits.data());
+            out.data_mut()[start * self.classes..end * self.classes].copy_from_slice(logits.data());
             start = end;
         }
         out
@@ -118,7 +121,11 @@ impl Network {
 
 impl std::fmt::Debug for Network {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "Network {{ name: {}, classes: {}, body: {:?} }}", self.name, self.classes, self.body)
+        write!(
+            f,
+            "Network {{ name: {}, classes: {}, body: {:?} }}",
+            self.name, self.classes, self.body
+        )
     }
 }
 
@@ -129,7 +136,9 @@ mod tests {
     use tdfm_tensor::rng::Rng;
 
     fn tiny_net(rng: &mut Rng) -> Network {
-        let body = Sequential::new().push(Flatten::new()).push(Dense::new(4, 3, rng));
+        let body = Sequential::new()
+            .push(Flatten::new())
+            .push(Dense::new(4, 3, rng));
         Network::new("tiny", 3, body)
     }
 

@@ -18,6 +18,13 @@ pub trait Optimizer: Send {
 
     /// Current learning rate.
     fn learning_rate(&self) -> f32;
+
+    /// Clears accumulated per-parameter state (momentum buffers, step
+    /// counters). [`crate::trainer::fit_with`] calls this on entry so a
+    /// reused optimiser starts every training run from a clean slate —
+    /// velocity accumulated against one network's parameters is meaningless
+    /// for the next.
+    fn reset(&mut self);
 }
 
 /// Stochastic gradient descent with momentum and decoupled weight decay.
@@ -40,23 +47,38 @@ impl Sgd {
     /// Panics if `lr <= 0`, `momentum < 0` or `weight_decay < 0`.
     pub fn new(lr: f32, momentum: f32, weight_decay: f32) -> Self {
         assert!(lr > 0.0, "learning rate must be positive");
-        assert!(momentum >= 0.0 && momentum < 1.0, "momentum must be in [0, 1)");
+        assert!((0.0..1.0).contains(&momentum), "momentum must be in [0, 1)");
         assert!(weight_decay >= 0.0, "weight decay must be non-negative");
-        Self { lr, momentum, weight_decay, velocity: Vec::new() }
+        Self {
+            lr,
+            momentum,
+            weight_decay,
+            velocity: Vec::new(),
+        }
     }
 }
 
 impl Optimizer for Sgd {
     fn step(&mut self, params: &mut [&mut Param]) {
         if self.velocity.is_empty() {
-            self.velocity = params.iter().map(|p| Tensor::zeros(p.value.shape().dims())).collect();
+            self.velocity = params
+                .iter()
+                .map(|p| Tensor::zeros(p.value.shape().dims()))
+                .collect();
         }
-        assert_eq!(self.velocity.len(), params.len(), "parameter list changed between steps");
+        assert_eq!(
+            self.velocity.len(),
+            params.len(),
+            "parameter list changed between steps"
+        );
         for (p, v) in params.iter_mut().zip(self.velocity.iter_mut()) {
             let m = self.momentum;
             let wd = self.weight_decay;
-            for ((vi, &gi), wi) in
-                v.data_mut().iter_mut().zip(p.grad.data()).zip(p.value.data().iter())
+            for ((vi, &gi), wi) in v
+                .data_mut()
+                .iter_mut()
+                .zip(p.grad.data())
+                .zip(p.value.data().iter())
             {
                 *vi = m * *vi + gi + wd * *wi;
             }
@@ -71,6 +93,10 @@ impl Optimizer for Sgd {
 
     fn learning_rate(&self) -> f32 {
         self.lr
+    }
+
+    fn reset(&mut self) {
+        self.velocity.clear();
     }
 }
 
@@ -111,14 +137,25 @@ impl Adam {
 impl Optimizer for Adam {
     fn step(&mut self, params: &mut [&mut Param]) {
         if self.m.is_empty() {
-            self.m = params.iter().map(|p| Tensor::zeros(p.value.shape().dims())).collect();
+            self.m = params
+                .iter()
+                .map(|p| Tensor::zeros(p.value.shape().dims()))
+                .collect();
             self.v = self.m.clone();
         }
-        assert_eq!(self.m.len(), params.len(), "parameter list changed between steps");
+        assert_eq!(
+            self.m.len(),
+            params.len(),
+            "parameter list changed between steps"
+        );
         self.t += 1;
         let bc1 = 1.0 - self.beta1.powi(self.t as i32);
         let bc2 = 1.0 - self.beta2.powi(self.t as i32);
-        for ((p, m), v) in params.iter_mut().zip(self.m.iter_mut()).zip(self.v.iter_mut()) {
+        for ((p, m), v) in params
+            .iter_mut()
+            .zip(self.m.iter_mut())
+            .zip(self.v.iter_mut())
+        {
             for (((wi, &gi), mi), vi) in p
                 .value
                 .data_mut()
@@ -144,6 +181,12 @@ impl Optimizer for Adam {
 
     fn learning_rate(&self) -> f32 {
         self.lr
+    }
+
+    fn reset(&mut self) {
+        self.m.clear();
+        self.v.clear();
+        self.t = 0;
     }
 }
 

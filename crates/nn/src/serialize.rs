@@ -9,7 +9,7 @@
 
 use crate::models::{ModelConfig, ModelKind};
 use crate::Network;
-use serde::{Deserialize, Serialize};
+use tdfm_json::json_struct;
 
 /// A serialisable snapshot of a trained [`Network`].
 ///
@@ -25,7 +25,7 @@ use serde::{Deserialize, Serialize};
 /// let mut restored = saved.restore().unwrap();
 /// assert_eq!(restored.param_count(), net.param_count());
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SavedModel {
     /// Architecture recipe.
     pub kind: ModelKind,
@@ -34,10 +34,17 @@ pub struct SavedModel {
     /// Flat parameter buffers in `params_mut()` order.
     pub params: Vec<Vec<f32>>,
     /// Non-trainable state (batch-norm running statistics) in
-    /// `state_mut()` order.
-    #[serde(default)]
+    /// `state_mut()` order. Defaults to empty when absent, so snapshots
+    /// written before state was captured still load.
     pub state: Vec<Vec<f32>>,
 }
+
+json_struct!(SavedModel {
+    kind,
+    config,
+    params,
+    state = default
+});
 
 /// Errors returned when restoring a saved model.
 #[derive(Debug)]
@@ -68,7 +75,11 @@ impl std::fmt::Display for RestoreError {
                 f,
                 "snapshot has {found} parameter tensors, architecture expects {expected}"
             ),
-            RestoreError::ShapeMismatch { index, expected, found } => write!(
+            RestoreError::ShapeMismatch {
+                index,
+                expected,
+                found,
+            } => write!(
                 f,
                 "parameter {index} has {found} elements, architecture expects {expected}"
             ),
@@ -82,9 +93,18 @@ impl SavedModel {
     /// Captures the current parameters and state of a network built from
     /// `(kind, config)`.
     pub fn capture(kind: ModelKind, config: ModelConfig, net: &mut Network) -> Self {
-        let params = net.params_mut().iter().map(|p| p.value.data().to_vec()).collect();
+        let params = net
+            .params_mut()
+            .iter()
+            .map(|p| p.value.data().to_vec())
+            .collect();
         let state = net.state_mut().iter().map(|s| s.to_vec()).collect();
-        Self { kind, config, params, state }
+        Self {
+            kind,
+            config,
+            params,
+            state,
+        }
     }
 
     /// Rebuilds the network and restores the captured parameters.
@@ -134,7 +154,7 @@ impl SavedModel {
 
     /// Serialises to JSON.
     pub fn to_json(&self) -> String {
-        serde_json::to_string(self).expect("snapshot serialisation cannot fail")
+        tdfm_json::to_string(self)
     }
 
     /// Deserialises from JSON.
@@ -142,8 +162,8 @@ impl SavedModel {
     /// # Errors
     ///
     /// Returns the underlying parse error on malformed input.
-    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
-        serde_json::from_str(json)
+    pub fn from_json(json: &str) -> Result<Self, tdfm_json::JsonError> {
+        tdfm_json::from_str(json)
     }
 }
 
@@ -156,7 +176,12 @@ mod tests {
     use tdfm_tensor::Tensor;
 
     fn trained_net() -> (ModelConfig, Network, Tensor) {
-        let cfg = ModelConfig { in_shape: (1, 4, 4), classes: 2, width: 2, seed: 3 };
+        let cfg = ModelConfig {
+            in_shape: (1, 4, 4),
+            classes: 2,
+            width: 2,
+            seed: 3,
+        };
         let mut net = ModelKind::ConvNet.build(&cfg);
         let mut rng = Rng::seed_from(0);
         let x = Tensor::randn(&[16, 1, 4, 4], 1.0, &mut rng);
@@ -166,7 +191,11 @@ mod tests {
             &CrossEntropy,
             &x,
             &TargetSource::Hard(y),
-            &FitConfig { epochs: 2, batch_size: 8, ..FitConfig::default() },
+            &FitConfig {
+                epochs: 2,
+                batch_size: 8,
+                ..FitConfig::default()
+            },
         );
         (cfg, net, x)
     }
@@ -197,18 +226,29 @@ mod tests {
         let (cfg, mut net, _) = trained_net();
         let mut saved = SavedModel::capture(ModelKind::ConvNet, cfg, &mut net);
         saved.params.pop();
-        assert!(matches!(saved.restore(), Err(RestoreError::ParameterMismatch { .. })));
+        assert!(matches!(
+            saved.restore(),
+            Err(RestoreError::ParameterMismatch { .. })
+        ));
 
         let mut saved2 = SavedModel::capture(ModelKind::ConvNet, cfg, &mut net);
         saved2.params[0].push(0.0);
-        assert!(matches!(saved2.restore(), Err(RestoreError::ShapeMismatch { .. })));
+        assert!(matches!(
+            saved2.restore(),
+            Err(RestoreError::ShapeMismatch { .. })
+        ));
     }
 
     #[test]
     fn batch_norm_running_statistics_survive_checkpointing() {
         // Regression test: running statistics are state, not parameters;
         // dropping them silently changes eval-mode predictions.
-        let cfg = ModelConfig { in_shape: (1, 4, 4), classes: 2, width: 2, seed: 5 };
+        let cfg = ModelConfig {
+            in_shape: (1, 4, 4),
+            classes: 2,
+            width: 2,
+            seed: 5,
+        };
         let mut net = ModelKind::ResNet18.build(&cfg);
         let mut rng = Rng::seed_from(2);
         let x = Tensor::randn(&[8, 1, 4, 4], 1.0, &mut rng).map(|v| v * 3.0 + 1.0);
@@ -218,12 +258,19 @@ mod tests {
             &CrossEntropy,
             &x,
             &TargetSource::Hard(y),
-            &FitConfig { epochs: 3, batch_size: 4, ..FitConfig::default() },
+            &FitConfig {
+                epochs: 3,
+                batch_size: 4,
+                ..FitConfig::default()
+            },
         );
         let saved = SavedModel::capture(ModelKind::ResNet18, cfg, &mut net);
         assert!(!saved.state.is_empty(), "ResNet18 must expose BN state");
         // Trained running stats are not the initialisation values.
-        assert!(saved.state.iter().any(|s| s.iter().any(|&v| v != 0.0 && v != 1.0)));
+        assert!(saved
+            .state
+            .iter()
+            .any(|s| s.iter().any(|&v| v != 0.0 && v != 1.0)));
         let mut restored = saved.restore().unwrap();
         assert_eq!(
             restored.logits(&x, 4).data(),
@@ -234,7 +281,12 @@ mod tests {
 
     #[test]
     fn works_for_every_architecture() {
-        let cfg = ModelConfig { in_shape: (3, 6, 6), classes: 4, width: 2, seed: 9 };
+        let cfg = ModelConfig {
+            in_shape: (3, 6, 6),
+            classes: 4,
+            width: 2,
+            seed: 9,
+        };
         let mut rng = Rng::seed_from(1);
         let x = Tensor::randn(&[2, 3, 6, 6], 1.0, &mut rng);
         for kind in ModelKind::ALL {

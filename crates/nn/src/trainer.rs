@@ -8,9 +8,9 @@ use crate::loss::{Loss, Target};
 use crate::network::Network;
 use crate::optim::{Optimizer, Sgd};
 use crate::Mode;
+use std::time::{Duration, Instant};
 use tdfm_tensor::rng::Rng;
 use tdfm_tensor::Tensor;
-use std::time::{Duration, Instant};
 
 /// Whole-training-set targets, batched on demand.
 ///
@@ -50,11 +50,12 @@ impl TargetSource {
     /// Extracts the target rows for one mini-batch.
     pub fn batch(&self, indices: &[usize]) -> BatchTarget {
         match self {
-            TargetSource::Hard(l) => {
-                BatchTarget::Hard(indices.iter().map(|&i| l[i]).collect())
-            }
+            TargetSource::Hard(l) => BatchTarget::Hard(indices.iter().map(|&i| l[i]).collect()),
             TargetSource::Soft(t) => BatchTarget::Soft(t.gather_rows(indices)),
-            TargetSource::Distill { labels, teacher_logits } => BatchTarget::Distill {
+            TargetSource::Distill {
+                labels,
+                teacher_logits,
+            } => BatchTarget::Distill {
                 labels: indices.iter().map(|&i| labels[i]).collect(),
                 teacher_logits: teacher_logits.gather_rows(indices),
             },
@@ -84,9 +85,13 @@ impl BatchTarget {
         match self {
             BatchTarget::Hard(l) => Target::Hard(l),
             BatchTarget::Soft(t) => Target::Soft(t),
-            BatchTarget::Distill { labels, teacher_logits } => {
-                Target::Distill { labels, teacher_logits }
-            }
+            BatchTarget::Distill {
+                labels,
+                teacher_logits,
+            } => Target::Distill {
+                labels,
+                teacher_logits,
+            },
         }
     }
 }
@@ -170,9 +175,16 @@ pub fn fit(
 
 /// [`fit`] with a caller-provided optimiser.
 ///
+/// The per-epoch learning-rate decay runs through a local schedule: the
+/// optimiser's entry learning rate is restored before returning, so a
+/// reused optimiser starts every run at its configured rate instead of
+/// the previous run's decayed one.
+///
 /// # Panics
 ///
-/// See [`fit`].
+/// See [`fit`]. Additionally panics — in every build profile — if a batch
+/// produces a non-finite loss, naming the loss, epoch and batch index;
+/// a silent NaN would corrupt every subsequent weight update.
 pub fn fit_with(
     net: &mut Network,
     loss: &dyn Loss,
@@ -192,6 +204,14 @@ pub fn fit_with(
     let mut order: Vec<usize> = (0..n).collect();
     let mut epoch_losses = Vec::with_capacity(cfg.epochs);
 
+    // Decay through a local schedule so the caller's optimiser comes back
+    // with the learning rate it arrived with, and drop any per-parameter
+    // state left over from a previous run — both would otherwise make a
+    // reused optimiser train differently from a fresh one.
+    opt.reset();
+    let entry_lr = opt.learning_rate();
+    let mut lr = entry_lr;
+
     for epoch in 0..cfg.epochs {
         rng.shuffle(&mut order);
         let mut total_loss = 0.0;
@@ -201,9 +221,11 @@ pub fn fit_with(
             let target = targets.batch(chunk);
             let logits = net.forward(&x, Mode::Train);
             let out = loss.evaluate(&logits, &target.as_target());
-            debug_assert!(
+            assert!(
                 out.loss.is_finite(),
-                "non-finite loss at epoch {epoch}: {}",
+                "{} produced a non-finite loss ({}) at epoch {epoch}, batch {batches} — \
+                 a NaN here would silently corrupt every subsequent update",
+                loss.name(),
                 out.loss
             );
             net.backward(&out.grad);
@@ -216,10 +238,15 @@ pub fn fit_with(
             batches += 1;
         }
         epoch_losses.push(total_loss / batches.max(1) as f32);
-        opt.set_learning_rate(opt.learning_rate() * cfg.lr_decay);
+        lr *= cfg.lr_decay;
+        opt.set_learning_rate(lr);
     }
 
-    FitReport { epoch_losses, wall: start.elapsed() }
+    opt.set_learning_rate(entry_lr);
+    FitReport {
+        epoch_losses,
+        wall: start.elapsed(),
+    }
 }
 
 /// Scales all gradients down so their global L2 norm is at most `max_norm`.
@@ -263,14 +290,24 @@ mod tests {
     #[test]
     fn fit_reduces_loss_on_separable_data() {
         let (x, y) = blob_data(64, 0);
-        let cfg = ModelConfig { in_shape: (1, 4, 4), classes: 2, width: 2, seed: 1 };
+        let cfg = ModelConfig {
+            in_shape: (1, 4, 4),
+            classes: 2,
+            width: 2,
+            seed: 1,
+        };
         let mut net = ModelKind::ConvNet.build(&cfg);
         let report = fit(
             &mut net,
             &CrossEntropy,
             &x,
             &TargetSource::Hard(y.clone()),
-            &FitConfig { epochs: 8, batch_size: 16, lr: 0.05, ..FitConfig::default() },
+            &FitConfig {
+                epochs: 8,
+                batch_size: 16,
+                lr: 0.05,
+                ..FitConfig::default()
+            },
         );
         assert!(
             report.final_loss() < report.epoch_losses[0] * 0.5,
@@ -283,7 +320,12 @@ mod tests {
     #[test]
     fn fit_is_deterministic_given_seeds() {
         let (x, y) = blob_data(32, 1);
-        let cfg = ModelConfig { in_shape: (1, 4, 4), classes: 2, width: 2, seed: 3 };
+        let cfg = ModelConfig {
+            in_shape: (1, 4, 4),
+            classes: 2,
+            width: 2,
+            seed: 3,
+        };
         let fit_once = || {
             let mut net = ModelKind::ConvNet.build(&cfg);
             let report = fit(
@@ -291,7 +333,11 @@ mod tests {
                 &CrossEntropy,
                 &x,
                 &TargetSource::Hard(y.clone()),
-                &FitConfig { epochs: 2, batch_size: 8, ..FitConfig::default() },
+                &FitConfig {
+                    epochs: 2,
+                    batch_size: 8,
+                    ..FitConfig::default()
+                },
             );
             report.epoch_losses
         };
@@ -302,14 +348,23 @@ mod tests {
     fn soft_targets_train_too() {
         let (x, y) = blob_data(32, 2);
         let soft = one_hot(&y, 2);
-        let cfg = ModelConfig { in_shape: (1, 4, 4), classes: 2, width: 2, seed: 4 };
+        let cfg = ModelConfig {
+            in_shape: (1, 4, 4),
+            classes: 2,
+            width: 2,
+            seed: 4,
+        };
         let mut net = ModelKind::ConvNet.build(&cfg);
         let report = fit(
             &mut net,
             &CrossEntropy,
             &x,
             &TargetSource::Soft(soft),
-            &FitConfig { epochs: 4, batch_size: 8, ..FitConfig::default() },
+            &FitConfig {
+                epochs: 4,
+                batch_size: 8,
+                ..FitConfig::default()
+            },
         );
         assert!(report.final_loss() < report.epoch_losses[0]);
     }
@@ -317,14 +372,23 @@ mod tests {
     #[test]
     fn wall_clock_is_recorded() {
         let (x, y) = blob_data(16, 3);
-        let cfg = ModelConfig { in_shape: (1, 4, 4), classes: 2, width: 2, seed: 5 };
+        let cfg = ModelConfig {
+            in_shape: (1, 4, 4),
+            classes: 2,
+            width: 2,
+            seed: 5,
+        };
         let mut net = ModelKind::ConvNet.build(&cfg);
         let report = fit(
             &mut net,
             &CrossEntropy,
             &x,
             &TargetSource::Hard(y),
-            &FitConfig { epochs: 1, batch_size: 8, ..FitConfig::default() },
+            &FitConfig {
+                epochs: 1,
+                batch_size: 8,
+                ..FitConfig::default()
+            },
         );
         assert!(report.wall > Duration::ZERO);
     }
@@ -333,13 +397,94 @@ mod tests {
     #[should_panic(expected = "target count")]
     fn mismatched_targets_rejected() {
         let (x, _) = blob_data(8, 4);
-        let cfg = ModelConfig { in_shape: (1, 4, 4), classes: 2, width: 2, seed: 6 };
+        let cfg = ModelConfig {
+            in_shape: (1, 4, 4),
+            classes: 2,
+            width: 2,
+            seed: 6,
+        };
         let mut net = ModelKind::ConvNet.build(&cfg);
         let _ = fit(
             &mut net,
             &CrossEntropy,
             &x,
             &TargetSource::Hard(vec![0, 1]),
+            &FitConfig::default(),
+        );
+    }
+
+    #[test]
+    fn reused_optimiser_reproduces_identical_loss_curves() {
+        // Regression test: fit_with used to leave the caller's optimiser at
+        // the decayed learning rate, so a second run with the same optimiser
+        // silently trained at a different schedule.
+        let (x, y) = blob_data(32, 7);
+        let cfg = ModelConfig {
+            in_shape: (1, 4, 4),
+            classes: 2,
+            width: 2,
+            seed: 8,
+        };
+        let fit_cfg = FitConfig {
+            epochs: 3,
+            batch_size: 8,
+            lr_decay: 0.5,
+            ..FitConfig::default()
+        };
+        let mut opt = crate::optim::Sgd::new(0.05, 0.9, 1e-4);
+        let run = |opt: &mut crate::optim::Sgd| {
+            let mut net = ModelKind::ConvNet.build(&cfg);
+            fit_with(
+                &mut net,
+                &CrossEntropy,
+                &x,
+                &TargetSource::Hard(y.clone()),
+                &fit_cfg,
+                opt,
+            )
+            .epoch_losses
+        };
+        let first = run(&mut opt);
+        assert_eq!(
+            opt.learning_rate(),
+            0.05,
+            "entry learning rate must be restored"
+        );
+        let second = run(&mut opt);
+        assert_eq!(
+            first, second,
+            "a reused optimiser must reproduce the same curve"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite loss")]
+    fn non_finite_loss_fails_loudly_in_every_build() {
+        struct NanLoss;
+        impl Loss for NanLoss {
+            fn name(&self) -> &'static str {
+                "NanLoss"
+            }
+            fn evaluate(&self, logits: &Tensor, _target: &Target) -> crate::loss::LossOutput {
+                crate::loss::LossOutput {
+                    loss: f32::NAN,
+                    grad: Tensor::zeros(&[logits.shape().dim(0), logits.shape().dim(1)]),
+                }
+            }
+        }
+        let (x, y) = blob_data(8, 9);
+        let cfg = ModelConfig {
+            in_shape: (1, 4, 4),
+            classes: 2,
+            width: 2,
+            seed: 10,
+        };
+        let mut net = ModelKind::ConvNet.build(&cfg);
+        let _ = fit(
+            &mut net,
+            &NanLoss,
+            &x,
+            &TargetSource::Hard(y),
             &FitConfig::default(),
         );
     }

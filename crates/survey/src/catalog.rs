@@ -1,9 +1,9 @@
 //! The candidate-technique catalogue (Table I of the paper).
 
-use serde::{Deserialize, Serialize};
+use tdfm_json::{json_struct_to, json_unit_enum};
 
 /// The five TDFM approaches (Section I-B).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Approach {
     /// Softens one-hot targets (Section III-B1).
     LabelSmoothing,
@@ -46,7 +46,7 @@ impl std::fmt::Display for Approach {
 }
 
 /// The five selection criteria of Section III-A.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Criteria {
     /// (1) Code is available and easily modifiable.
     pub code_available: bool,
@@ -86,7 +86,7 @@ impl Criteria {
 }
 
 /// One candidate row of Table I.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Technique {
     /// Technique name as printed in the paper.
     pub name: &'static str,
@@ -102,6 +102,29 @@ pub struct Technique {
     /// representative because no candidate met every criterion.
     pub reimplemented: bool,
 }
+
+json_unit_enum!(Approach {
+    LabelSmoothing,
+    LabelCorrection,
+    RobustLoss,
+    KnowledgeDistillation,
+    Ensemble
+});
+json_struct_to!(Criteria {
+    code_available,
+    architecture_agnostic,
+    artificial_noise,
+    not_pretrained,
+    standalone
+});
+json_struct_to!(Technique {
+    name,
+    reference,
+    approach,
+    criteria,
+    starred,
+    reimplemented
+});
 
 const fn crit(c: bool, a: bool, n: bool, p: bool, s: bool) -> Criteria {
     Criteria {
@@ -263,7 +286,11 @@ mod tests {
             .collect();
         assert_eq!(
             full,
-            vec!["Label Relaxation", "Meta Label Correction", "Active-Passive Losses"]
+            vec![
+                "Label Relaxation",
+                "Meta Label Correction",
+                "Active-Passive Losses"
+            ]
         );
     }
 

@@ -35,8 +35,10 @@ pub use render::render_table_i;
 pub fn select_representatives(techniques: &[Technique]) -> Vec<&Technique> {
     let mut reps = Vec::new();
     for approach in Approach::ALL {
-        let candidates: Vec<&Technique> =
-            techniques.iter().filter(|t| t.approach == approach).collect();
+        let candidates: Vec<&Technique> = techniques
+            .iter()
+            .filter(|t| t.approach == approach)
+            .collect();
         let pick = candidates
             .iter()
             .find(|t| t.criteria.meets_all())
@@ -59,15 +61,17 @@ mod tests {
         let reps = select_representatives(&cat);
         assert_eq!(reps.len(), 5);
         // One per approach.
-        let approaches: std::collections::HashSet<_> =
-            reps.iter().map(|t| t.approach).collect();
+        let approaches: std::collections::HashSet<_> = reps.iter().map(|t| t.approach).collect();
         assert_eq!(approaches.len(), 5);
     }
 
     #[test]
     fn representatives_match_the_papers_stars() {
         let cat = catalog();
-        let names: Vec<&str> = select_representatives(&cat).iter().map(|t| t.name).collect();
+        let names: Vec<&str> = select_representatives(&cat)
+            .iter()
+            .map(|t| t.name)
+            .collect();
         assert!(names.contains(&"Label Relaxation"));
         assert!(names.contains(&"Meta Label Correction"));
         assert!(names.contains(&"Active-Passive Losses"));

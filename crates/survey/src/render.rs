@@ -26,7 +26,11 @@ pub fn render_table_i(techniques: &[Technique]) -> String {
     out.push('\n');
     for approach in Approach::ALL {
         for t in techniques.iter().filter(|t| t.approach == approach) {
-            let star = if t.starred || t.reimplemented { "*" } else { "" };
+            let star = if t.starred || t.reimplemented {
+                "*"
+            } else {
+                ""
+            };
             out.push_str(&format!(
                 "{:<24}{:<28}{:>6}{:>12}{:>8}{:>14}{:>12}\n",
                 approach.name(),

@@ -6,7 +6,7 @@
 //!
 //! * [`Shape`] and [`Tensor`] — dense row-major `f32` tensors with the NCHW
 //!   image convention used throughout the study.
-//! * [`parallel`] — a crossbeam-based data-parallel runtime used by the
+//! * [`parallel`] — a scoped-thread data-parallel runtime used by the
 //!   convolution/matmul kernels and by ensemble training.
 //! * [`ops`] — blocked matrix multiplication, im2col convolution
 //!   (forward/backward, with strides, padding and groups for depthwise
@@ -43,7 +43,13 @@ pub const TEST_EPS: f32 = 1e-4;
 ///
 /// Panics if lengths differ or any element pair differs by more than `tol`.
 pub fn assert_close(a: &[f32], b: &[f32], tol: f32) {
-    assert_eq!(a.len(), b.len(), "length mismatch: {} vs {}", a.len(), b.len());
+    assert_eq!(
+        a.len(),
+        b.len(),
+        "length mismatch: {} vs {}",
+        a.len(),
+        b.len()
+    );
     for (i, (x, y)) in a.iter().zip(b.iter()).enumerate() {
         assert!(
             (x - y).abs() <= tol,

@@ -21,14 +21,22 @@ pub struct Conv2dSpec {
 
 impl Default for Conv2dSpec {
     fn default() -> Self {
-        Self { stride: 1, pad: 0, groups: 1 }
+        Self {
+            stride: 1,
+            pad: 0,
+            groups: 1,
+        }
     }
 }
 
 impl Conv2dSpec {
     /// A stride-1 convolution with "same" padding for odd kernel `k`.
     pub fn same(k: usize) -> Self {
-        Self { stride: 1, pad: k / 2, groups: 1 }
+        Self {
+            stride: 1,
+            pad: k / 2,
+            groups: 1,
+        }
     }
 }
 
@@ -75,7 +83,11 @@ pub fn im2col(
 ) {
     let oh = conv_out_dim(h, kh, stride, pad);
     let ow = conv_out_dim(w, kw, stride, pad);
-    assert_eq!(col.len(), channels * kh * kw * oh * ow, "im2col buffer size");
+    assert_eq!(
+        col.len(),
+        channels * kh * kw * oh * ow,
+        "im2col buffer size"
+    );
     let mut r = 0;
     for c in 0..channels {
         let plane = &input[c * h * w..(c + 1) * h * w];
@@ -225,7 +237,11 @@ struct ConvDims {
 
 fn check_dims(input: &Tensor, weight: &Tensor, spec: Conv2dSpec) -> ConvDims {
     assert_eq!(input.shape().rank(), 4, "conv input must be NCHW");
-    assert_eq!(weight.shape().rank(), 4, "conv weight must be [O, C/g, KH, KW]");
+    assert_eq!(
+        weight.shape().rank(),
+        4,
+        "conv weight must be [O, C/g, KH, KW]"
+    );
     let (n, c, h, w) = (
         input.shape().dim(0),
         input.shape().dim(1),
@@ -239,12 +255,39 @@ fn check_dims(input: &Tensor, weight: &Tensor, spec: Conv2dSpec) -> ConvDims {
         weight.shape().dim(3),
     );
     assert!(spec.groups > 0, "groups must be positive");
-    assert_eq!(c % spec.groups, 0, "in_channels {c} not divisible by groups {}", spec.groups);
-    assert_eq!(o % spec.groups, 0, "out_channels {o} not divisible by groups {}", spec.groups);
-    assert_eq!(cg, c / spec.groups, "weight channel dim {cg} != C/groups {}", c / spec.groups);
+    assert_eq!(
+        c % spec.groups,
+        0,
+        "in_channels {c} not divisible by groups {}",
+        spec.groups
+    );
+    assert_eq!(
+        o % spec.groups,
+        0,
+        "out_channels {o} not divisible by groups {}",
+        spec.groups
+    );
+    assert_eq!(
+        cg,
+        c / spec.groups,
+        "weight channel dim {cg} != C/groups {}",
+        c / spec.groups
+    );
     let oh = conv_out_dim(h, kh, spec.stride, spec.pad);
     let ow = conv_out_dim(w, kw, spec.stride, spec.pad);
-    ConvDims { n, c, h, w, o, kh, kw, oh, ow, cg, og: o / spec.groups }
+    ConvDims {
+        n,
+        c,
+        h,
+        w,
+        o,
+        kh,
+        kw,
+        oh,
+        ow,
+        cg,
+        og: o / spec.groups,
+    }
 }
 
 /// Convolution forward pass.
@@ -474,7 +517,11 @@ mod tests {
         let x = Tensor::randn(&[2, 3, 6, 6], 1.0, &mut rng);
         let w = Tensor::randn(&[4, 3, 3, 3], 0.5, &mut rng);
         let b = Tensor::randn(&[4], 0.5, &mut rng);
-        let spec = Conv2dSpec { stride: 1, pad: 1, groups: 1 };
+        let spec = Conv2dSpec {
+            stride: 1,
+            pad: 1,
+            groups: 1,
+        };
         let fast = conv2d_forward(&x, &w, Some(&b), spec);
         let slow = naive_conv(&x, &w, Some(&b), spec);
         assert_eq!(fast.shape().dims(), &[2, 4, 6, 6]);
@@ -486,7 +533,11 @@ mod tests {
         let mut rng = Rng::seed_from(2);
         let x = Tensor::randn(&[1, 2, 7, 7], 1.0, &mut rng);
         let w = Tensor::randn(&[3, 2, 3, 3], 0.5, &mut rng);
-        let spec = Conv2dSpec { stride: 2, pad: 1, groups: 1 };
+        let spec = Conv2dSpec {
+            stride: 2,
+            pad: 1,
+            groups: 1,
+        };
         let fast = conv2d_forward(&x, &w, None, spec);
         let slow = naive_conv(&x, &w, None, spec);
         assert_eq!(fast.shape().dims(), &[1, 3, 4, 4]);
@@ -498,7 +549,11 @@ mod tests {
         let mut rng = Rng::seed_from(3);
         let x = Tensor::randn(&[2, 4, 5, 5], 1.0, &mut rng);
         let w = Tensor::randn(&[4, 1, 3, 3], 0.5, &mut rng);
-        let spec = Conv2dSpec { stride: 1, pad: 1, groups: 4 };
+        let spec = Conv2dSpec {
+            stride: 1,
+            pad: 1,
+            groups: 4,
+        };
         let fast = conv2d_forward(&x, &w, None, spec);
         let slow = naive_conv(&x, &w, None, spec);
         assert_close(fast.data(), slow.data(), 1e-4);
@@ -529,7 +584,11 @@ mod tests {
         let x = Tensor::randn(&[1, 2, 4, 4], 1.0, &mut rng);
         let w = Tensor::randn(&[2, 2, 3, 3], 0.5, &mut rng);
         let b = Tensor::randn(&[2], 0.5, &mut rng);
-        let spec = Conv2dSpec { stride: 1, pad: 1, groups: 1 };
+        let spec = Conv2dSpec {
+            stride: 1,
+            pad: 1,
+            groups: 1,
+        };
         // Loss = sum(conv(x)) so grad_output = ones.
         let y = conv2d_forward(&x, &w, Some(&b), spec);
         let gy = Tensor::ones(y.shape().dims());
@@ -569,7 +628,11 @@ mod tests {
         let mut rng = Rng::seed_from(6);
         let x = Tensor::randn(&[1, 3, 4, 4], 1.0, &mut rng);
         let w = Tensor::randn(&[3, 1, 3, 3], 0.5, &mut rng);
-        let spec = Conv2dSpec { stride: 1, pad: 1, groups: 3 };
+        let spec = Conv2dSpec {
+            stride: 1,
+            pad: 1,
+            groups: 3,
+        };
         let y = conv2d_forward(&x, &w, None, spec);
         let gy = Tensor::ones(y.shape().dims());
         let grads = conv2d_backward(&x, &w, &gy, spec);
@@ -592,7 +655,16 @@ mod tests {
     fn bad_groups_rejected() {
         let x = Tensor::zeros(&[1, 3, 4, 4]);
         let w = Tensor::zeros(&[2, 1, 3, 3]);
-        let _ = conv2d_forward(&x, &w, None, Conv2dSpec { stride: 1, pad: 1, groups: 2 });
+        let _ = conv2d_forward(
+            &x,
+            &w,
+            None,
+            Conv2dSpec {
+                stride: 1,
+                pad: 1,
+                groups: 2,
+            },
+        );
     }
 
     #[test]
@@ -608,7 +680,11 @@ mod tests {
         let mut rng = Rng::seed_from(7);
         let x = Tensor::randn(&[1, 2, 3, 3], 1.0, &mut rng);
         let w = Tensor::from_vec(vec![2.0, 0.0, 0.0, 3.0], &[2, 2, 1, 1]);
-        let spec = Conv2dSpec { stride: 1, pad: 0, groups: 1 };
+        let spec = Conv2dSpec {
+            stride: 1,
+            pad: 0,
+            groups: 1,
+        };
         let y = conv2d_forward(&x, &w, None, spec);
         for i in 0..9 {
             assert!((y.data()[i] - 2.0 * x.data()[i]).abs() < 1e-5);
@@ -621,7 +697,11 @@ mod tests {
         let mut rng = Rng::seed_from(8);
         let x = Tensor::randn(&[1, 1, 7, 7], 1.0, &mut rng);
         let w = Tensor::randn(&[1, 1, 1, 1], 1.0, &mut rng);
-        let spec = Conv2dSpec { stride: 3, pad: 0, groups: 1 };
+        let spec = Conv2dSpec {
+            stride: 3,
+            pad: 0,
+            groups: 1,
+        };
         let y = conv2d_forward(&x, &w, None, spec);
         assert_eq!(y.shape().dims(), &[1, 1, 3, 3]);
         let slow = naive_conv(&x, &w, None, spec);
@@ -634,7 +714,11 @@ mod tests {
         let mut rng = Rng::seed_from(9);
         let x = Tensor::randn(&[2, 4, 5, 5], 1.0, &mut rng);
         let w = Tensor::randn(&[6, 2, 3, 3], 0.4, &mut rng);
-        let spec = Conv2dSpec { stride: 1, pad: 1, groups: 2 };
+        let spec = Conv2dSpec {
+            stride: 1,
+            pad: 1,
+            groups: 2,
+        };
         let fast = conv2d_forward(&x, &w, None, spec);
         // Cross-check group separation: zeroing group 2's input must not
         // change group 1's output.

@@ -123,10 +123,8 @@ pub fn matmul_a_bt(a: &Tensor, b: &Tensor) -> Tensor {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::rng::Rng;
     use crate::assert_close;
-    use proptest::prelude::*;
-
+    use crate::rng::Rng;
     fn naive(a: &Tensor, b: &Tensor) -> Tensor {
         let (m, k) = (a.shape().dim(0), a.shape().dim(1));
         let n = b.shape().dim(1);
@@ -192,24 +190,24 @@ mod tests {
         let _ = matmul(&a, &b);
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(16))]
-        #[test]
-        fn matmul_matches_naive_random(
-            m in 1usize..9, k in 1usize..9, n in 1usize..9, seed in 0u64..512
-        ) {
+    #[test]
+    fn matmul_matches_naive_random() {
+        for seed in 0..16u64 {
             let mut rng = Rng::seed_from(seed);
+            let (m, k, n) = (1 + rng.below(8), 1 + rng.below(8), 1 + rng.below(8));
             let a = Tensor::randn(&[m, k], 1.0, &mut rng);
             let b = Tensor::randn(&[k, n], 1.0, &mut rng);
             let fast = matmul(&a, &b);
             let slow = naive(&a, &b);
             for (x, y) in fast.data().iter().zip(slow.data()) {
-                prop_assert!((x - y).abs() < 1e-4);
+                assert!((x - y).abs() < 1e-4, "{m}x{k}x{n} seed {seed}");
             }
         }
+    }
 
-        #[test]
-        fn matmul_distributes_over_addition(seed in 0u64..256) {
+    #[test]
+    fn matmul_distributes_over_addition() {
+        for seed in 0..16u64 {
             let mut rng = Rng::seed_from(seed);
             let a = Tensor::randn(&[4, 4], 1.0, &mut rng);
             let b = Tensor::randn(&[4, 4], 1.0, &mut rng);
@@ -217,7 +215,7 @@ mod tests {
             let lhs = matmul(&a, &b.zip(&c, |x, y| x + y));
             let rhs = matmul(&a, &b).zip(&matmul(&a, &c), |x, y| x + y);
             for (x, y) in lhs.data().iter().zip(rhs.data()) {
-                prop_assert!((x - y).abs() < 1e-3);
+                assert!((x - y).abs() < 1e-3, "seed {seed}");
             }
         }
     }

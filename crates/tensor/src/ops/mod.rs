@@ -9,7 +9,9 @@ mod matmul;
 mod pool;
 mod reduce;
 
-pub use conv::{col2im, conv2d_backward, conv2d_forward, conv_out_dim, im2col, Conv2dSpec, ConvGrads};
+pub use conv::{
+    col2im, conv2d_backward, conv2d_forward, conv_out_dim, im2col, Conv2dSpec, ConvGrads,
+};
 pub use matmul::{matmul, matmul_a_bt, matmul_at_b};
 pub use pool::{
     avg_pool2d_backward, avg_pool2d_forward, global_avg_pool_backward, global_avg_pool_forward,

@@ -43,7 +43,7 @@ pub fn max_pool2d_forward(input: &Tensor, k: usize, s: usize) -> (Tensor, MaxPoo
     {
         let out_data = out.data_mut();
         let arg_chunks: Vec<&mut [u32]> = argmax.chunks_mut(plane_out).collect();
-        let args = parking_lot::Mutex::new(arg_chunks);
+        let args = std::sync::Mutex::new(arg_chunks);
         parallel_chunks_mut(out_data, plane_out, k * k, |p, y| {
             let plane = &x[p * plane_in..(p + 1) * plane_in];
             let mut local = vec![0u32; plane_out];
@@ -65,13 +65,16 @@ pub fn max_pool2d_forward(input: &Tensor, k: usize, s: usize) -> (Tensor, MaxPoo
                     local[oi * ow + oj] = best_idx as u32;
                 }
             }
-            let mut guard = args.lock();
+            let mut guard = args.lock().expect("argmax lock poisoned");
             guard[p].copy_from_slice(&local);
         });
     }
     (
         out,
-        MaxPoolCache { argmax, input_dims: vec![n, c, h, w] },
+        MaxPoolCache {
+            argmax,
+            input_dims: vec![n, c, h, w],
+        },
     )
 }
 
@@ -85,7 +88,11 @@ pub fn max_pool2d_backward(grad_output: &Tensor, cache: &MaxPoolCache) -> Tensor
     let (n, c) = (cache.input_dims[0], cache.input_dims[1]);
     let plane_in = cache.input_dims[2] * cache.input_dims[3];
     let planes = n * c;
-    assert_eq!(grad_output.numel(), cache.argmax.len(), "grad_output size mismatch");
+    assert_eq!(
+        grad_output.numel(),
+        cache.argmax.len(),
+        "grad_output size mismatch"
+    );
     let plane_out = grad_output.numel() / planes;
     let gy = grad_output.data();
     let arg = &cache.argmax;
@@ -183,7 +190,11 @@ pub fn avg_pool2d_backward(
 ///
 /// Panics if the input is not 4-D.
 pub fn global_avg_pool_forward(input: &Tensor) -> Tensor {
-    assert_eq!(input.shape().rank(), 4, "global avg pool input must be NCHW");
+    assert_eq!(
+        input.shape().rank(),
+        4,
+        "global avg pool input must be NCHW"
+    );
     let (n, c, h, w) = (
         input.shape().dim(0),
         input.shape().dim(1),
@@ -293,7 +304,10 @@ mod tests {
 
     #[test]
     fn max_pool_stride_one_overlapping() {
-        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0], &[1, 1, 3, 3]);
+        let x = Tensor::from_vec(
+            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0],
+            &[1, 1, 3, 3],
+        );
         let (y, cache) = max_pool2d_forward(&x, 2, 1);
         assert_eq!(y.data(), &[5.0, 6.0, 8.0, 9.0]);
         let gy = Tensor::ones(&[1, 1, 2, 2]);

@@ -1,41 +1,81 @@
-//! A small data-parallel runtime built on crossbeam scoped threads.
+//! A small data-parallel runtime built on std scoped threads.
 //!
 //! The TDFM study replaces the paper's GPU cluster with CPU threads: the
 //! convolution and matmul kernels split their output across worker threads,
 //! and ensemble members train on separate threads. Work below a threshold is
 //! run inline to avoid thread overhead on the study's many small kernels.
+//!
+//! # Two-level thread budget
+//!
+//! The experiment grid adds an *outer* level of parallelism (whole cells /
+//! repetitions on worker threads). To keep outer × inner from
+//! oversubscribing the machine, outer workers wrap their work in
+//! [`with_inner_threads`], which scopes a per-thread cap on the kernel
+//! thread count. The cap is thread-local, so kernel parallelism on one
+//! outer worker never constrains another.
 
+use std::cell::Cell;
 use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Estimated total work (elements x per-element cost) below which a kernel
 /// runs serially. Scoped worker threads cost tens of microseconds to spawn,
 /// so small kernels are cheaper inline.
 pub const SERIAL_THRESHOLD: usize = 1 << 16;
 
+/// Hard ceiling on worker threads, whatever the configuration source.
+pub const MAX_THREADS: usize = 64;
+
+/// Default cap when the count comes from `available_parallelism` — the
+/// kernels stop scaling past this for the study's tensor sizes.
+pub const DEFAULT_AUTO_CAP: usize = 16;
+
 static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
 
-/// Number of worker threads the runtime will use.
+thread_local! {
+    /// Per-thread kernel-thread cap installed by [`with_inner_threads`]
+    /// (0 = no cap installed).
+    static INNER_BUDGET: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Number of worker threads the runtime will use on the current thread.
 ///
-/// Resolution order: a value set by [`set_num_threads`], then the
-/// `TDFM_THREADS` environment variable, then the machine's available
-/// parallelism (capped at 16 — the kernels stop scaling past that for the
-/// study's tensor sizes).
+/// Resolution order:
+///
+/// 1. a scoped inner budget installed by [`with_inner_threads`] (used by
+///    outer-level experiment parallelism),
+/// 2. a process-wide value set by [`set_num_threads`],
+/// 3. the `TDFM_THREADS` environment variable,
+/// 4. the machine's available parallelism, capped at
+///    [`DEFAULT_AUTO_CAP`] (16).
+///
+/// Every source is additionally clamped to [`MAX_THREADS`] (64).
 pub fn num_threads() -> usize {
+    let inner = INNER_BUDGET.with(Cell::get);
+    if inner > 0 {
+        return inner.min(MAX_THREADS);
+    }
     let forced = THREAD_OVERRIDE.load(Ordering::Relaxed);
     if forced > 0 {
-        return forced;
+        return forced.min(MAX_THREADS);
     }
-    if let Ok(v) = std::env::var("TDFM_THREADS") {
-        if let Ok(n) = v.parse::<usize>() {
-            if n > 0 {
-                return n.min(64);
-            }
-        }
+    if let Some(n) = threads_from_env() {
+        return n;
     }
     std::thread::available_parallelism()
-        .map(|n| n.get().min(16))
+        .map(|n| n.get().min(DEFAULT_AUTO_CAP))
         .unwrap_or(1)
+}
+
+/// Parses `TDFM_THREADS`, clamping to [`MAX_THREADS`]. `None` when unset,
+/// unparsable or zero.
+fn threads_from_env() -> Option<usize> {
+    let v = std::env::var("TDFM_THREADS").ok()?;
+    match v.trim().parse::<usize>() {
+        Ok(n) if n > 0 => Some(n.min(MAX_THREADS)),
+        _ => None,
+    }
 }
 
 /// Overrides the worker-thread count for this process (0 restores defaults).
@@ -43,6 +83,32 @@ pub fn num_threads() -> usize {
 /// Benchmarks use this to pin thread counts for stable measurements.
 pub fn set_num_threads(n: usize) {
     THREAD_OVERRIDE.store(n, Ordering::Relaxed);
+}
+
+/// Runs `f` with the kernel thread count capped at `n` on this thread.
+///
+/// This is the inner half of the two-level thread budget: when experiment
+/// cells run on outer worker threads, each worker calls
+/// `with_inner_threads(total / outer_workers, ...)` so that nested kernel
+/// parallelism does not oversubscribe the machine. The cap is restored on
+/// exit (including on unwind) and is inherited by nothing — threads spawned
+/// inside `f` resolve their own budget.
+///
+/// Passing `n = 0` removes any cap for the duration of `f`.
+pub fn with_inner_threads<T>(n: usize, f: impl FnOnce() -> T) -> T {
+    struct Restore(usize);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            INNER_BUDGET.with(|cell| cell.set(self.0));
+        }
+    }
+    let previous = INNER_BUDGET.with(|cell| {
+        let previous = cell.get();
+        cell.set(n.min(MAX_THREADS));
+        previous
+    });
+    let _restore = Restore(previous);
+    f()
 }
 
 /// Splits `0..n` into at most `parts` contiguous, nearly equal ranges.
@@ -74,13 +140,12 @@ pub fn parallel_for(n: usize, work_per_item: usize, f: impl Fn(Range<usize>) + S
         return;
     }
     let ranges = split_ranges(n, threads);
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for range in ranges {
             let f = &f;
-            scope.spawn(move |_| f(range));
+            scope.spawn(move || f(range));
         }
-    })
-    .expect("worker thread panicked");
+    });
 }
 
 /// Splits `data` into `chunk`-sized pieces and runs `f(chunk_index, piece)`
@@ -108,21 +173,20 @@ pub fn parallel_chunks_mut<T: Send>(
         return;
     }
     let pieces: Vec<(usize, &mut [T])> = data.chunks_mut(chunk).enumerate().collect();
-    let pieces = parking_lot::Mutex::new(pieces);
-    crossbeam::scope(|scope| {
+    let pieces = Mutex::new(pieces);
+    std::thread::scope(|scope| {
         for _ in 0..threads {
             let f = &f;
             let pieces = &pieces;
-            scope.spawn(move |_| loop {
-                let item = pieces.lock().pop();
+            scope.spawn(move || loop {
+                let item = pieces.lock().expect("queue lock poisoned").pop();
                 match item {
                     Some((idx, piece)) => f(idx, piece),
                     None => break,
                 }
             });
         }
-    })
-    .expect("worker thread panicked");
+    });
 }
 
 /// Maps `0..n` in parallel and folds the per-range results with `reduce`.
@@ -143,17 +207,19 @@ pub fn parallel_map_reduce<T: Send>(
         return Some(map(0..n));
     }
     let ranges = split_ranges(n, threads);
-    let results: Vec<T> = crossbeam::scope(|scope| {
+    let results: Vec<T> = std::thread::scope(|scope| {
         let handles: Vec<_> = ranges
             .into_iter()
             .map(|range| {
                 let map = &map;
-                scope.spawn(move |_| map(range))
+                scope.spawn(move || map(range))
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
-    })
-    .expect("worker thread panicked");
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
+    });
     results.into_iter().reduce(reduce)
 }
 
@@ -161,6 +227,10 @@ pub fn parallel_map_reduce<T: Send>(
 mod tests {
     use super::*;
     use std::sync::atomic::AtomicU64;
+
+    /// `num_threads` resolution reads process-global state (the override
+    /// and `TDFM_THREADS`), so tests touching it serialise on this lock.
+    static GLOBAL_CONFIG: Mutex<()> = Mutex::new(());
 
     #[test]
     fn split_ranges_covers_everything() {
@@ -229,9 +299,67 @@ mod tests {
 
     #[test]
     fn thread_override_roundtrip() {
+        let _guard = GLOBAL_CONFIG.lock().unwrap();
         set_num_threads(3);
         assert_eq!(num_threads(), 3);
         set_num_threads(0);
         assert!(num_threads() >= 1);
+    }
+
+    #[test]
+    fn env_var_configures_thread_count() {
+        let _guard = GLOBAL_CONFIG.lock().unwrap();
+        set_num_threads(0);
+        // SAFETY: serialised by GLOBAL_CONFIG; no other thread reads the
+        // environment concurrently in this test binary.
+        unsafe {
+            std::env::set_var("TDFM_THREADS", "5");
+        }
+        assert_eq!(num_threads(), 5);
+        // Values above the hard ceiling clamp to MAX_THREADS.
+        unsafe {
+            std::env::set_var("TDFM_THREADS", "4096");
+        }
+        assert_eq!(num_threads(), MAX_THREADS);
+        // Garbage and zero fall through to the auto default.
+        unsafe {
+            std::env::set_var("TDFM_THREADS", "zero");
+        }
+        let auto = num_threads();
+        assert!((1..=DEFAULT_AUTO_CAP).contains(&auto));
+        unsafe {
+            std::env::remove_var("TDFM_THREADS");
+        }
+    }
+
+    #[test]
+    fn inner_budget_is_scoped_and_restored() {
+        let _guard = GLOBAL_CONFIG.lock().unwrap();
+        set_num_threads(8);
+        let inside = with_inner_threads(2, num_threads);
+        assert_eq!(inside, 2);
+        assert_eq!(num_threads(), 8, "budget must be restored on exit");
+        // Nested scopes restore the outer scope's budget, not the default.
+        with_inner_threads(4, || {
+            assert_eq!(num_threads(), 4);
+            with_inner_threads(2, || assert_eq!(num_threads(), 2));
+            assert_eq!(num_threads(), 4);
+        });
+        // A zero budget removes the cap for the duration of the scope.
+        with_inner_threads(2, || {
+            with_inner_threads(0, || assert_eq!(num_threads(), 8));
+        });
+        set_num_threads(0);
+    }
+
+    #[test]
+    fn inner_budget_is_per_thread() {
+        with_inner_threads(2, || {
+            let other = std::thread::scope(|s| s.spawn(num_threads).join().unwrap());
+            assert_ne!(other, 0);
+            // The spawned thread resolves its own budget; ours stays 2.
+            assert_eq!(num_threads(), 2);
+            let _ = other;
+        });
     }
 }

@@ -6,9 +6,10 @@
 //! bit-for-bit. The paper ran 20 repetitions per configuration to control
 //! variance; deterministic seeding lets us additionally replay any single
 //! repetition.
-
-use rand::rngs::SmallRng;
-use rand::{Rng as _, RngCore as _, SeedableRng as _};
+//!
+//! The generator is xoshiro256++ seeded through SplitMix64 — the same
+//! algorithm `rand`'s `SmallRng` uses on 64-bit targets — implemented
+//! in-repo so the workspace builds without network access.
 
 /// A small, fast, seedable RNG with the handful of distributions the study
 /// needs.
@@ -24,13 +25,34 @@ use rand::{Rng as _, RngCore as _, SeedableRng as _};
 /// ```
 #[derive(Debug, Clone)]
 pub struct Rng {
-    inner: SmallRng,
+    state: [u64; 4],
+}
+
+/// SplitMix64 increment.
+const PHI: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// One SplitMix64 output step.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(PHI);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 impl Rng {
     /// Creates an RNG from a 64-bit seed.
     pub fn seed_from(seed: u64) -> Self {
-        Self { inner: SmallRng::seed_from_u64(seed) }
+        // Expand the seed into the 256-bit xoshiro state via SplitMix64,
+        // so nearby seeds still give uncorrelated streams.
+        let mut sm = seed;
+        let state = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        Self { state }
     }
 
     /// Derives an independent child RNG. `salt` distinguishes siblings.
@@ -40,32 +62,44 @@ impl Rng {
     /// another — a property the experiment runner's caching relies on.
     pub fn derive(&self, salt: u64) -> Rng {
         // SplitMix64-style mixing of the parent's next word with the salt.
-        let mut z = salt
-            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-            .wrapping_add(self.clone().inner.next_u64());
+        // The parent is cloned so deriving never advances its stream.
+        let mut z = salt.wrapping_mul(PHI).wrapping_add(self.clone().next_u64());
         z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
         z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
         Rng::seed_from(z ^ (z >> 31))
     }
 
     /// Uniform `f32` in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
     pub fn uniform(&mut self, lo: f32, hi: f32) -> f32 {
-        self.inner.gen_range(lo..hi)
+        assert!(lo < hi, "uniform range is empty: {lo}..{hi}");
+        let v = lo + self.unit() * (hi - lo);
+        // Guard the half-open contract against rounding at the top end.
+        if v >= hi {
+            hi - (hi - lo) * f32::EPSILON
+        } else {
+            v
+        }
     }
 
     /// Uniform `f32` in `[0, 1)`.
     pub fn unit(&mut self) -> f32 {
-        self.inner.gen::<f32>()
+        // 24 high bits of a 32-bit word → all representable multiples of
+        // 2^-24, the standard float conversion.
+        (self.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
     }
 
     /// Standard normal sample (Box–Muller; avoids an extra dependency).
     pub fn normal(&mut self) -> f32 {
         loop {
-            let u1: f32 = self.inner.gen::<f32>();
+            let u1: f32 = self.unit();
             if u1 <= f32::MIN_POSITIVE {
                 continue;
             }
-            let u2: f32 = self.inner.gen::<f32>();
+            let u2: f32 = self.unit();
             return (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos();
         }
     }
@@ -77,12 +111,21 @@ impl Rng {
     /// Panics if `n == 0`.
     pub fn below(&mut self, n: usize) -> usize {
         assert!(n > 0, "below(0) is undefined");
-        self.inner.gen_range(0..n)
+        // Lemire's widening-multiply method: reject the first `2^64 % n`
+        // low words so every outcome is exactly equally likely.
+        let n = n as u64;
+        let threshold = n.wrapping_neg() % n;
+        loop {
+            let m = u128::from(self.next_u64()) * u128::from(n);
+            if m as u64 >= threshold {
+                return (m >> 64) as usize;
+            }
+        }
     }
 
     /// Bernoulli draw with probability `p`.
     pub fn chance(&mut self, p: f32) -> bool {
-        self.inner.gen::<f32>() < p
+        self.unit() < p
     }
 
     /// Fisher–Yates shuffle.
@@ -111,14 +154,28 @@ impl Rng {
 
     /// Raw 64-bit word (for seeding sub-systems).
     pub fn next_u64(&mut self) -> u64 {
-        self.inner.next_u64()
+        // xoshiro256++ step.
+        let s = &mut self.state;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Raw 32-bit word (low half of the next 64-bit word).
+    pub fn next_u32(&mut self) -> u32 {
+        self.next_u64() as u32
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::Rng;
-    use proptest::prelude::*;
 
     #[test]
     fn same_seed_same_stream() {
@@ -135,7 +192,18 @@ mod tests {
         let mut a = root.derive(0);
         let mut b = root.derive(1);
         let same = (0..16).filter(|_| a.next_u64() == b.next_u64()).count();
-        assert!(same < 2, "derived streams should be effectively independent");
+        assert!(
+            same < 2,
+            "derived streams should be effectively independent"
+        );
+    }
+
+    #[test]
+    fn derive_does_not_advance_parent() {
+        let mut a = Rng::seed_from(7);
+        let mut b = Rng::seed_from(7);
+        let _ = a.derive(3);
+        assert_eq!(a.next_u64(), b.next_u64());
     }
 
     #[test]
@@ -146,6 +214,24 @@ mod tests {
         let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / xs.len() as f32;
         assert!(mean.abs() < 0.03, "mean {mean}");
         assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn unit_stays_in_half_open_range() {
+        let mut rng = Rng::seed_from(3);
+        for _ in 0..10_000 {
+            let v = rng.unit();
+            assert!((0.0..1.0).contains(&v), "unit() out of range: {v}");
+        }
+    }
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let mut rng = Rng::seed_from(21);
+        for _ in 0..10_000 {
+            let v = rng.uniform(-2.5, 4.0);
+            assert!((-2.5..4.0).contains(&v), "uniform() out of range: {v}");
+        }
     }
 
     #[test]
@@ -165,24 +251,39 @@ mod tests {
         assert!((0..100).all(|_| rng.chance(1.1)));
     }
 
-    proptest! {
-        #[test]
-        fn sample_indices_distinct_and_in_range(n in 1usize..200, seed in 0u64..1000) {
-            let mut rng = Rng::seed_from(seed);
+    #[test]
+    fn sample_indices_distinct_and_in_range() {
+        // Deterministic sweep standing in for the previous property test.
+        for seed in 0..64u64 {
+            let n = 1 + (seed as usize * 37) % 199;
             let k = n / 2;
-            let s = rng.sample_indices(n, k);
-            prop_assert_eq!(s.len(), k);
-            let set: std::collections::HashSet<_> = s.iter().collect();
-            prop_assert_eq!(set.len(), k);
-            prop_assert!(s.iter().all(|&i| i < n));
-        }
-
-        #[test]
-        fn below_in_range(n in 1usize..1000, seed in 0u64..100) {
             let mut rng = Rng::seed_from(seed);
-            for _ in 0..32 {
-                prop_assert!(rng.below(n) < n);
+            let s = rng.sample_indices(n, k);
+            assert_eq!(s.len(), k);
+            let set: std::collections::HashSet<_> = s.iter().collect();
+            assert_eq!(set.len(), k, "indices must be distinct (n={n})");
+            assert!(s.iter().all(|&i| i < n));
+        }
+    }
+
+    #[test]
+    fn below_in_range() {
+        for seed in 0..32u64 {
+            let n = 1 + (seed as usize * 97) % 999;
+            let mut rng = Rng::seed_from(seed);
+            for _ in 0..64 {
+                assert!(rng.below(n) < n);
             }
         }
+    }
+
+    #[test]
+    fn below_covers_small_ranges() {
+        let mut rng = Rng::seed_from(17);
+        let mut seen = [false; 5];
+        for _ in 0..200 {
+            seen[rng.below(5)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "below(5) should hit every value");
     }
 }

@@ -35,7 +35,9 @@ impl Shape {
             dims.iter().all(|&d| d > 0),
             "shape dimensions must be positive, got {dims:?}"
         );
-        Self { dims: dims.to_vec() }
+        Self {
+            dims: dims.to_vec(),
+        }
     }
 
     /// The dimension extents.
@@ -81,7 +83,11 @@ impl Shape {
         let mut flat = 0;
         let strides = self.strides();
         for (i, (&x, &s)) in idx.iter().zip(strides.iter()).enumerate() {
-            assert!(x < self.dims[i], "index {x} out of range for dim {i} ({})", self.dims[i]);
+            assert!(
+                x < self.dims[i],
+                "index {x} out of range for dim {i} ({})",
+                self.dims[i]
+            );
             flat += x * s;
         }
         flat
@@ -127,8 +133,6 @@ impl<const N: usize> From<[usize; N]> for Shape {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
-
     #[test]
     fn strides_are_row_major() {
         let s = Shape::new(&[4, 3, 2]);
@@ -174,24 +178,40 @@ mod tests {
         assert_eq!(Shape::new(&[2, 3, 4]).to_string(), "[2x3x4]");
     }
 
-    proptest! {
-        #[test]
-        fn numel_is_product(dims in proptest::collection::vec(1usize..6, 1..5)) {
-            let s = Shape::new(&dims);
-            prop_assert_eq!(s.numel(), dims.iter().product::<usize>());
-        }
+    /// Deterministic sweep of small dim vectors, standing in for the
+    /// previous property tests.
+    fn dim_cases() -> Vec<Vec<usize>> {
+        let mut rng = crate::rng::Rng::seed_from(0xD1);
+        (0..64)
+            .map(|_| {
+                let rank = 1 + rng.below(4);
+                (0..rank).map(|_| 1 + rng.below(5)).collect()
+            })
+            .collect()
+    }
 
-        #[test]
-        fn last_stride_is_one(dims in proptest::collection::vec(1usize..6, 1..5)) {
+    #[test]
+    fn numel_is_product() {
+        for dims in dim_cases() {
             let s = Shape::new(&dims);
-            prop_assert_eq!(*s.strides().last().unwrap(), 1);
+            assert_eq!(s.numel(), dims.iter().product::<usize>());
         }
+    }
 
-        #[test]
-        fn flat_index_bounded(dims in proptest::collection::vec(1usize..6, 1..5)) {
+    #[test]
+    fn last_stride_is_one() {
+        for dims in dim_cases() {
+            let s = Shape::new(&dims);
+            assert_eq!(*s.strides().last().unwrap(), 1);
+        }
+    }
+
+    #[test]
+    fn flat_index_bounded() {
+        for dims in dim_cases() {
             let s = Shape::new(&dims);
             let last: Vec<usize> = dims.iter().map(|d| d - 1).collect();
-            prop_assert_eq!(s.flat_index(&last), s.numel() - 1);
+            assert_eq!(s.flat_index(&last), s.numel() - 1);
         }
     }
 }

@@ -25,7 +25,10 @@ fn main() {
     let mut ctx = TrainContext::new(scale, 1);
     ctx.tune_for(data.train.len());
     let mut golden = Baseline.fit(ModelKind::ConvNet, &data.train, &ctx);
-    println!("golden accuracy          : {:.1}%", 100.0 * golden.accuracy(&data.test));
+    println!(
+        "golden accuracy          : {:.1}%",
+        100.0 * golden.accuracy(&data.test)
+    );
 
     // 3. Inject 30% mislabelling faults — the dominant fault type in
     //    real-world datasets per the paper's survey.
@@ -38,10 +41,16 @@ fn main() {
 
     // 4. The unprotected model suffers.
     let mut faulty = Baseline.fit(ModelKind::ConvNet, &faulty_train, &ctx);
-    println!("unprotected accuracy     : {:.1}%", 100.0 * faulty.accuracy(&data.test));
+    println!(
+        "unprotected accuracy     : {:.1}%",
+        100.0 * faulty.accuracy(&data.test)
+    );
 
     // 5. Label smoothing (the paper's runner-up technique) recovers much
     //    of the loss at negligible extra cost.
     let mut protected = LabelSmoothing::new(0.1).fit(ModelKind::ConvNet, &faulty_train, &ctx);
-    println!("label-smoothed accuracy  : {:.1}%", 100.0 * protected.accuracy(&data.test));
+    println!(
+        "label-smoothed accuracy  : {:.1}%",
+        100.0 * protected.accuracy(&data.test)
+    );
 }

@@ -35,11 +35,19 @@ fn main() {
     if let FittedModel::Ensemble(members) = &mut fitted {
         for (kind, net) in ensemble.members().iter().zip(members.iter_mut()) {
             let acc = net.accuracy(data.test.images(), data.test.labels(), 64);
-            println!("  member {:<10} accuracy {:>5.1}%", kind.name(), 100.0 * acc);
+            println!(
+                "  member {:<10} accuracy {:>5.1}%",
+                kind.name(),
+                100.0 * acc
+            );
         }
     }
     let vote_acc = fitted.accuracy(&data.test);
-    println!("  {:<17} accuracy {:>5.1}%", "majority vote", 100.0 * vote_acc);
+    println!(
+        "  {:<17} accuracy {:>5.1}%",
+        "majority vote",
+        100.0 * vote_acc
+    );
 
     println!(
         "\nThe vote should match or beat the best member: a sign is misread only\n\

@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# The full local CI gate: formatting, lints, release build, all tests.
+# CI (.github/workflows/ci.yml) runs exactly this script, so a green local
+# run means a green pipeline.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check =="
+cargo fmt --all -- --check
+
+echo "== cargo clippy (deny warnings) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== tier-1: cargo build --release && cargo test -q =="
+cargo build --release
+cargo test -q
+
+echo "CI gate passed."

@@ -36,11 +36,18 @@ use tdfm::survey::{catalog, render_table_i, select_representatives};
 #[derive(Debug, Clone, PartialEq)]
 enum Command {
     Survey,
-    Datasets { scale: Scale },
-    Models { scale: Scale },
+    Datasets {
+        scale: Scale,
+    },
+    Models {
+        scale: Scale,
+    },
     Run(RunArgs),
     Detect(RunArgs),
-    Sweep { config: String, output: Option<String> },
+    Sweep {
+        config: String,
+        output: Option<String>,
+    },
     Help,
 }
 
@@ -154,11 +161,15 @@ fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
             "--scale" => out.scale = parse_scale(value)?,
             "--reps" => {
                 out.reps = Some(
-                    value.parse::<usize>().map_err(|_| format!("bad reps '{value}'"))?,
+                    value
+                        .parse::<usize>()
+                        .map_err(|_| format!("bad reps '{value}'"))?,
                 )
             }
             "--seed" => {
-                out.seed = value.parse::<u64>().map_err(|_| format!("bad seed '{value}'"))?
+                out.seed = value
+                    .parse::<u64>()
+                    .map_err(|_| format!("bad seed '{value}'"))?
             }
             other => return Err(format!("unknown flag '{other}'")),
         }
@@ -173,8 +184,12 @@ fn parse_command(args: &[String]) -> Result<Command, String> {
     let rest = &args[1..];
     match verb.as_str() {
         "survey" => Ok(Command::Survey),
-        "datasets" => Ok(Command::Datasets { scale: parse_run_args(rest)?.scale }),
-        "models" => Ok(Command::Models { scale: parse_run_args(rest)?.scale }),
+        "datasets" => Ok(Command::Datasets {
+            scale: parse_run_args(rest)?.scale,
+        }),
+        "models" => Ok(Command::Models {
+            scale: parse_run_args(rest)?.scale,
+        }),
         "run" => Ok(Command::Run(parse_run_args(rest)?)),
         "detect" => Ok(Command::Detect(parse_run_args(rest)?)),
         "sweep" => {
@@ -209,7 +224,10 @@ fn cmd_survey() {
 }
 
 fn cmd_datasets(scale: Scale) {
-    println!("{:<12}{:>8}{:>13}{:>12}  task", "Name", "classes", "synth train", "synth test");
+    println!(
+        "{:<12}{:>8}{:>13}{:>12}  task",
+        "Name", "classes", "synth train", "synth test"
+    );
     for kind in DatasetKind::ALL {
         let info = kind.info();
         println!(
@@ -224,7 +242,10 @@ fn cmd_datasets(scale: Scale) {
 }
 
 fn cmd_models(scale: Scale) {
-    println!("{:<12}{:<10}{:<32}{:>10}", "Name", "Depth", "Summary", "Params");
+    println!(
+        "{:<12}{:<10}{:<32}{:>10}",
+        "Name", "Depth", "Summary", "Params"
+    );
     let cfg = ModelConfig {
         in_shape: (3, scale.image_side(), scale.image_side()),
         classes: 10,
@@ -266,8 +287,14 @@ fn cmd_run(args: RunArgs) {
         args.technique.full_name(),
         result.fault_label
     );
-    println!("  golden accuracy : {:.1}%", 100.0 * result.golden_accuracy.mean);
-    println!("  faulty accuracy : {:.1}%", 100.0 * result.faulty_accuracy.mean);
+    println!(
+        "  golden accuracy : {:.1}%",
+        100.0 * result.golden_accuracy.mean
+    );
+    println!(
+        "  faulty accuracy : {:.1}%",
+        100.0 * result.faulty_accuracy.mean
+    );
     println!(
         "  accuracy delta  : {:.1}% ± {:.1}",
         100.0 * result.ad.mean,
@@ -302,14 +329,16 @@ fn cmd_sweep(config_path: &str, output: Option<&str>) -> Result<(), String> {
     let text = std::fs::read_to_string(config_path)
         .map_err(|e| format!("cannot read {config_path}: {e}"))?;
     let cells: Vec<ExperimentConfig> =
-        serde_json::from_str(&text).map_err(|e| format!("bad sweep config: {e}"))?;
+        tdfm::json::from_str(&text).map_err(|e| format!("bad sweep config: {e}"))?;
     if cells.is_empty() {
         return Err("sweep config contains no cells".to_string());
     }
+    // Fan the whole sweep across the TDFM_THREADS budget; results come back
+    // in cell order, so the report below matches the config file.
     let runner = Runner::new();
+    let results = runner.run_grid(&cells);
     let mut payload = Vec::with_capacity(cells.len());
-    for (i, cell) in cells.iter().enumerate() {
-        let result = runner.run(cell);
+    for (i, (cell, result)) in cells.iter().zip(&results).enumerate() {
         println!(
             "[{}/{}] {} / {} / {} / {}: AD {:.1}% ± {:.1}",
             i + 1,
@@ -440,7 +469,10 @@ mod tests {
     #[test]
     fn fault_aliases() {
         assert_eq!(parse_fault("mislabel").unwrap(), FaultKind::Mislabelling);
-        assert_eq!(parse_fault("pair-flip").unwrap(), FaultKind::PairFlipMislabelling);
+        assert_eq!(
+            parse_fault("pair-flip").unwrap(),
+            FaultKind::PairFlipMislabelling
+        );
     }
 
     #[test]
@@ -474,7 +506,7 @@ mod tests {
             "repetitions": 1,
             "seed": 0
         }]"#;
-        let cells: Vec<ExperimentConfig> = serde_json::from_str(json).unwrap();
+        let cells: Vec<ExperimentConfig> = tdfm::json::from_str(json).unwrap();
         assert_eq!(cells.len(), 1);
         assert_eq!(cells[0].technique, TechniqueKind::LabelSmoothing);
     }

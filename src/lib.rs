@@ -8,7 +8,7 @@
 //! This facade crate re-exports the whole workspace:
 //!
 //! * [`tensor`] — pure-Rust CPU tensors, convolution/matmul kernels, and a
-//!   crossbeam-based parallel runtime.
+//!   scoped-thread parallel runtime.
 //! * [`nn`] — layers, losses, optimisers, the seven-model zoo of Table III,
 //!   and the training loop.
 //! * [`data`] — synthetic stand-ins for CIFAR-10, GTSRB and Pneumonia that
@@ -16,6 +16,8 @@
 //! * [`inject`] — the TF-DM-equivalent fault injector (mislabelling,
 //!   repetition, removal).
 //! * [`survey`] — Table I's candidate techniques and selection criteria.
+//! * [`json`] — the dependency-free JSON reader/writer every result file
+//!   goes through.
 //! * [`core`] — the five TDFM techniques, the accuracy-delta metric, the
 //!   experiment runner and the overhead study.
 //!
@@ -51,6 +53,7 @@
 pub use tdfm_core as core;
 pub use tdfm_data as data;
 pub use tdfm_inject as inject;
+pub use tdfm_json as json;
 pub use tdfm_nn as nn;
 pub use tdfm_survey as survey;
 pub use tdfm_tensor as tensor;

@@ -52,8 +52,15 @@ fn dataset_registry_matches_paper_table_ii() {
 fn model_registry_matches_paper_table_iii() {
     assert_eq!(ModelKind::ALL.len(), 7);
     let names: Vec<&str> = ModelKind::ALL.iter().map(|m| m.name()).collect();
-    for expected in ["ConvNet", "DeconvNet", "VGG11", "VGG16", "ResNet18", "ResNet50", "MobileNet"]
-    {
+    for expected in [
+        "ConvNet",
+        "DeconvNet",
+        "VGG11",
+        "VGG16",
+        "ResNet18",
+        "ResNet50",
+        "MobileNet",
+    ] {
         assert!(names.contains(&expected), "missing {expected}");
     }
 }
@@ -71,7 +78,11 @@ fn injector_composes_with_every_dataset() {
         assert_eq!(report.after, faulty.len(), "{kind}");
         assert_eq!(faulty.classes(), tt.train.classes(), "{kind}");
         // Mislabelled count is exact.
-        assert_eq!(report.mislabelled, (0.25f32 * before as f32).round() as usize, "{kind}");
+        assert_eq!(
+            report.mislabelled,
+            (0.25f32 * before as f32).round() as usize,
+            "{kind}"
+        );
     }
 }
 

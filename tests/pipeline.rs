@@ -76,12 +76,14 @@ fn experiments_are_reproducible() {
 fn different_seeds_change_outcomes() {
     let runner = Runner::new();
     let a = runner.run(&config(TechniqueKind::Baseline));
-    let b = runner.run(&ExperimentConfig { seed: 12, ..config(TechniqueKind::Baseline) });
+    let b = runner.run(&ExperimentConfig {
+        seed: 12,
+        ..config(TechniqueKind::Baseline)
+    });
     // Different data draws and initialisations: byte-identical results
     // would indicate a seeding bug.
     assert!(
-        a.faulty_accuracy.mean != b.faulty_accuracy.mean
-            || a.ad.mean != b.ad.mean,
+        a.faulty_accuracy.mean != b.faulty_accuracy.mean || a.ad.mean != b.ad.mean,
         "distinct seeds produced identical results"
     );
 }

@@ -23,8 +23,16 @@ fn smoke(technique: TechniqueKind, fault: FaultKind, percent: f32) -> Experiment
 #[test]
 fn mislabelling_dose_response() {
     let runner = Runner::new();
-    let low = runner.run(&smoke(TechniqueKind::Baseline, FaultKind::Mislabelling, 10.0));
-    let high = runner.run(&smoke(TechniqueKind::Baseline, FaultKind::Mislabelling, 50.0));
+    let low = runner.run(&smoke(
+        TechniqueKind::Baseline,
+        FaultKind::Mislabelling,
+        10.0,
+    ));
+    let high = runner.run(&smoke(
+        TechniqueKind::Baseline,
+        FaultKind::Mislabelling,
+        50.0,
+    ));
     assert!(
         high.ad.mean > low.ad.mean,
         "AD should grow with fault amount: 10% -> {}, 50% -> {}",
@@ -37,7 +45,11 @@ fn mislabelling_dose_response() {
 #[test]
 fn removal_is_milder_than_mislabelling() {
     let runner = Runner::new();
-    let mis = runner.run(&smoke(TechniqueKind::Baseline, FaultKind::Mislabelling, 50.0));
+    let mis = runner.run(&smoke(
+        TechniqueKind::Baseline,
+        FaultKind::Mislabelling,
+        50.0,
+    ));
     let rem = runner.run(&smoke(TechniqueKind::Baseline, FaultKind::Removal, 50.0));
     assert!(
         rem.ad.mean < mis.ad.mean,
@@ -52,8 +64,16 @@ fn removal_is_milder_than_mislabelling() {
 #[test]
 fn ensemble_beats_baseline_under_mislabelling() {
     let runner = Runner::new();
-    let base = runner.run(&smoke(TechniqueKind::Baseline, FaultKind::Mislabelling, 50.0));
-    let ens = runner.run(&smoke(TechniqueKind::Ensemble, FaultKind::Mislabelling, 50.0));
+    let base = runner.run(&smoke(
+        TechniqueKind::Baseline,
+        FaultKind::Mislabelling,
+        50.0,
+    ));
+    let ens = runner.run(&smoke(
+        TechniqueKind::Ensemble,
+        FaultKind::Mislabelling,
+        50.0,
+    ));
     assert!(
         ens.ad.mean < base.ad.mean,
         "ensemble AD {} should be below baseline AD {}",
@@ -67,7 +87,11 @@ fn ensemble_beats_baseline_under_mislabelling() {
 #[test]
 fn cifar_is_less_resilient_than_gtsrb() {
     let runner = Runner::new();
-    let gtsrb = runner.run(&smoke(TechniqueKind::Baseline, FaultKind::Mislabelling, 30.0));
+    let gtsrb = runner.run(&smoke(
+        TechniqueKind::Baseline,
+        FaultKind::Mislabelling,
+        30.0,
+    ));
     let cifar = runner.run(&ExperimentConfig {
         dataset: DatasetKind::Cifar10,
         ..smoke(TechniqueKind::Baseline, FaultKind::Mislabelling, 30.0)
