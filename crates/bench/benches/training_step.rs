@@ -3,7 +3,8 @@
 //! benchmark performs one full (small) training run of the technique, so
 //! the relative times mirror the paper's multipliers.
 
-use tdfm_bench::harness::{bench, group};
+use tdfm_bench::harness::{bench, group, BenchSuite};
+use tdfm_bench::write_json;
 use tdfm_core::technique::{TechniqueKind, TrainContext};
 use tdfm_data::{DatasetKind, Scale};
 use tdfm_inject::split_clean;
@@ -12,11 +13,12 @@ use tdfm_nn::models::ModelKind;
 use tdfm_nn::trainer::{fit, FitConfig, TargetSource};
 
 fn main() {
+    let mut suite = BenchSuite::new("trainer");
     let data = DatasetKind::Pneumonia.generate(Scale::Tiny, 0);
     group("technique_fit");
     for kind in TechniqueKind::ALL {
         let technique = kind.build();
-        bench(&format!("technique_fit/{}", kind.abbrev()), || {
+        let report = bench(&format!("technique_fit/{}", kind.abbrev()), || {
             let mut ctx = TrainContext::new(Scale::Tiny, 0);
             // Keep the benchmark itself small and fixed-cost.
             ctx.fit.epochs = 2;
@@ -30,12 +32,13 @@ fn main() {
             };
             technique.fit(ModelKind::ConvNet, &train, &ctx)
         });
+        suite.push(&report);
     }
 
     let data = DatasetKind::Cifar10.generate(Scale::Tiny, 0);
     group("model_one_epoch");
     for model in ModelKind::ALL {
-        bench(&format!("model_one_epoch/{}", model.name()), || {
+        let report = bench(&format!("model_one_epoch/{}", model.name()), || {
             let ctx = TrainContext::new(Scale::Tiny, 0);
             let mut net = model.build(&ctx.model_config(&data.train));
             fit(
@@ -50,5 +53,13 @@ fn main() {
                 },
             )
         });
+        suite.push(&report);
+    }
+
+    // The committed baseline: per-technique / per-model timings plus the
+    // kernel-op histograms accumulated over the whole suite.
+    match write_json("BENCH_trainer.json", &suite.to_json()) {
+        Ok(path) => println!("\nwrote {}", path.display()),
+        Err(e) => eprintln!("could not write suite: {e}"),
     }
 }

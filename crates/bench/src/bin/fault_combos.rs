@@ -2,7 +2,7 @@
 //! fault types together and checking the AD is statistically similar to
 //! the dominant individual fault type.
 
-use tdfm_bench::{ad_cell, banner, results_to_json, write_json};
+use tdfm_bench::{ad_cell, banner, results_to_json, write_json, write_manifest};
 use tdfm_core::{ExperimentConfig, ExperimentResult, Runner, TechniqueKind};
 use tdfm_data::{DatasetKind, Scale};
 use tdfm_inject::{FaultKind, FaultPlan};
@@ -97,5 +97,9 @@ fn main() {
     match write_json("fault_combos.json", &results_to_json(&owned)) {
         Ok(path) => println!("\nwrote {}", path.display()),
         Err(e) => eprintln!("could not write results: {e}"),
+    }
+    match write_manifest("fault_combos", &runner, &owned) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write manifest: {e}"),
     }
 }

@@ -10,7 +10,7 @@
 //! Each panel is printed as the numeric series plus an ASCII bar chart of
 //! the 30% column (the paper's middle dose).
 
-use tdfm_bench::{ad_cell, banner, render_bars, results_to_json, write_json};
+use tdfm_bench::{ad_cell, banner, render_bars, results_to_json, write_json, write_manifest};
 use tdfm_core::{ExperimentConfig, ExperimentResult, Runner, TechniqueKind};
 use tdfm_data::{DatasetKind, Scale};
 use tdfm_inject::{FaultKind, FaultPlan};
@@ -131,6 +131,10 @@ fn main() {
     match write_json("fig3.json", &results_to_json(&results)) {
         Ok(path) => println!("wrote {}", path.display()),
         Err(e) => eprintln!("could not write results: {e}"),
+    }
+    match write_manifest("fig3", &runner, &results) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write manifest: {e}"),
     }
     println!(
         "\nPaper shape check: baseline AD grows with mislabelling; LS and Ens lowest;\n\

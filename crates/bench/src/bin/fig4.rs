@@ -6,7 +6,7 @@
 //! run. Each panel is printed as the numeric series plus an ASCII bar
 //! chart of the 30% column.
 
-use tdfm_bench::{ad_cell, banner, render_bars, results_to_json, write_json};
+use tdfm_bench::{ad_cell, banner, render_bars, results_to_json, write_json, write_manifest};
 use tdfm_core::{ExperimentConfig, ExperimentResult, Runner, TechniqueKind};
 use tdfm_data::{DatasetKind, Scale};
 use tdfm_inject::{FaultKind, FaultPlan};
@@ -108,6 +108,10 @@ fn main() {
     match write_json("fig4.json", &results_to_json(&results)) {
         Ok(path) => println!("wrote {}", path.display()),
         Err(e) => eprintln!("could not write results: {e}"),
+    }
+    match write_manifest("fig4", &runner, &results) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write manifest: {e}"),
     }
     println!(
         "\nPaper shape check: CIFAR-10 and Pneumonia mislabelling ADs higher than\n\

@@ -4,7 +4,7 @@
 //! Paper numbers: golden 90%, faulty 55%; technique ADs of 5% (LS),
 //! 29% (LC), 15% (RL), 13% (KD), 5% (Ens).
 
-use tdfm_bench::{ad_cell, banner, pct, results_to_json, write_json};
+use tdfm_bench::{ad_cell, banner, pct, results_to_json, write_json, write_manifest};
 use tdfm_core::{ExperimentConfig, Runner, TechniqueKind};
 use tdfm_data::{DatasetKind, Scale};
 use tdfm_inject::{FaultKind, FaultPlan};
@@ -75,6 +75,10 @@ fn main() {
     match write_json("motivating.json", &results_to_json(&results)) {
         Ok(path) => println!("\nwrote {}", path.display()),
         Err(e) => eprintln!("could not write results: {e}"),
+    }
+    match write_manifest("motivating", &runner, &results) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write manifest: {e}"),
     }
     println!(
         "\nPaper shape check: mislabelling costs the unprotected model real accuracy;\n\

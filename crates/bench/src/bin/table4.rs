@@ -8,7 +8,7 @@
 //! Paper layout: rows = (model, dataset), columns = Base, LS, LC, RL, KD,
 //! Ens; datasets 1 = CIFAR-10, 2 = GTSRB, 3 = Pneumonia.
 
-use tdfm_bench::{banner, pct, results_to_json, write_json};
+use tdfm_bench::{banner, pct, results_to_json, write_json, write_manifest};
 use tdfm_core::{ExperimentConfig, Runner, TechniqueKind};
 use tdfm_data::{DatasetKind, Scale};
 use tdfm_inject::FaultPlan;
@@ -75,6 +75,10 @@ fn main() {
     match write_json("table4.json", &results_to_json(&results)) {
         Ok(path) => println!("\nwrote {}", path.display()),
         Err(e) => eprintln!("could not write results: {e}"),
+    }
+    match write_manifest("table4", &runner, &results) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write manifest: {e}"),
     }
     println!(
         "\nPaper shape check: techniques should not collapse the golden accuracy in most \

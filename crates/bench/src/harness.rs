@@ -7,6 +7,8 @@
 //! the Section IV-E analysis cares about.
 
 use std::time::{Duration, Instant};
+use tdfm_json::json_struct;
+use tdfm_obs::{event, Level};
 
 /// Timing summary of one benchmark.
 #[derive(Debug, Clone)]
@@ -48,6 +50,17 @@ pub fn bench<T>(name: &str, mut f: impl FnMut() -> T) -> BenchReport {
     let mean = times.iter().sum::<Duration>() / iters;
     let min = *times.iter().min().expect("at least one iteration");
     println!("{name:<44} mean {mean:>12.3?}  min {min:>12.3?}  ({iters} iters)");
+    tdfm_obs::global()
+        .histogram(&format!("bench.{name}"))
+        .record(mean);
+    event!(
+        Level::Debug,
+        "bench",
+        name = name,
+        mean_seconds = mean.as_secs_f64(),
+        min_seconds = min.as_secs_f64(),
+        iters = iters,
+    );
     BenchReport {
         name: name.to_string(),
         mean,
@@ -61,6 +74,81 @@ pub fn group(title: &str) {
     println!("\n== {title} ==");
 }
 
+/// One [`BenchReport`] as serialised into a [`BenchSuite`] document.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchRecord {
+    /// Benchmark label.
+    pub name: String,
+    /// Mean wall-clock seconds per iteration.
+    pub mean_seconds: f64,
+    /// Fastest observed iteration, in seconds.
+    pub min_seconds: f64,
+    /// Number of measured iterations.
+    pub iters: u32,
+}
+
+json_struct!(BenchRecord {
+    name,
+    mean_seconds,
+    min_seconds,
+    iters
+});
+
+/// A machine-readable benchmark baseline: every report of one `benches/`
+/// binary plus the process metrics snapshot at the end of the run (kernel
+/// histograms, counters). `BENCH_trainer.json` is one of these.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchSuite {
+    /// Suite name (the bench binary's stem).
+    pub name: String,
+    /// Seconds since the Unix epoch when the suite finished.
+    pub created_unix: u64,
+    /// One record per benchmark, in execution order.
+    pub reports: Vec<BenchRecord>,
+    /// Process-global counter/histogram snapshot taken by [`Self::to_json`].
+    pub metrics: tdfm_obs::MetricsSnapshot,
+}
+
+json_struct!(BenchSuite {
+    name,
+    created_unix,
+    reports,
+    metrics
+});
+
+impl BenchSuite {
+    /// Creates an empty suite stamped with the current time.
+    pub fn new(name: impl Into<String>) -> Self {
+        let created_unix = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0);
+        Self {
+            name: name.into(),
+            created_unix,
+            reports: Vec::new(),
+            metrics: tdfm_obs::MetricsSnapshot::default(),
+        }
+    }
+
+    /// Appends one benchmark's report.
+    pub fn push(&mut self, report: &BenchReport) {
+        self.reports.push(BenchRecord {
+            name: report.name.clone(),
+            mean_seconds: report.mean.as_secs_f64(),
+            min_seconds: report.min.as_secs_f64(),
+            iters: report.iters,
+        });
+    }
+
+    /// Serialises to pretty JSON, refreshing the embedded metrics snapshot
+    /// so kernel-op histograms cover every benchmark that ran.
+    pub fn to_json(&mut self) -> String {
+        self.metrics = tdfm_obs::global().snapshot();
+        tdfm_json::to_string_pretty(self)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -70,5 +158,29 @@ mod tests {
         let report = bench("noop", || 1 + 1);
         assert!(report.iters >= 3);
         assert!(report.mean >= report.min);
+        // The harness records every benchmark into the global registry.
+        let snap = tdfm_obs::global().snapshot();
+        let hist = snap
+            .histograms
+            .iter()
+            .find(|h| h.name == "bench.noop")
+            .expect("bench histogram registered");
+        assert!(hist.count >= 1);
+    }
+
+    #[test]
+    fn suite_round_trips_with_metrics() {
+        let mut suite = BenchSuite::new("unit");
+        suite.push(&bench("suite_noop", || 2 + 2));
+        let json = suite.to_json();
+        let back: BenchSuite = tdfm_json::from_str(&json).unwrap();
+        assert_eq!(back.reports.len(), 1);
+        assert_eq!(back.reports[0].name, "suite_noop");
+        assert!(back.reports[0].iters >= 3);
+        assert!(back
+            .metrics
+            .histograms
+            .iter()
+            .any(|h| h.name == "bench.suite_noop"));
     }
 }

@@ -23,7 +23,7 @@ pub mod svg;
 
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
-use tdfm_core::ExperimentResult;
+use tdfm_core::{ExperimentResult, Runner};
 use tdfm_data::Scale;
 
 /// Where experiment binaries drop their JSON results.
@@ -43,6 +43,26 @@ pub fn write_json(name: &str, payload: &str) -> std::io::Result<PathBuf> {
     let path = dir.join(name);
     let mut f = std::fs::File::create(&path)?;
     f.write_all(payload.as_bytes())?;
+    Ok(path)
+}
+
+/// Writes the run's manifest next to its results under [`results_dir`]
+/// as `<stem>.manifest.json` (e.g. `results/table4.manifest.json`): the
+/// grid with per-cell wall times plus the runner's and the process-global
+/// metrics. `tdfm report` consumes it.
+///
+/// # Errors
+///
+/// Returns any filesystem error encountered.
+pub fn write_manifest(
+    stem: &str,
+    runner: &Runner,
+    results: &[ExperimentResult],
+) -> std::io::Result<PathBuf> {
+    let dir = results_dir();
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join(format!("{stem}.manifest.json"));
+    runner.manifest(stem, results).write(&path)?;
     Ok(path)
 }
 

@@ -27,6 +27,7 @@ use tdfm_data::{DatasetKind, Scale, TrainTest};
 use tdfm_inject::{split_clean, FaultPlan, Injector};
 use tdfm_json::json_struct;
 use tdfm_nn::models::ModelKind;
+use tdfm_obs::{event, span, Level, ManifestCell, RunManifest};
 use tdfm_tensor::parallel::{num_threads, with_inner_threads};
 
 /// One experiment cell: a (dataset, model, technique, fault plan) tuple at
@@ -188,10 +189,15 @@ impl<K: std::hash::Hash + Eq + Clone, V> OnceMap<K, V> {
 /// is shared by every technique and fault amount, and fitted ensembles are
 /// shared across per-model panels — the same sharing the paper exploits to
 /// keep 33 days of GPU time tractable.
+///
+/// Each runner owns a private [`tdfm_obs::Registry`] so cache counters and
+/// cell/repetition timings stay exact even when several runners share a
+/// process (as the test suite does); [`Runner::manifest`] snapshots it,
+/// merged with the process-global registry, into a [`RunManifest`].
 pub struct Runner {
     golden: OnceMap<GoldenKey, GoldenEntry>,
     shared: OnceMap<SharedKey, SharedFit>,
-    golden_trainings: AtomicUsize,
+    metrics: tdfm_obs::Registry,
     cache_dir: Option<std::path::PathBuf>,
 }
 
@@ -200,7 +206,7 @@ impl Default for Runner {
         Self {
             golden: OnceMap::new(),
             shared: OnceMap::new(),
-            golden_trainings: AtomicUsize::new(0),
+            metrics: tdfm_obs::Registry::new(),
             cache_dir: None,
         }
     }
@@ -274,8 +280,17 @@ impl Runner {
     /// in-memory hits don't count). Under [`Runner::run_grid`] this must
     /// equal the number of distinct golden keys, however many cells share
     /// them — the regression guard for the cache's in-flight deduplication.
+    ///
+    /// Backed by this runner's `golden_trainings` metrics counter, which
+    /// also lands in the run manifest.
     pub fn golden_trainings(&self) -> usize {
-        self.golden_trainings.load(Ordering::Relaxed)
+        self.metrics.counter("golden_trainings").get() as usize
+    }
+
+    /// Snapshot of this runner's private metrics (cache counters, cell and
+    /// repetition timings).
+    pub fn metrics_snapshot(&self) -> tdfm_obs::MetricsSnapshot {
+        self.metrics.snapshot()
     }
 
     fn golden_cache_path(&self, key: &GoldenKey) -> Option<std::path::PathBuf> {
@@ -299,12 +314,14 @@ impl Runner {
         data: &TrainTest,
     ) -> Arc<GoldenEntry> {
         let key = (dataset, model, scale, rep_seed);
+        self.metrics.counter("golden_lookups").inc();
         self.golden.get_or_compute(&key, || {
             // Second level: the on-disk cache, when configured.
             if let Some(path) = self.golden_cache_path(&key) {
                 if let Ok(text) = std::fs::read_to_string(&path) {
                     if let Ok(predictions) = tdfm_json::from_str::<Vec<u32>>(&text) {
                         if predictions.len() == data.test.len() {
+                            self.metrics.counter("golden_disk_hits").inc();
                             return GoldenEntry {
                                 accuracy: accuracy(&predictions, data.test.labels()),
                                 predictions,
@@ -313,7 +330,15 @@ impl Runner {
                     }
                 }
             }
-            self.golden_trainings.fetch_add(1, Ordering::Relaxed);
+            self.metrics.counter("golden_trainings").inc();
+            event!(
+                Level::Debug,
+                "golden_training",
+                dataset = dataset.name(),
+                model = model.name(),
+                scale = scale.name(),
+                rep_seed = rep_seed
+            );
             let mut ctx = TrainContext::new(scale, rep_seed);
             ctx.tune_for(data.train.len());
             let mut fitted = TechniqueKind::Baseline
@@ -370,7 +395,13 @@ impl Runner {
                 .seed
                 .wrapping_add(1 + r as u64)
                 .wrapping_mul(0x9E37_79B9);
-            self.run_repetition(config, technique, rep_seed)
+            let _rep_span = span!("repetition", rep = r, seed = rep_seed);
+            let started = Instant::now();
+            let result = self.run_repetition(config, technique, rep_seed);
+            self.metrics
+                .histogram("repetition_seconds")
+                .record(started.elapsed());
+            result
         });
         let ad_samples: Vec<f32> = reps.iter().map(|r| r.accuracy_delta).collect();
         let golden_samples: Vec<f32> = reps.iter().map(|r| r.golden_accuracy).collect();
@@ -418,6 +449,7 @@ impl Runner {
             None
         };
         let fit_once = || {
+            self.metrics.counter("technique_fits").inc();
             let t0 = Instant::now();
             let mut fitted = technique.fit(config.model, &faulty_train, &ctx);
             let train_seconds = t0.elapsed().as_secs_f64();
@@ -474,14 +506,89 @@ impl Runner {
 
     /// [`Runner::run_grid`] with caller-provided techniques (the ablation
     /// studies pair each cell with a custom [`Mitigation`]).
+    ///
+    /// With `TDFM_LOG=info` (or a trace file) each completed cell emits a
+    /// `grid_progress` event — `cell 7/40` plus an ETA extrapolated from
+    /// the cells finished so far.
     pub fn run_grid_with(
         &self,
         cells: &[(&ExperimentConfig, &dyn Mitigation)],
     ) -> Vec<ExperimentResult> {
-        run_indexed(cells.len(), |i| {
+        let total = cells.len();
+        let grid_started = Instant::now();
+        let completed = AtomicUsize::new(0);
+        run_indexed(total, |i| {
             let (config, technique) = cells[i];
-            self.run_with(config, technique)
+            let _cell_span = span!(
+                "cell",
+                index = i,
+                dataset = config.dataset.name(),
+                model = config.model.name(),
+                technique = config.technique.full_name(),
+                fault = config.fault_plan.label()
+            );
+            let started = Instant::now();
+            let result = self.run_with(config, technique);
+            self.metrics
+                .histogram("cell_seconds")
+                .record(started.elapsed());
+            self.metrics.counter("cells_completed").inc();
+            let done = completed.fetch_add(1, Ordering::Relaxed) + 1;
+            event!(
+                Level::Info,
+                "grid_progress",
+                cell = done,
+                total = total,
+                eta_seconds = {
+                    let elapsed = grid_started.elapsed().as_secs_f64();
+                    elapsed / done as f64 * (total - done) as f64
+                }
+            );
+            result
         })
+    }
+
+    /// Builds the run manifest for a batch of results produced by this
+    /// runner: one [`ManifestCell`] per result (identity, seeds, summed
+    /// repetition wall time) plus this runner's metrics merged with the
+    /// process-global registry (kernel-op and span timings, grad-clip
+    /// counts). Harness binaries and `tdfm sweep` write this next to
+    /// their results files; `tdfm report` aggregates it back.
+    pub fn manifest(&self, name: &str, results: &[ExperimentResult]) -> RunManifest {
+        let scale = match results {
+            [] => "-".to_string(),
+            [first, rest @ ..] => {
+                if rest.iter().any(|r| r.config.scale != first.config.scale) {
+                    "mixed".to_string()
+                } else {
+                    first.config.scale.name().to_string()
+                }
+            }
+        };
+        let mut manifest = RunManifest::new(name, scale, num_threads());
+        manifest.cells = results
+            .iter()
+            .enumerate()
+            .map(|(index, result)| ManifestCell {
+                index,
+                dataset: result.config.dataset.name().to_string(),
+                model: result.config.model.name().to_string(),
+                technique: result.config.technique.full_name().to_string(),
+                fault: result.fault_label.clone(),
+                scale: result.config.scale.name().to_string(),
+                repetitions: result.config.repetitions,
+                seed: result.config.seed,
+                wall_seconds: result
+                    .repetitions
+                    .iter()
+                    .map(|rep| rep.train_seconds + rep.infer_seconds)
+                    .sum(),
+            })
+            .collect();
+        let mut metrics = self.metrics.snapshot();
+        metrics.merge(&tdfm_obs::global().snapshot());
+        manifest.metrics = metrics;
+        manifest
     }
 
     /// Runs several cells on at most `workers` threads, returning results
@@ -652,6 +759,37 @@ mod tests {
         assert_eq!(first.ad.mean, second.ad.mean);
         assert_eq!(first.golden_accuracy.mean, second.golden_accuracy.mean);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn manifest_captures_cells_counters_and_round_trips() {
+        let runner = Runner::new();
+        let configs = vec![
+            tiny_config(TechniqueKind::Baseline, 10.0),
+            tiny_config(TechniqueKind::LabelSmoothing, 10.0),
+        ];
+        let results = runner.run_grid(&configs);
+        let manifest = runner.manifest("unit", &results);
+
+        assert_eq!(manifest.name, "unit");
+        assert_eq!(manifest.scale, "tiny");
+        assert_eq!(manifest.cells.len(), 2);
+        assert!(manifest.thread_budget >= 1);
+        for (i, cell) in manifest.cells.iter().enumerate() {
+            assert_eq!(cell.index, i);
+            assert_eq!(cell.dataset, "Pneumonia");
+            assert_eq!(cell.repetitions, 2);
+            assert!(cell.wall_seconds > 0.0);
+        }
+        // Two cells x two repetitions share every golden key: four lookups,
+        // two trainings — a 50% hit rate in `tdfm report` terms.
+        assert_eq!(manifest.metrics.counter("golden_lookups"), Some(4));
+        assert_eq!(manifest.metrics.counter("golden_trainings"), Some(2));
+        assert_eq!(manifest.metrics.counter("cells_completed"), Some(2));
+        assert_eq!(manifest.metrics.counter("technique_fits"), Some(4));
+
+        let back: RunManifest = tdfm_json::from_str(&manifest.to_json()).unwrap();
+        assert_eq!(back, manifest);
     }
 
     #[test]

@@ -1,0 +1,110 @@
+//! # tdfm-obs
+//!
+//! Zero-external-dependency observability for the TDFM reproduction:
+//! structured tracing, metrics, and run manifests, built on std and
+//! [`tdfm_json`] only (the workspace builds fully offline).
+//!
+//! The paper's Section IV-E claims rest on runtime accounting; this crate
+//! is the substrate that makes long fault-injection sweeps debuggable and
+//! measurable, in the spirit of the per-injection logs that TensorFI and
+//! PyTorchFI-style campaigns ship.
+//!
+//! ## Pieces
+//!
+//! * **Events** — [`event!`] delivers levelled, structured records to a
+//!   global sink. `TDFM_LOG=error|warn|info|debug|trace` selects what is
+//!   printed to stderr as human-readable lines; `TDFM_TRACE=<path>`
+//!   additionally writes *every* record as one JSON object per line
+//!   (JSONL), serialised with [`tdfm_json`]. With both unset, the
+//!   disabled path is one relaxed atomic load and the event's fields are
+//!   never evaluated or formatted.
+//! * **Spans** — [`span!`] returns an RAII [`Span`] that nests per
+//!   thread, stamps contained events with its dotted path, and records
+//!   its wall-clock duration into the metrics registry under
+//!   `span.<name>`. [`OpTimer`] is the events-free variant for hot
+//!   tensor kernels.
+//! * **Metrics** — [`metrics::Registry`] holds named [`metrics::Counter`]s
+//!   and fixed-bucket duration [`metrics::Histogram`]s; [`global`] is the
+//!   process-wide registry, and components needing isolated counts (the
+//!   experiment runner) own private registries. Snapshots serialise to
+//!   JSON for manifests.
+//! * **Manifests** — [`RunManifest`] records a run's configuration grid,
+//!   seeds, thread budget, per-cell wall times and a metrics snapshot;
+//!   harness binaries write one next to their results, and
+//!   [`render_report`] (the `tdfm report` subcommand) aggregates
+//!   manifests and traces into a summary.
+//!
+//! Observability output goes only to stderr and side files: results files
+//! stay byte-identical whether or not tracing is enabled.
+//!
+//! ## Example
+//!
+//! ```
+//! use tdfm_obs::{event, span, Level};
+//!
+//! let _run = span!("demo", cells = 4usize);
+//! for cell in 0..4usize {
+//!     let _cell = span!("cell", index = cell);
+//!     event!(Level::Debug, "cell_done", cell = cell, ad = 0.12f32);
+//! }
+//! tdfm_obs::global().counter("cells_completed").add(4);
+//! ```
+
+pub mod manifest;
+pub mod metrics;
+pub mod report;
+mod sink;
+mod span;
+
+pub use manifest::{ManifestCell, RunManifest};
+pub use metrics::{global, MetricsSnapshot, Registry};
+pub use report::render_report;
+pub use sink::{configure, emit, enabled, flush, fv, take_captured, timing_enabled};
+pub use sink::{IntoField, Level, ObsConfig};
+pub use span::{current_path, spans_active, OpTimer, Span};
+
+/// Emits a structured event at the given [`Level`].
+///
+/// Fields are `key = value` pairs; values can be numbers, strings, bools
+/// or [`std::time::Duration`]s (see [`IntoField`]). When the level is
+/// filtered out the field expressions are **not evaluated** — the whole
+/// call is one atomic load.
+///
+/// ```
+/// use tdfm_obs::{event, Level};
+/// event!(Level::Info, "epoch", epoch = 3usize, loss = 0.25f32);
+/// ```
+#[macro_export]
+macro_rules! event {
+    ($level:expr, $name:expr $(, $key:ident = $val:expr)* $(,)?) => {
+        if $crate::enabled($level) {
+            $crate::emit($level, $name, &[
+                $( (stringify!($key), $crate::fv($val)), )*
+            ]);
+        }
+    };
+}
+
+/// Opens an RAII [`Span`]: events emitted while it is alive carry its
+/// dotted path, and its wall-clock duration lands in the global metrics
+/// registry under `span.<name>` when it drops.
+///
+/// Field expressions are only evaluated when spans are active
+/// (`TDFM_LOG=debug`/`trace`, a trace file, or forced timing).
+///
+/// ```
+/// use tdfm_obs::span;
+/// let _guard = span!("train", epochs = 10usize);
+/// ```
+#[macro_export]
+macro_rules! span {
+    ($name:expr $(, $key:ident = $val:expr)* $(,)?) => {
+        if $crate::spans_active() {
+            $crate::Span::enter($name, &[
+                $( (stringify!($key), $crate::fv($val)), )*
+            ])
+        } else {
+            $crate::Span::inactive()
+        }
+    };
+}

@@ -1,0 +1,189 @@
+//! Run manifests: the machine-readable record of what a run executed.
+//!
+//! Every harness binary and `tdfm sweep` writes a `*.manifest.json` next
+//! to its results: the configuration grid (one [`ManifestCell`] per
+//! experiment cell, with its wall time), the seeds, the thread budget and
+//! a [`MetricsSnapshot`] of every counter and histogram at the end of the
+//! run. `tdfm report` aggregates one or more manifests (and JSONL traces)
+//! into a human summary.
+
+use crate::metrics::MetricsSnapshot;
+use std::path::Path;
+use tdfm_json::json_struct;
+
+/// One experiment cell as recorded in a manifest. All identity fields are
+/// plain strings so the manifest schema is independent of the experiment
+/// crates (and readable by any JSON tool).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ManifestCell {
+    /// Position in the run's grid (0-based).
+    pub index: usize,
+    /// Dataset name.
+    pub dataset: String,
+    /// Model architecture name.
+    pub model: String,
+    /// Mitigation technique name.
+    pub technique: String,
+    /// Human-readable fault label (`"Mislabelling 30%"`).
+    pub fault: String,
+    /// Experiment scale name.
+    pub scale: String,
+    /// Repetitions run for this cell.
+    pub repetitions: usize,
+    /// Base seed of the cell.
+    pub seed: u64,
+    /// Wall-clock seconds spent in this cell (training + inference summed
+    /// over repetitions).
+    pub wall_seconds: f64,
+}
+
+json_struct!(ManifestCell {
+    index,
+    dataset,
+    model,
+    technique,
+    fault,
+    scale,
+    repetitions,
+    seed,
+    wall_seconds
+});
+
+/// The manifest of one run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunManifest {
+    /// Run name (usually the harness binary or sweep output stem).
+    pub name: String,
+    /// Seconds since the Unix epoch when the manifest was written.
+    pub created_unix: u64,
+    /// Scale the run executed at.
+    pub scale: String,
+    /// Worker-thread budget the run saw (`TDFM_THREADS` resolution).
+    pub thread_budget: usize,
+    /// Every cell of the run's grid, in execution-grid order.
+    pub cells: Vec<ManifestCell>,
+    /// Counter and histogram snapshot at the end of the run.
+    pub metrics: MetricsSnapshot,
+}
+
+json_struct!(RunManifest {
+    name,
+    created_unix,
+    scale,
+    thread_budget,
+    cells,
+    metrics
+});
+
+impl RunManifest {
+    /// Creates an empty manifest stamped with the current time.
+    pub fn new(name: impl Into<String>, scale: impl Into<String>, thread_budget: usize) -> Self {
+        let created_unix = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0);
+        Self {
+            name: name.into(),
+            created_unix,
+            scale: scale.into(),
+            thread_budget,
+            cells: Vec::new(),
+            metrics: MetricsSnapshot::default(),
+        }
+    }
+
+    /// Total wall seconds across all cells.
+    pub fn total_wall_seconds(&self) -> f64 {
+        self.cells.iter().map(|c| c.wall_seconds).sum()
+    }
+
+    /// Serialises to pretty JSON.
+    pub fn to_json(&self) -> String {
+        tdfm_json::to_string_pretty(self)
+    }
+
+    /// Writes the manifest to `path`, creating parent directories.
+    ///
+    /// # Errors
+    ///
+    /// Returns any filesystem error encountered.
+    pub fn write(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        let path = path.as_ref();
+        if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+            std::fs::create_dir_all(dir)?;
+        }
+        std::fs::write(path, self.to_json())
+    }
+
+    /// Reads and parses a manifest.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the filesystem or parse failure.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, String> {
+        let path = path.as_ref();
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        tdfm_json::from_str(&text).map_err(|e| format!("bad manifest {}: {e}", path.display()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Registry;
+    use std::time::Duration;
+
+    fn sample() -> RunManifest {
+        let reg = Registry::new();
+        reg.counter("golden_lookups").add(4);
+        reg.counter("golden_trainings").add(1);
+        reg.histogram("span.cell")
+            .record(Duration::from_millis(120));
+        let mut m = RunManifest::new("unit", "Tiny", 4);
+        m.cells.push(ManifestCell {
+            index: 0,
+            dataset: "cifar-10".into(),
+            model: "resnet50".into(),
+            technique: "Ensemble".into(),
+            fault: "Mislabelling 30%".into(),
+            scale: "Tiny".into(),
+            repetitions: 2,
+            seed: 42,
+            wall_seconds: 1.25,
+        });
+        m.metrics = reg.snapshot();
+        m
+    }
+
+    #[test]
+    fn manifest_round_trips_through_json() {
+        let m = sample();
+        let back: RunManifest = tdfm_json::from_str(&m.to_json()).unwrap();
+        assert_eq!(back, m);
+        assert_eq!(back.metrics.counter("golden_lookups"), Some(4));
+        assert!((back.total_wall_seconds() - 1.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn manifest_writes_and_loads() {
+        let dir = std::env::temp_dir().join("tdfm-obs-manifest-test");
+        let path = dir.join("run.manifest.json");
+        let m = sample();
+        m.write(&path).unwrap();
+        let back = RunManifest::load(&path).unwrap();
+        assert_eq!(back, m);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn load_rejects_garbage() {
+        let dir = std::env::temp_dir().join("tdfm-obs-manifest-bad");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.manifest.json");
+        std::fs::write(&path, "{not json").unwrap();
+        assert!(RunManifest::load(&path).is_err());
+        assert!(RunManifest::load(dir.join("missing.json")).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

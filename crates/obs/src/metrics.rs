@@ -1,0 +1,407 @@
+//! Named counters and fixed-bucket duration histograms.
+//!
+//! A [`Registry`] is a map from metric names to lock-free instruments:
+//! every increment or recording after the first lookup is a handful of
+//! atomic operations, so instruments can sit on hot paths. Call sites that
+//! fire per batch or per kernel should cache the [`Counter`]/[`Histogram`]
+//! handle (e.g. in a `OnceLock`) instead of looking it up each time — the
+//! lookup takes the registry's map lock.
+//!
+//! Histograms use fixed power-of-two buckets over nanoseconds
+//! ([`HIST_BUCKETS`] of them), which keeps recording allocation-free and
+//! makes snapshots mergeable; quantiles are reported as the upper bound of
+//! the bucket containing the requested rank.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Duration;
+use tdfm_json::json_struct;
+
+/// A monotonically increasing event count.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Creates a counter at zero.
+    pub const fn new() -> Self {
+        Self(AtomicU64::new(0))
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current count.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of histogram buckets: bucket `i` counts durations whose
+/// nanosecond value is `< 2^(i+1)` (and at least `2^i`, except bucket 0).
+/// `2^47` ns is about 39 hours, far beyond any single cell or sweep.
+pub const HIST_BUCKETS: usize = 48;
+
+/// A fixed-bucket histogram of wall-clock durations.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HIST_BUCKETS],
+    count: AtomicU64,
+    sum_nanos: AtomicU64,
+    max_nanos: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self {
+            buckets: [const { AtomicU64::new(0) }; HIST_BUCKETS],
+            count: AtomicU64::new(0),
+            sum_nanos: AtomicU64::new(0),
+            max_nanos: AtomicU64::new(0),
+        }
+    }
+
+    fn bucket_index(nanos: u64) -> usize {
+        // Bucket i covers [2^i, 2^(i+1)) ns; 0 and 1 ns share bucket 0.
+        ((64 - nanos.max(1).leading_zeros()) as usize - 1).min(HIST_BUCKETS - 1)
+    }
+
+    /// Upper bound of bucket `i` in seconds.
+    fn bucket_upper_seconds(i: usize) -> f64 {
+        (1u64 << (i + 1).min(63)) as f64 * 1e-9
+    }
+
+    /// Records one duration.
+    pub fn record(&self, d: Duration) {
+        let nanos = u64::try_from(d.as_nanos()).unwrap_or(u64::MAX);
+        self.buckets[Self::bucket_index(nanos)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_nanos.fetch_add(nanos, Ordering::Relaxed);
+        self.max_nanos.fetch_max(nanos, Ordering::Relaxed);
+    }
+
+    /// Records a duration given in (non-negative, finite) seconds.
+    pub fn record_secs(&self, seconds: f64) {
+        if seconds.is_finite() && seconds >= 0.0 {
+            self.record(Duration::from_secs_f64(seconds));
+        }
+    }
+
+    /// Number of recorded durations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Mean recorded duration in seconds (0 when empty).
+    pub fn mean_seconds(&self) -> f64 {
+        let count = self.count();
+        if count == 0 {
+            return 0.0;
+        }
+        self.sum_nanos.load(Ordering::Relaxed) as f64 * 1e-9 / count as f64
+    }
+
+    /// Largest recorded duration in seconds.
+    pub fn max_seconds(&self) -> f64 {
+        self.max_nanos.load(Ordering::Relaxed) as f64 * 1e-9
+    }
+
+    /// The `q`-quantile (`0 < q <= 1`) as the upper bound of the bucket
+    /// holding that rank, in seconds. Returns 0 when empty.
+    pub fn quantile_seconds(&self, q: f64) -> f64 {
+        let count = self.count();
+        if count == 0 {
+            return 0.0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            seen += bucket.load(Ordering::Relaxed);
+            if seen >= rank {
+                return Self::bucket_upper_seconds(i);
+            }
+        }
+        self.max_seconds()
+    }
+
+    /// Snapshot of this histogram under `name`.
+    pub fn snapshot(&self, name: &str) -> HistogramSnapshot {
+        HistogramSnapshot {
+            name: name.to_string(),
+            count: self.count(),
+            mean_seconds: self.mean_seconds(),
+            p50_seconds: self.quantile_seconds(0.50),
+            p90_seconds: self.quantile_seconds(0.90),
+            p99_seconds: self.quantile_seconds(0.99),
+            max_seconds: self.max_seconds(),
+        }
+    }
+}
+
+/// Point-in-time value of one counter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CounterSnapshot {
+    /// Metric name.
+    pub name: String,
+    /// Count at snapshot time.
+    pub value: u64,
+}
+
+json_struct!(CounterSnapshot { name, value });
+
+/// Point-in-time summary of one histogram.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Metric name.
+    pub name: String,
+    /// Number of recordings.
+    pub count: u64,
+    /// Mean duration, seconds.
+    pub mean_seconds: f64,
+    /// Median bucket upper bound, seconds.
+    pub p50_seconds: f64,
+    /// 90th-percentile bucket upper bound, seconds.
+    pub p90_seconds: f64,
+    /// 99th-percentile bucket upper bound, seconds.
+    pub p99_seconds: f64,
+    /// Largest recording, seconds.
+    pub max_seconds: f64,
+}
+
+json_struct!(HistogramSnapshot {
+    name,
+    count,
+    mean_seconds,
+    p50_seconds,
+    p90_seconds,
+    p99_seconds,
+    max_seconds
+});
+
+/// Every instrument of a [`Registry`] at one point in time, sorted by
+/// name — the `metrics` section of a run manifest.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// All counters, by name.
+    pub counters: Vec<CounterSnapshot>,
+    /// All histograms, by name.
+    pub histograms: Vec<HistogramSnapshot>,
+}
+
+json_struct!(MetricsSnapshot {
+    counters,
+    histograms
+});
+
+impl MetricsSnapshot {
+    /// Looks up a counter value by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|c| c.name == name)
+            .map(|c| c.value)
+    }
+
+    /// Merges `other` into `self`: counters with the same name add up,
+    /// histograms with the same name keep the one with more recordings
+    /// (bucket-level merging is not needed by any current caller).
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        for c in &other.counters {
+            match self.counters.iter_mut().find(|mine| mine.name == c.name) {
+                Some(mine) => mine.value += c.value,
+                None => self.counters.push(c.clone()),
+            }
+        }
+        for h in &other.histograms {
+            match self.histograms.iter_mut().find(|mine| mine.name == h.name) {
+                Some(mine) => {
+                    if h.count > mine.count {
+                        *mine = h.clone();
+                    }
+                }
+                None => self.histograms.push(h.clone()),
+            }
+        }
+        self.counters.sort_by(|a, b| a.name.cmp(&b.name));
+        self.histograms.sort_by(|a, b| a.name.cmp(&b.name));
+    }
+}
+
+/// A named collection of counters and histograms.
+///
+/// The process-wide registry is [`crate::global`]; components that need
+/// isolated counts (e.g. one experiment runner among several in the same
+/// process) own their own `Registry`.
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: Mutex<BTreeMap<String, Arc<Counter>>>,
+    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The counter registered under `name`, created on first use.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut map = self.counters.lock().expect("counter map poisoned");
+        match map.get(name) {
+            Some(c) => Arc::clone(c),
+            None => {
+                let c = Arc::new(Counter::new());
+                map.insert(name.to_string(), Arc::clone(&c));
+                c
+            }
+        }
+    }
+
+    /// The histogram registered under `name`, created on first use.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut map = self.histograms.lock().expect("histogram map poisoned");
+        match map.get(name) {
+            Some(h) => Arc::clone(h),
+            None => {
+                let h = Arc::new(Histogram::new());
+                map.insert(name.to_string(), Arc::clone(&h));
+                h
+            }
+        }
+    }
+
+    /// Snapshots every instrument, sorted by name.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let counters = self
+            .counters
+            .lock()
+            .expect("counter map poisoned")
+            .iter()
+            .map(|(name, c)| CounterSnapshot {
+                name: name.clone(),
+                value: c.get(),
+            })
+            .collect();
+        let histograms = self
+            .histograms
+            .lock()
+            .expect("histogram map poisoned")
+            .iter()
+            .map(|(name, h)| h.snapshot(name))
+            .collect();
+        MetricsSnapshot {
+            counters,
+            histograms,
+        }
+    }
+
+    /// Drops every instrument (tests only — outstanding handles keep
+    /// counting into instruments that are no longer reachable by name).
+    pub fn clear(&self) {
+        self.counters.lock().expect("counter map poisoned").clear();
+        self.histograms
+            .lock()
+            .expect("histogram map poisoned")
+            .clear();
+    }
+}
+
+/// The process-wide metrics registry.
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_add_up() {
+        let reg = Registry::new();
+        reg.counter("a").inc();
+        reg.counter("a").add(4);
+        assert_eq!(reg.counter("a").get(), 5);
+        assert_eq!(reg.counter("b").get(), 0);
+    }
+
+    #[test]
+    fn histogram_buckets_are_log2() {
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(1), 0);
+        assert_eq!(Histogram::bucket_index(2), 1);
+        assert_eq!(Histogram::bucket_index(3), 1);
+        assert_eq!(Histogram::bucket_index(1024), 10);
+        assert_eq!(Histogram::bucket_index(u64::MAX), HIST_BUCKETS - 1);
+    }
+
+    #[test]
+    fn histogram_summarises() {
+        let h = Histogram::new();
+        for micros in [1u64, 2, 4, 1000] {
+            h.record(Duration::from_micros(micros));
+        }
+        assert_eq!(h.count(), 4);
+        let mean = h.mean_seconds();
+        assert!((mean - 1007e-6 / 4.0).abs() < 1e-9, "mean {mean}");
+        // p50 falls in the bucket of the 2 µs sample.
+        assert!(h.quantile_seconds(0.5) >= 2e-6);
+        assert!(h.quantile_seconds(1.0) >= 1e-3);
+        assert!(h.max_seconds() >= 1e-3);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean_seconds(), 0.0);
+        assert_eq!(h.quantile_seconds(0.99), 0.0);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_serialisable() {
+        let reg = Registry::new();
+        reg.counter("zeta").inc();
+        reg.counter("alpha").add(2);
+        reg.histogram("lat").record(Duration::from_millis(3));
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters[0].name, "alpha");
+        assert_eq!(snap.counters[1].name, "zeta");
+        assert_eq!(snap.counter("zeta"), Some(1));
+        let text = tdfm_json::to_string(&snap);
+        let back: MetricsSnapshot = tdfm_json::from_str(&text).unwrap();
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn merge_adds_counters_and_keeps_fuller_histograms() {
+        let a = Registry::new();
+        a.counter("x").add(2);
+        a.histogram("h").record(Duration::from_millis(1));
+        let b = Registry::new();
+        b.counter("x").add(3);
+        b.counter("y").inc();
+        let h = b.histogram("h");
+        h.record(Duration::from_millis(1));
+        h.record(Duration::from_millis(2));
+        let mut snap = a.snapshot();
+        snap.merge(&b.snapshot());
+        assert_eq!(snap.counter("x"), Some(5));
+        assert_eq!(snap.counter("y"), Some(1));
+        assert_eq!(snap.histograms[0].count, 2);
+    }
+}

@@ -1,0 +1,133 @@
+//! RAII spans and kernel-op timers.
+//!
+//! A [`Span`] marks a region of work: entering emits a `span_open` event
+//! at debug level, dropping emits `span_close` with the wall-clock
+//! duration and records that duration into the global metrics registry
+//! under `span.<name>`. Spans nest per thread; the dotted path of open
+//! spans is attached to every event emitted inside them.
+//!
+//! [`OpTimer`] is the stripped-down variant for hot kernels (matmul,
+//! convolution): no events, no path, just a histogram recording — and
+//! when timing is disabled its construction is a single atomic load.
+
+use crate::sink::{timing_enabled, Level};
+use crate::{enabled, metrics};
+use std::cell::RefCell;
+use std::time::Instant;
+use tdfm_json::Value;
+
+thread_local! {
+    static SPAN_STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Dotted path of the spans currently open on this thread (`"grid.cell"`;
+/// empty outside any span).
+pub fn current_path() -> String {
+    SPAN_STACK.with(|stack| stack.borrow().join("."))
+}
+
+/// `true` when [`Span::enter`] would produce a live span. The
+/// [`crate::span!`] macro checks this before evaluating its fields.
+#[inline]
+pub fn spans_active() -> bool {
+    enabled(Level::Debug) || timing_enabled()
+}
+
+/// An RAII region marker — create with [`crate::span!`].
+#[derive(Debug)]
+pub struct Span(Option<ActiveSpan>);
+
+#[derive(Debug)]
+struct ActiveSpan {
+    name: &'static str,
+    start: Instant,
+}
+
+impl Span {
+    /// Opens a span: pushes `name` onto the thread's span path and emits
+    /// `span_open` with `fields`.
+    pub fn enter(name: &'static str, fields: &[(&str, Value)]) -> Span {
+        if !spans_active() {
+            return Span(None);
+        }
+        SPAN_STACK.with(|stack| stack.borrow_mut().push(name));
+        if enabled(Level::Debug) {
+            crate::sink::emit(Level::Debug, "span_open", fields);
+        }
+        Span(Some(ActiveSpan {
+            name,
+            start: Instant::now(),
+        }))
+    }
+
+    /// A span that records nothing (the disabled branch of
+    /// [`crate::span!`]).
+    pub fn inactive() -> Span {
+        Span(None)
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(active) = self.0.take() else { return };
+        let elapsed = active.start.elapsed();
+        metrics::global()
+            .histogram(&format!("span.{}", active.name))
+            .record(elapsed);
+        if enabled(Level::Debug) {
+            crate::sink::emit(
+                Level::Debug,
+                "span_close",
+                &[("seconds", crate::fv(elapsed))],
+            );
+        }
+        SPAN_STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            debug_assert_eq!(stack.last(), Some(&active.name), "span drop order");
+            stack.pop();
+        });
+    }
+}
+
+/// Wall-clock timer for hot tensor kernels.
+///
+/// `OpTimer::start("matmul")` records into the global histogram
+/// `op.matmul` on drop. When timing is disabled ([`timing_enabled`] is
+/// `false`) construction costs one atomic load and drop is free.
+#[derive(Debug)]
+pub struct OpTimer(Option<(&'static str, Instant)>);
+
+impl OpTimer {
+    /// Starts timing the named op (no-op unless timing is enabled).
+    #[inline]
+    pub fn start(name: &'static str) -> OpTimer {
+        if timing_enabled() {
+            OpTimer(Some((name, Instant::now())))
+        } else {
+            OpTimer(None)
+        }
+    }
+}
+
+impl Drop for OpTimer {
+    fn drop(&mut self) {
+        if let Some((name, start)) = self.0.take() {
+            metrics::global()
+                .histogram(&format!("op.{name}"))
+                .record(start.elapsed());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inactive_span_leaves_no_path() {
+        let span = Span::inactive();
+        assert_eq!(current_path(), "");
+        drop(span);
+        assert_eq!(current_path(), "");
+    }
+}

@@ -1,0 +1,162 @@
+//! End-to-end tests of the observability stack: JSONL traces that round-trip
+//! through `tdfm-json`, exact metrics under thread contention, `TDFM_LOG`
+//! filtering semantics, and the cost of instrumented-but-disabled code.
+//!
+//! The sink is process-global, so every test that reconfigures it holds
+//! [`SINK_LOCK`] for its whole body.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+use tdfm_obs::{configure, event, span, Level, ObsConfig, OpTimer};
+
+/// Serialises the tests that reconfigure the global sink.
+static SINK_LOCK: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    SINK_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Resets the sink to "everything off" so later tests (and the rest of the
+/// process) see the quiet default.
+fn quiet() {
+    configure(ObsConfig::default()).unwrap();
+}
+
+#[test]
+fn trace_round_trips_through_tdfm_json() {
+    let _guard = lock();
+    let dir = std::env::temp_dir().join("tdfm-obs-integration");
+    std::fs::create_dir_all(&dir).unwrap();
+    let trace_path = dir.join("roundtrip.jsonl");
+    configure(ObsConfig {
+        trace_path: Some(trace_path.clone()),
+        ..ObsConfig::default()
+    })
+    .unwrap();
+
+    {
+        let _span = span!("fit", epochs = 3usize, lr = 0.1f32);
+        event!(Level::Info, "epoch", epoch = 0usize, loss = 1.25f32);
+        event!(
+            Level::Error,
+            "loss_nonfinite",
+            loss = f32::NAN,
+            batch = 7usize,
+            negative = -3i64,
+        );
+        event!(Level::Trace, "batch", note = "unicode: µ→✓");
+    }
+    tdfm_obs::flush();
+    quiet();
+
+    let text = std::fs::read_to_string(&trace_path).unwrap();
+    let lines: Vec<&str> = text.lines().filter(|l| !l.trim().is_empty()).collect();
+    // span_open + 3 events + span_close.
+    assert_eq!(lines.len(), 5, "{text}");
+    for line in &lines {
+        let record = tdfm_json::parse(line).expect("every trace line is valid JSON");
+        for key in ["ts_ms", "level", "span", "event", "fields"] {
+            assert!(record.get(key).is_some(), "missing {key} in {line}");
+        }
+    }
+    let epoch = tdfm_json::parse(lines[1]).unwrap();
+    assert_eq!(
+        epoch.get("event").and_then(tdfm_json::Value::as_str),
+        Some("epoch")
+    );
+    // Events inside the span carry its path.
+    assert_eq!(
+        epoch.get("span").and_then(tdfm_json::Value::as_str),
+        Some("fit")
+    );
+    let loss = epoch.get("fields").and_then(|f| f.get("loss")).unwrap();
+    assert!((loss.as_f64().unwrap() - 1.25).abs() < 1e-9);
+
+    // The whole file is what `tdfm report` accepts as a trace.
+    let report = tdfm_obs::render_report(&[&trace_path]).unwrap();
+    assert!(report.contains("5 records"), "{report}");
+    assert!(report.contains("ERROR: loss_nonfinite"), "{report}");
+}
+
+#[test]
+fn registry_totals_are_exact_under_contention() {
+    const THREADS: usize = 8;
+    const PER_THREAD: usize = 10_000;
+    let registry = tdfm_obs::Registry::new();
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let registry = &registry;
+            scope.spawn(move || {
+                let counter = registry.counter("hits");
+                let histogram = registry.histogram("lat");
+                for i in 0..PER_THREAD {
+                    counter.inc();
+                    histogram.record(Duration::from_nanos((t * PER_THREAD + i) as u64 + 1));
+                }
+            });
+        }
+    });
+    let snap = registry.snapshot();
+    assert_eq!(snap.counter("hits"), Some((THREADS * PER_THREAD) as u64));
+    let hist = snap
+        .histograms
+        .iter()
+        .find(|h| h.name == "lat")
+        .expect("histogram registered");
+    assert_eq!(hist.count, (THREADS * PER_THREAD) as u64);
+}
+
+#[test]
+fn tdfm_log_filter_suppresses_lower_levels_without_evaluating_fields() {
+    let _guard = lock();
+    configure(ObsConfig {
+        stderr_level: Some(Level::Info),
+        capture: true,
+        ..ObsConfig::default()
+    })
+    .unwrap();
+
+    let evaluations = AtomicUsize::new(0);
+    let observe = |x: usize| {
+        evaluations.fetch_add(1, Ordering::SeqCst);
+        x
+    };
+    event!(Level::Info, "kept", value = observe(1));
+    event!(Level::Debug, "dropped", value = observe(2));
+    event!(Level::Trace, "dropped_too", value = observe(3));
+    let lines = tdfm_obs::take_captured();
+    assert_eq!(lines.len(), 1, "{lines:?}");
+    assert!(lines[0].contains("kept"), "{lines:?}");
+    assert!(!lines[0].contains("dropped"), "{lines:?}");
+    // The filtered events never evaluated their field expressions.
+    assert_eq!(evaluations.load(Ordering::SeqCst), 1);
+
+    // With the sink fully off even Error is filtered, and spans are inert.
+    quiet();
+    event!(Level::Error, "silent", value = observe(4));
+    let _span = span!("never", value = observe(5));
+    assert_eq!(evaluations.load(Ordering::SeqCst), 1);
+    assert!(tdfm_obs::take_captured().is_empty());
+}
+
+#[test]
+fn disabled_instrumentation_overhead_is_negligible() {
+    let _guard = lock();
+    quiet();
+
+    const CALLS: u32 = 1_000_000;
+    let start = Instant::now();
+    for i in 0..CALLS {
+        event!(Level::Trace, "hot", i = i);
+        let _t = OpTimer::start("hot_op");
+    }
+    let elapsed = start.elapsed();
+    // ~2 relaxed atomic loads per iteration; anything near real work would
+    // blow this generous bound (250 ns/call) by orders of magnitude.
+    let per_call = elapsed.as_nanos() / u128::from(CALLS);
+    assert!(
+        per_call < 250,
+        "disabled instrumentation costs {per_call} ns/call ({elapsed:?} total)"
+    );
+}

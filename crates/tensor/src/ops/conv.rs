@@ -7,6 +7,7 @@
 
 use crate::parallel::{parallel_chunks_mut, parallel_map_reduce};
 use crate::Tensor;
+use tdfm_obs::OpTimer;
 
 /// Stride / padding / groups configuration of one convolution.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -307,6 +308,7 @@ pub fn conv2d_forward(
     bias: Option<&Tensor>,
     spec: Conv2dSpec,
 ) -> Tensor {
+    let _t = OpTimer::start("conv2d_forward");
     let d = check_dims(input, weight, spec);
     if let Some(b) = bias {
         assert_eq!(b.shape().dims(), &[d.o], "bias must be [out_channels]");
@@ -362,6 +364,7 @@ pub fn conv2d_backward(
     grad_output: &Tensor,
     spec: Conv2dSpec,
 ) -> ConvGrads {
+    let _t = OpTimer::start("conv2d_backward");
     let d = check_dims(input, weight, spec);
     assert_eq!(
         grad_output.shape().dims(),

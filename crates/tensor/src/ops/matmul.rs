@@ -9,6 +9,7 @@
 
 use crate::parallel::parallel_chunks_mut;
 use crate::Tensor;
+use tdfm_obs::OpTimer;
 
 /// `C[m,n] = A[m,k] · B[k,n]`.
 ///
@@ -31,6 +32,7 @@ use crate::Tensor;
 /// assert_eq!(c.data(), &[19.0, 22.0, 43.0, 50.0]);
 /// ```
 pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    let _t = OpTimer::start("matmul");
     assert!(
         a.shape().matmul_compatible(b.shape()),
         "matmul shape mismatch: {} x {}",
@@ -67,6 +69,7 @@ fn matmul_row(a_row: &[f32], b: &[f32], n: usize, out_row: &mut [f32]) {
 ///
 /// Panics if operands are not 2-D or leading dimensions disagree.
 pub fn matmul_at_b(a: &Tensor, b: &Tensor) -> Tensor {
+    let _t = OpTimer::start("matmul_at_b");
     assert_eq!(a.shape().rank(), 2, "matmul_at_b requires matrices");
     assert_eq!(b.shape().rank(), 2, "matmul_at_b requires matrices");
     let (k, m) = (a.shape().dim(0), a.shape().dim(1));
@@ -97,6 +100,7 @@ pub fn matmul_at_b(a: &Tensor, b: &Tensor) -> Tensor {
 ///
 /// Panics if operands are not 2-D or trailing dimensions disagree.
 pub fn matmul_a_bt(a: &Tensor, b: &Tensor) -> Tensor {
+    let _t = OpTimer::start("matmul_a_bt");
     assert_eq!(a.shape().rank(), 2, "matmul_a_bt requires matrices");
     assert_eq!(b.shape().rank(), 2, "matmul_a_bt requires matrices");
     let (m, k) = (a.shape().dim(0), a.shape().dim(1));

@@ -15,4 +15,28 @@ echo "== tier-1: cargo build --release && cargo test -q =="
 cargo build --release
 cargo test -q
 
+echo "== workspace build + tests (all crates) =="
+cargo build --release --workspace
+cargo test -q --workspace
+
+echo "== obs smoke: trace + manifest + tdfm report =="
+# Run the smallest harness binary with tracing on, then make `tdfm report`
+# the assertion that the trace is valid JSONL and the manifest parses (it
+# exits non-zero on any malformed input).
+# TDFM_SMOKE_DIR lets CI keep the artefacts (trace + manifest) for upload;
+# by default they land in a throwaway directory.
+if [ -n "${TDFM_SMOKE_DIR:-}" ]; then
+    smoke_dir="$TDFM_SMOKE_DIR"
+    mkdir -p "$smoke_dir"
+else
+    smoke_dir="$(mktemp -d)"
+    trap 'rm -rf "$smoke_dir"' EXIT
+fi
+TDFM_SCALE=tiny TDFM_RESULTS="$smoke_dir" TDFM_TRACE="$smoke_dir/trace.jsonl" \
+    ./target/release/motivating > /dev/null
+test -s "$smoke_dir/trace.jsonl"
+test -s "$smoke_dir/motivating.manifest.json"
+./target/release/tdfm report \
+    "$smoke_dir/motivating.manifest.json" "$smoke_dir/trace.jsonl"
+
 echo "CI gate passed."

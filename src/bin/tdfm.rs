@@ -6,8 +6,14 @@
 //! tdfm models [--scale S]             print the architecture registry (Table III)
 //! tdfm run [OPTIONS]                  run one experiment cell and print AD
 //! tdfm detect [OPTIONS]               run the label-noise detector
+//! tdfm sweep --config FILE            run a JSON list of cells (+ manifest)
+//! tdfm report FILE...                 summarise manifests / JSONL traces
 //! tdfm help                           this text
 //! ```
+//!
+//! Observability: `TDFM_LOG=error|warn|info|debug|trace` prints structured
+//! events to stderr; `TDFM_TRACE=<path>` writes them as JSONL. Results
+//! stay byte-identical either way.
 //!
 //! `run`/`detect` options:
 //!
@@ -47,6 +53,9 @@ enum Command {
     Sweep {
         config: String,
         output: Option<String>,
+    },
+    Report {
+        paths: Vec<String>,
     },
     Help,
 }
@@ -209,6 +218,14 @@ fn parse_command(args: &[String]) -> Result<Command, String> {
             let config = config.ok_or_else(|| "sweep requires --config FILE".to_string())?;
             Ok(Command::Sweep { config, output })
         }
+        "report" => {
+            if rest.is_empty() {
+                return Err("report requires at least one manifest or trace file".to_string());
+            }
+            Ok(Command::Report {
+                paths: rest.to_vec(),
+            })
+        }
         "help" | "--help" | "-h" => Ok(Command::Help),
         other => Err(format!("unknown command '{other}' (try 'tdfm help')")),
     }
@@ -357,6 +374,22 @@ fn cmd_sweep(config_path: &str, output: Option<&str>) -> Result<(), String> {
         std::fs::write(path, doc).map_err(|e| format!("cannot write {path}: {e}"))?;
         println!("wrote {path}");
     }
+    // The manifest lands next to the results (`out.json` ->
+    // `out.manifest.json`); without --output it is `sweep.manifest.json`.
+    let stem = output
+        .map(|p| p.strip_suffix(".json").unwrap_or(p).to_string())
+        .unwrap_or_else(|| "sweep".to_string());
+    let manifest_path = format!("{stem}.manifest.json");
+    runner
+        .manifest(&stem, &results)
+        .write(&manifest_path)
+        .map_err(|e| format!("cannot write {manifest_path}: {e}"))?;
+    println!("wrote {manifest_path}");
+    Ok(())
+}
+
+fn cmd_report(paths: &[String]) -> Result<(), String> {
+    print!("{}", tdfm::obs::render_report(paths)?);
     Ok(())
 }
 
@@ -384,6 +417,7 @@ fn main() {
             Ok(())
         }
         Ok(Command::Sweep { config, output }) => cmd_sweep(&config, output.as_deref()),
+        Ok(Command::Report { paths }) => cmd_report(&paths),
         Ok(Command::Help) => {
             print!("{}", HELP);
             Ok(())
@@ -406,6 +440,8 @@ USAGE:
   tdfm detect [OPTIONS]            run the label-noise detector
   tdfm sweep --config FILE [--output FILE]
                                    run a JSON list of experiment cells
+                                   (writes <output>.manifest.json too)
+  tdfm report FILE...              summarise run manifests / JSONL traces
   tdfm help                        this text
 
 OPTIONS (run/detect):
@@ -413,6 +449,11 @@ OPTIONS (run/detect):
   --technique base|ls|lc|rl|kd|ens       --fault mislabelling|repetition|removal|pairflip
   --percent 0..100                       --scale tiny|smoke|default|full
   --reps N  --seed N  --json
+
+ENVIRONMENT:
+  TDFM_LOG=error|warn|info|debug|trace   structured events on stderr
+  TDFM_TRACE=path.jsonl                  JSONL trace of every event
+  TDFM_THREADS=N  TDFM_SCALE=tiny|smoke|default|full  TDFM_RESULTS=dir
 ";
 
 #[cfg(test)]
@@ -490,6 +531,21 @@ mod tests {
             Command::Sweep {
                 config: "cells.json".to_string(),
                 output: Some("out.json".to_string())
+            }
+        );
+    }
+
+    #[test]
+    fn report_requires_paths() {
+        assert!(parse_command(&argv("report")).is_err());
+        let cmd = parse_command(&argv("report results/table4.manifest.json trace.jsonl")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Report {
+                paths: vec![
+                    "results/table4.manifest.json".to_string(),
+                    "trace.jsonl".to_string()
+                ]
             }
         );
     }

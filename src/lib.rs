@@ -18,6 +18,8 @@
 //! * [`survey`] — Table I's candidate techniques and selection criteria.
 //! * [`json`] — the dependency-free JSON reader/writer every result file
 //!   goes through.
+//! * [`obs`] — zero-dependency structured tracing, metrics and run
+//!   manifests (`TDFM_LOG`, `TDFM_TRACE`, `tdfm report`).
 //! * [`core`] — the five TDFM techniques, the accuracy-delta metric, the
 //!   experiment runner and the overhead study.
 //!
@@ -55,5 +57,6 @@ pub use tdfm_data as data;
 pub use tdfm_inject as inject;
 pub use tdfm_json as json;
 pub use tdfm_nn as nn;
+pub use tdfm_obs as obs;
 pub use tdfm_survey as survey;
 pub use tdfm_tensor as tensor;
