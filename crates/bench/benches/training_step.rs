@@ -2,7 +2,20 @@
 //! counterpart of the Section IV-E training-overhead analysis. Each
 //! benchmark performs one full (small) training run of the technique, so
 //! the relative times mirror the paper's multipliers.
+//!
+//! # Compare mode (the CI regression gate)
+//!
+//! ```text
+//! cargo bench -p tdfm-bench --bench training_step -- \
+//!     --compare results/BENCH_trainer.json --threshold 0.10
+//! ```
+//!
+//! re-runs the suite, diffs it against the committed baseline and exits
+//! non-zero when the geomean of the `current/baseline` `min_seconds`
+//! ratios regresses by more than `threshold` (a fraction; default 0.10).
+//! In compare mode the baseline file is **not** rewritten.
 
+use tdfm_bench::compare::compare_suites;
 use tdfm_bench::harness::{bench, group, BenchSuite};
 use tdfm_bench::write_json;
 use tdfm_core::technique::{TechniqueKind, TrainContext};
@@ -12,7 +25,40 @@ use tdfm_nn::loss::CrossEntropy;
 use tdfm_nn::models::ModelKind;
 use tdfm_nn::trainer::{fit, FitConfig, TargetSource};
 
+/// Options parsed from the bench binary's own CLI tail (after cargo's
+/// `--bench training_step --`). Cargo's libtest flag `--bench` is ignored.
+struct Options {
+    compare: Option<String>,
+    threshold: f64,
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options {
+        compare: None,
+        threshold: 0.10,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--compare" => {
+                opts.compare = Some(args.next().expect("--compare needs a baseline path"));
+            }
+            "--threshold" => {
+                let raw = args.next().expect("--threshold needs a fraction");
+                opts.threshold = raw
+                    .parse()
+                    .unwrap_or_else(|_| panic!("invalid --threshold {raw:?}"));
+            }
+            // Flags cargo-bench forwards from libtest conventions.
+            "--bench" => {}
+            other => panic!("unknown argument {other:?} (expected --compare/--threshold)"),
+        }
+    }
+    opts
+}
+
 fn main() {
+    let opts = parse_args();
     let mut suite = BenchSuite::new("trainer");
     let data = DatasetKind::Pneumonia.generate(Scale::Tiny, 0);
     group("technique_fit");
@@ -54,6 +100,35 @@ fn main() {
             )
         });
         suite.push(&report);
+    }
+
+    if let Some(baseline_path) = &opts.compare {
+        // Regression gate: diff against the committed baseline instead of
+        // rewriting it. `cargo bench` runs this binary with the package
+        // directory as cwd, so a relative path that does not resolve there
+        // falls back to the workspace root.
+        let mut path = std::path::PathBuf::from(baseline_path);
+        if path.is_relative() && !path.exists() {
+            let workspace = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+                .join("../..")
+                .join(&path);
+            if workspace.exists() {
+                path = workspace;
+            }
+        }
+        let baseline_path = path.display().to_string();
+        let raw = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("could not read baseline {baseline_path}: {e}"));
+        let baseline: BenchSuite = tdfm_json::from_str(&raw)
+            .unwrap_or_else(|e| panic!("could not parse baseline {baseline_path}: {e:?}"));
+        suite.to_json(); // refresh the metrics snapshot for parity
+        let report = compare_suites(&baseline, &suite);
+        println!("\n== compare vs {baseline_path} ==");
+        print!("{}", report.render(opts.threshold));
+        if !report.passes(opts.threshold) {
+            std::process::exit(1);
+        }
+        return;
     }
 
     // The committed baseline: per-technique / per-model timings plus the

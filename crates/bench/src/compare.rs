@@ -1,0 +1,222 @@
+//! Benchmark regression gate: fresh run vs a committed baseline.
+//!
+//! `training_step --compare results/BENCH_trainer.json` re-runs the trainer
+//! suite and diffs it against the committed [`BenchSuite`] document. The
+//! gate fails when the **geometric mean** of the per-benchmark
+//! `current/baseline` ratios exceeds `1 + threshold` — the geomean keeps a
+//! single noisy cell from failing the build while still catching a broad
+//! slowdown.
+//!
+//! Ratios are taken over `min_seconds`, not the mean: the minimum is the
+//! least noise-contaminated estimate a wall-clock harness produces, which
+//! matters on shared CI runners.
+
+use crate::harness::BenchSuite;
+
+/// One benchmark present in both suites.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ComparedBench {
+    /// Benchmark label (`group/case`).
+    pub name: String,
+    /// Baseline `min_seconds`.
+    pub baseline_seconds: f64,
+    /// Fresh-run `min_seconds`.
+    pub current_seconds: f64,
+    /// `current / baseline`; below 1.0 means the fresh run is faster.
+    pub ratio: f64,
+}
+
+/// The full diff of a fresh suite against a baseline document.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompareReport {
+    /// Benchmarks matched by name, in baseline order.
+    pub rows: Vec<ComparedBench>,
+    /// Baseline benchmarks the fresh run did not produce.
+    pub missing: Vec<String>,
+    /// Fresh benchmarks absent from the baseline (informational only).
+    pub added: Vec<String>,
+    /// Geometric mean of all matched ratios (1.0 when nothing matched).
+    pub geomean_ratio: f64,
+}
+
+/// Geometric mean of a slice of positive ratios; `1.0` for an empty slice.
+pub fn geomean(ratios: &[f64]) -> f64 {
+    if ratios.is_empty() {
+        return 1.0;
+    }
+    let log_sum: f64 = ratios.iter().map(|r| r.max(f64::MIN_POSITIVE).ln()).sum();
+    (log_sum / ratios.len() as f64).exp()
+}
+
+/// Diffs `current` against `baseline`, matching benchmarks by name.
+pub fn compare_suites(baseline: &BenchSuite, current: &BenchSuite) -> CompareReport {
+    let mut rows = Vec::new();
+    let mut missing = Vec::new();
+    for base in &baseline.reports {
+        match current.reports.iter().find(|r| r.name == base.name) {
+            Some(cur) => {
+                let baseline_seconds = base.min_seconds.max(f64::MIN_POSITIVE);
+                rows.push(ComparedBench {
+                    name: base.name.clone(),
+                    baseline_seconds: base.min_seconds,
+                    current_seconds: cur.min_seconds,
+                    ratio: cur.min_seconds / baseline_seconds,
+                });
+            }
+            None => missing.push(base.name.clone()),
+        }
+    }
+    let added = current
+        .reports
+        .iter()
+        .filter(|r| !baseline.reports.iter().any(|b| b.name == r.name))
+        .map(|r| r.name.clone())
+        .collect();
+    let ratios: Vec<f64> = rows.iter().map(|r| r.ratio).collect();
+    CompareReport {
+        rows,
+        missing,
+        added,
+        geomean_ratio: geomean(&ratios),
+    }
+}
+
+impl CompareReport {
+    /// `true` when the suite is within the allowed regression budget.
+    ///
+    /// `threshold` is a fraction: `0.10` tolerates a 10% geomean slowdown.
+    /// A baseline benchmark missing from the fresh run always fails — a
+    /// silently dropped benchmark would otherwise flatter the geomean.
+    pub fn passes(&self, threshold: f64) -> bool {
+        self.missing.is_empty() && self.geomean_ratio <= 1.0 + threshold
+    }
+
+    /// Renders the diff as an aligned text table plus the verdict line.
+    pub fn render(&self, threshold: f64) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<44} {:>12} {:>12} {:>8}\n",
+            "benchmark", "baseline", "current", "ratio"
+        ));
+        for row in &self.rows {
+            out.push_str(&format!(
+                "{:<44} {:>10.3}ms {:>10.3}ms {:>7.2}x\n",
+                row.name,
+                1e3 * row.baseline_seconds,
+                1e3 * row.current_seconds,
+                row.ratio,
+            ));
+        }
+        for name in &self.missing {
+            out.push_str(&format!("{name:<44} MISSING from fresh run\n"));
+        }
+        for name in &self.added {
+            out.push_str(&format!("{name:<44} (new, not in baseline)\n"));
+        }
+        out.push_str(&format!(
+            "geomean ratio {:.3}x vs allowed {:.3}x -> {}\n",
+            self.geomean_ratio,
+            1.0 + threshold,
+            if self.passes(threshold) {
+                "PASS"
+            } else {
+                "FAIL"
+            }
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::BenchRecord;
+
+    fn suite(rows: &[(&str, f64)]) -> BenchSuite {
+        let mut s = BenchSuite::new("unit");
+        for (name, min) in rows {
+            s.reports.push(BenchRecord {
+                name: (*name).to_string(),
+                mean_seconds: *min * 1.1,
+                min_seconds: *min,
+                iters: 10,
+            });
+        }
+        s
+    }
+
+    #[test]
+    fn geomean_of_empty_is_one() {
+        assert_eq!(geomean(&[]), 1.0);
+    }
+
+    #[test]
+    fn geomean_matches_hand_computation() {
+        // geomean(0.5, 2.0) = 1.0; geomean(4, 1) = 2.
+        assert!((geomean(&[0.5, 2.0]) - 1.0).abs() < 1e-12);
+        assert!((geomean(&[4.0, 1.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn identical_suites_pass() {
+        let base = suite(&[("a", 0.010), ("b", 0.020)]);
+        let report = compare_suites(&base, &base);
+        assert!((report.geomean_ratio - 1.0).abs() < 1e-12);
+        assert!(report.passes(0.10));
+        assert!(report.missing.is_empty() && report.added.is_empty());
+    }
+
+    #[test]
+    fn broad_regression_fails_the_gate() {
+        let base = suite(&[("a", 0.010), ("b", 0.020)]);
+        let cur = suite(&[("a", 0.013), ("b", 0.026)]);
+        let report = compare_suites(&base, &cur);
+        assert!((report.geomean_ratio - 1.3).abs() < 1e-9);
+        assert!(!report.passes(0.10));
+        assert!(report.passes(0.35));
+    }
+
+    #[test]
+    fn single_noisy_cell_does_not_fail_a_quiet_suite() {
+        // One 2x outlier among eight flat cells: geomean = 2^(1/8) ~ 1.09.
+        let names: Vec<String> = (0..8).map(|i| format!("bench{i}")).collect();
+        let base = suite(
+            &names
+                .iter()
+                .map(|n| (n.as_str(), 0.010))
+                .collect::<Vec<_>>(),
+        );
+        let mut cur_rows: Vec<(&str, f64)> = names.iter().map(|n| (n.as_str(), 0.010)).collect();
+        cur_rows[0].1 = 0.020;
+        let cur = suite(&cur_rows);
+        let report = compare_suites(&base, &cur);
+        assert!(report.passes(0.10));
+    }
+
+    #[test]
+    fn missing_benchmark_always_fails() {
+        let base = suite(&[("a", 0.010), ("b", 0.020)]);
+        let cur = suite(&[("a", 0.001)]);
+        let report = compare_suites(&base, &cur);
+        assert_eq!(report.missing, vec!["b".to_string()]);
+        assert!(!report.passes(10.0));
+    }
+
+    #[test]
+    fn added_benchmarks_are_informational() {
+        let base = suite(&[("a", 0.010)]);
+        let cur = suite(&[("a", 0.010), ("c", 0.5)]);
+        let report = compare_suites(&base, &cur);
+        assert_eq!(report.added, vec!["c".to_string()]);
+        assert!(report.passes(0.10));
+    }
+
+    #[test]
+    fn render_includes_verdict() {
+        let base = suite(&[("a", 0.010)]);
+        let report = compare_suites(&base, &base);
+        let text = report.render(0.10);
+        assert!(text.contains("geomean ratio"));
+        assert!(text.contains("PASS"));
+    }
+}

@@ -18,6 +18,7 @@
 //! | `fault_combos` | Section IV-C (combined fault types)            |
 //! | `ablation`     | DESIGN.md §4 (ensemble diversity, KD, LC, LS)  |
 
+pub mod compare;
 pub mod harness;
 pub mod svg;
 

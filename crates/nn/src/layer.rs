@@ -1,6 +1,6 @@
 //! The [`Layer`] trait and trainable [`Param`]s.
 
-use tdfm_tensor::Tensor;
+use tdfm_tensor::{ScratchHandle, Tensor};
 
 /// Whether a forward pass is part of training or evaluation.
 ///
@@ -70,6 +70,13 @@ pub trait Layer: Send {
     fn state_mut(&mut self) -> Vec<&mut [f32]> {
         Vec::new()
     }
+
+    /// Rebinds the layer onto a scratch arena for activation and gradient
+    /// buffers. Layers default to the process-wide shared arena, so calling
+    /// this is only needed to isolate a training run (e.g. one arena per
+    /// ensemble member). Container layers must forward the call to their
+    /// children.
+    fn bind_scratch(&mut self, _scratch: &ScratchHandle) {}
 
     /// Short human-readable layer name for summaries.
     fn name(&self) -> &'static str;

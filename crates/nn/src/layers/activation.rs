@@ -1,15 +1,18 @@
 //! Activation functions.
 
 use crate::layer::{Layer, Mode};
-use tdfm_tensor::Tensor;
+use tdfm_tensor::{Scratch, ScratchHandle, Tensor};
 
 /// Rectified linear unit: `y = max(0, x)`.
 ///
 /// The only activation the seven architectures of the study use between
-/// layers (softmax lives inside the losses).
-#[derive(Debug, Default)]
+/// layers (softmax lives inside the losses). The sign mask and the output
+/// buffer are reused across batches, so steady-state forward/backward
+/// passes allocate nothing.
+#[derive(Debug)]
 pub struct ReLU {
     mask: Vec<bool>,
+    scratch: ScratchHandle,
 }
 
 impl ReLU {
@@ -19,10 +22,26 @@ impl ReLU {
     }
 }
 
+impl Default for ReLU {
+    fn default() -> Self {
+        Self {
+            mask: Vec::new(),
+            scratch: Scratch::shared().clone(),
+        }
+    }
+}
+
 impl Layer for ReLU {
     fn forward(&mut self, input: &Tensor, _mode: Mode) -> Tensor {
-        self.mask = input.data().iter().map(|&x| x > 0.0).collect();
-        input.map(|x| x.max(0.0))
+        self.mask.clear();
+        self.mask.extend(input.data().iter().map(|&x| x > 0.0));
+        let mut out = self.scratch.tensor_uninit(input.shape().dims());
+        for (o, &x) in out.data_mut().iter_mut().zip(input.data()) {
+            // `f32::max` would launder NaN into 0.0; a poisoned activation
+            // must keep poisoning the forward pass (IEEE faithfulness).
+            *o = if x.is_nan() { x } else { x.max(0.0) };
+        }
+        out
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
@@ -31,13 +50,20 @@ impl Layer for ReLU {
             self.mask.len(),
             "backward called with mismatched shape (or before forward)"
         );
-        let mut out = grad_output.clone();
-        for (g, &m) in out.data_mut().iter_mut().zip(&self.mask) {
-            if !m {
-                *g = 0.0;
-            }
+        let mut out = self.scratch.tensor_uninit(grad_output.shape().dims());
+        for ((o, &g), &m) in out
+            .data_mut()
+            .iter_mut()
+            .zip(grad_output.data())
+            .zip(&self.mask)
+        {
+            *o = if m { g } else { 0.0 };
         }
         out
+    }
+
+    fn bind_scratch(&mut self, scratch: &ScratchHandle) {
+        self.scratch = scratch.clone();
     }
 
     fn name(&self) -> &'static str {
@@ -71,5 +97,16 @@ mod tests {
     fn backward_before_forward_panics() {
         let mut r = ReLU::new();
         let _ = r.backward(&Tensor::ones(&[1, 2]));
+    }
+
+    #[test]
+    fn nan_activations_stay_nan() {
+        // `f32::max(NaN, 0.0)` returns 0.0 — the layer must not use it to
+        // launder a poisoned activation into a clean zero.
+        let mut r = ReLU::new();
+        let x = Tensor::from_vec(vec![f32::NAN, -1.0, 2.0], &[1, 3]);
+        let y = r.forward(&x, Mode::Train);
+        assert!(y.data()[0].is_nan());
+        assert_eq!(&y.data()[1..], &[0.0, 2.0]);
     }
 }

@@ -1,7 +1,7 @@
 //! Batch normalisation over channels of NCHW tensors.
 
 use crate::layer::{Layer, Mode, Param};
-use tdfm_tensor::Tensor;
+use tdfm_tensor::{Scratch, ScratchHandle, Tensor};
 
 /// 2-D batch normalisation: normalises each channel over the batch and
 /// spatial dimensions, then applies a learned scale (`gamma`) and shift
@@ -9,7 +9,9 @@ use tdfm_tensor::Tensor;
 ///
 /// Running statistics are tracked with exponential moving averages and used
 /// in [`Mode::Eval`]; the ResNet and MobileNet analogues rely on this layer
-/// to train stably at the study's depths.
+/// to train stably at the study's depths. Per-channel work buffers are
+/// reused across batches and the activation tensors come from the scratch
+/// arena, so steady-state passes allocate nothing.
 #[derive(Debug)]
 pub struct BatchNorm2d {
     gamma: Param,
@@ -23,6 +25,12 @@ pub struct BatchNorm2d {
     inv_std: Vec<f32>,
     count: usize,
     last_was_train: bool,
+    // Reused per-channel work buffers.
+    mean_buf: Vec<f32>,
+    var_buf: Vec<f32>,
+    sum_gy: Vec<f32>,
+    sum_gy_xhat: Vec<f32>,
+    scratch: ScratchHandle,
 }
 
 impl BatchNorm2d {
@@ -39,6 +47,11 @@ impl BatchNorm2d {
             inv_std: vec![0.0; channels],
             count: 0,
             last_was_train: false,
+            mean_buf: vec![0.0; channels],
+            var_buf: vec![0.0; channels],
+            sum_gy: vec![0.0; channels],
+            sum_gy_xhat: vec![0.0; channels],
+            scratch: Scratch::shared().clone(),
         }
     }
 
@@ -55,68 +68,77 @@ impl Layer for BatchNorm2d {
     fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
         let (n, c, hw) = Self::channel_stats(input);
         assert_eq!(c, self.gamma.numel(), "channel count mismatch");
-        let mut out = input.clone();
         let count = n * hw;
         self.count = count;
         self.last_was_train = mode == Mode::Train;
 
-        let mut mean = vec![0.0f32; c];
-        let mut var = vec![0.0f32; c];
+        self.mean_buf.fill(0.0);
+        self.var_buf.fill(0.0);
         if mode == Mode::Train {
             for s in 0..n {
-                for (ch, m) in mean.iter_mut().enumerate() {
+                for (ch, m) in self.mean_buf.iter_mut().enumerate() {
                     let base = (s * c + ch) * hw;
                     let slice = &input.data()[base..base + hw];
                     *m += slice.iter().sum::<f32>();
                 }
             }
-            for m in &mut mean {
+            for m in &mut self.mean_buf {
                 *m /= count as f32;
             }
             for s in 0..n {
                 for ch in 0..c {
                     let base = (s * c + ch) * hw;
                     for &x in &input.data()[base..base + hw] {
-                        let d = x - mean[ch];
-                        var[ch] += d * d;
+                        let d = x - self.mean_buf[ch];
+                        self.var_buf[ch] += d * d;
                     }
                 }
             }
-            for v in &mut var {
+            for v in &mut self.var_buf {
                 *v /= count as f32;
             }
             for ch in 0..c {
-                self.running_mean[ch] =
-                    (1.0 - self.momentum) * self.running_mean[ch] + self.momentum * mean[ch];
+                self.running_mean[ch] = (1.0 - self.momentum) * self.running_mean[ch]
+                    + self.momentum * self.mean_buf[ch];
                 self.running_var[ch] =
-                    (1.0 - self.momentum) * self.running_var[ch] + self.momentum * var[ch];
+                    (1.0 - self.momentum) * self.running_var[ch] + self.momentum * self.var_buf[ch];
             }
         } else {
-            mean.copy_from_slice(&self.running_mean);
-            var.copy_from_slice(&self.running_var);
+            self.mean_buf.copy_from_slice(&self.running_mean);
+            self.var_buf.copy_from_slice(&self.running_var);
         }
 
-        let inv_std: Vec<f32> = var.iter().map(|v| 1.0 / (v + self.eps).sqrt()).collect();
-        let g = self.gamma.value.data().to_vec();
-        let b = self.beta.value.data().to_vec();
-        let mut x_hat = input.clone();
+        let eps = self.eps;
+        self.inv_std.clear();
+        self.inv_std
+            .extend(self.var_buf.iter().map(|v| 1.0 / (v + eps).sqrt()));
+
+        let mut out = self.scratch.tensor_uninit(input.shape().dims());
+        let mut x_hat = self.scratch.tensor_uninit(input.shape().dims());
+        let g = self.gamma.value.data();
+        let b = self.beta.value.data();
         for s in 0..n {
             for ch in 0..c {
                 let base = (s * c + ch) * hw;
-                let (m, is) = (mean[ch], inv_std[ch]);
+                let (m, is) = (self.mean_buf[ch], self.inv_std[ch]);
                 let (gc, bc) = (g[ch], b[ch]);
+                let src = &input.data()[base..base + hw];
                 let xh = &mut x_hat.data_mut()[base..base + hw];
                 let o = &mut out.data_mut()[base..base + hw];
                 for i in 0..hw {
-                    let norm = (o[i] - m) * is;
+                    let norm = (src[i] - m) * is;
                     xh[i] = norm;
                     o[i] = gc * norm + bc;
                 }
             }
         }
+        if let Some(old) = self.x_hat.take() {
+            self.scratch.recycle(old);
+        }
         if mode == Mode::Train {
-            self.inv_std = inv_std;
             self.x_hat = Some(x_hat);
+        } else {
+            self.scratch.recycle(x_hat);
         }
         out
     }
@@ -131,36 +153,40 @@ impl Layer for BatchNorm2d {
         let count = self.count as f32;
 
         // Per-channel reductions.
-        let mut sum_gy = vec![0.0f32; c];
-        let mut sum_gy_xhat = vec![0.0f32; c];
+        self.sum_gy.fill(0.0);
+        self.sum_gy_xhat.fill(0.0);
         for s in 0..n {
             for ch in 0..c {
                 let base = (s * c + ch) * hw;
                 let gy = &grad_output.data()[base..base + hw];
                 let xh = &x_hat.data()[base..base + hw];
                 for i in 0..hw {
-                    sum_gy[ch] += gy[i];
-                    sum_gy_xhat[ch] += gy[i] * xh[i];
+                    self.sum_gy[ch] += gy[i];
+                    self.sum_gy_xhat[ch] += gy[i] * xh[i];
                 }
             }
         }
         for ch in 0..c {
-            self.beta.grad.data_mut()[ch] += sum_gy[ch];
-            self.gamma.grad.data_mut()[ch] += sum_gy_xhat[ch];
+            self.beta.grad.data_mut()[ch] += self.sum_gy[ch];
+            self.gamma.grad.data_mut()[ch] += self.sum_gy_xhat[ch];
         }
 
         let g = self.gamma.value.data();
-        let mut grad_input = grad_output.clone();
+        let mut grad_input = self.scratch.tensor_uninit(grad_output.shape().dims());
         for s in 0..n {
+            // `ch` indexes four per-channel buffers at once, so a plain
+            // counted loop reads better than chained enumerates.
+            #[allow(clippy::needless_range_loop)]
             for ch in 0..c {
                 let base = (s * c + ch) * hw;
                 let coeff = g[ch] * self.inv_std[ch];
-                let mean_gy = sum_gy[ch] / count;
-                let mean_gy_xhat = sum_gy_xhat[ch] / count;
+                let mean_gy = self.sum_gy[ch] / count;
+                let mean_gy_xhat = self.sum_gy_xhat[ch] / count;
                 let xh = &x_hat.data()[base..base + hw];
+                let gy = &grad_output.data()[base..base + hw];
                 let gi = &mut grad_input.data_mut()[base..base + hw];
                 for i in 0..hw {
-                    gi[i] = coeff * (gi[i] - mean_gy - xh[i] * mean_gy_xhat);
+                    gi[i] = coeff * (gy[i] - mean_gy - xh[i] * mean_gy_xhat);
                 }
             }
         }
@@ -176,6 +202,10 @@ impl Layer for BatchNorm2d {
             self.running_mean.as_mut_slice(),
             self.running_var.as_mut_slice(),
         ]
+    }
+
+    fn bind_scratch(&mut self, scratch: &ScratchHandle) {
+        self.scratch = scratch.clone();
     }
 
     fn name(&self) -> &'static str {

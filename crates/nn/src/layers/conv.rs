@@ -1,20 +1,25 @@
 //! Convolution layer wrapping the `tdfm-tensor` conv kernels.
 
 use crate::layer::{Layer, Mode, Param};
-use tdfm_tensor::ops::{conv2d_backward, conv2d_forward, Conv2dSpec};
+use tdfm_tensor::ops::{conv2d_backward_with, conv2d_forward_with, Conv2dSpec};
 use tdfm_tensor::rng::Rng;
-use tdfm_tensor::Tensor;
+use tdfm_tensor::{Scratch, ScratchHandle, Tensor};
 
 /// A 2-D convolution layer with optional stride, padding and groups.
 ///
 /// `groups == in_channels` produces the depthwise convolution MobileNet
 /// uses; `kernel == 1` with `groups == 1` is its pointwise companion.
+///
+/// The input activation is cached only under [`Mode::Train`]; evaluation
+/// passes drop any previous cache so inference never retains (or trains
+/// against) stale activations.
 #[derive(Debug)]
 pub struct Conv2d {
     weight: Param,
     bias: Param,
     spec: Conv2dSpec,
     input_cache: Option<Tensor>,
+    scratch: ScratchHandle,
 }
 
 impl Conv2d {
@@ -49,6 +54,7 @@ impl Conv2d {
             bias: Param::new(Tensor::zeros(&[out_channels])),
             spec,
             input_cache: None,
+            scratch: Scratch::shared().clone(),
         }
     }
 
@@ -61,25 +67,58 @@ impl Conv2d {
     pub fn out_channels(&self) -> usize {
         self.weight.value.shape().dim(0)
     }
+
+    /// `true` when a Train-mode forward pass has left an activation cached.
+    pub fn has_cached_input(&self) -> bool {
+        self.input_cache.is_some()
+    }
 }
 
 impl Layer for Conv2d {
-    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Tensor {
-        let out = conv2d_forward(input, &self.weight.value, Some(&self.bias.value), self.spec);
-        self.input_cache = Some(input.clone());
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
+        let out = conv2d_forward_with(
+            input,
+            &self.weight.value,
+            Some(&self.bias.value),
+            self.spec,
+            &self.scratch,
+        );
+        if let Some(old) = self.input_cache.take() {
+            self.scratch.recycle(old);
+        }
+        if mode == Mode::Train {
+            let mut cache = self.scratch.tensor_uninit(input.shape().dims());
+            cache.data_mut().copy_from_slice(input.data());
+            self.input_cache = Some(cache);
+        }
         out
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
-        let input = self.input_cache.as_ref().expect("forward before backward");
-        let grads = conv2d_backward(input, &self.weight.value, grad_output, self.spec);
+        let input = self
+            .input_cache
+            .as_ref()
+            .expect("Train-mode forward before backward");
+        let grads = conv2d_backward_with(
+            input,
+            &self.weight.value,
+            grad_output,
+            self.spec,
+            &self.scratch,
+        );
         self.weight.grad.axpy(1.0, &grads.grad_weight);
         self.bias.grad.axpy(1.0, &grads.grad_bias);
+        self.scratch.recycle(grads.grad_weight);
+        self.scratch.recycle(grads.grad_bias);
         grads.grad_input
     }
 
     fn params_mut(&mut self) -> Vec<&mut Param> {
         vec![&mut self.weight, &mut self.bias]
+    }
+
+    fn bind_scratch(&mut self, scratch: &ScratchHandle) {
+        self.scratch = scratch.clone();
     }
 
     fn name(&self) -> &'static str {
@@ -145,5 +184,31 @@ mod tests {
                 / (2.0 * eps);
             assert!((num - gx.data()[i]).abs() < 2e-2, "x[{i}]");
         }
+    }
+
+    #[test]
+    fn eval_forward_leaves_no_cached_input() {
+        // Regression test: forward used to cache the input unconditionally.
+        let mut rng = Rng::seed_from(3);
+        let mut c = Conv2d::new(1, 2, 3, Conv2dSpec::same(3), &mut rng);
+        let x = Tensor::randn(&[1, 1, 4, 4], 1.0, &mut rng);
+        let _ = c.forward(&x, Mode::Eval);
+        assert!(!c.has_cached_input(), "Eval must not cache activations");
+        let _ = c.forward(&x, Mode::Train);
+        assert!(c.has_cached_input());
+        let _ = c.forward(&x, Mode::Eval);
+        assert!(!c.has_cached_input(), "Eval must drop a stale Train cache");
+    }
+
+    #[test]
+    fn nan_input_poisons_forward_even_with_zero_weights() {
+        let mut rng = Rng::seed_from(4);
+        let mut c = Conv2d::new(1, 1, 3, Conv2dSpec::same(3), &mut rng);
+        c.weight.value.fill(0.0);
+        let mut x = Tensor::zeros(&[1, 1, 4, 4]);
+        x.data_mut()[5] = f32::NAN;
+        let y = c.forward(&x, Mode::Train);
+        // Every window covering index 5 must see 0·NaN = NaN.
+        assert!(y.data()[5].is_nan(), "NaN must not be skipped: {:?}", y);
     }
 }

@@ -2,19 +2,21 @@
 
 use crate::layer::{Layer, Mode};
 use tdfm_tensor::rng::Rng;
-use tdfm_tensor::Tensor;
+use tdfm_tensor::{Scratch, ScratchHandle, Tensor};
 
 /// Inverted dropout: during training each activation is zeroed with
 /// probability `p` and the survivors are scaled by `1/(1-p)`; evaluation is
 /// the identity.
 ///
-/// DeconvNet (Table III) uses `p = 0.5` before its dense layers.
+/// DeconvNet (Table III) uses `p = 0.5` before its dense layers. The mask
+/// and output buffers are reused across batches.
 #[derive(Debug)]
 pub struct Dropout {
     p: f32,
     rng: Rng,
     mask: Vec<f32>,
     last_was_train: bool,
+    scratch: ScratchHandle,
 }
 
 impl Dropout {
@@ -33,12 +35,19 @@ impl Dropout {
             rng,
             mask: Vec::new(),
             last_was_train: false,
+            scratch: Scratch::shared().clone(),
         }
     }
 
     /// Drop probability.
     pub fn probability(&self) -> f32 {
         self.p
+    }
+
+    fn copy_out(&self, src: &Tensor) -> Tensor {
+        let mut out = self.scratch.tensor_uninit(src.shape().dims());
+        out.data_mut().copy_from_slice(src.data());
+        out
     }
 }
 
@@ -47,18 +56,24 @@ impl Layer for Dropout {
         match mode {
             Mode::Eval => {
                 self.last_was_train = false;
-                input.clone()
+                self.copy_out(input)
             }
             Mode::Train => {
                 self.last_was_train = true;
                 let keep = 1.0 - self.p;
                 let scale = 1.0 / keep;
-                self.mask = (0..input.numel())
-                    .map(|_| if self.rng.chance(keep) { scale } else { 0.0 })
-                    .collect();
-                let mut out = input.clone();
-                for (o, &m) in out.data_mut().iter_mut().zip(&self.mask) {
-                    *o *= m;
+                self.mask.clear();
+                let rng = &mut self.rng;
+                self.mask.extend((0..input.numel()).map(|_| {
+                    if rng.chance(keep) {
+                        scale
+                    } else {
+                        0.0
+                    }
+                }));
+                let mut out = self.scratch.tensor_uninit(input.shape().dims());
+                for ((o, &x), &m) in out.data_mut().iter_mut().zip(input.data()).zip(&self.mask) {
+                    *o = x * m;
                 }
                 out
             }
@@ -67,18 +82,27 @@ impl Layer for Dropout {
 
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
         if !self.last_was_train {
-            return grad_output.clone();
+            return self.copy_out(grad_output);
         }
         assert_eq!(
             grad_output.numel(),
             self.mask.len(),
             "forward before backward"
         );
-        let mut out = grad_output.clone();
-        for (g, &m) in out.data_mut().iter_mut().zip(&self.mask) {
-            *g *= m;
+        let mut out = self.scratch.tensor_uninit(grad_output.shape().dims());
+        for ((o, &g), &m) in out
+            .data_mut()
+            .iter_mut()
+            .zip(grad_output.data())
+            .zip(&self.mask)
+        {
+            *o = g * m;
         }
         out
+    }
+
+    fn bind_scratch(&mut self, scratch: &ScratchHandle) {
+        self.scratch = scratch.clone();
     }
 
     fn name(&self) -> &'static str {

@@ -1,13 +1,15 @@
 //! Flattening between convolutional and dense stages.
 
 use crate::layer::{Layer, Mode};
-use tdfm_tensor::Tensor;
+use tdfm_tensor::{Scratch, ScratchHandle, Tensor};
 
 /// Flattens `[N, ...]` to `[N, prod(...)]`, remembering the original shape
-/// for the backward pass.
-#[derive(Debug, Default)]
+/// for the backward pass. Both directions copy through the scratch arena,
+/// so steady-state passes allocate nothing.
+#[derive(Debug)]
 pub struct Flatten {
     input_dims: Vec<usize>,
+    scratch: ScratchHandle,
 }
 
 impl Flatten {
@@ -17,16 +19,34 @@ impl Flatten {
     }
 }
 
+impl Default for Flatten {
+    fn default() -> Self {
+        Self {
+            input_dims: Vec::new(),
+            scratch: Scratch::shared().clone(),
+        }
+    }
+}
+
 impl Layer for Flatten {
     fn forward(&mut self, input: &Tensor, _mode: Mode) -> Tensor {
-        self.input_dims = input.shape().dims().to_vec();
+        self.input_dims.clear();
+        self.input_dims.extend_from_slice(input.shape().dims());
         let n = self.input_dims[0];
-        input.reshape(&[n, input.numel() / n])
+        let mut out = self.scratch.tensor_uninit(&[n, input.numel() / n]);
+        out.data_mut().copy_from_slice(input.data());
+        out
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
         assert!(!self.input_dims.is_empty(), "forward before backward");
-        grad_output.reshape(&self.input_dims)
+        let mut out = self.scratch.tensor_uninit(&self.input_dims);
+        out.data_mut().copy_from_slice(grad_output.data());
+        out
+    }
+
+    fn bind_scratch(&mut self, scratch: &ScratchHandle) {
+        self.scratch = scratch.clone();
     }
 
     fn name(&self) -> &'static str {

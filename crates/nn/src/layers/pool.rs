@@ -2,17 +2,23 @@
 
 use crate::layer::{Layer, Mode};
 use tdfm_tensor::ops::{
-    avg_pool2d_backward, avg_pool2d_forward, global_avg_pool_backward, global_avg_pool_forward,
-    max_pool2d_backward, max_pool2d_forward, MaxPoolCache,
+    avg_pool2d_backward_with, avg_pool2d_forward_with, global_avg_pool_backward_with,
+    global_avg_pool_forward_with, max_pool2d_backward_with, max_pool2d_forward_with, MaxPoolCache,
 };
-use tdfm_tensor::Tensor;
+use tdfm_tensor::{Scratch, ScratchHandle, Tensor};
 
 /// Max pooling over square windows (ConvNet / VGG families).
+///
+/// The argmax cache is recycled through the scratch arena between batches.
+/// Unlike the value caches of dense/conv layers, the cache is kept in every
+/// mode: it holds routing indices, not activations, and the backward pass
+/// cannot run without it.
 #[derive(Debug)]
 pub struct MaxPool2d {
     k: usize,
     s: usize,
     cache: Option<MaxPoolCache>,
+    scratch: ScratchHandle,
 }
 
 impl MaxPool2d {
@@ -23,20 +29,32 @@ impl MaxPool2d {
     /// Panics if `k == 0` or `s == 0`.
     pub fn new(k: usize, s: usize) -> Self {
         assert!(k > 0 && s > 0, "pool window and stride must be positive");
-        Self { k, s, cache: None }
+        Self {
+            k,
+            s,
+            cache: None,
+            scratch: Scratch::shared().clone(),
+        }
     }
 }
 
 impl Layer for MaxPool2d {
     fn forward(&mut self, input: &Tensor, _mode: Mode) -> Tensor {
-        let (out, cache) = max_pool2d_forward(input, self.k, self.s);
+        let (out, cache) = max_pool2d_forward_with(input, self.k, self.s, &self.scratch);
+        if let Some(old) = self.cache.take() {
+            old.recycle(&self.scratch);
+        }
         self.cache = Some(cache);
         out
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
         let cache = self.cache.as_ref().expect("forward before backward");
-        max_pool2d_backward(grad_output, cache)
+        max_pool2d_backward_with(grad_output, cache, &self.scratch)
+    }
+
+    fn bind_scratch(&mut self, scratch: &ScratchHandle) {
+        self.scratch = scratch.clone();
     }
 
     fn name(&self) -> &'static str {
@@ -50,6 +68,7 @@ pub struct AvgPool2d {
     k: usize,
     s: usize,
     input_dims: Vec<usize>,
+    scratch: ScratchHandle,
 }
 
 impl AvgPool2d {
@@ -64,19 +83,25 @@ impl AvgPool2d {
             k,
             s,
             input_dims: Vec::new(),
+            scratch: Scratch::shared().clone(),
         }
     }
 }
 
 impl Layer for AvgPool2d {
     fn forward(&mut self, input: &Tensor, _mode: Mode) -> Tensor {
-        self.input_dims = input.shape().dims().to_vec();
-        avg_pool2d_forward(input, self.k, self.s)
+        self.input_dims.clear();
+        self.input_dims.extend_from_slice(input.shape().dims());
+        avg_pool2d_forward_with(input, self.k, self.s, &self.scratch)
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
         assert!(!self.input_dims.is_empty(), "forward before backward");
-        avg_pool2d_backward(grad_output, &self.input_dims, self.k, self.s)
+        avg_pool2d_backward_with(grad_output, &self.input_dims, self.k, self.s, &self.scratch)
+    }
+
+    fn bind_scratch(&mut self, scratch: &ScratchHandle) {
+        self.scratch = scratch.clone();
     }
 
     fn name(&self) -> &'static str {
@@ -85,9 +110,10 @@ impl Layer for AvgPool2d {
 }
 
 /// Global average pooling: `[N,C,H,W] -> [N,C]` (ResNet / MobileNet heads).
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct GlobalAvgPool {
     input_dims: Vec<usize>,
+    scratch: ScratchHandle,
 }
 
 impl GlobalAvgPool {
@@ -97,15 +123,29 @@ impl GlobalAvgPool {
     }
 }
 
+impl Default for GlobalAvgPool {
+    fn default() -> Self {
+        Self {
+            input_dims: Vec::new(),
+            scratch: Scratch::shared().clone(),
+        }
+    }
+}
+
 impl Layer for GlobalAvgPool {
     fn forward(&mut self, input: &Tensor, _mode: Mode) -> Tensor {
-        self.input_dims = input.shape().dims().to_vec();
-        global_avg_pool_forward(input)
+        self.input_dims.clear();
+        self.input_dims.extend_from_slice(input.shape().dims());
+        global_avg_pool_forward_with(input, &self.scratch)
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
         assert!(!self.input_dims.is_empty(), "forward before backward");
-        global_avg_pool_backward(grad_output, &self.input_dims)
+        global_avg_pool_backward_with(grad_output, &self.input_dims, &self.scratch)
+    }
+
+    fn bind_scratch(&mut self, scratch: &ScratchHandle) {
+        self.scratch = scratch.clone();
     }
 
     fn name(&self) -> &'static str {

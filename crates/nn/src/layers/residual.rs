@@ -2,7 +2,7 @@
 
 use crate::layer::{Layer, Mode, Param};
 use crate::layers::Sequential;
-use tdfm_tensor::Tensor;
+use tdfm_tensor::{Scratch, ScratchHandle, Tensor};
 
 /// A residual block: `y = relu(main(x) + skip(x))`.
 ///
@@ -15,6 +15,7 @@ pub struct ResidualBlock {
     main: Sequential,
     skip: Option<Sequential>,
     sum_cache: Option<Tensor>,
+    scratch: ScratchHandle,
 }
 
 impl ResidualBlock {
@@ -24,6 +25,7 @@ impl ResidualBlock {
             main,
             skip: None,
             sum_cache: None,
+            scratch: Scratch::shared().clone(),
         }
     }
 
@@ -33,6 +35,7 @@ impl ResidualBlock {
             main,
             skip: Some(skip),
             sum_cache: None,
+            scratch: Scratch::shared().clone(),
         }
     }
 }
@@ -55,17 +58,34 @@ impl std::fmt::Debug for ResidualBlock {
 impl Layer for ResidualBlock {
     fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
         let main_out = self.main.forward(input, mode);
-        let skip_out = match &mut self.skip {
-            Some(proj) => proj.forward(input, mode),
-            None => input.clone(),
-        };
+        let skip_out = self.skip.as_mut().map(|proj| proj.forward(input, mode));
+        let skip_data = skip_out.as_ref().unwrap_or(input);
         assert_eq!(
             main_out.shape(),
-            skip_out.shape(),
+            skip_data.shape(),
             "residual paths must produce identical shapes"
         );
-        let sum = main_out.zip(&skip_out, |a, b| a + b);
-        let out = sum.map(|v| v.max(0.0));
+        let mut sum = self.scratch.tensor_uninit(main_out.shape().dims());
+        for ((s, &a), &b) in sum
+            .data_mut()
+            .iter_mut()
+            .zip(main_out.data())
+            .zip(skip_data.data())
+        {
+            *s = a + b;
+        }
+        let mut out = self.scratch.tensor_uninit(sum.shape().dims());
+        for (o, &s) in out.data_mut().iter_mut().zip(sum.data()) {
+            // NaN-propagating ReLU, like the standalone layer.
+            *o = if s.is_nan() { s } else { s.max(0.0) };
+        }
+        self.scratch.recycle(main_out);
+        if let Some(t) = skip_out {
+            self.scratch.recycle(t);
+        }
+        if let Some(old) = self.sum_cache.take() {
+            self.scratch.recycle(old);
+        }
         self.sum_cache = Some(sum);
         out
     }
@@ -73,13 +93,30 @@ impl Layer for ResidualBlock {
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
         let sum = self.sum_cache.as_ref().expect("forward before backward");
         // ReLU gradient on the summed pre-activation.
-        let g = grad_output.zip(sum, |g, s| if s > 0.0 { g } else { 0.0 });
+        let mut g = self.scratch.tensor_uninit(grad_output.shape().dims());
+        for ((o, &gy), &s) in g
+            .data_mut()
+            .iter_mut()
+            .zip(grad_output.data())
+            .zip(sum.data())
+        {
+            *o = if s > 0.0 { gy } else { 0.0 };
+        }
         let g_main = self.main.backward(&g);
         let g_skip = match &mut self.skip {
-            Some(proj) => proj.backward(&g),
+            Some(proj) => {
+                let gs = proj.backward(&g);
+                self.scratch.recycle(g);
+                gs
+            }
             None => g,
         };
-        g_main.zip(&g_skip, |a, b| a + b)
+        let mut out = g_main;
+        for (o, &b) in out.data_mut().iter_mut().zip(g_skip.data()) {
+            *o += b;
+        }
+        self.scratch.recycle(g_skip);
+        out
     }
 
     fn params_mut(&mut self) -> Vec<&mut Param> {
@@ -96,6 +133,14 @@ impl Layer for ResidualBlock {
             state.extend(proj.state_mut());
         }
         state
+    }
+
+    fn bind_scratch(&mut self, scratch: &ScratchHandle) {
+        self.scratch = scratch.clone();
+        self.main.bind_scratch(scratch);
+        if let Some(proj) = &mut self.skip {
+            proj.bind_scratch(scratch);
+        }
     }
 
     fn name(&self) -> &'static str {

@@ -1,15 +1,29 @@
 //! Ordered composition of layers.
 
 use crate::layer::{Layer, Mode, Param};
-use tdfm_tensor::Tensor;
+use tdfm_tensor::{Scratch, ScratchHandle, Tensor};
 
 /// A straight-line stack of layers applied in order.
 ///
 /// Most of the seven architectures are a single `Sequential`; the ResNet
 /// analogues nest [`crate::layers::ResidualBlock`]s inside one.
-#[derive(Default)]
+///
+/// Intermediate activations and gradients are recycled into the scratch
+/// arena as soon as the next layer has consumed them — layers cache copies,
+/// never references, so the buffers are dead the moment the next call
+/// returns. This keeps whole-network passes allocation-free once warm.
 pub struct Sequential {
     layers: Vec<Box<dyn Layer>>,
+    scratch: ScratchHandle,
+}
+
+impl Default for Sequential {
+    fn default() -> Self {
+        Self {
+            layers: Vec::new(),
+            scratch: Scratch::shared().clone(),
+        }
+    }
 }
 
 impl Sequential {
@@ -54,17 +68,26 @@ impl std::fmt::Debug for Sequential {
 
 impl Layer for Sequential {
     fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
-        let mut x = input.clone();
-        for layer in &mut self.layers {
-            x = layer.forward(&x, mode);
+        let Some((first, rest)) = self.layers.split_first_mut() else {
+            return input.clone();
+        };
+        let mut x = first.forward(input, mode);
+        for layer in rest {
+            let y = layer.forward(&x, mode);
+            self.scratch.recycle(std::mem::replace(&mut x, y));
         }
         x
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
-        let mut g = grad_output.clone();
-        for layer in self.layers.iter_mut().rev() {
-            g = layer.backward(&g);
+        let mut rev = self.layers.iter_mut().rev();
+        let Some(last) = rev.next() else {
+            return grad_output.clone();
+        };
+        let mut g = last.backward(grad_output);
+        for layer in rev {
+            let g2 = layer.backward(&g);
+            self.scratch.recycle(std::mem::replace(&mut g, g2));
         }
         g
     }
@@ -78,6 +101,13 @@ impl Layer for Sequential {
 
     fn state_mut(&mut self) -> Vec<&mut [f32]> {
         self.layers.iter_mut().flat_map(|l| l.state_mut()).collect()
+    }
+
+    fn bind_scratch(&mut self, scratch: &ScratchHandle) {
+        self.scratch = scratch.clone();
+        for layer in &mut self.layers {
+            layer.bind_scratch(scratch);
+        }
     }
 
     fn name(&self) -> &'static str {
@@ -142,5 +172,21 @@ mod tests {
             .push(Dense::new(3, 2, &mut rng));
         assert_eq!(seq.params_mut().len(), 4);
         assert_eq!(seq.param_count(), 2 * 3 + 3 + 3 * 2 + 2);
+    }
+
+    #[test]
+    fn bind_scratch_reaches_nested_layers() {
+        use std::sync::Arc;
+        let mut rng = Rng::seed_from(3);
+        let mut seq = Sequential::new()
+            .push(Dense::new(2, 2, &mut rng))
+            .push(ReLU::new());
+        let arena: ScratchHandle = Arc::new(Scratch::new());
+        seq.bind_scratch(&arena);
+        let x = Tensor::ones(&[1, 2]);
+        let _ = seq.forward(&x, Mode::Train);
+        let _ = seq.backward(&Tensor::ones(&[1, 2]));
+        // Every activation and gradient buffer came from the bound arena.
+        assert!(arena.stats().misses > 0, "arena was never used");
     }
 }

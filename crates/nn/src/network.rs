@@ -3,7 +3,7 @@
 use crate::layer::{Layer, Mode, Param};
 use crate::layers::Sequential;
 use tdfm_tensor::ops::argmax_rows;
-use tdfm_tensor::Tensor;
+use tdfm_tensor::{Scratch, ScratchHandle, Tensor};
 
 /// A classification network: a layer stack producing `[N, classes]` logits.
 ///
@@ -63,6 +63,14 @@ impl Network {
         self.body.state_mut()
     }
 
+    /// Rebinds every layer onto `scratch` for activation/gradient buffers.
+    ///
+    /// Layers default to the process-wide shared arena; use this to give a
+    /// training run (e.g. one ensemble member) a private arena.
+    pub fn bind_scratch(&mut self, scratch: &ScratchHandle) {
+        self.body.bind_scratch(scratch);
+    }
+
     /// Zeroes every parameter gradient.
     pub fn zero_grad(&mut self) {
         for p in self.body.params_mut() {
@@ -84,6 +92,7 @@ impl Network {
     pub fn logits(&mut self, inputs: &Tensor, batch: usize) -> Tensor {
         assert!(batch > 0, "batch size must be positive");
         let n = inputs.shape().dim(0);
+        let scratch = Scratch::shared();
         let mut out = Tensor::zeros(&[n, self.classes]);
         let mut start = 0;
         while start < n {
@@ -96,6 +105,8 @@ impl Network {
                 "network produced wrong logits shape"
             );
             out.data_mut()[start * self.classes..end * self.classes].copy_from_slice(logits.data());
+            scratch.recycle(chunk);
+            scratch.recycle(logits);
             start = end;
         }
         out

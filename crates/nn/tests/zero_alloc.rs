@@ -1,0 +1,95 @@
+//! Proof that the dense/conv training hot path allocates nothing per batch.
+//!
+//! A counting global allocator wraps the system allocator; the test warms the
+//! scratch arena with a few forward/backward passes, switches the counter on,
+//! and asserts that further passes through a conv → relu → max-pool →
+//! flatten → dense stack perform zero heap allocations.
+//!
+//! The test pins the thread count to 1 so the parallel helpers take their
+//! inline (allocation-free) serial path, and it uses a private scratch arena
+//! so concurrently-running tests cannot donate or steal buffers.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use tdfm_nn::layer::{Layer, Mode};
+use tdfm_nn::layers::{Conv2d, Dense, Flatten, MaxPool2d, ReLU, Sequential};
+use tdfm_tensor::ops::Conv2dSpec;
+use tdfm_tensor::rng::Rng;
+use tdfm_tensor::{parallel, Scratch, Tensor};
+
+/// Counts allocations (and growing reallocations) while `COUNTING` is set.
+/// Deallocations are deliberately not counted: returning warm buffers is
+/// fine, taking new ones is the bug this test exists to catch.
+struct CountingAlloc;
+
+static COUNTING: AtomicBool = AtomicBool::new(false);
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if COUNTING.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if COUNTING.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+#[test]
+fn steady_state_conv_dense_passes_do_not_allocate() {
+    parallel::set_num_threads(1);
+
+    let mut rng = Rng::seed_from(0x5EED);
+    let arena = Arc::new(Scratch::new());
+    let mut net = Sequential::new()
+        .push(Conv2d::new(1, 2, 3, Conv2dSpec::same(3), &mut rng))
+        .push(ReLU::new())
+        .push(MaxPool2d::new(2, 2))
+        .push(Flatten::new())
+        .push(Dense::new(8, 2, &mut rng));
+    net.bind_scratch(&arena);
+
+    let x = Tensor::randn(&[4, 1, 4, 4], 1.0, &mut rng);
+    let grad = Tensor::ones(&[4, 2]);
+
+    // Warm up: the first passes fill the scratch arena and size the
+    // per-layer mask/dims buffers.
+    for _ in 0..3 {
+        let y = net.forward(&x, Mode::Train);
+        let gx = net.backward(&grad);
+        arena.recycle(y);
+        arena.recycle(gx);
+    }
+
+    ALLOCS.store(0, Ordering::SeqCst);
+    COUNTING.store(true, Ordering::SeqCst);
+    for _ in 0..2 {
+        let y = net.forward(&x, Mode::Train);
+        let gx = net.backward(&grad);
+        arena.recycle(y);
+        arena.recycle(gx);
+    }
+    COUNTING.store(false, Ordering::SeqCst);
+
+    let allocs = ALLOCS.load(Ordering::SeqCst);
+    assert_eq!(
+        allocs, 0,
+        "steady-state forward/backward passes performed {allocs} heap allocations"
+    );
+    assert!(arena.stats().hits > 0, "arena was never used");
+}

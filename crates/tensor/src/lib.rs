@@ -8,9 +8,11 @@
 //!   image convention used throughout the study.
 //! * [`parallel`] — a scoped-thread data-parallel runtime used by the
 //!   convolution/matmul kernels and by ensemble training.
-//! * [`ops`] — blocked matrix multiplication, im2col convolution
-//!   (forward/backward, with strides, padding and groups for depthwise
-//!   convolutions), max/average pooling, reductions and softmax.
+//! * [`ops`] — panel-packed, register-tiled matrix multiplication, im2col
+//!   convolution (forward/backward, with strides, padding and groups for
+//!   depthwise convolutions), max/average pooling, reductions and softmax.
+//! * [`Scratch`] — a reusable buffer arena threaded through the kernels so
+//!   steady-state training allocates nothing per batch.
 //! * [`rng`] — deterministic random-number helpers so every experiment in
 //!   the study is reproducible from a single seed.
 //!
@@ -28,10 +30,12 @@
 pub mod ops;
 pub mod parallel;
 pub mod rng;
+mod scratch;
 mod shape;
 mod tensor;
 
-pub use shape::Shape;
+pub use scratch::{Scratch, ScratchBuf, ScratchBufU32, ScratchHandle, ScratchStats};
+pub use shape::{Shape, MAX_RANK};
 pub use tensor::Tensor;
 
 /// Absolute tolerance used by the crate's own tests when comparing floats.

@@ -6,6 +6,7 @@
 
 use crate::ops::conv_out_dim;
 use crate::parallel::parallel_chunks_mut;
+use crate::scratch::Scratch;
 use crate::Tensor;
 
 /// Indices of the winning elements of a max-pool forward pass, needed to
@@ -13,17 +14,45 @@ use crate::Tensor;
 #[derive(Debug, Clone)]
 pub struct MaxPoolCache {
     argmax: Vec<u32>,
-    input_dims: Vec<usize>,
+    input_dims: [usize; 4],
+}
+
+impl MaxPoolCache {
+    /// Hands the cache's index buffer back to `scratch` so the next
+    /// forward pass reuses it instead of allocating.
+    pub fn recycle(self, scratch: &Scratch) {
+        scratch.recycle_u32(self.argmax);
+    }
 }
 
 /// Max pooling over `k`×`k` windows with stride `s`.
 ///
 /// Returns the pooled tensor and a cache for [`max_pool2d_backward`].
+/// Uses the process-shared scratch arena; see [`max_pool2d_forward_with`].
 ///
 /// # Panics
 ///
 /// Panics if the input is not NCHW or the window does not fit.
 pub fn max_pool2d_forward(input: &Tensor, k: usize, s: usize) -> (Tensor, MaxPoolCache) {
+    max_pool2d_forward_with(input, k, s, Scratch::shared())
+}
+
+/// [`max_pool2d_forward`] drawing the output and index buffers from
+/// `scratch`.
+///
+/// The argmax pass runs first (one `(sample, channel)` plane per task),
+/// then the values are gathered through the winning indices — the two
+/// passes replace a locked per-plane copy and allocate nothing.
+///
+/// # Panics
+///
+/// Panics if the input is not NCHW or the window does not fit.
+pub fn max_pool2d_forward_with(
+    input: &Tensor,
+    k: usize,
+    s: usize,
+    scratch: &Scratch,
+) -> (Tensor, MaxPoolCache) {
     assert_eq!(input.shape().rank(), 4, "max pool input must be NCHW");
     let (n, c, h, w) = (
         input.shape().dim(0),
@@ -33,47 +62,51 @@ pub fn max_pool2d_forward(input: &Tensor, k: usize, s: usize) -> (Tensor, MaxPoo
     );
     let oh = conv_out_dim(h, k, s, 0);
     let ow = conv_out_dim(w, k, s, 0);
-    let mut out = Tensor::zeros(&[n, c, oh, ow]);
-    let mut argmax = vec![0u32; n * c * oh * ow];
+    let mut out = scratch.tensor_uninit(&[n, c, oh, ow]);
+    let mut argmax = scratch.take_u32(n * c * oh * ow).into_vec();
     let x = input.data();
     let plane_in = h * w;
     let plane_out = oh * ow;
-    // One (sample, channel) plane per task; interleave output and argmax by
-    // splitting both with identical chunking.
-    {
-        let out_data = out.data_mut();
-        let arg_chunks: Vec<&mut [u32]> = argmax.chunks_mut(plane_out).collect();
-        let args = std::sync::Mutex::new(arg_chunks);
-        parallel_chunks_mut(out_data, plane_out, k * k, |p, y| {
-            let plane = &x[p * plane_in..(p + 1) * plane_in];
-            let mut local = vec![0u32; plane_out];
-            for oi in 0..oh {
-                for oj in 0..ow {
-                    let mut best = f32::NEG_INFINITY;
-                    let mut best_idx = 0usize;
-                    for ki in 0..k {
-                        for kj in 0..k {
-                            let idx = (oi * s + ki) * w + (oj * s + kj);
-                            let v = plane[idx];
-                            if v > best {
-                                best = v;
-                                best_idx = idx;
-                            }
+    parallel_chunks_mut(&mut argmax, plane_out, k * k, |p, arg| {
+        let plane = &x[p * plane_in..(p + 1) * plane_in];
+        for oi in 0..oh {
+            for oj in 0..ow {
+                let mut best = f32::NEG_INFINITY;
+                let mut best_idx = 0usize;
+                for ki in 0..k {
+                    for kj in 0..k {
+                        let idx = (oi * s + ki) * w + (oj * s + kj);
+                        let v = plane[idx];
+                        // A NaN wins the window and then sticks (nothing
+                        // compares greater than NaN), matching the
+                        // reference frameworks instead of silently
+                        // dropping the poisoned lane. Finite-only windows
+                        // are untouched.
+                        if v > best || v.is_nan() {
+                            best = v;
+                            best_idx = idx;
                         }
                     }
-                    y[oi * ow + oj] = best;
-                    local[oi * ow + oj] = best_idx as u32;
                 }
+                arg[oi * ow + oj] = best_idx as u32;
             }
-            let mut guard = args.lock().expect("argmax lock poisoned");
-            guard[p].copy_from_slice(&local);
+        }
+    });
+    {
+        let arg = &argmax[..];
+        parallel_chunks_mut(out.data_mut(), plane_out, 1, |p, y| {
+            let plane = &x[p * plane_in..(p + 1) * plane_in];
+            let arg_plane = &arg[p * plane_out..(p + 1) * plane_out];
+            for (o, &idx) in y.iter_mut().zip(arg_plane) {
+                *o = plane[idx as usize];
+            }
         });
     }
     (
         out,
         MaxPoolCache {
             argmax,
-            input_dims: vec![n, c, h, w],
+            input_dims: [n, c, h, w],
         },
     )
 }
@@ -84,7 +117,20 @@ pub fn max_pool2d_forward(input: &Tensor, k: usize, s: usize) -> (Tensor, MaxPoo
 ///
 /// Panics if `grad_output` does not match the cached geometry.
 pub fn max_pool2d_backward(grad_output: &Tensor, cache: &MaxPoolCache) -> Tensor {
-    let mut grad_input = Tensor::zeros(&cache.input_dims);
+    max_pool2d_backward_with(grad_output, cache, Scratch::shared())
+}
+
+/// [`max_pool2d_backward`] drawing the gradient buffer from `scratch`.
+///
+/// # Panics
+///
+/// Panics if `grad_output` does not match the cached geometry.
+pub fn max_pool2d_backward_with(
+    grad_output: &Tensor,
+    cache: &MaxPoolCache,
+    scratch: &Scratch,
+) -> Tensor {
+    let mut grad_input = scratch.tensor_zeroed(&cache.input_dims);
     let (n, c) = (cache.input_dims[0], cache.input_dims[1]);
     let plane_in = cache.input_dims[2] * cache.input_dims[3];
     let planes = n * c;
@@ -112,6 +158,15 @@ pub fn max_pool2d_backward(grad_output: &Tensor, cache: &MaxPoolCache) -> Tensor
 ///
 /// Panics if the input is not NCHW or the window does not fit.
 pub fn avg_pool2d_forward(input: &Tensor, k: usize, s: usize) -> Tensor {
+    avg_pool2d_forward_with(input, k, s, Scratch::shared())
+}
+
+/// [`avg_pool2d_forward`] drawing the output buffer from `scratch`.
+///
+/// # Panics
+///
+/// Panics if the input is not NCHW or the window does not fit.
+pub fn avg_pool2d_forward_with(input: &Tensor, k: usize, s: usize, scratch: &Scratch) -> Tensor {
     assert_eq!(input.shape().rank(), 4, "avg pool input must be NCHW");
     let (n, c, h, w) = (
         input.shape().dim(0),
@@ -121,7 +176,7 @@ pub fn avg_pool2d_forward(input: &Tensor, k: usize, s: usize) -> Tensor {
     );
     let oh = conv_out_dim(h, k, s, 0);
     let ow = conv_out_dim(w, k, s, 0);
-    let mut out = Tensor::zeros(&[n, c, oh, ow]);
+    let mut out = scratch.tensor_uninit(&[n, c, oh, ow]);
     let x = input.data();
     let plane_in = h * w;
     let plane_out = oh * ow;
@@ -154,6 +209,21 @@ pub fn avg_pool2d_backward(
     k: usize,
     s: usize,
 ) -> Tensor {
+    avg_pool2d_backward_with(grad_output, input_dims, k, s, Scratch::shared())
+}
+
+/// [`avg_pool2d_backward`] drawing the gradient buffer from `scratch`.
+///
+/// # Panics
+///
+/// Panics if the geometries are inconsistent.
+pub fn avg_pool2d_backward_with(
+    grad_output: &Tensor,
+    input_dims: &[usize],
+    k: usize,
+    s: usize,
+    scratch: &Scratch,
+) -> Tensor {
     assert_eq!(input_dims.len(), 4, "input dims must be NCHW");
     let (h, w) = (input_dims[2], input_dims[3]);
     let oh = conv_out_dim(h, k, s, 0);
@@ -163,7 +233,7 @@ pub fn avg_pool2d_backward(
         &[input_dims[0], input_dims[1], oh, ow],
         "grad_output shape mismatch"
     );
-    let mut grad_input = Tensor::zeros(input_dims);
+    let mut grad_input = scratch.tensor_zeroed(input_dims);
     let plane_in = h * w;
     let plane_out = oh * ow;
     let gy = grad_output.data();
@@ -190,6 +260,15 @@ pub fn avg_pool2d_backward(
 ///
 /// Panics if the input is not 4-D.
 pub fn global_avg_pool_forward(input: &Tensor) -> Tensor {
+    global_avg_pool_forward_with(input, Scratch::shared())
+}
+
+/// [`global_avg_pool_forward`] drawing the output buffer from `scratch`.
+///
+/// # Panics
+///
+/// Panics if the input is not 4-D.
+pub fn global_avg_pool_forward_with(input: &Tensor, scratch: &Scratch) -> Tensor {
     assert_eq!(
         input.shape().rank(),
         4,
@@ -201,7 +280,7 @@ pub fn global_avg_pool_forward(input: &Tensor) -> Tensor {
         input.shape().dim(2),
         input.shape().dim(3),
     );
-    let mut out = Tensor::zeros(&[n, c]);
+    let mut out = scratch.tensor_uninit(&[n, c]);
     let plane = h * w;
     let inv = 1.0 / plane as f32;
     for (i, o) in out.data_mut().iter_mut().enumerate() {
@@ -217,6 +296,19 @@ pub fn global_avg_pool_forward(input: &Tensor) -> Tensor {
 ///
 /// Panics if shapes are inconsistent.
 pub fn global_avg_pool_backward(grad_output: &Tensor, input_dims: &[usize]) -> Tensor {
+    global_avg_pool_backward_with(grad_output, input_dims, Scratch::shared())
+}
+
+/// [`global_avg_pool_backward`] drawing the gradient buffer from `scratch`.
+///
+/// # Panics
+///
+/// Panics if shapes are inconsistent.
+pub fn global_avg_pool_backward_with(
+    grad_output: &Tensor,
+    input_dims: &[usize],
+    scratch: &Scratch,
+) -> Tensor {
     assert_eq!(input_dims.len(), 4, "input dims must be NCHW");
     assert_eq!(
         grad_output.shape().dims(),
@@ -225,7 +317,7 @@ pub fn global_avg_pool_backward(grad_output: &Tensor, input_dims: &[usize]) -> T
     );
     let plane = input_dims[2] * input_dims[3];
     let inv = 1.0 / plane as f32;
-    let mut grad_input = Tensor::zeros(input_dims);
+    let mut grad_input = scratch.tensor_uninit(input_dims);
     for (i, chunk) in grad_input.data_mut().chunks_mut(plane).enumerate() {
         chunk.fill(grad_output.data()[i] * inv);
     }
@@ -300,6 +392,39 @@ mod tests {
         let gy = Tensor::ones(&[2, 3]);
         let gx = global_avg_pool_backward(&gy, x.shape().dims());
         assert_close(&[gx.data().iter().sum::<f32>()], &[6.0], 1e-4);
+    }
+
+    #[test]
+    fn max_pool_propagates_nan_windows() {
+        // A window of injected NaNs must yield NaN, not −∞.
+        let x = Tensor::from_vec(vec![f32::NAN, f32::NAN, f32::NAN, f32::NAN], &[1, 1, 2, 2]);
+        let (y, _) = max_pool2d_forward(&x, 2, 2);
+        assert!(y.data()[0].is_nan());
+        // Any NaN in the window poisons the output, like the reference
+        // frameworks — a silently dropped NaN would hide the fault.
+        let x2 = Tensor::from_vec(vec![1.0, f32::NAN, 0.5, -2.0], &[1, 1, 2, 2]);
+        let (y2, _) = max_pool2d_forward(&x2, 2, 2);
+        assert!(y2.data()[0].is_nan());
+        // Finite windows are untouched by the NaN branch.
+        let x3 = Tensor::from_vec(vec![1.0, 3.0, 0.5, -2.0], &[1, 1, 2, 2]);
+        let (y3, _) = max_pool2d_forward(&x3, 2, 2);
+        assert_eq!(y3.data()[0], 3.0);
+    }
+
+    #[test]
+    fn max_pool_cache_recycles_into_arena() {
+        let scratch = Scratch::new();
+        let x = Tensor::from_vec((0..16).map(|v| v as f32).collect(), &[1, 1, 4, 4]);
+        let (y, cache) = max_pool2d_forward_with(&x, 2, 2, &scratch);
+        scratch.recycle(y);
+        cache.recycle(&scratch);
+        let baseline = scratch.stats().misses;
+        let (_y2, _c2) = max_pool2d_forward_with(&x, 2, 2, &scratch);
+        assert_eq!(
+            scratch.stats().misses,
+            baseline,
+            "second forward must reuse both pooled buffers"
+        );
     }
 
     #[test]

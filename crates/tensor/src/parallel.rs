@@ -17,7 +17,7 @@
 use std::cell::Cell;
 use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, OnceLock};
 
 /// Estimated total work (elements x per-element cost) below which a kernel
 /// runs serially. Scoped worker threads cost tens of microseconds to spawn,
@@ -51,6 +51,12 @@ thread_local! {
 ///    [`DEFAULT_AUTO_CAP`] (16).
 ///
 /// Every source is additionally clamped to [`MAX_THREADS`] (64).
+///
+/// `TDFM_THREADS` is read **once per process**, the first time resolution
+/// reaches it, and the parse is cached — this function sits on every
+/// kernel's hot path, and `std::env::var` costs a lock plus a UTF-8 walk.
+/// Changing the variable after that first read has no effect; use
+/// [`set_num_threads`] for runtime control.
 pub fn num_threads() -> usize {
     let inner = INNER_BUDGET.with(Cell::get);
     if inner > 0 {
@@ -68,11 +74,19 @@ pub fn num_threads() -> usize {
         .unwrap_or(1)
 }
 
-/// Parses `TDFM_THREADS`, clamping to [`MAX_THREADS`]. `None` when unset,
-/// unparsable or zero.
+/// The cached `TDFM_THREADS` parse; resolved at most once per process.
+static ENV_THREADS: OnceLock<Option<usize>> = OnceLock::new();
+
+/// Reads `TDFM_THREADS` on first call and caches the result; `None` when
+/// unset, unparsable or zero.
 fn threads_from_env() -> Option<usize> {
-    let v = std::env::var("TDFM_THREADS").ok()?;
-    match v.trim().parse::<usize>() {
+    *ENV_THREADS.get_or_init(|| parse_thread_env(std::env::var("TDFM_THREADS").ok().as_deref()))
+}
+
+/// Parses a `TDFM_THREADS` value, clamping to [`MAX_THREADS`]. `None` when
+/// absent, unparsable or zero.
+fn parse_thread_env(value: Option<&str>) -> Option<usize> {
+    match value?.trim().parse::<usize>() {
         Ok(n) if n > 0 => Some(n.min(MAX_THREADS)),
         _ => None,
     }
@@ -307,29 +321,49 @@ mod tests {
     }
 
     #[test]
-    fn env_var_configures_thread_count() {
+    fn env_var_parse_accepts_counts_and_rejects_garbage() {
+        // The parse itself is pure; `threads_from_env` caches its result in
+        // a `OnceLock`, so the parser is what the env-var contract tests.
+        assert_eq!(parse_thread_env(Some("5")), Some(5));
+        assert_eq!(parse_thread_env(Some(" 12 ")), Some(12));
+        // Values above the hard ceiling clamp to MAX_THREADS.
+        assert_eq!(parse_thread_env(Some("4096")), Some(MAX_THREADS));
+        // Garbage, zero and absence fall through to the auto default.
+        assert_eq!(parse_thread_env(Some("zero")), None);
+        assert_eq!(parse_thread_env(Some("0")), None);
+        assert_eq!(parse_thread_env(None), None);
+    }
+
+    #[test]
+    fn env_var_is_read_once_per_process() {
         let _guard = GLOBAL_CONFIG.lock().unwrap();
         set_num_threads(0);
+        let resolved = num_threads(); // forces the one-time env read
+        let original = std::env::var("TDFM_THREADS").ok();
         // SAFETY: serialised by GLOBAL_CONFIG; no other thread reads the
         // environment concurrently in this test binary.
         unsafe {
-            std::env::set_var("TDFM_THREADS", "5");
+            std::env::set_var("TDFM_THREADS", "61");
         }
-        assert_eq!(num_threads(), 5);
-        // Values above the hard ceiling clamp to MAX_THREADS.
+        assert_eq!(
+            num_threads(),
+            resolved,
+            "env changes after startup are inert"
+        );
         unsafe {
-            std::env::set_var("TDFM_THREADS", "4096");
+            std::env::set_var("TDFM_THREADS", "62");
         }
-        assert_eq!(num_threads(), MAX_THREADS);
-        // Garbage and zero fall through to the auto default.
+        assert_eq!(num_threads(), resolved);
         unsafe {
-            std::env::set_var("TDFM_THREADS", "zero");
+            match &original {
+                Some(v) => std::env::set_var("TDFM_THREADS", v),
+                None => std::env::remove_var("TDFM_THREADS"),
+            }
         }
-        let auto = num_threads();
-        assert!((1..=DEFAULT_AUTO_CAP).contains(&auto));
-        unsafe {
-            std::env::remove_var("TDFM_THREADS");
-        }
+        // `set_num_threads` still overrides the cached value.
+        set_num_threads(3);
+        assert_eq!(num_threads(), 3);
+        set_num_threads(0);
     }
 
     #[test]

@@ -2,11 +2,21 @@
 
 use std::fmt;
 
+/// Maximum tensor rank the crate supports (the NCHW image convention).
+///
+/// Keeping the bound explicit lets [`Shape`] store its extents inline:
+/// constructing a shape — and therefore a tensor header — never touches
+/// the heap, which is what makes the scratch-arena training path truly
+/// allocation-free per batch.
+pub const MAX_RANK: usize = 4;
+
 /// The shape of a [`crate::Tensor`]: an ordered list of dimension extents.
 ///
 /// Shapes are row-major ("C order"): the last dimension is contiguous in
 /// memory. Images follow the NCHW convention (batch, channels, height,
-/// width) used by the TDFM study's convolution kernels.
+/// width) used by the TDFM study's convolution kernels. Extents are stored
+/// inline (rank at most [`MAX_RANK`]), so `Shape` is `Copy` and
+/// construction is allocation-free.
 ///
 /// # Examples
 ///
@@ -18,9 +28,12 @@ use std::fmt;
 /// assert_eq!(s.strides(), vec![12, 4, 1]);
 /// assert_eq!(s.flat_index(&[1, 2, 3]), 23);
 /// ```
-#[derive(Clone, PartialEq, Eq, Hash, Default)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub struct Shape {
-    dims: Vec<usize>,
+    // Unused trailing slots stay 0 so derived equality/hashing only see
+    // the active prefix plus a canonical tail.
+    dims: [usize; MAX_RANK],
+    rank: u8,
 }
 
 impl Shape {
@@ -28,26 +41,35 @@ impl Shape {
     ///
     /// # Panics
     ///
-    /// Panics if any dimension is zero; zero-sized tensors are never valid
-    /// inside the study's pipelines, so the error is caught at construction.
+    /// Panics if any dimension is zero (zero-sized tensors are never valid
+    /// inside the study's pipelines, so the error is caught at
+    /// construction) or if the rank exceeds [`MAX_RANK`].
     pub fn new(dims: &[usize]) -> Self {
         assert!(
             dims.iter().all(|&d| d > 0),
             "shape dimensions must be positive, got {dims:?}"
         );
+        assert!(
+            dims.len() <= MAX_RANK,
+            "rank {} exceeds the supported maximum of {MAX_RANK}",
+            dims.len()
+        );
+        let mut inline = [0usize; MAX_RANK];
+        inline[..dims.len()].copy_from_slice(dims);
         Self {
-            dims: dims.to_vec(),
+            dims: inline,
+            rank: dims.len() as u8,
         }
     }
 
     /// The dimension extents.
     pub fn dims(&self) -> &[usize] {
-        &self.dims
+        &self.dims[..self.rank as usize]
     }
 
     /// Number of dimensions (the tensor's rank).
     pub fn rank(&self) -> usize {
-        self.dims.len()
+        self.rank as usize
     }
 
     /// Extent of dimension `i`.
@@ -56,19 +78,25 @@ impl Shape {
     ///
     /// Panics if `i >= rank()`.
     pub fn dim(&self, i: usize) -> usize {
+        assert!(
+            i < self.rank(),
+            "dimension index {i} out of range for rank {}",
+            self.rank()
+        );
         self.dims[i]
     }
 
     /// Total number of elements.
     pub fn numel(&self) -> usize {
-        self.dims.iter().product()
+        self.dims().iter().product()
     }
 
     /// Row-major strides, in elements.
     pub fn strides(&self) -> Vec<usize> {
-        let mut strides = vec![1; self.dims.len()];
-        for i in (0..self.dims.len().saturating_sub(1)).rev() {
-            strides[i] = strides[i + 1] * self.dims[i + 1];
+        let dims = self.dims();
+        let mut strides = vec![1; dims.len()];
+        for i in (0..dims.len().saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1] * dims[i + 1];
         }
         strides
     }
@@ -101,14 +129,14 @@ impl Shape {
 
 impl fmt::Debug for Shape {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "Shape{:?}", self.dims)
+        write!(f, "Shape{:?}", self.dims())
     }
 }
 
 impl fmt::Display for Shape {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "[")?;
-        for (i, d) in self.dims.iter().enumerate() {
+        for (i, d) in self.dims().iter().enumerate() {
             if i > 0 {
                 write!(f, "x")?;
             }
@@ -157,6 +185,25 @@ mod tests {
     #[should_panic(expected = "must be positive")]
     fn zero_dim_rejected() {
         let _ = Shape::new(&[2, 0, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the supported maximum")]
+    fn excessive_rank_rejected() {
+        let _ = Shape::new(&[2, 2, 2, 2, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range for rank")]
+    fn dim_past_rank_rejected() {
+        // The inline array physically holds MAX_RANK slots; indexing past
+        // the logical rank must still fail like the Vec-backed shape did.
+        let _ = Shape::new(&[2, 3]).dim(2);
+    }
+
+    #[test]
+    fn shapes_of_equal_prefix_but_different_rank_differ() {
+        assert_ne!(Shape::new(&[2, 3]), Shape::new(&[2, 3, 1]));
     }
 
     #[test]

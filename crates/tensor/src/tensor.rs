@@ -161,7 +161,7 @@ impl Tensor {
     /// Applies `f` to every element, returning a new tensor.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
         Tensor {
-            shape: self.shape.clone(),
+            shape: self.shape,
             data: self.data.iter().map(|&x| f(x)).collect(),
         }
     }
@@ -181,7 +181,7 @@ impl Tensor {
     pub fn zip(&self, rhs: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
         assert_eq!(self.shape, rhs.shape, "shape mismatch in zip");
         Tensor {
-            shape: self.shape.clone(),
+            shape: self.shape,
             data: self
                 .data
                 .iter()

@@ -19,6 +19,18 @@ echo "== workspace build + tests (all crates) =="
 cargo build --release --workspace
 cargo test -q --workspace
 
+echo "== bench regression gate: training_step --compare =="
+# Re-runs the trainer bench suite and diffs it against the committed
+# baseline. The gate fails only on a broad slowdown: the geometric mean of
+# the per-benchmark current/baseline ratios (over min_seconds) must stay
+# within the threshold. The threshold is deliberately generous because CI
+# runners differ from the machine the baseline was recorded on; local runs
+# can tighten it (e.g. TDFM_BENCH_THRESHOLD=0.10) when chasing a specific
+# regression.
+cargo bench -q -p tdfm-bench --bench training_step -- \
+    --compare "$PWD/results/BENCH_trainer.json" \
+    --threshold "${TDFM_BENCH_THRESHOLD:-0.50}"
+
 echo "== obs smoke: trace + manifest + tdfm report =="
 # Run the smallest harness binary with tracing on, then make `tdfm report`
 # the assertion that the trace is valid JSONL and the manifest parses (it
