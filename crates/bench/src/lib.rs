@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # tdfm-bench
 //!
 //! The experiment harness regenerating every table and figure of the TDFM

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # tdfm-core
 //!
 //! The primary contribution of the TDFM reproduction ("The Fault in Our

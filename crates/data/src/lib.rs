@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # tdfm-data
 //!
 //! Datasets for the TDFM reproduction ("The Fault in Our Data Stars",

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # tdfm-inject
 //!
 //! A deterministic training-data fault injector — the reproduction's

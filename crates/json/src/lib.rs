@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # tdfm-json
 //!
 //! A small, dependency-free JSON library for the TDFM reproduction.

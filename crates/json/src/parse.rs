@@ -149,10 +149,11 @@ impl Parser<'_> {
                 self.pos += 1;
             }
             if self.pos > start {
-                // The source is a &str, so the run is valid UTF-8.
+                // The source is a &str, so the run is valid UTF-8; surface a
+                // positioned error rather than panicking if that ever breaks.
                 out.push_str(
                     std::str::from_utf8(&self.bytes[start..self.pos])
-                        .expect("input text is valid UTF-8"),
+                        .map_err(|_| JsonError::at(start, "invalid UTF-8 in string"))?,
                 );
             }
             match self.peek() {
@@ -276,7 +277,8 @@ impl Parser<'_> {
                 self.pos += 1;
             }
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("number text is ASCII");
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| JsonError::at(start, "invalid UTF-8 in number"))?;
         let number = if is_float {
             let v: f64 = text
                 .parse()

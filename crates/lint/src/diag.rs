@@ -1,0 +1,124 @@
+//! Structured diagnostics and their text / JSON renderings.
+
+use tdfm_json::{Number, Value};
+
+fn num(n: u64) -> Value {
+    Value::Num(Number::UInt(n))
+}
+
+/// One finding: where, which rule, what, and how to fix it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Workspace-relative path with `/` separators.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based byte column.
+    pub col: u32,
+    /// Rule id (`nan-laundering`, `sparsity-skip`, ...).
+    pub rule: &'static str,
+    /// What is wrong at this site.
+    pub message: String,
+    /// How to fix (or legitimately suppress) it.
+    pub suggestion: String,
+}
+
+impl Diagnostic {
+    /// `file:line:col: [rule] message` with an indented help line — the
+    /// format CI logs and editors both understand.
+    pub fn render(&self) -> String {
+        format!(
+            "{}:{}:{}: [{}] {}\n    help: {}",
+            self.file, self.line, self.col, self.rule, self.message, self.suggestion
+        )
+    }
+
+    fn to_json(&self) -> Value {
+        Value::Object(vec![
+            ("file".to_string(), Value::Str(self.file.clone())),
+            ("line".to_string(), num(u64::from(self.line))),
+            ("col".to_string(), num(u64::from(self.col))),
+            ("rule".to_string(), Value::Str(self.rule.to_string())),
+            ("message".to_string(), Value::Str(self.message.clone())),
+            (
+                "suggestion".to_string(),
+                Value::Str(self.suggestion.clone()),
+            ),
+        ])
+    }
+}
+
+/// The `--json` report: a machine-readable artifact for CI upload.
+pub fn report_json(diags: &[Diagnostic], files_checked: usize) -> String {
+    let value = Value::Object(vec![
+        ("tool".to_string(), Value::Str("tdfm-lint".to_string())),
+        ("files_checked".to_string(), num(files_checked as u64)),
+        ("findings".to_string(), num(diags.len() as u64)),
+        (
+            "diagnostics".to_string(),
+            Value::Array(diags.iter().map(Diagnostic::to_json).collect()),
+        ),
+    ]);
+    tdfm_json::to_string_pretty(&value)
+}
+
+/// The human-readable report; empty string when there is nothing to say.
+pub fn report_text(diags: &[Diagnostic], files_checked: usize) -> String {
+    let mut out = String::new();
+    for d in diags {
+        out.push_str(&d.render());
+        out.push('\n');
+    }
+    if diags.is_empty() {
+        out.push_str(&format!(
+            "tdfm-lint: {files_checked} files checked, no findings\n"
+        ));
+    } else {
+        out.push_str(&format!(
+            "tdfm-lint: {} finding(s) in {} files checked\n",
+            diags.len(),
+            files_checked
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Diagnostic {
+        Diagnostic {
+            file: "crates/tensor/src/ops/gemm.rs".to_string(),
+            line: 12,
+            col: 9,
+            rule: "sparsity-skip",
+            message: "zero-skip guard".to_string(),
+            suggestion: "remove the guard".to_string(),
+        }
+    }
+
+    #[test]
+    fn render_has_file_line_col_and_rule() {
+        let r = sample().render();
+        assert!(r.starts_with("crates/tensor/src/ops/gemm.rs:12:9: [sparsity-skip]"));
+        assert!(r.contains("help: remove the guard"));
+    }
+
+    #[test]
+    fn json_report_parses_and_counts() {
+        let text = report_json(&[sample()], 3);
+        let v = tdfm_json::parse(&text).expect("report is valid JSON");
+        assert_eq!(v.get("findings").and_then(Value::as_u64), Some(1));
+        assert_eq!(v.get("files_checked").and_then(Value::as_u64), Some(3));
+        let diags = v
+            .get("diagnostics")
+            .and_then(Value::as_array)
+            .expect("diagnostics array present");
+        assert_eq!(
+            diags[0].get("rule").and_then(Value::as_str),
+            Some("sparsity-skip")
+        );
+        assert_eq!(diags[0].get("line").and_then(Value::as_u64), Some(12));
+    }
+}

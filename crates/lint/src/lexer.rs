@@ -1,0 +1,581 @@
+//! A small, lossless Rust lexer.
+//!
+//! The rules in this crate match *token* patterns, never raw text, so a
+//! `// f32::max(NaN, 0.0) returns 0.0` comment or a `".max("` string
+//! literal can never trigger a diagnostic. The lexer therefore has to get
+//! exactly one thing right: classifying comments and every string-ish
+//! literal form (plain/raw/byte/C strings, char and byte literals,
+//! lifetimes) without ever losing a byte. It is *lossless*: concatenating
+//! `token.text` over the whole stream reproduces the input byte for byte,
+//! which the round-trip tests pin down.
+//!
+//! It is intentionally not a validator — malformed input never panics, it
+//! just degrades to [`TokKind::Unknown`] single-byte tokens.
+
+/// What a token is, at the granularity the lint rules care about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Spaces, tabs, newlines.
+    Whitespace,
+    /// `// ...` (including `///` and `//!` doc comments), newline excluded.
+    LineComment,
+    /// `/* ... */`, nesting handled; unterminated comments run to EOF.
+    BlockComment,
+    /// `"..."`, `b"..."`, `c"..."` — escaped, quoted forms.
+    Str,
+    /// `r"..."`, `r#"..."#`, `br#"..."#`, `cr"..."` — raw forms.
+    RawStr,
+    /// `'a'`, `'\''`, `'\u{1F600}'`.
+    Char,
+    /// `b'a'`, `b'\xFF'`.
+    Byte,
+    /// `'lifetime` (no closing quote).
+    Lifetime,
+    /// Identifiers and keywords, including raw identifiers (`r#type`).
+    Ident,
+    /// Integer or float literals, suffix included (`1_000u64`, `0.5f32`).
+    Number,
+    /// Operators and delimiters; multi-char operators are single tokens.
+    Punct,
+    /// Any byte the lexer does not recognise (kept for losslessness).
+    Unknown,
+}
+
+/// One lexed token: classification plus its exact source span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token<'a> {
+    pub kind: TokKind,
+    /// The exact source text (losslessness invariant: all `text`s concatenate
+    /// back to the input).
+    pub text: &'a str,
+    /// Byte offset of the first byte in the source.
+    pub start: usize,
+    /// 1-based line of the first byte.
+    pub line: u32,
+    /// 1-based byte column of the first byte within its line.
+    pub col: u32,
+}
+
+impl Token<'_> {
+    /// Byte offset one past the last byte.
+    pub fn end(&self) -> usize {
+        self.start + self.text.len()
+    }
+
+    /// True for whitespace and comments — tokens the rule matchers skip.
+    pub fn is_trivia(&self) -> bool {
+        matches!(
+            self.kind,
+            TokKind::Whitespace | TokKind::LineComment | TokKind::BlockComment
+        )
+    }
+
+    /// True if this token is a float literal (`0.5`, `1e-3`, `2f32`).
+    pub fn is_float_literal(&self) -> bool {
+        if self.kind != TokKind::Number {
+            return false;
+        }
+        let t = self.text;
+        if t.starts_with("0x") || t.starts_with("0o") || t.starts_with("0b") {
+            return false;
+        }
+        t.contains('.')
+            || t.ends_with("f32")
+            || t.ends_with("f64")
+            || t.bytes().any(|b| b == b'e' || b == b'E')
+    }
+
+    /// True if this token is a float literal with numeric value zero
+    /// (`0.0`, `0.00`, `0f32`, `0.0f32`). Used by the sparsity-skip rule.
+    pub fn is_float_zero(&self) -> bool {
+        if self.kind != TokKind::Number {
+            return false;
+        }
+        let t = self
+            .text
+            .trim_end_matches("f32")
+            .trim_end_matches("f64")
+            .trim_end_matches('_');
+        let is_floatish =
+            self.text.contains('.') || self.text.ends_with("f32") || self.text.ends_with("f64");
+        is_floatish && t.bytes().all(|b| matches!(b, b'0' | b'.' | b'_')) && !t.is_empty()
+    }
+}
+
+/// Multi-character operators, longest first so maximal munch works by table
+/// order. Everything else falls through to a single-byte `Punct`.
+const OPERATORS: &[&str] = &[
+    "...", "..=", "<<=", ">>=", "..", "::", "->", "=>", "==", "!=", "<=", ">=", "&&", "||", "<<",
+    ">>", "+=", "-=", "*=", "/=", "%=", "^=", "&=", "|=",
+];
+
+/// Lexes `src` into a lossless token stream.
+pub fn lex(src: &str) -> Vec<Token<'_>> {
+    Lexer {
+        src,
+        bytes: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        col: 1,
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Lexer<'a> {
+    fn run(mut self) -> Vec<Token<'a>> {
+        let mut out = Vec::new();
+        while self.pos < self.bytes.len() {
+            let start = self.pos;
+            let (line, col) = (self.line, self.col);
+            let kind = self.next_kind();
+            debug_assert!(self.pos > start, "lexer must always make progress");
+            out.push(Token {
+                kind,
+                text: &self.src[start..self.pos],
+                start,
+                line,
+                col,
+            });
+            // Columns/lines advance over the bytes just consumed.
+            for &b in &self.bytes[start..self.pos] {
+                if b == b'\n' {
+                    self.line += 1;
+                    self.col = 1;
+                } else {
+                    self.col += 1;
+                }
+            }
+        }
+        out
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.bytes.get(self.pos + ahead).copied()
+    }
+
+    fn next_kind(&mut self) -> TokKind {
+        let b = self.bytes[self.pos];
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                while matches!(self.peek(0), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+                    self.pos += 1;
+                }
+                TokKind::Whitespace
+            }
+            b'/' if self.peek(1) == Some(b'/') => {
+                while self.peek(0).is_some_and(|c| c != b'\n') {
+                    self.pos += 1;
+                }
+                TokKind::LineComment
+            }
+            b'/' if self.peek(1) == Some(b'*') => self.block_comment(),
+            b'"' => self.quoted_string(),
+            b'\'' => self.char_or_lifetime(),
+            b'r' | b'b' | b'c' => {
+                if let Some(kind) = self.try_literal_prefix() {
+                    kind
+                } else {
+                    self.ident()
+                }
+            }
+            b'0'..=b'9' => self.number(),
+            b'A'..=b'Z' | b'a'..=b'z' | b'_' => self.ident(),
+            _ if b < 0x80 => self.punct(),
+            _ => {
+                // Skip one full UTF-8 scalar so `text` stays valid UTF-8.
+                let ch_len = self.src[self.pos..]
+                    .chars()
+                    .next()
+                    .map_or(1, |c| c.len_utf8());
+                self.pos += ch_len;
+                TokKind::Unknown
+            }
+        }
+    }
+
+    fn block_comment(&mut self) -> TokKind {
+        self.pos += 2; // consume `/*`
+        let mut depth = 1usize;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some(b'/'), Some(b'*')) => {
+                    depth += 1;
+                    self.pos += 2;
+                }
+                (Some(b'*'), Some(b'/')) => {
+                    depth -= 1;
+                    self.pos += 2;
+                }
+                (Some(_), _) => self.pos += 1,
+                (None, _) => break, // unterminated: comment runs to EOF
+            }
+        }
+        TokKind::BlockComment
+    }
+
+    /// Consumes a `"..."` body (opening quote at `self.pos`), honouring
+    /// backslash escapes. Unterminated strings run to EOF.
+    fn quoted_string(&mut self) -> TokKind {
+        self.pos += 1; // opening quote
+        loop {
+            match self.peek(0) {
+                Some(b'\\') => self.pos += 2.min(self.bytes.len() - self.pos),
+                Some(b'"') => {
+                    self.pos += 1;
+                    break;
+                }
+                Some(_) => self.pos += 1,
+                None => break,
+            }
+        }
+        TokKind::Str
+    }
+
+    /// Handles the `r` / `b` / `c` / `br` / `cr` literal prefixes; returns
+    /// `None` if what follows is an ordinary identifier.
+    fn try_literal_prefix(&mut self) -> Option<TokKind> {
+        let b0 = self.bytes[self.pos];
+        // Two-byte prefixes first: br" / cr" / br#" / cr#".
+        if (b0 == b'b' || b0 == b'c') && self.peek(1) == Some(b'r') {
+            if let Some(len) = self.raw_string_len(2) {
+                self.pos += len;
+                return Some(TokKind::RawStr);
+            }
+        }
+        if b0 == b'r' {
+            if let Some(len) = self.raw_string_len(1) {
+                self.pos += len;
+                return Some(TokKind::RawStr);
+            }
+            // `r#ident` raw identifier.
+            if self.peek(1) == Some(b'#')
+                && self
+                    .peek(2)
+                    .is_some_and(|c| c.is_ascii_alphabetic() || c == b'_')
+            {
+                self.pos += 2;
+                return Some(self.ident());
+            }
+        }
+        if (b0 == b'b' || b0 == b'c') && self.peek(1) == Some(b'"') {
+            self.pos += 1;
+            return Some(self.quoted_string());
+        }
+        if b0 == b'b' && self.peek(1) == Some(b'\'') {
+            self.pos += 1;
+            self.char_body();
+            return Some(TokKind::Byte);
+        }
+        None
+    }
+
+    /// If a raw string starts `after` bytes ahead (at the `#`* or `"`),
+    /// returns the total length of the literal from `self.pos`.
+    fn raw_string_len(&self, after: usize) -> Option<usize> {
+        let mut i = self.pos + after;
+        let mut hashes = 0usize;
+        while self.bytes.get(i) == Some(&b'#') {
+            hashes += 1;
+            i += 1;
+        }
+        if self.bytes.get(i) != Some(&b'"') {
+            return None;
+        }
+        i += 1;
+        // Scan for `"` followed by `hashes` hash marks.
+        while i < self.bytes.len() {
+            if self.bytes[i] == b'"' {
+                let close = &self.bytes[i + 1..];
+                if close.len() >= hashes && close[..hashes].iter().all(|&c| c == b'#') {
+                    return Some(i + 1 + hashes - self.pos);
+                }
+            }
+            i += 1;
+        }
+        Some(self.bytes.len() - self.pos) // unterminated: runs to EOF
+    }
+
+    /// Consumes a char-literal body starting at the opening `'`.
+    fn char_body(&mut self) {
+        self.pos += 1; // opening quote
+        if self.peek(0) == Some(b'\\') {
+            self.pos += 2.min(self.bytes.len() - self.pos);
+        } else if self.peek(0).is_some() {
+            let ch_len = self.src[self.pos..]
+                .chars()
+                .next()
+                .map_or(1, |c| c.len_utf8());
+            self.pos += ch_len;
+        }
+        // `\u{...}` escapes and stray content: scan to the closing quote on
+        // this line.
+        while let Some(c) = self.peek(0) {
+            if c == b'\'' {
+                self.pos += 1;
+                return;
+            }
+            if c == b'\n' {
+                return; // malformed; don't swallow the rest of the file
+            }
+            self.pos += 1;
+        }
+    }
+
+    fn char_or_lifetime(&mut self) -> TokKind {
+        // `'a'` is a char; `'a` (ident not followed by `'`) is a lifetime.
+        let next = self.peek(1);
+        let is_lifetime = match next {
+            Some(c) if c.is_ascii_alphabetic() || c == b'_' => {
+                // Scan the identifier run; a closing quote right after makes
+                // it a char literal ('a'), otherwise a lifetime ('static).
+                let mut i = self.pos + 2;
+                while self
+                    .bytes
+                    .get(i)
+                    .is_some_and(|&c| c.is_ascii_alphanumeric() || c == b'_')
+                {
+                    i += 1;
+                }
+                self.bytes.get(i) != Some(&b'\'')
+            }
+            _ => false,
+        };
+        if is_lifetime {
+            self.pos += 1;
+            while self
+                .peek(0)
+                .is_some_and(|c| c.is_ascii_alphanumeric() || c == b'_')
+            {
+                self.pos += 1;
+            }
+            TokKind::Lifetime
+        } else {
+            self.char_body();
+            TokKind::Char
+        }
+    }
+
+    fn ident(&mut self) -> TokKind {
+        while self
+            .peek(0)
+            .is_some_and(|c| c.is_ascii_alphanumeric() || c == b'_')
+        {
+            self.pos += 1;
+        }
+        TokKind::Ident
+    }
+
+    fn number(&mut self) -> TokKind {
+        let radix_prefix = matches!(
+            (self.peek(0), self.peek(1)),
+            (Some(b'0'), Some(b'x' | b'o' | b'b'))
+        );
+        if radix_prefix {
+            self.pos += 2;
+            while self
+                .peek(0)
+                .is_some_and(|c| c.is_ascii_alphanumeric() || c == b'_')
+            {
+                self.pos += 1;
+            }
+            return TokKind::Number;
+        }
+        while self
+            .peek(0)
+            .is_some_and(|c| c.is_ascii_digit() || c == b'_')
+        {
+            self.pos += 1;
+        }
+        // Fraction only when a digit follows the dot — `0..n` stays a range.
+        if self.peek(0) == Some(b'.') && self.peek(1).is_some_and(|c| c.is_ascii_digit()) {
+            self.pos += 1;
+            while self
+                .peek(0)
+                .is_some_and(|c| c.is_ascii_digit() || c == b'_')
+            {
+                self.pos += 1;
+            }
+        }
+        // Exponent: `1e3`, `2.5E-2`.
+        if matches!(self.peek(0), Some(b'e' | b'E')) {
+            let (sign, digit) = (self.peek(1), self.peek(2));
+            if sign.is_some_and(|c| c.is_ascii_digit())
+                || (matches!(sign, Some(b'+' | b'-')) && digit.is_some_and(|c| c.is_ascii_digit()))
+            {
+                self.pos += 1;
+                if matches!(self.peek(0), Some(b'+' | b'-')) {
+                    self.pos += 1;
+                }
+                while self
+                    .peek(0)
+                    .is_some_and(|c| c.is_ascii_digit() || c == b'_')
+                {
+                    self.pos += 1;
+                }
+            }
+        }
+        // Type suffix (`u8`, `f32`, `usize`).
+        while self
+            .peek(0)
+            .is_some_and(|c| c.is_ascii_alphanumeric() || c == b'_')
+        {
+            self.pos += 1;
+        }
+        TokKind::Number
+    }
+
+    fn punct(&mut self) -> TokKind {
+        let rest = &self.src[self.pos..];
+        for op in OPERATORS {
+            if rest.starts_with(op) {
+                self.pos += op.len();
+                return TokKind::Punct;
+            }
+        }
+        self.pos += 1;
+        TokKind::Punct
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, &str)> {
+        lex(src)
+            .into_iter()
+            .filter(|t| t.kind != TokKind::Whitespace)
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    fn roundtrip(src: &str) {
+        let joined: String = lex(src).iter().map(|t| t.text).collect();
+        assert_eq!(joined, src, "lex must be lossless");
+    }
+
+    #[test]
+    fn classifies_basic_tokens() {
+        let toks = kinds("let x = a.max(0.0); // hi");
+        assert_eq!(
+            toks,
+            vec![
+                (TokKind::Ident, "let"),
+                (TokKind::Ident, "x"),
+                (TokKind::Punct, "="),
+                (TokKind::Ident, "a"),
+                (TokKind::Punct, "."),
+                (TokKind::Ident, "max"),
+                (TokKind::Punct, "("),
+                (TokKind::Number, "0.0"),
+                (TokKind::Punct, ")"),
+                (TokKind::Punct, ";"),
+                (TokKind::LineComment, "// hi"),
+            ]
+        );
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = kinds("a /* one /* two */ still one */ b");
+        assert_eq!(
+            toks,
+            vec![
+                (TokKind::Ident, "a"),
+                (TokKind::BlockComment, "/* one /* two */ still one */"),
+                (TokKind::Ident, "b"),
+            ]
+        );
+        roundtrip("/* /* */ unterminated");
+    }
+
+    #[test]
+    fn raw_strings_hide_comment_and_quote_syntax() {
+        let src = r####"let s = r#"contains " and // and /* inside"#; x"####;
+        let toks = kinds(src);
+        assert_eq!(toks[3].0, TokKind::RawStr);
+        assert_eq!(toks[3].1, r##"r#"contains " and // and /* inside"#"##);
+        assert_eq!(toks.last(), Some(&(TokKind::Ident, "x")));
+        roundtrip(src);
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes() {
+        let toks = kinds(r#"('\'', '"', 'x', &'static str, 'label)"#);
+        let chars: Vec<_> = toks.iter().filter(|t| t.0 == TokKind::Char).collect();
+        assert_eq!(chars.len(), 3, "{toks:?}");
+        let lifetimes: Vec<_> = toks.iter().filter(|t| t.0 == TokKind::Lifetime).collect();
+        assert_eq!(
+            lifetimes,
+            vec![
+                &(TokKind::Lifetime, "'static"),
+                &(TokKind::Lifetime, "'label")
+            ]
+        );
+    }
+
+    #[test]
+    fn byte_and_raw_byte_strings() {
+        let toks = kinds(r###"(b"bytes", br#"raw "bytes""#, b'x', rb)"###);
+        assert_eq!(toks[1], (TokKind::Str, "b\"bytes\""));
+        assert_eq!(toks[3], (TokKind::RawStr, r##"br#"raw "bytes""#"##));
+        assert_eq!(toks[5], (TokKind::Byte, "b'x'"));
+        // `rb` is not a literal prefix in Rust — plain identifier.
+        assert_eq!(toks[7], (TokKind::Ident, "rb"));
+    }
+
+    #[test]
+    fn numbers_floats_and_ranges() {
+        let toks = kinds("0..10, 1.5, 1e-3, 0x1e, 2f32, 1_000");
+        let floats: Vec<_> = lex("0..10, 1.5, 1e-3, 0x1e, 2f32, 1_000")
+            .into_iter()
+            .filter(Token::is_float_literal)
+            .map(|t| t.text.to_string())
+            .collect();
+        assert_eq!(floats, vec!["1.5", "1e-3", "2f32"]);
+        // `0..10` lexes as number, range-op, number.
+        assert_eq!(toks[0], (TokKind::Number, "0"));
+        assert_eq!(toks[1], (TokKind::Punct, ".."));
+        assert_eq!(toks[2], (TokKind::Number, "10"));
+    }
+
+    #[test]
+    fn float_zero_detection() {
+        for (text, want) in [
+            ("0.0", true),
+            ("0.00", true),
+            ("0f32", true),
+            ("0.0f32", true),
+            ("0", false),
+            ("0.1", false),
+            ("10.0", false),
+            ("0x0", false),
+        ] {
+            let toks = lex(text);
+            assert_eq!(toks.len(), 1, "{text}");
+            assert_eq!(toks[0].is_float_zero(), want, "{text}");
+        }
+    }
+
+    #[test]
+    fn raw_identifiers() {
+        let toks = kinds("r#type r#match normal");
+        assert_eq!(toks[0], (TokKind::Ident, "r#type"));
+        assert_eq!(toks[1], (TokKind::Ident, "r#match"));
+    }
+
+    #[test]
+    fn line_and_column_tracking() {
+        let toks = lex("ab\n  cd");
+        let cd = toks.last().expect("stream is non-empty");
+        assert_eq!((cd.line, cd.col), (2, 3));
+    }
+}

@@ -1,0 +1,73 @@
+#![forbid(unsafe_code)]
+//! # tdfm-lint
+//!
+//! A zero-dependency static analyzer that mechanically enforces the
+//! kernel/determinism invariants PRs 1–3 fixed by hand:
+//!
+//! | rule id | bug class it pins down |
+//! |---|---|
+//! | `nan-laundering` | `f32::max(NaN, 0.0) == 0.0` hiding poisoned activations (PR 3's ReLU/max-pool fix) |
+//! | `sparsity-skip` | the `a == 0.0` GEMM skip that turned `0 * NaN` into `0` (PR 3) |
+//! | `hot-path-alloc` | heap allocation creeping back into the packed kernels (PR 3's `Scratch` arena) |
+//! | `lib-unwrap` | panics that don't name their invariant (PR 1's non-finite-loss policy) |
+//! | `nondeterministic-time` | wall-clock reads leaking into golden outputs (PR 1's `normalize_timings`) |
+//! | `env-read` | scattered env reads drifting from the cached read-once sites (PR 3's `TDFM_THREADS` fix) |
+//! | `unsafe-needs-safety-comment` | `unsafe` without a `// SAFETY:` justification |
+//! | `bad-suppression` | malformed/reasonless `// tdfm-lint: allow(...)` comments (not suppressible) |
+//!
+//! Rules match a real token stream from a small lossless Rust lexer
+//! ([`lexer`]), so comments and string literals can never trigger (or
+//! hide) a diagnostic. Path scoping comes from the committed `lint.toml`
+//! ([`config`]); one-off sites use inline suppressions with a mandatory
+//! reason:
+//!
+//! ```text
+//! let m = row.fold(f32::NEG_INFINITY, |m, &x| m.max(x)); // tdfm-lint: allow(nan-laundering, max-shift only; NaN still propagates through exp below)
+//! ```
+//!
+//! Run it as `tdfm lint [--json]`; it exits non-zero on any finding.
+
+pub mod config;
+pub mod diag;
+pub mod engine;
+pub mod lexer;
+pub mod rules;
+
+pub use config::{Config, Scope};
+pub use diag::{report_json, report_text, Diagnostic};
+pub use engine::{lint_source, lint_workspace, LintReport};
+
+use std::path::Path;
+
+/// Lints the workspace at `root`, loading `lint.toml` from the root if
+/// present (a missing file means built-in default scopes). This is the
+/// entry point `tdfm lint` calls.
+pub fn run(root: &Path, config_path: Option<&Path>) -> Result<LintReport, String> {
+    let default_path = root.join("lint.toml");
+    let config = match config_path {
+        Some(p) => {
+            let text = std::fs::read_to_string(p)
+                .map_err(|e| format!("cannot read {}: {e}", p.display()))?;
+            Config::parse(&text)?
+        }
+        None if default_path.is_file() => {
+            let text = std::fs::read_to_string(&default_path)
+                .map_err(|e| format!("cannot read {}: {e}", default_path.display()))?;
+            Config::parse(&text)?
+        }
+        None => Config::default(),
+    };
+    for rule_id in config.rules.keys() {
+        if !rules::is_known_rule(rule_id) {
+            return Err(format!(
+                "lint.toml configures unknown rule `{rule_id}` (known: {})",
+                rules::all_rules()
+                    .iter()
+                    .map(|r| r.id())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ));
+        }
+    }
+    lint_workspace(root, &config)
+}

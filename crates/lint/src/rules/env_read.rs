@@ -1,0 +1,92 @@
+//! `env-read` — `std::env::var` outside the documented read-once config
+//! sites. PR 3 had to reconcile two modules reading `TDFM_THREADS` at
+//! different times (the cached value and a later read disagreed); the fix
+//! was one `OnceLock`-cached read per variable, and this rule keeps new
+//! scattered reads from reintroducing the drift.
+//!
+//! The allowlist (in `lint.toml`) is exactly the documented sites:
+//! `TDFM_THREADS` (tensor/parallel.rs), `TDFM_LOG`/`TDFM_TRACE`
+//! (obs/sink.rs), `TDFM_SCALE` (data/scale.rs), `TDFM_RESULTS`
+//! (bench/lib.rs).
+
+use super::{matches_texts, scope, Rule};
+use crate::config::Scope;
+use crate::diag::Diagnostic;
+use crate::engine::FileCtx;
+
+pub struct EnvRead;
+
+const SUGGESTION: &str = "read the variable once in its documented config site (OnceLock-cached) and pass the value through APIs; if this *is* a new documented site, add it to `[rules.env-read] exclude` in lint.toml and document it in README's environment table";
+
+impl Rule for EnvRead {
+    fn id(&self) -> &'static str {
+        "env-read"
+    }
+
+    fn default_scope(&self) -> Scope {
+        scope(
+            &[],
+            &[
+                "crates/tensor/src/parallel.rs",
+                "crates/obs/src/sink.rs",
+                "crates/data/src/scale.rs",
+                "crates/bench/src/lib.rs",
+            ],
+        )
+    }
+
+    fn check(&self, ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
+        let sig = ctx.significant();
+        for at in 0..sig.len() {
+            for reader in ["var", "var_os"] {
+                if matches_texts(ctx, &sig, at, &["env", "::", reader]) {
+                    out.push(ctx.diag(
+                        sig[at],
+                        self.id(),
+                        format!("`env::{reader}` outside the documented read-once config sites — scattered reads of the same variable drift apart"),
+                        SUGGESTION,
+                    ));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Config;
+    use crate::engine::lint_source;
+
+    fn diags(path: &str, src: &str) -> Vec<Diagnostic> {
+        lint_source(path, src, &Config::default())
+            .into_iter()
+            .filter(|d| d.rule == "env-read")
+            .collect()
+    }
+
+    #[test]
+    fn flags_env_var_in_undocumented_sites() {
+        let src = "fn f() { let v = std::env::var(\"TDFM_THREADS\"); }";
+        assert_eq!(diags("crates/core/src/experiment.rs", src).len(), 1);
+    }
+
+    #[test]
+    fn documented_sites_are_quiet() {
+        let src = "fn f() { let v = std::env::var(\"TDFM_THREADS\"); }";
+        assert!(diags("crates/tensor/src/parallel.rs", src).is_empty());
+        assert!(diags("crates/obs/src/sink.rs", src).is_empty());
+    }
+
+    #[test]
+    fn env_args_and_temp_dir_are_fine() {
+        let src = "fn f() { let a = std::env::args(); let d = std::env::temp_dir(); }";
+        assert!(diags("crates/core/src/experiment.rs", src).is_empty());
+    }
+
+    #[test]
+    fn tests_may_read_env() {
+        let src = "#[cfg(test)]\nmod t { fn f() { let v = std::env::var(\"X\"); } }";
+        assert!(diags("crates/core/src/experiment.rs", src).is_empty());
+    }
+}

@@ -1,0 +1,115 @@
+//! `hot-path-alloc` — heap allocation in the packed GEMM/conv/pool
+//! kernels. PR 3 threaded a `Scratch` arena through every kernel so a
+//! steady-state training step allocates nothing (pinned dynamically by the
+//! counting allocator in `crates/nn/tests/zero_alloc.rs`); this rule is
+//! the static complement that catches the allocation at review time
+//! instead of at test time.
+
+use super::{matches_texts, scope, Rule};
+use crate::config::Scope;
+use crate::diag::Diagnostic;
+use crate::engine::FileCtx;
+
+pub struct HotPathAlloc;
+
+const SUGGESTION: &str = "take a `Scratch` arena buffer (`scratch.take_f32(len)`) or a caller-provided slice instead; see crates/tensor/src/scratch.rs. If the allocation is provably cold, add `// tdfm-lint: allow(hot-path-alloc, <reason>)`";
+
+impl Rule for HotPathAlloc {
+    fn id(&self) -> &'static str {
+        "hot-path-alloc"
+    }
+
+    fn default_scope(&self) -> Scope {
+        scope(
+            &[
+                "crates/tensor/src/ops/gemm.rs",
+                "crates/tensor/src/ops/conv.rs",
+                "crates/tensor/src/ops/pool.rs",
+                "crates/tensor/src/ops/matmul.rs",
+            ],
+            &[],
+        )
+    }
+
+    fn check(&self, ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
+        let sig = ctx.significant();
+        for at in 0..sig.len() {
+            let what = if matches_texts(ctx, &sig, at, &["Vec", "::"]) {
+                Some("`Vec::` constructor")
+            } else if matches_texts(ctx, &sig, at, &["vec", "!"]) {
+                Some("`vec![...]`")
+            } else if matches_texts(ctx, &sig, at, &["Box", "::", "new"]) {
+                Some("`Box::new`")
+            } else if matches_texts(ctx, &sig, at, &[".", "to_vec", "("]) {
+                Some("`.to_vec()`")
+            } else if matches_texts(ctx, &sig, at, &[".", "collect", "("]) {
+                Some("`.collect()`")
+            } else if matches_texts(ctx, &sig, at, &[".", "clone", "(", ")"]) {
+                Some("`.clone()`")
+            } else {
+                None
+            };
+            if let Some(what) = what {
+                out.push(ctx.diag(
+                    sig[at],
+                    self.id(),
+                    format!("{what} allocates inside a zero-allocation kernel hot path"),
+                    SUGGESTION,
+                ));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Config;
+    use crate::engine::lint_source;
+
+    fn diags(src: &str) -> Vec<Diagnostic> {
+        lint_source("crates/tensor/src/ops/gemm.rs", src, &Config::default())
+            .into_iter()
+            .filter(|d| d.rule == "hot-path-alloc")
+            .collect()
+    }
+
+    #[test]
+    fn flags_every_allocation_form() {
+        let src = r#"
+fn kernel() {
+    let a = Vec::with_capacity(8);
+    let b = vec![0.0; 64];
+    let c = xs.to_vec();
+    let d: Vec<f32> = it.collect();
+    let e = Box::new(0.0);
+    let f = tensor.clone();
+}
+"#;
+        let d = diags(src);
+        let lines: Vec<u32> = d.iter().map(|x| x.line).collect();
+        assert_eq!(lines, vec![3, 4, 5, 6, 7, 8], "{d:?}");
+    }
+
+    #[test]
+    fn clone_with_arguments_is_not_the_tensor_clone_pattern() {
+        // `.clone_from(&x)` or a custom `clone(arg)` is not `.clone()`.
+        assert!(diags("fn k() { a.clone_from(&b); }").is_empty());
+    }
+
+    #[test]
+    fn tests_in_kernel_files_may_allocate() {
+        let src = "#[cfg(test)]\nmod tests { fn t() { let v = vec![0.0; 4]; } }";
+        assert!(diags(src).is_empty());
+    }
+
+    #[test]
+    fn other_ops_files_are_out_of_scope_by_default() {
+        let all = lint_source(
+            "crates/tensor/src/ops/reduce.rs",
+            "fn k() { let v = vec![0.0; 4]; }",
+            &Config::default(),
+        );
+        assert!(all.iter().all(|d| d.rule != "hot-path-alloc"));
+    }
+}

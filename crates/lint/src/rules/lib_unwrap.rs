@@ -1,0 +1,119 @@
+//! `lib-unwrap` — panics without invariants in library code. A bare
+//! `unwrap()` in `tdfm-json` or `tdfm-core` turns a malformed results file
+//! into an unexplained abort mid-grid; the repo convention (PR 1's
+//! non-finite-loss work) is that every intentional panic names the
+//! violated invariant.
+//!
+//! * `.unwrap()` is always flagged.
+//! * `.expect("...")` is flagged when the message does not read like an
+//!   invariant: shorter than 12 characters or a single word.
+//! * `expect(` with a non-string argument is ignored — that is a custom
+//!   method (e.g. the JSON parser's `Parser::expect(b'{')`), not
+//!   `Option::expect`.
+
+use super::{matches_texts, scope, tok, Rule};
+use crate::config::Scope;
+use crate::diag::Diagnostic;
+use crate::engine::FileCtx;
+use crate::lexer::TokKind;
+
+pub struct LibUnwrap;
+
+const MIN_EXPECT_MESSAGE: usize = 12;
+
+impl Rule for LibUnwrap {
+    fn id(&self) -> &'static str {
+        "lib-unwrap"
+    }
+
+    fn default_scope(&self) -> Scope {
+        scope(
+            &[
+                "crates/json/src/",
+                "crates/core/src/",
+                "crates/nn/src/",
+                "crates/obs/src/",
+            ],
+            &[],
+        )
+    }
+
+    fn check(&self, ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
+        let sig = ctx.significant();
+        for at in 0..sig.len() {
+            if matches_texts(ctx, &sig, at, &[".", "unwrap", "(", ")"]) {
+                out.push(ctx.diag(
+                    sig[at + 1],
+                    self.id(),
+                    "`unwrap()` in library code panics without naming the violated invariant",
+                    "propagate a Result, or use `expect(\"<the invariant that makes this infallible>\")`",
+                ));
+                continue;
+            }
+            if matches_texts(ctx, &sig, at, &[".", "expect", "("]) {
+                let Some((msg, TokKind::Str)) = tok(ctx, &sig, at + 3) else {
+                    continue; // non-literal or non-string arg: custom method
+                };
+                let body = msg.trim_matches('"');
+                if body.len() < MIN_EXPECT_MESSAGE || !body.contains(' ') {
+                    out.push(ctx.diag(
+                        sig[at + 1],
+                        self.id(),
+                        format!("expect message {msg} does not name the invariant that makes this infallible"),
+                        "spell out why the value is always present, e.g. `expect(\"cache lock poisoned\")`",
+                    ));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Config;
+    use crate::engine::lint_source;
+
+    fn diags(src: &str) -> Vec<Diagnostic> {
+        lint_source("crates/json/src/parse.rs", src, &Config::default())
+            .into_iter()
+            .filter(|d| d.rule == "lib-unwrap")
+            .collect()
+    }
+
+    #[test]
+    fn flags_unwrap_and_terse_expect() {
+        assert_eq!(diags("fn f() { v.unwrap(); }").len(), 1);
+        assert_eq!(diags("fn f() { v.expect(\"oops\"); }").len(), 1);
+        assert_eq!(diags("fn f() { v.expect(\"nonempty\"); }").len(), 1);
+    }
+
+    #[test]
+    fn invariant_naming_expect_passes() {
+        assert!(diags("fn f() { v.expect(\"cache lock poisoned\"); }").is_empty());
+        assert!(diags("fn f() { v.expect(\"input text is valid UTF-8\"); }").is_empty());
+    }
+
+    #[test]
+    fn custom_expect_methods_are_ignored() {
+        assert!(diags("fn f(p: &mut P) { p.expect(b'{')?; }").is_empty());
+        assert!(diags("fn f(p: &mut P) { self.expect(delim)?; }").is_empty());
+    }
+
+    #[test]
+    fn unwrap_or_variants_are_not_unwrap() {
+        assert!(diags("fn f() { v.unwrap_or_else(|| 0); v.unwrap_or(1); }").is_empty());
+    }
+
+    #[test]
+    fn tests_and_out_of_scope_crates_are_exempt() {
+        let src = "#[cfg(test)]\nmod t { fn f() { v.unwrap(); } }";
+        assert!(diags(src).is_empty());
+        let tensor = lint_source(
+            "crates/tensor/src/tensor.rs",
+            "fn f() { v.unwrap(); }",
+            &Config::default(),
+        );
+        assert!(tensor.iter().all(|d| d.rule != "lib-unwrap"));
+    }
+}

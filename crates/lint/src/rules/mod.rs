@@ -1,0 +1,76 @@
+//! The rule registry. Each rule is the mechanised form of a bug class a
+//! previous PR fixed by hand — see `DESIGN.md` §"Static analysis" for the
+//! rule ↔ historical-bug table.
+
+use crate::config::Scope;
+use crate::diag::Diagnostic;
+use crate::engine::FileCtx;
+use crate::lexer::TokKind;
+
+mod env_read;
+mod hot_path_alloc;
+mod lib_unwrap;
+mod nan_laundering;
+mod nondeterministic_time;
+mod sparsity_skip;
+mod unsafe_safety;
+
+/// One lint rule: an id, a default path scope, and a token-pattern check.
+pub trait Rule {
+    /// Stable kebab-case id used in diagnostics, suppressions and
+    /// `lint.toml` sections.
+    fn id(&self) -> &'static str;
+    /// Whether findings inside test code (test files, `#[cfg(test)]`
+    /// items) count. Default: library code only.
+    fn applies_in_tests(&self) -> bool {
+        false
+    }
+    /// Built-in path scope, overridable per rule in `lint.toml`.
+    fn default_scope(&self) -> Scope;
+    /// Emits raw findings; the engine applies test-code and suppression
+    /// filtering afterwards.
+    fn check(&self, ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>);
+}
+
+/// Every shipped rule, in diagnostic-stable order.
+pub fn all_rules() -> Vec<Box<dyn Rule>> {
+    vec![
+        Box::new(nan_laundering::NanLaundering),
+        Box::new(sparsity_skip::SparsitySkip),
+        Box::new(hot_path_alloc::HotPathAlloc),
+        Box::new(lib_unwrap::LibUnwrap),
+        Box::new(nondeterministic_time::NondeterministicTime),
+        Box::new(env_read::EnvRead),
+        Box::new(unsafe_safety::UnsafeNeedsSafetyComment),
+    ]
+}
+
+/// Is `id` a rule id suppressions may name? (`bad-suppression` itself is
+/// not suppressible.)
+pub fn is_known_rule(id: &str) -> bool {
+    all_rules().iter().any(|r| r.id() == id)
+}
+
+/// Convenience for scope construction.
+fn scope(include: &[&str], exclude: &[&str]) -> Scope {
+    Scope {
+        include: include.iter().map(|s| s.to_string()).collect(),
+        exclude: exclude.iter().map(|s| s.to_string()).collect(),
+    }
+}
+
+/// Does the significant-token window starting at `sig[at]` spell out
+/// `pattern` exactly?
+fn matches_texts(ctx: &FileCtx<'_>, sig: &[usize], at: usize, pattern: &[&str]) -> bool {
+    sig[at..].len() >= pattern.len()
+        && sig[at..at + pattern.len()]
+            .iter()
+            .zip(pattern)
+            .all(|(&i, want)| ctx.tokens[i].text == *want)
+}
+
+/// The significant token at `sig[at]`, if any.
+fn tok<'a>(ctx: &'a FileCtx<'_>, sig: &[usize], at: usize) -> Option<(&'a str, TokKind)> {
+    sig.get(at)
+        .map(|&i| (ctx.tokens[i].text, ctx.tokens[i].kind))
+}

@@ -1,0 +1,116 @@
+//! `nan-laundering` — float `.max(` / `.min(` calls silently replace NaN
+//! with the other operand (`f32::max(NaN, 0.0) == 0.0`), so a poisoned
+//! activation exits a kernel looking healthy. PR 3 had to hunt this by
+//! hand in ReLU and max-pool; the study's methodology (faults must reach
+//! the reliability metrics) breaks every time one of these slips in.
+//!
+//! Heuristics, in order:
+//! * `f32::max` / `f64::min` path calls are always float — flagged.
+//! * `.max(` / `.min(` is flagged only when its source line mentions a
+//!   float literal or a float type (`0.0`, `1e-3`, `f32`), so integer tile
+//!   arithmetic (`NR.min(n - j0)`) stays quiet.
+//! * A line that also calls `is_nan` is exempt: the author has visibly
+//!   routed NaN around the call (the shipped ReLU pattern).
+
+use super::{matches_texts, scope, Rule};
+use crate::config::Scope;
+use crate::diag::Diagnostic;
+use crate::engine::FileCtx;
+
+pub struct NanLaundering;
+
+const MESSAGE: &str =
+    "float min/max launders NaN (f32::max(NaN, 0.0) == 0.0), masking fault propagation";
+const SUGGESTION: &str = "guard with is_nan() so NaN propagates (see ReLU in layers/activation.rs), or add `// tdfm-lint: allow(nan-laundering, <reason>)`";
+
+impl Rule for NanLaundering {
+    fn id(&self) -> &'static str {
+        "nan-laundering"
+    }
+
+    fn default_scope(&self) -> Scope {
+        scope(
+            &[
+                "crates/tensor/src/ops/",
+                "crates/nn/src/layers/",
+                "crates/nn/src/loss/",
+            ],
+            &[],
+        )
+    }
+
+    fn check(&self, ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
+        let sig = ctx.significant();
+        for at in 0..sig.len() {
+            let flagged = if matches_texts(ctx, &sig, at, &["f32", "::", "max"])
+                || matches_texts(ctx, &sig, at, &["f32", "::", "min"])
+                || matches_texts(ctx, &sig, at, &["f64", "::", "max"])
+                || matches_texts(ctx, &sig, at, &["f64", "::", "min"])
+            {
+                true
+            } else if matches_texts(ctx, &sig, at, &[".", "max", "("])
+                || matches_texts(ctx, &sig, at, &[".", "min", "("])
+            {
+                ctx.line_has_float_marker(sig[at])
+            } else {
+                false
+            };
+            if flagged && !ctx.line_has_nan_guard(sig[at]) {
+                out.push(ctx.diag(sig[at], self.id(), MESSAGE, SUGGESTION));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Config;
+    use crate::engine::lint_source;
+
+    fn diags(src: &str) -> Vec<Diagnostic> {
+        lint_source("crates/tensor/src/ops/fake.rs", src, &Config::default())
+            .into_iter()
+            .filter(|d| d.rule == "nan-laundering")
+            .collect()
+    }
+
+    #[test]
+    fn flags_float_max_by_literal_and_by_type() {
+        assert_eq!(diags("fn f(x: f32) -> f32 { x.max(0.0) }").len(), 1);
+        assert_eq!(
+            diags("fn f() { let m = row.fold(f32::NEG_INFINITY, |m, x| m.max(x)); }").len(),
+            1
+        );
+        assert_eq!(diags("fn f(x: f32) -> f32 { f32::max(x, 0.0) }").len(), 1);
+    }
+
+    #[test]
+    fn integer_min_max_is_quiet() {
+        assert!(diags("fn f(n: usize) { let jw = NR.min(n - j0); }").is_empty());
+        assert!(diags("fn f(n: usize) { let d = batches.max(1); }").is_empty());
+    }
+
+    #[test]
+    fn is_nan_guard_on_the_line_exempts() {
+        assert!(
+            diags("fn f(x: f32) -> f32 { if x.is_nan() { x } else { x.max(0.0) } }").is_empty()
+        );
+    }
+
+    #[test]
+    fn comments_and_strings_never_trigger() {
+        assert!(diags("// f32::max(NaN, 0.0) returns 0.0\nfn f() {}").is_empty());
+        assert!(diags("fn f() -> &'static str { \"x.max(0.0) f32\" }").is_empty());
+    }
+
+    #[test]
+    fn out_of_scope_paths_are_quiet() {
+        let all = lint_source(
+            "crates/core/src/stats.rs",
+            "fn f(x: f32) -> f32 { x.max(0.0) }",
+            &Config::default(),
+        );
+        assert!(all.iter().all(|d| d.rule != "nan-laundering"));
+    }
+}

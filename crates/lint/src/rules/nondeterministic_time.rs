@@ -1,0 +1,85 @@
+//! `nondeterministic-time` — wall-clock reads outside the allowlisted
+//! timing modules. Golden outputs are diffed byte-for-byte after
+//! `normalize_timings`; a stray `Instant::now()` in model or experiment
+//! logic leaks nondeterminism into results that the normaliser does not
+//! know to strip (PR 1 learned this the hard way when parallel grids had
+//! to reproduce serial output exactly).
+//!
+//! The allowlist lives in `lint.toml` (`[rules.nondeterministic-time]
+//! exclude`): the bench harness, the observability crate, the trainer's
+//! epoch walls, and the experiment runner's manifest timings — every one
+//! of them feeds fields that `normalize_timings` strips.
+
+use super::{matches_texts, scope, Rule};
+use crate::config::Scope;
+use crate::diag::Diagnostic;
+use crate::engine::FileCtx;
+
+pub struct NondeterministicTime;
+
+const SUGGESTION: &str = "route timing through tdfm-obs (`OpTimer`/span) or tdfm-bench's harness so it lands in fields `normalize_timings` strips; if this module is a legitimate timing site, add it to `[rules.nondeterministic-time] exclude` in lint.toml";
+
+impl Rule for NondeterministicTime {
+    fn id(&self) -> &'static str {
+        "nondeterministic-time"
+    }
+
+    fn default_scope(&self) -> Scope {
+        // The committed lint.toml is the canonical allowlist; these
+        // defaults keep a config-less run sane.
+        scope(
+            &[],
+            &["crates/bench/", "crates/obs/", "crates/nn/src/trainer.rs"],
+        )
+    }
+
+    fn check(&self, ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
+        let sig = ctx.significant();
+        for at in 0..sig.len() {
+            for source in ["Instant", "SystemTime"] {
+                if matches_texts(ctx, &sig, at, &[source, "::", "now"]) {
+                    out.push(ctx.diag(
+                        sig[at],
+                        self.id(),
+                        format!("`{source}::now()` outside an allowlisted timing module leaks wall-clock nondeterminism into outputs"),
+                        SUGGESTION,
+                    ));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Config;
+    use crate::engine::lint_source;
+
+    fn diags(path: &str, src: &str) -> Vec<Diagnostic> {
+        lint_source(path, src, &Config::default())
+            .into_iter()
+            .filter(|d| d.rule == "nondeterministic-time")
+            .collect()
+    }
+
+    #[test]
+    fn flags_instant_and_systemtime_now() {
+        let src = "fn f() { let t = Instant::now(); let s = std::time::SystemTime::now(); }";
+        assert_eq!(diags("crates/core/src/stats.rs", src).len(), 2);
+    }
+
+    #[test]
+    fn allowlisted_modules_are_quiet() {
+        let src = "fn f() { let t = Instant::now(); }";
+        assert!(diags("crates/bench/src/harness.rs", src).is_empty());
+        assert!(diags("crates/obs/src/span.rs", src).is_empty());
+        assert!(diags("crates/nn/src/trainer.rs", src).is_empty());
+    }
+
+    #[test]
+    fn imports_alone_are_not_flagged() {
+        // Flagging `use std::time::Instant;` would double-report each site.
+        assert!(diags("crates/core/src/stats.rs", "use std::time::Instant;").is_empty());
+    }
+}

@@ -1,0 +1,117 @@
+//! `unsafe-needs-safety-comment` — every `unsafe` block, fn, or impl must
+//! be preceded by a `// SAFETY:` comment stating why the contract holds.
+//! The workspace has exactly two unsafe sites (the counting allocator in
+//! `zero_alloc.rs` and the env mutation in `parallel.rs`'s tests); this
+//! rule makes sure any future one arrives with its justification attached.
+//! Unlike the other rules it applies inside test code too — the existing
+//! unsafe lives there.
+
+use super::{scope, Rule};
+use crate::config::Scope;
+use crate::diag::Diagnostic;
+use crate::engine::FileCtx;
+use crate::lexer::TokKind;
+
+pub struct UnsafeNeedsSafetyComment;
+
+impl Rule for UnsafeNeedsSafetyComment {
+    fn id(&self) -> &'static str {
+        "unsafe-needs-safety-comment"
+    }
+
+    fn applies_in_tests(&self) -> bool {
+        true
+    }
+
+    fn default_scope(&self) -> Scope {
+        scope(&[], &[])
+    }
+
+    fn check(&self, ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
+        for (i, t) in ctx.tokens.iter().enumerate() {
+            if t.kind != TokKind::Ident || t.text != "unsafe" {
+                continue;
+            }
+            if !has_safety_comment_before(ctx, i) {
+                out.push(ctx.diag(
+                    i,
+                    self.id(),
+                    "`unsafe` without a preceding `// SAFETY:` comment",
+                    "state, directly above the unsafe site, why the safety contract holds",
+                ));
+            }
+        }
+    }
+}
+
+/// Walks backwards from the `unsafe` token over trivia; the immediately
+/// preceding comment run (comments separated only by whitespace) must
+/// contain `SAFETY:`.
+fn has_safety_comment_before(ctx: &FileCtx<'_>, idx: usize) -> bool {
+    for t in ctx.tokens[..idx].iter().rev() {
+        match t.kind {
+            TokKind::Whitespace => continue,
+            TokKind::LineComment | TokKind::BlockComment => {
+                if t.text.contains("SAFETY:") {
+                    return true;
+                }
+                // Keep scanning: a multi-line comment run counts as one.
+            }
+            _ => return false,
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Config;
+    use crate::engine::lint_source;
+
+    fn diags(src: &str) -> Vec<Diagnostic> {
+        lint_source("crates/tensor/src/parallel.rs", src, &Config::default())
+            .into_iter()
+            .filter(|d| d.rule == "unsafe-needs-safety-comment")
+            .collect()
+    }
+
+    #[test]
+    fn bare_unsafe_block_is_flagged() {
+        assert_eq!(diags("fn f() { unsafe { work() } }").len(), 1);
+    }
+
+    #[test]
+    fn safety_comment_directly_above_passes() {
+        let src =
+            "fn f() {\n    // SAFETY: the pointer is valid for the call.\n    unsafe { work() }\n}";
+        assert!(diags(src).is_empty());
+    }
+
+    #[test]
+    fn multi_line_safety_comment_passes() {
+        let src = "// SAFETY: serialised by GLOBAL_CONFIG; no other thread\n// mutates the environment concurrently.\nunsafe fn f() {}";
+        assert!(diags(src).is_empty());
+    }
+
+    #[test]
+    fn each_unsafe_needs_its_own_comment() {
+        let src =
+            "fn f() {\n    // SAFETY: ok for the first.\n    unsafe { a() }\n    unsafe { b() }\n}";
+        let d = diags(src);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].line, 4);
+    }
+
+    #[test]
+    fn applies_inside_cfg_test_modules() {
+        let src = "#[cfg(test)]\nmod t { fn f() { unsafe { a() } } }";
+        assert_eq!(diags(src).len(), 1);
+    }
+
+    #[test]
+    fn the_word_in_comments_or_strings_is_not_unsafe_code() {
+        assert!(diags("// unsafe is discussed here\nfn f() {}").is_empty());
+        assert!(diags("fn f() -> &'static str { \"unsafe\" }").is_empty());
+    }
+}

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # tdfm-nn
 //!
 //! The neural-network framework for the TDFM reproduction ("The Fault in Our

@@ -121,8 +121,12 @@ impl Loss for LabelRelaxationLoss {
                 // Prediction already inside the credal set: zero loss.
                 continue;
             }
-            // Projection onto the credal set boundary.
-            let rest = (1.0 - py).max(eps);
+            // Projection onto the credal set boundary. Clamp away from
+            // zero without f32::max: a NaN prediction must stay NaN
+            // (f32::max(NaN, eps) would launder it into eps); for finite
+            // py the comparison picks the same bits `max` would.
+            let rest = 1.0 - py;
+            let rest = if rest < eps { eps } else { rest };
             for j in 0..k {
                 let pj = p.data()[i * k + j];
                 let pr = if j == yi {

@@ -27,22 +27,34 @@ struct CountingAlloc;
 static COUNTING: AtomicBool = AtomicBool::new(false);
 static ALLOCS: AtomicU64 = AtomicU64::new(0);
 
+// SAFETY: every method forwards verbatim to the `System` allocator and only
+// adds side-effect-free atomic bookkeeping, so `GlobalAlloc`'s contract
+// (layout fidelity, no unwinding, no allocator reentrancy) is exactly
+// `System`'s, which upholds it.
 unsafe impl GlobalAlloc for CountingAlloc {
+    // SAFETY: caller obligations are passed through unchanged to `System`.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         if COUNTING.load(Ordering::Relaxed) {
             ALLOCS.fetch_add(1, Ordering::Relaxed);
         }
+        // SAFETY: `layout` is the caller's, forwarded untouched.
         unsafe { System.alloc(layout) }
     }
 
+    // SAFETY: caller obligations are passed through unchanged to `System`.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // SAFETY: `ptr` was produced by `alloc`/`realloc` above, which
+        // always return `System` pointers with this same layout.
         unsafe { System.dealloc(ptr, layout) }
     }
 
+    // SAFETY: caller obligations are passed through unchanged to `System`.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         if COUNTING.load(Ordering::Relaxed) {
             ALLOCS.fetch_add(1, Ordering::Relaxed);
         }
+        // SAFETY: `ptr`/`layout` come from this allocator's own alloc path
+        // (which is `System`'s), and `new_size` is the caller's.
         unsafe { System.realloc(ptr, layout, new_size) }
     }
 }

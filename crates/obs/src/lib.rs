@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # tdfm-obs
 //!
 //! Zero-external-dependency observability for the TDFM reproduction:

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # tdfm-survey
 //!
 //! A machine-readable encoding of the paper's survey (Section III-A and

@@ -1,3 +1,4 @@
+#![deny(unsafe_code)]
 //! # tdfm-tensor
 //!
 //! Pure-Rust CPU tensor substrate for the TDFM reproduction ("The Fault in

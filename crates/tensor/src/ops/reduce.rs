@@ -26,6 +26,7 @@ pub fn softmax_rows(logits: &Tensor, temperature: f32) -> Tensor {
     let k = logits.shape().dim(1);
     let mut out = logits.clone();
     for row in out.data_mut().chunks_mut(k) {
+        // tdfm-lint: allow(nan-laundering, max-shift for numerical stability only; a NaN row element still reaches (x - max).exp() below and propagates)
         let max = row.iter().fold(f32::NEG_INFINITY, |m, &x| m.max(x));
         let mut sum = 0.0;
         for x in row.iter_mut() {
@@ -50,6 +51,7 @@ pub fn log_softmax_rows(logits: &Tensor) -> Tensor {
     let k = logits.shape().dim(1);
     let mut out = logits.clone();
     for row in out.data_mut().chunks_mut(k) {
+        // tdfm-lint: allow(nan-laundering, max-shift for numerical stability only; a NaN row element still reaches (x - max).exp() below and propagates)
         let max = row.iter().fold(f32::NEG_INFINITY, |m, &x| m.max(x));
         let log_sum = row.iter().map(|&x| (x - max).exp()).sum::<f32>().ln() + max;
         for x in row.iter_mut() {

@@ -238,6 +238,9 @@ pub fn parallel_map_reduce<T: Send>(
 }
 
 #[cfg(test)]
+// The env-mutation tests need `unsafe` (set_var); the crate root denies
+// unsafe_code so this opt-in stays visible and test-scoped.
+#[allow(unsafe_code)]
 mod tests {
     use super::*;
     use std::sync::atomic::AtomicU64;
@@ -350,10 +353,14 @@ mod tests {
             resolved,
             "env changes after startup are inert"
         );
+        // SAFETY: serialised by GLOBAL_CONFIG; no other thread reads the
+        // environment concurrently in this test binary.
         unsafe {
             std::env::set_var("TDFM_THREADS", "62");
         }
         assert_eq!(num_threads(), resolved);
+        // SAFETY: same serialisation as above; this restores the variable
+        // to its pre-test value before the lock is released.
         unsafe {
             match &original {
                 Some(v) => std::env::set_var("TDFM_THREADS", v),

@@ -1,0 +1,7 @@
+//! A suppression without a reason: the lint rejects it (bad-suppression)
+//! and still reports the underlying finding.
+
+pub fn relu(x: f32) -> f32 {
+    // tdfm-lint: allow(nan-laundering)
+    x.max(0.0)
+}

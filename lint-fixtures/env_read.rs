@@ -1,0 +1,9 @@
+//! A scattered `env::var` read: the documented read-once sites cache one
+//! OnceLock value per variable so concurrent readers cannot drift.
+
+pub fn threads() -> usize {
+    std::env::var("TDFM_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1)
+}

@@ -1,0 +1,8 @@
+//! Heap allocation inside a "kernel": the scratch arena (PR 3) exists so
+//! the steady-state training step allocates nothing.
+
+pub fn kernel(xs: &[f32]) -> Vec<f32> {
+    let mut out = Vec::with_capacity(xs.len());
+    out.extend(xs.iter().map(|x| x * 2.0));
+    out
+}

@@ -1,0 +1,8 @@
+//! Bare unwrap and a lazy expect: library panics must name the violated
+//! invariant (repo convention since PR 1's non-finite-loss work).
+
+pub fn read_len(path: &str) -> usize {
+    let text = std::fs::read_to_string(path).unwrap();
+    let first = text.lines().next().expect("no lines");
+    first.len()
+}

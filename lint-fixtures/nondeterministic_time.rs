@@ -1,0 +1,8 @@
+//! Wall-clock reads outside the allowlisted timing modules leak
+//! nondeterminism into golden outputs that `normalize_timings` cannot
+//! strip.
+
+pub fn jittered_seed() -> u64 {
+    let t = std::time::Instant::now();
+    t.elapsed().as_nanos() as u64
+}

@@ -1,0 +1,14 @@
+//! The seed GEMM's sparsity "optimisation", verbatim: skipping the inner
+//! loop when `a_ip == 0.0` turns `0 * NaN` (IEEE: NaN) into an untouched
+//! zero, erasing injected faults. PR 3 deleted this; the lint keeps it out.
+
+pub fn gemm_row(a: &[f32], b: &[f32], c: &mut [f32], n: usize) {
+    for (p, &a_ip) in a.iter().enumerate() {
+        if a_ip == 0.0 {
+            continue;
+        }
+        for j in 0..n {
+            c[j] += a_ip * b[p * n + j];
+        }
+    }
+}

@@ -1,0 +1,6 @@
+//! An `unsafe` block with no `// SAFETY:` comment: the contract the
+//! caller is relying on is invisible to the reviewer.
+
+pub fn first_byte(xs: &[u8]) -> u8 {
+    unsafe { *xs.get_unchecked(0) }
+}

@@ -11,6 +11,28 @@ cargo fmt --all -- --check
 echo "== cargo clippy (deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
+# TDFM_SMOKE_DIR lets CI keep artefacts (lint report, trace, manifest) for
+# upload; by default they land in a throwaway directory.
+if [ -n "${TDFM_SMOKE_DIR:-}" ]; then
+    smoke_dir="$TDFM_SMOKE_DIR"
+    mkdir -p "$smoke_dir"
+else
+    smoke_dir="$(mktemp -d)"
+    trap 'rm -rf "$smoke_dir"' EXIT
+fi
+
+echo "== tdfm lint (project static analysis) =="
+# The repo's own analyzer (crates/lint): NaN laundering, sparsity skips,
+# kernel allocations, bare unwraps, wall-clock and env reads, unsafe
+# without SAFETY comments. Must be clean before anything is built in
+# release mode; the JSON report is kept as a CI artefact either way.
+if ! cargo run -q --bin tdfm -- lint --json > "$smoke_dir/lint.json"; then
+    # Re-run in human-readable form so the failure log shows file:line:col.
+    cargo run -q --bin tdfm -- lint || true
+    echo "tdfm lint failed (JSON report: $smoke_dir/lint.json)" >&2
+    exit 1
+fi
+
 echo "== tier-1: cargo build --release && cargo test -q =="
 cargo build --release
 cargo test -q
@@ -35,15 +57,6 @@ echo "== obs smoke: trace + manifest + tdfm report =="
 # Run the smallest harness binary with tracing on, then make `tdfm report`
 # the assertion that the trace is valid JSONL and the manifest parses (it
 # exits non-zero on any malformed input).
-# TDFM_SMOKE_DIR lets CI keep the artefacts (trace + manifest) for upload;
-# by default they land in a throwaway directory.
-if [ -n "${TDFM_SMOKE_DIR:-}" ]; then
-    smoke_dir="$TDFM_SMOKE_DIR"
-    mkdir -p "$smoke_dir"
-else
-    smoke_dir="$(mktemp -d)"
-    trap 'rm -rf "$smoke_dir"' EXIT
-fi
 TDFM_SCALE=tiny TDFM_RESULTS="$smoke_dir" TDFM_TRACE="$smoke_dir/trace.jsonl" \
     ./target/release/motivating > /dev/null
 test -s "$smoke_dir/trace.jsonl"

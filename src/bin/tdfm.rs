@@ -8,6 +8,7 @@
 //! tdfm detect [OPTIONS]               run the label-noise detector
 //! tdfm sweep --config FILE            run a JSON list of cells (+ manifest)
 //! tdfm report FILE...                 summarise manifests / JSONL traces
+//! tdfm lint [--json]                  static analysis (kernel invariants)
 //! tdfm help                           this text
 //! ```
 //!
@@ -57,7 +58,18 @@ enum Command {
     Report {
         paths: Vec<String>,
     },
+    Lint(LintArgs),
     Help,
+}
+
+#[derive(Debug, Clone, PartialEq, Default)]
+struct LintArgs {
+    /// Emit the machine-readable JSON report instead of text.
+    json: bool,
+    /// Alternative config file (default: `<root>/lint.toml` if present).
+    config: Option<String>,
+    /// Workspace root to lint (default: current directory).
+    root: Option<String>,
 }
 
 #[derive(Debug, Clone, PartialEq)]
@@ -226,6 +238,25 @@ fn parse_command(args: &[String]) -> Result<Command, String> {
                 paths: rest.to_vec(),
             })
         }
+        "lint" => {
+            let mut lint = LintArgs::default();
+            let mut it = rest.iter();
+            while let Some(flag) = it.next() {
+                if flag == "--json" {
+                    lint.json = true;
+                    continue;
+                }
+                let value = it
+                    .next()
+                    .ok_or_else(|| format!("flag '{flag}' requires a value"))?;
+                match flag.as_str() {
+                    "--config" => lint.config = Some(value.clone()),
+                    "--root" => lint.root = Some(value.clone()),
+                    other => return Err(format!("unknown flag '{other}'")),
+                }
+            }
+            Ok(Command::Lint(lint))
+        }
         "help" | "--help" | "-h" => Ok(Command::Help),
         other => Err(format!("unknown command '{other}' (try 'tdfm help')")),
     }
@@ -393,6 +424,29 @@ fn cmd_report(paths: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_lint(args: &LintArgs) -> Result<(), String> {
+    let root = std::path::PathBuf::from(args.root.as_deref().unwrap_or("."));
+    let report = tdfm::lint::run(&root, args.config.as_deref().map(std::path::Path::new))?;
+    if args.json {
+        println!(
+            "{}",
+            tdfm::lint::report_json(&report.diagnostics, report.files_checked)
+        );
+    } else {
+        print!(
+            "{}",
+            tdfm::lint::report_text(&report.diagnostics, report.files_checked)
+        );
+    }
+    if report.diagnostics.is_empty() {
+        Ok(())
+    } else {
+        // Findings already went to stdout; exit 1 distinguishes "findings"
+        // from usage/IO errors (exit 2).
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let outcome = match parse_command(&args) {
@@ -418,6 +472,7 @@ fn main() {
         }
         Ok(Command::Sweep { config, output }) => cmd_sweep(&config, output.as_deref()),
         Ok(Command::Report { paths }) => cmd_report(&paths),
+        Ok(Command::Lint(lint)) => cmd_lint(&lint),
         Ok(Command::Help) => {
             print!("{}", HELP);
             Ok(())
@@ -442,6 +497,10 @@ USAGE:
                                    run a JSON list of experiment cells
                                    (writes <output>.manifest.json too)
   tdfm report FILE...              summarise run manifests / JSONL traces
+  tdfm lint [--json] [--config FILE] [--root DIR]
+                                   static analysis of the workspace sources
+                                   (kernel/determinism invariants; exit 1
+                                   on any finding)
   tdfm help                        this text
 
 OPTIONS (run/detect):
@@ -548,6 +607,24 @@ mod tests {
                 ]
             }
         );
+    }
+
+    #[test]
+    fn lint_parses_flags() {
+        assert_eq!(
+            parse_command(&argv("lint")).unwrap(),
+            Command::Lint(LintArgs::default())
+        );
+        assert_eq!(
+            parse_command(&argv("lint --json --config other.toml --root /tmp/repo")).unwrap(),
+            Command::Lint(LintArgs {
+                json: true,
+                config: Some("other.toml".to_string()),
+                root: Some("/tmp/repo".to_string()),
+            })
+        );
+        assert!(parse_command(&argv("lint --config")).is_err());
+        assert!(parse_command(&argv("lint --bogus x")).is_err());
     }
 
     #[test]

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # tdfm
 //!
 //! A from-scratch Rust reproduction of **"The Fault in Our Data Stars:
@@ -18,6 +19,9 @@
 //! * [`survey`] — Table I's candidate techniques and selection criteria.
 //! * [`json`] — the dependency-free JSON reader/writer every result file
 //!   goes through.
+//! * [`lint`] — the project's own static analyzer (`tdfm lint`): token-level
+//!   rules that enforce the NaN-propagation, zero-alloc and determinism
+//!   invariants the kernels rely on.
 //! * [`obs`] — zero-dependency structured tracing, metrics and run
 //!   manifests (`TDFM_LOG`, `TDFM_TRACE`, `tdfm report`).
 //! * [`core`] — the five TDFM techniques, the accuracy-delta metric, the
@@ -56,6 +60,7 @@ pub use tdfm_core as core;
 pub use tdfm_data as data;
 pub use tdfm_inject as inject;
 pub use tdfm_json as json;
+pub use tdfm_lint as lint;
 pub use tdfm_nn as nn;
 pub use tdfm_obs as obs;
 pub use tdfm_survey as survey;
