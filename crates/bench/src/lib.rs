@@ -74,6 +74,31 @@ pub fn results_to_json(results: &[ExperimentResult]) -> String {
     format!("[\n{}\n]", inner.join(",\n"))
 }
 
+/// [`write_manifest`] for the model-fault runner: writes
+/// `<stem>.manifest.json` under [`results_dir`]; `tdfm report` reads it
+/// with the same code path as the data-fault manifests.
+///
+/// # Errors
+///
+/// Returns any filesystem error encountered.
+pub fn write_model_fault_manifest(
+    stem: &str,
+    runner: &tdfm_core::ModelFaultRunner,
+    results: &[tdfm_core::ModelFaultResult],
+) -> std::io::Result<PathBuf> {
+    let dir = results_dir();
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join(format!("{stem}.manifest.json"));
+    runner.manifest(stem, results).write(&path)?;
+    Ok(path)
+}
+
+/// Serialises a batch of model-fault results to one JSON array document.
+pub fn model_fault_results_to_json(results: &[tdfm_core::ModelFaultResult]) -> String {
+    let inner: Vec<String> = results.iter().map(|r| r.to_json()).collect();
+    format!("[\n{}\n]", inner.join(",\n"))
+}
+
 /// Prints the standard harness banner: what is being reproduced, at which
 /// scale, and where the paper's version of the numbers lives.
 pub fn banner(what: &str, scale: Scale, paper_ref: &str) {

@@ -217,7 +217,7 @@ impl Default for Runner {
 /// on scheduling. Each worker runs under an inner thread budget of
 /// `total / workers`, keeping nested parallelism (tensor kernels, ensemble
 /// members, per-cell repetitions) within the global budget.
-fn run_indexed<T: Send>(count: usize, work: impl Fn(usize) -> T + Sync) -> Vec<T> {
+pub(crate) fn run_indexed<T: Send>(count: usize, work: impl Fn(usize) -> T + Sync) -> Vec<T> {
     let budget = num_threads();
     let workers = budget.min(count);
     if workers <= 1 {

@@ -15,6 +15,9 @@
 //!   Section III-C / Fig. 2), with Student-t 95% confidence intervals.
 //! * [`experiment`] — the golden/faulty experiment protocol of Fig. 2 with
 //!   golden-prediction caching and JSON-serialisable results.
+//! * [`model_fault`] — the second fault axis (ROADMAP item 1): every
+//!   technique, including fault-aware training, scored under SEU bit-flip
+//!   sweeps in model weights and activations.
 //! * [`overhead`] — the training/inference overhead study (Section IV-E).
 //!
 //! # Examples
@@ -45,10 +48,12 @@
 pub mod detect;
 pub mod experiment;
 pub mod metrics;
+pub mod model_fault;
 pub mod overhead;
 pub mod stats;
 pub mod technique;
 
 pub use experiment::{ExperimentConfig, ExperimentResult, Runner};
 pub use metrics::{accuracy, accuracy_delta, ConfidenceInterval, ConfusionMatrix};
+pub use model_fault::{ModelFaultResult, ModelFaultRunner, ModelFaultSweep};
 pub use technique::{FittedModel, Mitigation, TechniqueKind, TrainContext};

@@ -1,13 +1,16 @@
-//! The five TDFM techniques (paper Section III-B) behind one trait.
+//! The five TDFM techniques (paper Section III-B) behind one trait, plus
+//! fault-aware training for the model-fault axis (ROADMAP item 1).
 
 mod correction;
 mod distillation;
 mod ensemble;
+mod fault_aware;
 mod simple;
 
 pub use correction::LabelCorrection;
 pub use distillation::SelfDistillation;
 pub use ensemble::Ensemble;
+pub use fault_aware::FaultAwareTraining;
 pub use simple::{Baseline, LabelSmoothing, RobustLoss};
 
 use tdfm_data::{LabeledDataset, Scale};
@@ -140,6 +143,16 @@ impl FittedModel {
         crate::metrics::accuracy(&self.predict(ds.images()), ds.labels())
     }
 
+    /// Mutable access to every member network (one for `Single`) — the
+    /// model-fault runner uses this to flip weight bits and install
+    /// activation hooks on each member.
+    pub fn networks_mut(&mut self) -> Vec<&mut Network> {
+        match self {
+            FittedModel::Single(net) => vec![net],
+            FittedModel::Ensemble(nets) => nets.iter_mut().collect(),
+        }
+    }
+
     /// Number of member networks (1 unless this is an ensemble).
     pub fn member_count(&self) -> usize {
         match self {
@@ -206,10 +219,15 @@ pub enum TechniqueKind {
     KnowledgeDistillation,
     /// 5-model heterogeneous majority-vote ensemble (III-B5).
     Ensemble,
+    /// Training under stochastic weight bit-flips — hardens against
+    /// *model* faults (SEUs) instead of data faults.
+    FaultAwareTraining,
 }
 
 impl TechniqueKind {
-    /// All techniques in the paper's column order.
+    /// The data-fault techniques in the paper's column order. Kept at the
+    /// paper's six so results recorded against the original grid are
+    /// unchanged; the model-fault study iterates [`TechniqueKind::ALL_EXTENDED`].
     pub const ALL: [TechniqueKind; 6] = [
         TechniqueKind::Baseline,
         TechniqueKind::LabelSmoothing,
@@ -217,6 +235,18 @@ impl TechniqueKind {
         TechniqueKind::RobustLoss,
         TechniqueKind::KnowledgeDistillation,
         TechniqueKind::Ensemble,
+    ];
+
+    /// [`TechniqueKind::ALL`] plus fault-aware training — the column set
+    /// of the model-fault harness.
+    pub const ALL_EXTENDED: [TechniqueKind; 7] = [
+        TechniqueKind::Baseline,
+        TechniqueKind::LabelSmoothing,
+        TechniqueKind::LabelCorrection,
+        TechniqueKind::RobustLoss,
+        TechniqueKind::KnowledgeDistillation,
+        TechniqueKind::Ensemble,
+        TechniqueKind::FaultAwareTraining,
     ];
 
     /// Abbreviation used in the paper's tables (`Base`, `LS`, ...).
@@ -228,6 +258,7 @@ impl TechniqueKind {
             TechniqueKind::RobustLoss => "RL",
             TechniqueKind::KnowledgeDistillation => "KD",
             TechniqueKind::Ensemble => "Ens",
+            TechniqueKind::FaultAwareTraining => "FAT",
         }
     }
 
@@ -240,6 +271,7 @@ impl TechniqueKind {
             TechniqueKind::RobustLoss => "Robust Loss",
             TechniqueKind::KnowledgeDistillation => "Knowledge Distillation",
             TechniqueKind::Ensemble => "Ensemble",
+            TechniqueKind::FaultAwareTraining => "Fault-Aware Training",
         }
     }
 
@@ -253,6 +285,7 @@ impl TechniqueKind {
             TechniqueKind::RobustLoss => Box::new(RobustLoss::adaptive()),
             TechniqueKind::KnowledgeDistillation => Box::new(SelfDistillation::new(0.7, 4.0)),
             TechniqueKind::Ensemble => Box::new(Ensemble::paper_default()),
+            TechniqueKind::FaultAwareTraining => Box::new(FaultAwareTraining::paper_default()),
         }
     }
 }
@@ -264,6 +297,7 @@ json_unit_enum!(TechniqueKind {
     RobustLoss,
     KnowledgeDistillation,
     Ensemble,
+    FaultAwareTraining,
 });
 
 impl std::fmt::Display for TechniqueKind {
@@ -298,9 +332,20 @@ mod tests {
 
     #[test]
     fn kinds_have_unique_abbrevs() {
-        let set: std::collections::HashSet<_> =
-            TechniqueKind::ALL.iter().map(|t| t.abbrev()).collect();
-        assert_eq!(set.len(), 6);
+        let set: std::collections::HashSet<_> = TechniqueKind::ALL_EXTENDED
+            .iter()
+            .map(|t| t.abbrev())
+            .collect();
+        assert_eq!(set.len(), 7);
+    }
+
+    #[test]
+    fn extended_set_is_all_plus_fault_aware() {
+        assert_eq!(&TechniqueKind::ALL_EXTENDED[..6], &TechniqueKind::ALL[..]);
+        assert_eq!(
+            TechniqueKind::ALL_EXTENDED[6],
+            TechniqueKind::FaultAwareTraining
+        );
     }
 
     #[test]
@@ -311,11 +356,12 @@ mod tests {
         assert_eq!(TechniqueKind::RobustLoss.build().name(), "RL");
         assert_eq!(TechniqueKind::KnowledgeDistillation.build().name(), "KD");
         assert_eq!(TechniqueKind::Ensemble.build().name(), "Ens");
+        assert_eq!(TechniqueKind::FaultAwareTraining.build().name(), "FAT");
     }
 
     #[test]
     fn only_label_correction_wants_clean_data() {
-        for kind in TechniqueKind::ALL {
+        for kind in TechniqueKind::ALL_EXTENDED {
             let wants = kind.build().wants_clean_subset();
             assert_eq!(wants, kind == TechniqueKind::LabelCorrection, "{kind}");
         }

@@ -80,13 +80,16 @@ impl Injector {
                 FaultKind::Mislabelling => {
                     let (next, victims) = mislabel(&current, count, &mut stream);
                     current = next;
-                    report.mislabelled += count;
+                    // `victims.len()`, not `count`: mislabel clamps to the
+                    // dataset length, and the report must state what
+                    // actually happened (detectors are scored against it).
+                    report.mislabelled += victims.len();
                     report.mislabelled_indices.extend(victims);
                 }
                 FaultKind::PairFlipMislabelling => {
                     let (next, victims) = pair_flip(&current, count, &mut stream);
                     current = next;
-                    report.mislabelled += count;
+                    report.mislabelled += victims.len();
                     report.mislabelled_indices.extend(victims);
                 }
                 FaultKind::Repetition => {
@@ -128,7 +131,10 @@ fn pair_flip(ds: &LabeledDataset, count: usize, rng: &mut Rng) -> (LabeledDatase
     if count == 0 {
         return (ds.clone(), Vec::new());
     }
-    assert!(ds.classes() > 1, "mislabelling needs at least two classes");
+    assert!(
+        ds.classes() > 1,
+        "pair-flip mislabelling needs at least two classes"
+    );
     let victims = rng.sample_indices(ds.len(), count.min(ds.len()));
     let mut labels = ds.labels().to_vec();
     for &v in &victims {
@@ -340,6 +346,37 @@ mod tests {
                 .count();
             assert_eq!(flipped, expect.min(n));
         }
+    }
+
+    #[test]
+    fn clamped_counts_are_reported_exactly() {
+        // `FaultSpec`'s fields are public and `json_struct!` deserialization
+        // bypasses `FaultSpec::new`'s range assert, so a plan arriving from
+        // JSON can carry percent > 100: the rounded count then exceeds the
+        // dataset length and `mislabel`/`pair_flip` clamp the victim set.
+        // The report must state what actually happened (victims.len()), not
+        // the requested count — the seed's `+= count` over-reported here.
+        let json = r#"{"specs": [
+            {"kind": "Mislabelling", "percent": 150.0},
+            {"kind": "PairFlipMislabelling", "percent": 120.0}
+        ]}"#;
+        let plan: FaultPlan = tdfm_json::from_str(json).expect("plan parses");
+        let ds = dataset(20, 4);
+        let (faulty, report) = Injector::new(8).apply(&ds, &plan);
+        // Both steps clamp to the full dataset: 20 + 20 flips, not 30 + 24.
+        assert_eq!(report.mislabelled, 40);
+        assert_eq!(report.mislabelled_indices.len(), report.mislabelled);
+        assert_eq!(faulty.len(), 20);
+        assert_eq!(report.before, 20);
+        assert_eq!(report.after, 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "pair-flip mislabelling needs at least two classes")]
+    fn pair_flip_single_class_names_itself() {
+        let ds = dataset(10, 1);
+        let plan = FaultPlan::single(FaultKind::PairFlipMislabelling, 50.0);
+        let _ = Injector::new(0).apply(&ds, &plan);
     }
 
     #[test]

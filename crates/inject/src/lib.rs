@@ -17,6 +17,10 @@
 //! correction requires (Section III-B2). Every injection is reproducible
 //! from a seed and returns an [`InjectionReport`] with exact counts.
 //!
+//! The [`model`] module extends the study to the second fault axis
+//! (ROADMAP item 1): SEU-style bit-flips in model weights and activations,
+//! configured by [`model::ModelFaultPlan`] at multiple resolutions.
+//!
 //! # Examples
 //!
 //! ```
@@ -33,6 +37,7 @@
 
 mod fault;
 mod injector;
+pub mod model;
 
 pub use fault::{FaultKind, FaultPlan, FaultSpec};
 pub use injector::{split_clean, InjectionReport, Injector};

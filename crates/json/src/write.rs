@@ -102,7 +102,10 @@ fn write_number(n: Number, out: &mut String) {
         Number::F64(v) => write_float(v, out),
         Number::F32(v) => {
             // Serialised in f32 shortest form, like serde_json does for
-            // f32 values; non-finite floats become null.
+            // f32 values; non-finite floats become null. Callers that must
+            // not launder (checkpoints) serialise raw bits, not floats —
+            // see tdfm-nn's SavedModel `params_bits`.
+            // tdfm-lint: allow(nan-laundering, JSON has no NaN/Inf literal; serde_json-compatible null keeps result files parseable)
             if v.is_finite() {
                 let start = out.len();
                 let _ = write!(out, "{v}");
@@ -115,6 +118,7 @@ fn write_number(n: Number, out: &mut String) {
 }
 
 fn write_float(v: f64, out: &mut String) {
+    // tdfm-lint: allow(nan-laundering, JSON has no NaN/Inf literal; serde_json-compatible null keeps result files parseable)
     if v.is_finite() {
         let start = out.len();
         let _ = write!(out, "{v}");

@@ -11,17 +11,33 @@
 //!   arithmetic (`NR.min(n - j0)`) stays quiet.
 //! * A line that also calls `is_nan` is exempt: the author has visibly
 //!   routed NaN around the call (the shipped ReLU pattern).
+//! * **Null encoding**: an `is_finite` branch whose non-finite arm emits
+//!   the string literal `"null"` (within the next ~40 significant tokens)
+//!   serialises NaN/±Inf as JSON null — the checkpoint-side twin of the
+//!   kernel bug. A model-fault run whose loss went NaN must not produce a
+//!   results file that merely looks sparse; each such site needs an
+//!   explicit allow with its compatibility rationale.
 
 use super::{matches_texts, scope, Rule};
 use crate::config::Scope;
 use crate::diag::Diagnostic;
 use crate::engine::FileCtx;
+use crate::lexer::TokKind;
 
 pub struct NanLaundering;
 
 const MESSAGE: &str =
     "float min/max launders NaN (f32::max(NaN, 0.0) == 0.0), masking fault propagation";
 const SUGGESTION: &str = "guard with is_nan() so NaN propagates (see ReLU in layers/activation.rs), or add `// tdfm-lint: allow(nan-laundering, <reason>)`";
+
+const NULL_MESSAGE: &str =
+    "non-finite float encoded as JSON null: a NaN metric leaves the writer looking healthy";
+const NULL_SUGGESTION: &str = "propagate the non-finite value to the caller, or document the encoding with `// tdfm-lint: allow(nan-laundering, <reason>)`";
+
+/// How far past `is_finite` the `"null"` literal may sit and still count
+/// as the same encode branch. Wide enough to span the finite arm of the
+/// historical `write_float` shape; narrow enough not to bridge functions.
+const NULL_WINDOW: usize = 40;
 
 impl Rule for NanLaundering {
     fn id(&self) -> &'static str {
@@ -34,6 +50,7 @@ impl Rule for NanLaundering {
                 "crates/tensor/src/ops/",
                 "crates/nn/src/layers/",
                 "crates/nn/src/loss/",
+                "crates/json/src/",
             ],
             &[],
         )
@@ -57,6 +74,13 @@ impl Rule for NanLaundering {
             };
             if flagged && !ctx.line_has_nan_guard(sig[at]) {
                 out.push(ctx.diag(sig[at], self.id(), MESSAGE, SUGGESTION));
+            }
+            if matches_texts(ctx, &sig, at, &["is_finite"])
+                && sig[at + 1..].iter().take(NULL_WINDOW).any(|&i| {
+                    ctx.tokens[i].kind == TokKind::Str && ctx.tokens[i].text == "\"null\""
+                })
+            {
+                out.push(ctx.diag(sig[at], self.id(), NULL_MESSAGE, NULL_SUGGESTION));
             }
         }
     }
@@ -96,6 +120,37 @@ mod tests {
         assert!(
             diags("fn f(x: f32) -> f32 { if x.is_nan() { x } else { x.max(0.0) } }").is_empty()
         );
+    }
+
+    #[test]
+    fn null_encoding_after_is_finite_is_flagged() {
+        let src = r#"
+fn write_float(v: f64, out: &mut String) {
+    if v.is_finite() {
+        out.push_str(&format!("{v}"));
+    } else {
+        out.push_str("null");
+    }
+}
+"#;
+        let d = diags(src);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].line, 3);
+        assert!(d[0].message.contains("JSON null"), "{:?}", d[0].message);
+    }
+
+    #[test]
+    fn is_finite_without_nearby_null_is_quiet() {
+        assert!(diags("fn f(x: f32) -> bool { x.is_finite() }").is_empty());
+    }
+
+    #[test]
+    fn null_beyond_the_window_is_quiet() {
+        let filler = "let q = q + 1;\n".repeat(15);
+        let src = format!(
+            "fn f(v: f64, out: &mut String) {{\n    let ok = v.is_finite();\n    {filler}\n    out.push_str(\"null\");\n}}"
+        );
+        assert!(diags(&src).is_empty());
     }
 
     #[test]

@@ -72,6 +72,12 @@ fn nan_laundering_fixture_flags_both_max_forms() {
 }
 
 #[test]
+fn nan_laundering_null_fixture_flags_the_write_float_shape() {
+    // The verbatim non-finite-to-null encode branch from the JSON writer.
+    check("nan_laundering_null.rs", &[("nan-laundering", 6, 10)]);
+}
+
+#[test]
 fn hot_path_alloc_fixture_flags_the_vec_constructor() {
     check("hot_path_alloc.rs", &[("hot-path-alloc", 5, 19)]);
 }

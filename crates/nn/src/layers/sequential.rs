@@ -58,6 +58,50 @@ impl Sequential {
     pub fn layer_names(&self) -> Vec<&'static str> {
         self.layers.iter().map(|l| l.name()).collect()
     }
+
+    /// Number of parameter tensors owned by each directly contained layer,
+    /// in order. Summing gives `params_mut().len()`; the model-fault
+    /// injector uses this to map per-layer selectors onto the flat
+    /// parameter list.
+    pub fn layer_param_counts(&mut self) -> Vec<usize> {
+        self.layers
+            .iter_mut()
+            .map(|l| l.params_mut().len())
+            .collect()
+    }
+
+    /// [`Layer::forward`] with a hook invoked after each directly
+    /// contained layer produces its output.
+    ///
+    /// The hook receives the layer's position, its name, and mutable
+    /// access to the activation tensor — the seam activation-fault
+    /// injection uses. The hook fires at *top-level* resolution: layers
+    /// nested inside a residual block are not hooked individually, the
+    /// block's output is.
+    ///
+    /// Mutating an activation changes what every subsequent layer sees
+    /// (and, in training mode, what it caches for backward); the layer
+    /// that produced the tensor has already cached its own pre-hook
+    /// values, so this models a transient upset on the wire between
+    /// layers, not a persistent memory corruption.
+    pub fn forward_hooked(
+        &mut self,
+        input: &Tensor,
+        mode: Mode,
+        hook: &mut dyn FnMut(usize, &'static str, &mut Tensor),
+    ) -> Tensor {
+        let Some((first, rest)) = self.layers.split_first_mut() else {
+            return input.clone();
+        };
+        let mut x = first.forward(input, mode);
+        hook(0, first.name(), &mut x);
+        for (i, layer) in rest.iter_mut().enumerate() {
+            let mut y = layer.forward(&x, mode);
+            hook(i + 1, layer.name(), &mut y);
+            self.scratch.recycle(std::mem::replace(&mut x, y));
+        }
+        x
+    }
 }
 
 impl std::fmt::Debug for Sequential {

@@ -53,4 +53,4 @@ pub mod serialize;
 pub mod trainer;
 
 pub use layer::{Layer, Mode, Param};
-pub use network::Network;
+pub use network::{ActivationHook, Network};

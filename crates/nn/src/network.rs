@@ -5,6 +5,15 @@ use crate::layers::Sequential;
 use tdfm_tensor::ops::argmax_rows;
 use tdfm_tensor::{Scratch, ScratchHandle, Tensor};
 
+/// Hook invoked after each top-level layer produces its forward output.
+///
+/// Receives the layer's position in the body, its name, and mutable access
+/// to the activation tensor. Installed via
+/// [`Network::set_activation_hook`]; `tdfm-inject`'s model-fault subsystem
+/// uses it to flip activation bits mid-forward (SEU simulation) without
+/// the network crate knowing anything about fault plans.
+pub type ActivationHook = Box<dyn FnMut(usize, &'static str, &mut Tensor) + Send>;
+
 /// A classification network: a layer stack producing `[N, classes]` logits.
 ///
 /// `Network` adds to [`Sequential`] the conveniences the study needs —
@@ -14,6 +23,7 @@ pub struct Network {
     name: String,
     classes: usize,
     body: Sequential,
+    activation_hook: Option<ActivationHook>,
 }
 
 impl Network {
@@ -28,6 +38,7 @@ impl Network {
             name: name.into(),
             classes,
             body,
+            activation_hook: None,
         }
     }
 
@@ -42,8 +53,45 @@ impl Network {
     }
 
     /// Training-mode forward pass (caches activations for `backward`).
+    ///
+    /// When an activation hook is installed it fires after every top-level
+    /// layer, in training and evaluation mode alike.
     pub fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
-        self.body.forward(input, mode)
+        match self.activation_hook.as_mut() {
+            Some(hook) => self.body.forward_hooked(input, mode, hook),
+            None => self.body.forward(input, mode),
+        }
+    }
+
+    /// Installs an activation-fault hook (replacing any previous one).
+    ///
+    /// The hook stays active for every subsequent [`Network::forward`],
+    /// [`Network::logits`], [`Network::predict`] and [`Network::accuracy`]
+    /// call until [`Network::clear_activation_hook`].
+    pub fn set_activation_hook(&mut self, hook: ActivationHook) {
+        self.activation_hook = Some(hook);
+    }
+
+    /// Removes the activation hook, restoring fault-free forwards.
+    pub fn clear_activation_hook(&mut self) {
+        self.activation_hook = None;
+    }
+
+    /// `true` while an activation hook is installed.
+    pub fn has_activation_hook(&self) -> bool {
+        self.activation_hook.is_some()
+    }
+
+    /// Names of the body's top-level layers, in order — the resolution at
+    /// which the activation hook fires.
+    pub fn layer_names(&self) -> Vec<&'static str> {
+        self.body.layer_names()
+    }
+
+    /// Parameter-tensor count per top-level body layer (see
+    /// [`Sequential::layer_param_counts`]).
+    pub fn layer_param_counts(&mut self) -> Vec<usize> {
+        self.body.layer_param_counts()
     }
 
     /// Backpropagates a logits gradient, accumulating parameter gradients.
@@ -98,7 +146,10 @@ impl Network {
         while start < n {
             let end = (start + batch).min(n);
             let chunk = inputs.slice_rows(start, end);
-            let logits = self.body.forward(&chunk, Mode::Eval);
+            let logits = match self.activation_hook.as_mut() {
+                Some(hook) => self.body.forward_hooked(&chunk, Mode::Eval, hook),
+                None => self.body.forward(&chunk, Mode::Eval),
+            };
             assert_eq!(
                 logits.shape().dims(),
                 &[end - start, self.classes],
@@ -176,5 +227,39 @@ mod tests {
     #[should_panic(expected = "at least one class")]
     fn zero_classes_rejected() {
         let _ = Network::new("bad", 0, Sequential::new());
+    }
+
+    #[test]
+    fn activation_hook_fires_per_layer_and_can_mutate() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+        let mut rng = Rng::seed_from(4);
+        let mut net = tiny_net(&mut rng);
+        let x = Tensor::randn(&[3, 1, 2, 2], 1.0, &mut rng);
+        let clean = net.logits(&x, 3);
+        let calls = Arc::new(AtomicUsize::new(0));
+        let seen = Arc::clone(&calls);
+        net.set_activation_hook(Box::new(move |_idx, _name, t: &mut Tensor| {
+            seen.fetch_add(1, Ordering::Relaxed);
+            // Zero everything: downstream layers must see the mutation.
+            t.fill(0.0);
+        }));
+        assert!(net.has_activation_hook());
+        let hooked = net.logits(&x, 3);
+        // Two top-level layers (Flatten, Dense), one batch.
+        assert_eq!(calls.load(Ordering::Relaxed), 2);
+        assert!(hooked.data().iter().all(|&v| v == 0.0));
+        net.clear_activation_hook();
+        assert_eq!(net.logits(&x, 3).data(), clean.data());
+    }
+
+    #[test]
+    fn layer_param_counts_partition_flat_params() {
+        let mut rng = Rng::seed_from(5);
+        let mut net = tiny_net(&mut rng);
+        let counts = net.layer_param_counts();
+        assert_eq!(counts, vec![0, 2], "Flatten has none, Dense has W and b");
+        assert_eq!(counts.iter().sum::<usize>(), net.params_mut().len());
+        assert_eq!(net.layer_names(), vec!["Flatten", "Dense"]);
     }
 }

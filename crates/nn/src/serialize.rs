@@ -9,7 +9,7 @@
 
 use crate::models::{ModelConfig, ModelKind};
 use crate::Network;
-use tdfm_json::json_struct;
+use tdfm_json::{FromJson, JsonError, ToJson, Value};
 
 /// A serialisable snapshot of a trained [`Network`].
 ///
@@ -39,12 +39,64 @@ pub struct SavedModel {
     pub state: Vec<Vec<f32>>,
 }
 
-json_struct!(SavedModel {
-    kind,
-    config,
-    params,
-    state = default
-});
+// Hand-written (de)serialization instead of `json_struct!`: weight buffers
+// are stored as IEEE-754 bit patterns (`params_bits`/`state_bits`,
+// `Vec<Vec<u32>>`) because the float wire format writes non-finite values
+// as `null` and reads `null` back as NaN — an Inf weight (the common result
+// of an exponent-bit SEU flip) would silently become NaN and a NaN payload
+// would be lost. Bit patterns round-trip every f32 exactly.
+impl ToJson for SavedModel {
+    fn to_json(&self) -> Value {
+        let bits = |buffers: &[Vec<f32>]| {
+            Value::Array(
+                buffers
+                    .iter()
+                    .map(|buf| {
+                        buf.iter()
+                            .map(|v| v.to_bits())
+                            .collect::<Vec<u32>>()
+                            .to_json()
+                    })
+                    .collect(),
+            )
+        };
+        Value::Object(vec![
+            ("kind".to_string(), self.kind.to_json()),
+            ("config".to_string(), self.config.to_json()),
+            ("params_bits".to_string(), bits(&self.params)),
+            ("state_bits".to_string(), bits(&self.state)),
+        ])
+    }
+}
+
+impl FromJson for SavedModel {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        let from_bits = |v: &Value, name: &str| -> Result<Vec<Vec<f32>>, JsonError> {
+            let raw: Vec<Vec<u32>> = tdfm_json::field(v, name)?;
+            Ok(raw
+                .into_iter()
+                .map(|buf| buf.into_iter().map(f32::from_bits).collect())
+                .collect())
+        };
+        let params = if v.get("params_bits").is_some() {
+            from_bits(v, "params_bits")?
+        } else {
+            // Legacy float format (pre-0.4.0 checkpoints).
+            tdfm_json::field(v, "params")?
+        };
+        let state = if v.get("state_bits").is_some() {
+            from_bits(v, "state_bits")?
+        } else {
+            tdfm_json::field_or_default(v, "state")?
+        };
+        Ok(Self {
+            kind: tdfm_json::field(v, "kind")?,
+            config: tdfm_json::field(v, "config")?,
+            params,
+            state,
+        })
+    }
+}
 
 /// Errors returned when restoring a saved model.
 #[derive(Debug)]
@@ -278,6 +330,88 @@ mod tests {
             "eval-mode outputs must match bit-for-bit"
         );
     }
+
+    #[test]
+    fn non_finite_and_denormal_weights_round_trip_bit_exactly() {
+        // A fault-injected checkpoint routinely holds Inf (exponent-bit
+        // flip), NaN (possibly with payload bits) and denormals. The old
+        // float wire format laundered all of these through `null`.
+        let (cfg, mut net, _) = trained_net();
+        let mut saved = SavedModel::capture(ModelKind::ConvNet, cfg, &mut net);
+        let specials = [
+            f32::INFINITY,
+            f32::NEG_INFINITY,
+            f32::NAN,
+            f32::from_bits(0x7FC0_1234), // NaN with payload
+            f32::from_bits(0x0000_0001), // smallest positive denormal
+            f32::MIN_POSITIVE / 2.0,     // denormal
+            -0.0,
+        ];
+        for (i, &v) in specials.iter().enumerate() {
+            saved.params[0][i] = v;
+        }
+        let back = SavedModel::from_json(&saved.to_json()).unwrap();
+        for (a, b) in saved.params.iter().zip(&back.params) {
+            let a_bits: Vec<u32> = a.iter().map(|v| v.to_bits()).collect();
+            let b_bits: Vec<u32> = b.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(a_bits, b_bits, "params must survive bit-for-bit");
+        }
+        for (a, b) in saved.state.iter().zip(&back.state) {
+            assert_eq!(
+                a.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                b.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            );
+        }
+    }
+
+    #[test]
+    fn bitflipped_to_inf_weight_survives_save_load() {
+        // The acceptance criterion verbatim: flip a weight's top exponent
+        // bit (1.0 -> +Inf), checkpoint, reload, and find the same bits.
+        let (cfg, mut net, _) = trained_net();
+        let mut saved = SavedModel::capture(ModelKind::ConvNet, cfg, &mut net);
+        saved.params[0][0] = tdfm_tensor::bitops::bitflip_f32(1.0, 30);
+        assert!(saved.params[0][0].is_infinite());
+        let back = SavedModel::from_json(&saved.to_json()).unwrap();
+        assert_eq!(back.params[0][0].to_bits(), f32::INFINITY.to_bits());
+        let restored = back.restore().unwrap();
+        drop(restored); // restore() must accept non-finite buffers
+    }
+
+    #[test]
+    fn legacy_float_format_still_loads() {
+        // Pre-0.4.0 checkpoints carry `params`/`state` as float arrays
+        // (and may omit `state` entirely); from_json must keep reading them.
+        let (cfg, mut net, x) = trained_net();
+        let saved = SavedModel::capture(ModelKind::ConvNet, cfg, &mut net);
+        let legacy = tdfm_json::to_string(&LegacySavedModel {
+            kind: saved.kind,
+            config: saved.config,
+            params: saved.params.clone(),
+            state: saved.state.clone(),
+        });
+        let back = SavedModel::from_json(&legacy).unwrap();
+        let mut restored = back.restore().unwrap();
+        assert_eq!(restored.predict(&x, 8), net.predict(&x, 8));
+        // `state` may be absent in the oldest snapshots.
+        let no_state = legacy.replace(",\"state\":", ",\"ignored\":");
+        let back2 = SavedModel::from_json(&no_state).unwrap();
+        assert!(back2.state.is_empty());
+    }
+
+    // The old wire format, reconstructed for the compatibility test above.
+    struct LegacySavedModel {
+        kind: ModelKind,
+        config: ModelConfig,
+        params: Vec<Vec<f32>>,
+        state: Vec<Vec<f32>>,
+    }
+    tdfm_json::json_struct!(LegacySavedModel {
+        kind,
+        config,
+        params,
+        state
+    });
 
     #[test]
     fn works_for_every_architecture() {

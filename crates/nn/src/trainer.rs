@@ -11,6 +11,7 @@ use crate::Mode;
 use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 use tdfm_obs::{event, span, Level};
+use tdfm_tensor::bitops::bitflip_f32;
 use tdfm_tensor::rng::Rng;
 use tdfm_tensor::{Scratch, ScratchHandle, Tensor};
 
@@ -148,6 +149,33 @@ impl Default for FitConfig {
     }
 }
 
+/// Configuration of fault-aware training (Vinck et al. 2024): stochastic
+/// weight bit-flips are injected before each optimisation step's forward
+/// pass and reverted before the weight update, so the network learns to
+/// produce correct outputs under transient SEU-style weight corruption.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultAwareConfig {
+    /// Simultaneous bit-flips injected per optimisation step.
+    pub flips_per_step: usize,
+    /// Lowest bit position faults may hit (0 = LSB of the mantissa).
+    pub bit_lo: u32,
+    /// Highest bit position faults may hit, inclusive (31 = sign).
+    pub bit_hi: u32,
+    /// Seed of the injection stream (independent of the shuffle seed).
+    pub seed: u64,
+}
+
+impl Default for FaultAwareConfig {
+    fn default() -> Self {
+        Self {
+            flips_per_step: 2,
+            bit_lo: 0,
+            bit_hi: 31,
+            seed: 0,
+        }
+    }
+}
+
 /// What a training run produced.
 #[derive(Debug, Clone)]
 pub struct FitReport {
@@ -160,6 +188,9 @@ pub struct FitReport {
     pub epoch_grad_norms: Vec<f32>,
     /// Wall-clock training time (feeds the Section IV-E overhead study).
     pub wall: Duration,
+    /// Batches dropped because an injected fault drove the loss non-finite
+    /// (always 0 outside [`fit_fault_aware`] runs).
+    pub skipped_batches: usize,
 }
 
 impl FitReport {
@@ -238,6 +269,74 @@ pub fn fit_with_arena(
     opt: &mut dyn Optimizer,
     scratch: &ScratchHandle,
 ) -> FitReport {
+    fit_inner(net, loss, images, targets, cfg, opt, scratch, None)
+}
+
+/// Fault-aware training (Vinck et al. 2024): [`fit`] plus stochastic
+/// weight bit-flips, injected before each step's forward pass and reverted
+/// (XOR is involutive, so reversal is bit-exact) before the optimiser
+/// updates the weights. Gradients are therefore computed *under* the
+/// fault but applied to the clean weights — the scheme that teaches the
+/// network to tolerate transient SEUs at inference time.
+///
+/// Unlike every other `fit` variant, a non-finite loss does **not** panic
+/// here: an exponent-bit flip legitimately drives the loss to Inf/NaN, so
+/// the batch is reverted, dropped and counted in
+/// [`FitReport::skipped_batches`] instead. The clean-weight invariant
+/// makes the drop safe — no corrupted value can reach the weights.
+///
+/// # Panics
+///
+/// As [`fit`], and additionally if `fa` names an invalid bit range or the
+/// network has no parameters to flip.
+pub fn fit_fault_aware(
+    net: &mut Network,
+    loss: &dyn Loss,
+    images: &Tensor,
+    targets: &TargetSource,
+    cfg: &FitConfig,
+    fa: &FaultAwareConfig,
+) -> FitReport {
+    assert!(fa.flips_per_step > 0, "fault-aware training needs flips");
+    assert!(
+        fa.bit_lo <= fa.bit_hi && fa.bit_hi < 32,
+        "invalid bit range {}..={}",
+        fa.bit_lo,
+        fa.bit_hi
+    );
+    let mut opt = Sgd::new(cfg.lr, cfg.momentum, cfg.weight_decay);
+    fit_inner(
+        net,
+        loss,
+        images,
+        targets,
+        cfg,
+        &mut opt,
+        Scratch::shared(),
+        Some(fa),
+    )
+}
+
+/// Applies (or, by involution, reverts) a set of weight bit-flips.
+fn xor_weight_flips(net: &mut Network, flips: &[(usize, usize, u32)]) {
+    let mut params = net.params_mut();
+    for &(tensor, element, bit) in flips {
+        let data = params[tensor].value.data_mut();
+        data[element] = bitflip_f32(data[element], bit);
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn fit_inner(
+    net: &mut Network,
+    loss: &dyn Loss,
+    images: &Tensor,
+    targets: &TargetSource,
+    cfg: &FitConfig,
+    opt: &mut dyn Optimizer,
+    scratch: &ScratchHandle,
+    fault: Option<&FaultAwareConfig>,
+) -> FitReport {
     assert_eq!(images.shape().rank(), 4, "images must be NCHW");
     let n = images.shape().dim(0);
     assert_eq!(n, targets.len(), "target count must match image count");
@@ -264,6 +363,18 @@ pub fn fit_with_arena(
     let entry_lr = opt.learning_rate();
     let mut lr = entry_lr;
 
+    // Fault-aware runs draw flip locations from their own stream so the
+    // shuffle order stays identical to a fault-free run with the same
+    // shuffle seed.
+    let mut fault_rng = Rng::seed_from(fault.map_or(0, |fa| fa.seed) ^ 0xB17F_11B5);
+    if fault.is_some() {
+        assert!(
+            !net.params_mut().is_empty(),
+            "fault-aware training needs trainable parameters"
+        );
+    }
+    let mut skipped_batches = 0usize;
+
     for epoch in 0..cfg.epochs {
         let epoch_start = Instant::now();
         rng.shuffle(&mut order);
@@ -281,9 +392,49 @@ pub fn fit_with_arena(
                     .copy_from_slice(&images.data()[i * row_len..(i + 1) * row_len]);
             }
             let target = targets.batch(chunk);
+
+            // Fault-aware training: flip weight bits for the duration of
+            // this step's forward/backward, remembering the locations so
+            // the flips can be reverted bit-exactly (XOR involution)
+            // before the optimiser touches the weights.
+            let mut flips: Vec<(usize, usize, u32)> = Vec::new();
+            if let Some(fa) = fault {
+                let mut params = net.params_mut();
+                for _ in 0..fa.flips_per_step {
+                    let tensor = fault_rng.below(params.len());
+                    let data = params[tensor].value.data_mut();
+                    let element = fault_rng.below(data.len());
+                    let bit =
+                        fa.bit_lo + fault_rng.below((fa.bit_hi - fa.bit_lo + 1) as usize) as u32;
+                    data[element] = bitflip_f32(data[element], bit);
+                    flips.push((tensor, element, bit));
+                }
+            }
+
             let logits = net.forward(&x, Mode::Train);
             let out = loss.evaluate(&logits, &target.as_target());
             if !out.loss.is_finite() {
+                if fault.is_some() {
+                    // An exponent-bit flip can legitimately blow the loss
+                    // up; revert the flips and drop the batch — training
+                    // on a non-finite gradient would corrupt the weights,
+                    // and panicking would make high-bit fault-aware
+                    // training impossible.
+                    xor_weight_flips(net, &flips);
+                    scratch.recycle(x);
+                    scratch.recycle(logits);
+                    scratch.recycle(out.grad);
+                    skipped_batches += 1;
+                    event!(
+                        Level::Debug,
+                        "fault_aware_skip",
+                        loss_name = loss.name(),
+                        loss = out.loss,
+                        epoch = epoch,
+                        batch = batches
+                    );
+                    continue;
+                }
                 // Leave evidence in the trace file before the panic
                 // message dies on a joined worker thread.
                 event!(
@@ -304,13 +455,57 @@ pub fn fit_with_arena(
                 );
             }
             let grad_input = net.backward(&out.grad);
+            if !flips.is_empty() {
+                // Gradients were computed under the fault; the update
+                // below must land on the clean weights.
+                xor_weight_flips(net, &flips);
+            }
             scratch.recycle(x);
             scratch.recycle(logits);
             scratch.recycle(out.grad);
             scratch.recycle(grad_input);
             let mut params = net.params_mut();
             let norm = global_grad_norm(&params);
-            if cfg.grad_clip > 0.0 && norm > cfg.grad_clip && norm.is_finite() {
+            if !norm.is_finite() {
+                if fault.is_some() {
+                    // A fault-amplified batch can overflow the gradients
+                    // while the loss itself stays finite; the clip below
+                    // cannot rescale a non-finite norm, and stepping
+                    // unclipped would blast the clean weights into the
+                    // 1e34 range and kill the rest of the run. Drop the
+                    // batch like a non-finite loss.
+                    for p in params.iter_mut() {
+                        p.zero_grad();
+                    }
+                    skipped_batches += 1;
+                    event!(
+                        Level::Debug,
+                        "fault_aware_skip",
+                        loss_name = loss.name(),
+                        grad_norm = norm,
+                        epoch = epoch,
+                        batch = batches
+                    );
+                    continue;
+                }
+                event!(
+                    Level::Error,
+                    "grad_nonfinite",
+                    loss_name = loss.name(),
+                    grad_norm = norm,
+                    epoch = epoch,
+                    batch = batches,
+                    lr = lr
+                );
+                tdfm_obs::flush();
+                panic!(
+                    "{} produced a non-finite gradient norm ({norm}) at epoch {epoch}, \
+                     batch {batches} — an unclipped step here would silently corrupt \
+                     every subsequent update",
+                    loss.name()
+                );
+            }
+            if cfg.grad_clip > 0.0 && norm > cfg.grad_clip {
                 let scale = cfg.grad_clip / norm;
                 for p in params.iter_mut() {
                     p.grad.scale(scale);
@@ -354,6 +549,7 @@ pub fn fit_with_arena(
         epoch_walls,
         epoch_grad_norms,
         wall: start.elapsed(),
+        skipped_batches,
     }
 }
 
@@ -693,6 +889,288 @@ mod tests {
                 epochs: 1,
                 batch_size: 8,
                 ..FitConfig::default()
+            },
+        );
+    }
+
+    #[test]
+    fn fault_aware_training_still_learns() {
+        // Low-mantissa flips are tiny perturbations: fault-aware training
+        // must converge about as well as plain training.
+        let (x, y) = blob_data(64, 20);
+        let cfg = ModelConfig {
+            in_shape: (1, 4, 4),
+            classes: 2,
+            width: 2,
+            seed: 21,
+        };
+        let mut net = ModelKind::ConvNet.build(&cfg);
+        let report = fit_fault_aware(
+            &mut net,
+            &CrossEntropy,
+            &x,
+            &TargetSource::Hard(y.clone()),
+            &FitConfig {
+                epochs: 8,
+                batch_size: 16,
+                ..FitConfig::default()
+            },
+            &FaultAwareConfig {
+                flips_per_step: 2,
+                bit_lo: 0,
+                bit_hi: 15,
+                seed: 1,
+            },
+        );
+        assert!(report.final_loss() < report.epoch_losses[0]);
+        assert!(net.accuracy(&x, &y, 32) > 0.8);
+    }
+
+    #[test]
+    fn fault_aware_flips_are_reverted_bit_exactly() {
+        // With a loss whose gradient is identically zero (and zero
+        // momentum/weight decay) the optimiser's update is `w += -lr * 0`,
+        // which leaves every weight's bit pattern unchanged — so after
+        // training the network must hold its initial weights bit-for-bit,
+        // even though every step injected (and reverted) exponent- and
+        // sign-bit flips.
+        struct ZeroLoss;
+        impl Loss for ZeroLoss {
+            fn name(&self) -> &'static str {
+                "ZeroLoss"
+            }
+            fn evaluate(&self, logits: &Tensor, _target: &Target) -> crate::loss::LossOutput {
+                crate::loss::LossOutput {
+                    loss: 0.0,
+                    grad: Tensor::zeros(&[logits.shape().dim(0), logits.shape().dim(1)]),
+                }
+            }
+        }
+        let (x, y) = blob_data(16, 22);
+        let cfg = ModelConfig {
+            in_shape: (1, 4, 4),
+            classes: 2,
+            width: 2,
+            seed: 23,
+        };
+        let mut net = ModelKind::ConvNet.build(&cfg);
+        let before: Vec<Vec<u32>> = net
+            .params_mut()
+            .iter()
+            .map(|p| p.value.data().iter().map(|v| v.to_bits()).collect())
+            .collect();
+        let _ = fit_fault_aware(
+            &mut net,
+            &ZeroLoss,
+            &x,
+            &TargetSource::Hard(y),
+            &FitConfig {
+                epochs: 2,
+                batch_size: 8,
+                momentum: 0.0,
+                weight_decay: 0.0,
+                ..FitConfig::default()
+            },
+            &FaultAwareConfig {
+                flips_per_step: 4,
+                bit_lo: 23,
+                bit_hi: 31,
+                seed: 3,
+            },
+        );
+        let after: Vec<Vec<u32>> = net
+            .params_mut()
+            .iter()
+            .map(|p| p.value.data().iter().map(|v| v.to_bits()).collect())
+            .collect();
+        assert_eq!(before, after, "reverted flips must restore exact bits");
+    }
+
+    #[test]
+    fn fault_aware_is_deterministic_given_seeds() {
+        let (x, y) = blob_data(32, 24);
+        let cfg = ModelConfig {
+            in_shape: (1, 4, 4),
+            classes: 2,
+            width: 2,
+            seed: 25,
+        };
+        let run = || {
+            let mut net = ModelKind::ConvNet.build(&cfg);
+            fit_fault_aware(
+                &mut net,
+                &CrossEntropy,
+                &x,
+                &TargetSource::Hard(y.clone()),
+                &FitConfig {
+                    epochs: 2,
+                    batch_size: 8,
+                    ..FitConfig::default()
+                },
+                &FaultAwareConfig::default(),
+            )
+            .epoch_losses
+        };
+        let bits = |v: Vec<f32>| -> Vec<u32> { v.iter().map(|f| f.to_bits()).collect() };
+        assert_eq!(bits(run()), bits(run()));
+    }
+
+    #[test]
+    fn fault_aware_skips_nonfinite_batches_instead_of_panicking() {
+        // Force the skip path deterministically with a loss that is always
+        // NaN: every batch must be dropped, reverted and counted — the
+        // plain trainer panics in this exact situation (test above).
+        struct NanLoss;
+        impl Loss for NanLoss {
+            fn name(&self) -> &'static str {
+                "NanLoss"
+            }
+            fn evaluate(&self, logits: &Tensor, _target: &Target) -> crate::loss::LossOutput {
+                crate::loss::LossOutput {
+                    loss: f32::NAN,
+                    grad: Tensor::zeros(&[logits.shape().dim(0), logits.shape().dim(1)]),
+                }
+            }
+        }
+        let (x, y) = blob_data(16, 26);
+        let cfg = ModelConfig {
+            in_shape: (1, 4, 4),
+            classes: 2,
+            width: 2,
+            seed: 27,
+        };
+        let mut net = ModelKind::ConvNet.build(&cfg);
+        let before: Vec<Vec<u32>> = net
+            .params_mut()
+            .iter()
+            .map(|p| p.value.data().iter().map(|v| v.to_bits()).collect())
+            .collect();
+        let report = fit_fault_aware(
+            &mut net,
+            &NanLoss,
+            &x,
+            &TargetSource::Hard(y),
+            &FitConfig {
+                epochs: 2,
+                batch_size: 8,
+                ..FitConfig::default()
+            },
+            &FaultAwareConfig::default(),
+        );
+        assert_eq!(report.skipped_batches, 4, "2 epochs x 2 batches");
+        assert_eq!(report.epoch_losses, vec![0.0, 0.0]);
+        let after: Vec<Vec<u32>> = net
+            .params_mut()
+            .iter()
+            .map(|p| p.value.data().iter().map(|v| v.to_bits()).collect())
+            .collect();
+        assert_eq!(before, after, "skipped batches must leave weights clean");
+    }
+
+    /// Finite loss, non-finite gradient — the combination a fault-blown
+    /// forward pass can produce (the loss saturates while an intermediate
+    /// gradient overflows), which the clip cannot rescale.
+    struct InfGradLoss;
+    impl Loss for InfGradLoss {
+        fn name(&self) -> &'static str {
+            "InfGradLoss"
+        }
+        fn evaluate(&self, logits: &Tensor, _target: &Target) -> crate::loss::LossOutput {
+            let mut grad = Tensor::zeros(&[logits.shape().dim(0), logits.shape().dim(1)]);
+            grad.data_mut()[0] = f32::INFINITY;
+            crate::loss::LossOutput { loss: 1.0, grad }
+        }
+    }
+
+    #[test]
+    fn fault_aware_skips_nonfinite_gradients_instead_of_stepping() {
+        // Regression: the clip guard used to silently *skip clipping* on a
+        // non-finite norm, so the optimiser stepped with overflowed
+        // gradients and blasted weights into the 1e34 range — after which
+        // every batch went non-finite and training never recovered. The
+        // batch must be dropped and the clean weights left bit-exact.
+        let (x, y) = blob_data(16, 30);
+        let cfg = ModelConfig {
+            in_shape: (1, 4, 4),
+            classes: 2,
+            width: 2,
+            seed: 31,
+        };
+        let mut net = ModelKind::ConvNet.build(&cfg);
+        let before: Vec<Vec<u32>> = net
+            .params_mut()
+            .iter()
+            .map(|p| p.value.data().iter().map(|v| v.to_bits()).collect())
+            .collect();
+        let report = fit_fault_aware(
+            &mut net,
+            &InfGradLoss,
+            &x,
+            &TargetSource::Hard(y),
+            &FitConfig {
+                epochs: 2,
+                batch_size: 8,
+                momentum: 0.0,
+                weight_decay: 0.0,
+                ..FitConfig::default()
+            },
+            &FaultAwareConfig::default(),
+        );
+        assert_eq!(report.skipped_batches, 4, "2 epochs x 2 batches");
+        let after: Vec<Vec<u32>> = net
+            .params_mut()
+            .iter()
+            .map(|p| p.value.data().iter().map(|v| v.to_bits()).collect())
+            .collect();
+        assert_eq!(before, after, "dropped gradients must not touch weights");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite gradient norm")]
+    fn plain_training_panics_on_nonfinite_gradients() {
+        // Outside fault-aware runs a non-finite gradient is the same
+        // corruption class as a non-finite loss: fail loudly.
+        let (x, y) = blob_data(8, 32);
+        let cfg = ModelConfig {
+            in_shape: (1, 4, 4),
+            classes: 2,
+            width: 2,
+            seed: 33,
+        };
+        let mut net = ModelKind::ConvNet.build(&cfg);
+        let _ = fit(
+            &mut net,
+            &InfGradLoss,
+            &x,
+            &TargetSource::Hard(y),
+            &FitConfig {
+                epochs: 1,
+                batch_size: 8,
+                ..FitConfig::default()
+            },
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid bit range")]
+    fn fault_aware_rejects_bad_bit_range() {
+        let (x, y) = blob_data(8, 28);
+        let cfg = ModelConfig {
+            in_shape: (1, 4, 4),
+            classes: 2,
+            width: 2,
+            seed: 29,
+        };
+        let mut net = ModelKind::ConvNet.build(&cfg);
+        let _ = fit_fault_aware(
+            &mut net,
+            &CrossEntropy,
+            &x,
+            &TargetSource::Hard(y),
+            &FitConfig::default(),
+            &FaultAwareConfig {
+                bit_hi: 32,
+                ..FaultAwareConfig::default()
             },
         );
     }

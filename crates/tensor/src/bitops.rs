@@ -1,0 +1,161 @@
+//! Bit-level manipulation of IEEE-754 `f32` values.
+//!
+//! The SEU (single-event upset) fault model flips individual bits of a
+//! stored value; this module provides the primitive the model-fault
+//! injection subsystem (`tdfm-inject::model`) builds on. Everything here
+//! goes through `to_bits`/`from_bits` so non-finite and denormal results
+//! are produced and preserved exactly — no arithmetic touches the value.
+
+/// Number of bits in an `f32` (valid bit positions are `0..F32_BITS`).
+pub const F32_BITS: u32 = 32;
+
+/// Bit position of the IEEE-754 single-precision sign bit.
+pub const F32_SIGN_BIT: u32 = 31;
+
+/// Bit positions of the exponent field, inclusive (`23..=30`).
+pub const F32_EXPONENT_BITS: std::ops::RangeInclusive<u32> = 23..=30;
+
+/// Bit positions of the mantissa (fraction) field, inclusive (`0..=22`).
+pub const F32_MANTISSA_BITS: std::ops::RangeInclusive<u32> = 0..=22;
+
+/// Flips bit `bit` of `v`'s IEEE-754 representation.
+///
+/// Bit 0 is the least-significant mantissa bit, bits 23–30 the exponent,
+/// bit 31 the sign. The operation is an XOR on the bit pattern, so it is
+/// involutive: flipping the same bit twice restores the original value
+/// **bit-exactly**, including NaN payloads — the property the fault-aware
+/// trainer relies on to undo injected faults before the optimizer step.
+///
+/// # Examples
+///
+/// ```
+/// use tdfm_tensor::bitops::bitflip_f32;
+///
+/// // Sign flip.
+/// assert_eq!(bitflip_f32(1.5, 31), -1.5);
+/// // Top exponent bit of 1.0 gives a huge value.
+/// assert!(bitflip_f32(1.0, 30) > 1e38);
+/// // Involution restores the exact bits.
+/// let v = f32::from_bits(0x7FC0_1234); // NaN with payload
+/// assert_eq!(bitflip_f32(bitflip_f32(v, 3), 3).to_bits(), v.to_bits());
+/// ```
+///
+/// # Panics
+///
+/// Panics if `bit >= 32`.
+#[inline]
+pub fn bitflip_f32(v: f32, bit: u32) -> f32 {
+    assert!(bit < F32_BITS, "f32 has bits 0..32, got {bit}");
+    f32::from_bits(v.to_bits() ^ (1u32 << bit))
+}
+
+/// Classification of a bit position within the `f32` layout, used by the
+/// injection reports to aggregate outcomes per field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BitField {
+    /// Bits 0–22.
+    Mantissa,
+    /// Bits 23–30.
+    Exponent,
+    /// Bit 31.
+    Sign,
+}
+
+impl BitField {
+    /// Classifies bit position `bit`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit >= 32`.
+    pub fn of(bit: u32) -> Self {
+        assert!(bit < F32_BITS, "f32 has bits 0..32, got {bit}");
+        if bit == F32_SIGN_BIT {
+            BitField::Sign
+        } else if bit >= *F32_EXPONENT_BITS.start() {
+            BitField::Exponent
+        } else {
+            BitField::Mantissa
+        }
+    }
+
+    /// Short lower-case label (`"mantissa"` / `"exponent"` / `"sign"`).
+    pub fn label(self) -> &'static str {
+        match self {
+            BitField::Mantissa => "mantissa",
+            BitField::Exponent => "exponent",
+            BitField::Sign => "sign",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flips_are_involutive_across_all_bits() {
+        let values = [
+            0.0f32,
+            -0.0,
+            1.0,
+            -1.5,
+            f32::MIN_POSITIVE,
+            f32::MIN_POSITIVE / 2.0, // denormal
+            f32::MAX,
+            f32::INFINITY,
+            f32::NEG_INFINITY,
+            f32::NAN,
+            f32::from_bits(0x7FC0_1234), // NaN with payload bits
+        ];
+        for v in values {
+            for bit in 0..F32_BITS {
+                let twice = bitflip_f32(bitflip_f32(v, bit), bit);
+                assert_eq!(twice.to_bits(), v.to_bits(), "v={v}, bit={bit}");
+            }
+        }
+    }
+
+    #[test]
+    fn sign_bit_negates() {
+        assert_eq!(bitflip_f32(2.5, F32_SIGN_BIT), -2.5);
+        assert_eq!(bitflip_f32(-0.0, F32_SIGN_BIT).to_bits(), 0.0f32.to_bits());
+    }
+
+    #[test]
+    fn top_exponent_flip_of_half_is_huge() {
+        // 0.5 has biased exponent 126; flipping bit 30 (+128) gives 254 →
+        // 2^127 ≈ 1.7e38. This is the classic SEU catastrophe for weights.
+        let v = bitflip_f32(0.5, 30);
+        assert!(v.is_finite() && v > 1e38, "got {v}");
+    }
+
+    #[test]
+    fn top_exponent_flip_of_one_is_infinity() {
+        // 1.0 has biased exponent 127 and zero mantissa; flipping bit 30
+        // gives exponent 255 → +Inf exactly.
+        let v = bitflip_f32(1.0, 30);
+        assert!(v.is_infinite() && v > 0.0, "got {v}");
+    }
+
+    #[test]
+    fn low_mantissa_flip_is_tiny_perturbation() {
+        let v = bitflip_f32(1.0, 0);
+        assert!(v != 1.0 && (v - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "f32 has bits 0..32")]
+    fn rejects_out_of_range_bit() {
+        let _ = bitflip_f32(1.0, 32);
+    }
+
+    #[test]
+    fn bit_field_classification() {
+        assert_eq!(BitField::of(0), BitField::Mantissa);
+        assert_eq!(BitField::of(22), BitField::Mantissa);
+        assert_eq!(BitField::of(23), BitField::Exponent);
+        assert_eq!(BitField::of(30), BitField::Exponent);
+        assert_eq!(BitField::of(31), BitField::Sign);
+        assert_eq!(BitField::of(30).label(), "exponent");
+    }
+}

@@ -16,6 +16,8 @@
 //!   steady-state training allocates nothing per batch.
 //! * [`rng`] — deterministic random-number helpers so every experiment in
 //!   the study is reproducible from a single seed.
+//! * [`bitops`] — IEEE-754 bit manipulation ([`bitops::bitflip_f32`]) used
+//!   by the SEU-style model-fault injection subsystem.
 //!
 //! # Examples
 //!
@@ -28,6 +30,7 @@
 //! assert_eq!(c.data(), a.data());
 //! ```
 
+pub mod bitops;
 pub mod ops;
 pub mod parallel;
 pub mod rng;

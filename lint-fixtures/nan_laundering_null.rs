@@ -1,0 +1,11 @@
+//! Null encoding laundering non-finite floats: the `else` arm turns a NaN
+//! loss or a bit-flipped Inf weight into JSON `null`, so the results file
+//! looks merely sparse instead of poisoned.
+
+pub fn write_float(v: f64, out: &mut String) {
+    if v.is_finite() {
+        out.push_str(&format!("{v}"));
+    } else {
+        out.push_str("null");
+    }
+}

@@ -64,4 +64,26 @@ test -s "$smoke_dir/motivating.manifest.json"
 ./target/release/tdfm report \
     "$smoke_dir/motivating.manifest.json" "$smoke_dir/trace.jsonl"
 
+echo "== model-fault smoke: harness + manifest + tdfm report =="
+# The second fault axis at tiny scale: all seven techniques (incl. FAT)
+# under weight and activation bit-flip sweeps. The manifest must validate
+# through the same `tdfm report` path as the data-fault manifests.
+TDFM_SCALE=tiny TDFM_RESULTS="$smoke_dir" \
+    ./target/release/model_faults > /dev/null
+test -s "$smoke_dir/model_faults.json"
+test -s "$smoke_dir/model_faults.manifest.json"
+./target/release/tdfm report "$smoke_dir/model_faults.manifest.json"
+
+echo "== result drift gate: committed JSONs reproduce from their seeds =="
+# The committed result files are claims about the code; regenerate each at
+# its recorded scale and require a bit-identical match once wall-clock
+# fields are normalised. `tdfm diff-results` exits 1 on drift, so a stale
+# commit (code changed, results not re-recorded) fails the gate here.
+drift_dir="$smoke_dir/drift"
+mkdir -p "$drift_dir"
+TDFM_SCALE=smoke TDFM_RESULTS="$drift_dir" ./target/release/motivating > /dev/null
+TDFM_SCALE=smoke TDFM_RESULTS="$drift_dir" ./target/release/model_faults > /dev/null
+./target/release/tdfm diff-results results/motivating.json "$drift_dir/motivating.json"
+./target/release/tdfm diff-results results/model_faults.json "$drift_dir/model_faults.json"
+
 echo "CI gate passed."

@@ -8,6 +8,7 @@
 //! tdfm detect [OPTIONS]               run the label-noise detector
 //! tdfm sweep --config FILE            run a JSON list of cells (+ manifest)
 //! tdfm report FILE...                 summarise manifests / JSONL traces
+//! tdfm diff-results A B               compare result JSONs, timings ignored
 //! tdfm lint [--json]                  static analysis (kernel invariants)
 //! tdfm help                           this text
 //! ```
@@ -57,6 +58,10 @@ enum Command {
     },
     Report {
         paths: Vec<String>,
+    },
+    DiffResults {
+        recorded: String,
+        fresh: String,
     },
     Lint(LintArgs),
     Help,
@@ -238,6 +243,13 @@ fn parse_command(args: &[String]) -> Result<Command, String> {
                 paths: rest.to_vec(),
             })
         }
+        "diff-results" => match rest {
+            [recorded, fresh] => Ok(Command::DiffResults {
+                recorded: recorded.clone(),
+                fresh: fresh.clone(),
+            }),
+            _ => Err("diff-results requires exactly two result files".to_string()),
+        },
         "lint" => {
             let mut lint = LintArgs::default();
             let mut it = rest.iter();
@@ -424,6 +436,68 @@ fn cmd_report(paths: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Zeroes every timing field (`train_seconds`, `infer_seconds`,
+/// `wall_seconds`) anywhere in a result document — wall clocks are the
+/// only part of a result that is not a deterministic function of its
+/// configuration, so this is exactly what must be masked before two runs
+/// can be compared byte for byte. Schema-agnostic on purpose: it works on
+/// data-fault results, model-fault results and manifests alike.
+fn normalize_timings_value(v: &mut tdfm::json::Value) {
+    use tdfm::json::{Number, Value};
+    match v {
+        Value::Array(items) => items.iter_mut().for_each(normalize_timings_value),
+        Value::Object(fields) => {
+            for (key, val) in fields.iter_mut() {
+                match key.as_str() {
+                    "train_seconds" | "infer_seconds" | "wall_seconds" => {
+                        *val = Value::Num(Number::F64(0.0));
+                    }
+                    _ => normalize_timings_value(val),
+                }
+            }
+        }
+        _ => {}
+    }
+}
+
+fn cmd_diff_results(recorded: &str, fresh: &str) -> Result<(), String> {
+    let load = |path: &str| -> Result<String, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let mut value = tdfm::json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+        normalize_timings_value(&mut value);
+        Ok(tdfm::json::to_string_pretty(&value))
+    };
+    let a = load(recorded)?;
+    let b = load(fresh)?;
+    if a == b {
+        println!("results match (timings ignored): {recorded} == {fresh}");
+        return Ok(());
+    }
+    let first_diff = a
+        .lines()
+        .zip(b.lines())
+        .position(|(la, lb)| la != lb)
+        .map(|i| i + 1);
+    match first_diff {
+        Some(line) => {
+            let la = a.lines().nth(line - 1).unwrap_or("");
+            let lb = b.lines().nth(line - 1).unwrap_or("");
+            println!("results drifted at normalised line {line}:");
+            println!("  {recorded}: {}", la.trim());
+            println!("  {fresh}: {}", lb.trim());
+        }
+        None => println!(
+            "results drifted: documents share a prefix but differ in length \
+             ({} vs {} lines)",
+            a.lines().count(),
+            b.lines().count()
+        ),
+    }
+    // Drift already reported on stdout; exit 1 distinguishes it from
+    // usage/IO errors (exit 2), mirroring `tdfm lint`.
+    std::process::exit(1);
+}
+
 fn cmd_lint(args: &LintArgs) -> Result<(), String> {
     let root = std::path::PathBuf::from(args.root.as_deref().unwrap_or("."));
     let report = tdfm::lint::run(&root, args.config.as_deref().map(std::path::Path::new))?;
@@ -472,6 +546,7 @@ fn main() {
         }
         Ok(Command::Sweep { config, output }) => cmd_sweep(&config, output.as_deref()),
         Ok(Command::Report { paths }) => cmd_report(&paths),
+        Ok(Command::DiffResults { recorded, fresh }) => cmd_diff_results(&recorded, &fresh),
         Ok(Command::Lint(lint)) => cmd_lint(&lint),
         Ok(Command::Help) => {
             print!("{}", HELP);
@@ -497,6 +572,9 @@ USAGE:
                                    run a JSON list of experiment cells
                                    (writes <output>.manifest.json too)
   tdfm report FILE...              summarise run manifests / JSONL traces
+  tdfm diff-results A B            compare two result JSONs with timing
+                                   fields normalised; exit 1 on drift
+                                   (the CI gate for committed results)
   tdfm lint [--json] [--config FILE] [--root DIR]
                                    static analysis of the workspace sources
                                    (kernel/determinism invariants; exit 1
@@ -607,6 +685,35 @@ mod tests {
                 ]
             }
         );
+    }
+
+    #[test]
+    fn diff_results_requires_two_paths() {
+        assert!(parse_command(&argv("diff-results")).is_err());
+        assert!(parse_command(&argv("diff-results a.json")).is_err());
+        assert!(parse_command(&argv("diff-results a.json b.json c.json")).is_err());
+        assert_eq!(
+            parse_command(&argv("diff-results a.json b.json")).unwrap(),
+            Command::DiffResults {
+                recorded: "a.json".to_string(),
+                fresh: "b.json".to_string(),
+            }
+        );
+    }
+
+    #[test]
+    fn timing_normalisation_masks_only_wall_clocks() {
+        let mut v = tdfm::json::parse(
+            r#"[{"ad": 0.5, "train_seconds": 1.25,
+                 "repetitions": [{"infer_seconds": 3.5, "wall_seconds": 9.0}]}]"#,
+        )
+        .unwrap();
+        normalize_timings_value(&mut v);
+        let text = tdfm::json::to_string_pretty(&v);
+        assert!(!text.contains("1.25"), "{text}");
+        assert!(!text.contains("3.5"), "{text}");
+        assert!(!text.contains("9.0"), "{text}");
+        assert!(text.contains("0.5"), "AD must survive: {text}");
     }
 
     #[test]

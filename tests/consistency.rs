@@ -16,7 +16,10 @@ fn survey_representatives_cover_all_implemented_techniques() {
     // variants beyond the baseline.
     assert_eq!(reps.len(), TechniqueKind::ALL.len() - 1);
     let approach_for = |t: TechniqueKind| match t {
-        TechniqueKind::Baseline => None,
+        // Neither the unprotected baseline nor fault-aware training (a
+        // model-fault mitigation, beyond the paper's data-fault survey)
+        // maps to a surveyed approach.
+        TechniqueKind::Baseline | TechniqueKind::FaultAwareTraining => None,
         TechniqueKind::LabelSmoothing => Some(Approach::LabelSmoothing),
         TechniqueKind::LabelCorrection => Some(Approach::LabelCorrection),
         TechniqueKind::RobustLoss => Some(Approach::RobustLoss),
