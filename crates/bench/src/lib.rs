@@ -20,6 +20,7 @@
 //! | `ablation`     | DESIGN.md §4 (ensemble diversity, KD, LC, LS)  |
 
 pub mod compare;
+pub mod figures;
 pub mod harness;
 pub mod svg;
 

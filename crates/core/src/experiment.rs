@@ -19,15 +19,15 @@
 
 use crate::metrics::{accuracy, accuracy_delta, ConfidenceInterval};
 use crate::technique::{Mitigation, TechniqueKind, TrainContext};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 use tdfm_data::{DatasetKind, Scale, TrainTest};
-use tdfm_inject::{split_clean, FaultPlan, Injector};
+use tdfm_inject::{split_clean, FaultPlan, Injector, ProvenanceBuilder};
 use tdfm_json::json_struct;
 use tdfm_nn::models::ModelKind;
-use tdfm_obs::{event, span, Level, ManifestCell, RunManifest};
+use tdfm_obs::{event, span, Level, ManifestCell, ProvenanceRecord, RunManifest};
 use tdfm_tensor::parallel::{num_threads, with_inner_threads};
 
 /// One experiment cell: a (dataset, model, technique, fault plan) tuple at
@@ -198,6 +198,12 @@ pub struct Runner {
     golden: OnceMap<GoldenKey, GoldenEntry>,
     shared: OnceMap<SharedKey, SharedFit>,
     metrics: tdfm_obs::Registry,
+    /// Injection provenance accumulated per cell identity (dataset |
+    /// model | technique | fault label), summed over every repetition
+    /// this runner executed for that identity; [`Runner::manifest`] joins
+    /// it against the matching results' AD. A `BTreeMap` keeps manifest
+    /// output deterministic under [`Runner::run_grid`]'s thread fan-out.
+    provenance: Mutex<BTreeMap<String, ProvenanceBuilder>>,
     cache_dir: Option<std::path::PathBuf>,
 }
 
@@ -207,9 +213,23 @@ impl Default for Runner {
             golden: OnceMap::new(),
             shared: OnceMap::new(),
             metrics: tdfm_obs::Registry::new(),
+            provenance: Mutex::new(BTreeMap::new()),
             cache_dir: None,
         }
     }
+}
+
+/// The provenance-map key of a cell: every config field that identifies
+/// a [`ManifestCell`] (scale and seed excluded — they are already fixed
+/// per run and would only split identical cells apart).
+fn cell_key(config: &ExperimentConfig) -> String {
+    format!(
+        "{}|{}|{}|{}",
+        config.dataset.name(),
+        config.model.name(),
+        config.technique.full_name(),
+        config.fault_plan.label()
+    )
 }
 
 /// Runs `work(0..count)` on up to [`num_threads`] workers, collecting the
@@ -428,14 +448,22 @@ impl Runner {
         let mut ctx = TrainContext::new(config.scale, rep_seed);
         ctx.tune_for(data.train.len());
         let injector = Injector::new(rep_seed ^ 0xFA_17);
-        let faulty_train = if technique.wants_clean_subset() {
+        let (faulty_train, injection) = if technique.wants_clean_subset() {
             // Reserve the clean fraction *before* injection (III-B2).
             let (clean, rest) = split_clean(&data.train, 0.1, rep_seed ^ 0xC1EA);
             ctx.clean_subset = Some(clean);
-            injector.apply(&rest, &config.fault_plan).0
+            injector.apply(&rest, &config.fault_plan)
         } else {
-            injector.apply(&data.train, &config.fault_plan).0
+            injector.apply(&data.train, &config.fault_plan)
         };
+        if !injection.records.is_empty() {
+            self.provenance
+                .lock()
+                .expect("provenance lock poisoned")
+                .entry(cell_key(config))
+                .or_default()
+                .extend(&injection.records);
+        }
 
         let shared_key: Option<SharedKey> = if technique.model_independent() {
             Some((
@@ -585,6 +613,26 @@ impl Runner {
                     .sum(),
             })
             .collect();
+        let provenance = self.provenance.lock().expect("provenance lock poisoned");
+        for (index, result) in results.iter().enumerate() {
+            let Some(builder) = provenance.get(&cell_key(&result.config)) else {
+                continue;
+            };
+            for r in builder.records() {
+                manifest.provenance.push(ProvenanceRecord {
+                    cell: index,
+                    source: "data".to_string(),
+                    kind: r.kind,
+                    target: r.target,
+                    bit_lo: r.bit_lo,
+                    bit_hi: r.bit_hi,
+                    bucket: r.bucket,
+                    count: r.count,
+                    ad_mean: result.ad.mean as f64,
+                });
+            }
+        }
+        drop(provenance);
         let mut metrics = self.metrics.snapshot();
         metrics.merge(&tdfm_obs::global().snapshot());
         manifest.metrics = metrics;
@@ -790,6 +838,46 @@ mod tests {
 
         let back: RunManifest = tdfm_json::from_str(&manifest.to_json()).unwrap();
         assert_eq!(back, manifest);
+    }
+
+    #[test]
+    fn manifest_joins_injection_provenance_with_ad() {
+        let runner = Runner::new();
+        let configs = vec![
+            tiny_config(TechniqueKind::Baseline, 30.0),
+            tiny_config(TechniqueKind::Baseline, 0.0), // clean: no provenance
+        ];
+        let results = runner.run_grid(&configs);
+        let manifest = runner.manifest("unit", &results);
+
+        assert!(
+            !manifest.provenance.is_empty(),
+            "faulty cell has provenance"
+        );
+        // Only the faulty cell (index 0) contributes records.
+        assert!(manifest.provenance.iter().all(|r| r.cell == 0));
+        for r in &manifest.provenance {
+            assert_eq!(r.source, "data");
+            assert_eq!(r.kind, "Mislabelling");
+            assert!(r.bucket.starts_with("idx "), "bucketed victims: {r:?}");
+            assert!(r.count > 0);
+            assert_eq!(r.ad_mean, results[0].ad.mean as f64);
+        }
+        // Counts reconcile with the injection totals: 30% of the training
+        // set, per repetition.
+        let total: u64 = manifest.provenance.iter().map(|r| r.count).sum();
+        let expected: u64 = results[0]
+            .repetitions
+            .len()
+            .checked_mul({
+                let n = DatasetKind::Pneumonia.generate(Scale::Tiny, 1).train.len();
+                ((0.3 * n as f32).round()) as usize
+            })
+            .unwrap() as u64;
+        assert_eq!(total, expected);
+
+        let back: RunManifest = tdfm_json::from_str(&manifest.to_json()).unwrap();
+        assert_eq!(back.provenance, manifest.provenance);
     }
 
     #[test]

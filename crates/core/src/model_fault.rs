@@ -18,15 +18,20 @@
 use crate::experiment::run_indexed;
 use crate::metrics::{accuracy, accuracy_delta, ConfidenceInterval};
 use crate::technique::{FittedModel, TechniqueKind, TrainContext};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 use tdfm_data::{DatasetKind, LabeledDataset, Scale};
 use tdfm_inject::model::{
-    apply_weight_faults, install_activation_faults, FaultSite, InjectionMode, ModelFaultPlan,
+    apply_weight_faults, counting_activation_hook, FaultSite, InjectionMode, ModelFaultPlan,
+    TensorSelector,
 };
-use tdfm_inject::split_clean;
+use tdfm_inject::provenance::weight_provenance;
+use tdfm_inject::{split_clean, ProvenanceBuilder};
 use tdfm_json::json_struct;
 use tdfm_nn::models::ModelKind;
-use tdfm_obs::{event, Level, ManifestCell, RunManifest};
+use tdfm_obs::{event, Level, ManifestCell, ProvenanceRecord, RunManifest};
 use tdfm_tensor::parallel::num_threads;
 
 /// A model-fault sweep: every listed technique scored against every
@@ -138,6 +143,17 @@ impl ModelFaultResult {
 #[derive(Default)]
 pub struct ModelFaultRunner {
     metrics: tdfm_obs::Registry,
+    /// Model-fault provenance per cell identity (technique | fault
+    /// label): which (tensor, bit) pairs the applied instances hit, and
+    /// how many activation flips actually fired, summed over
+    /// repetitions. [`ModelFaultRunner::manifest`] joins it with each
+    /// cell's AD.
+    provenance: Mutex<BTreeMap<String, ProvenanceBuilder>>,
+}
+
+/// The provenance-map key of a (technique, plan) cell.
+fn cell_key(technique: TechniqueKind, fault_label: &str) -> String {
+    format!("{}|{fault_label}", technique.full_name())
 }
 
 impl ModelFaultRunner {
@@ -198,6 +214,7 @@ impl ModelFaultRunner {
         let mut reps_per_plan: Vec<Vec<ModelFaultRepetition>> =
             vec![Vec::with_capacity(sweep.repetitions); sweep.plans.len()];
         let mut walls = vec![0.0f64; sweep.plans.len()];
+        let mut prov_per_plan = vec![ProvenanceBuilder::new(); sweep.plans.len()];
         for r in 0..sweep.repetitions {
             let rep_seed = sweep
                 .seed
@@ -234,6 +251,7 @@ impl ModelFaultRunner {
                         &data.test,
                         &clean_preds,
                         clean_accuracy,
+                        &mut prov_per_plan[p],
                     ),
                     FaultSite::Activations => self.score_activation_plan(
                         &mut fitted,
@@ -241,10 +259,22 @@ impl ModelFaultRunner {
                         &data.test,
                         &clean_preds,
                         clean_accuracy,
+                        &mut prov_per_plan[p],
                     ),
                 };
                 walls[p] += started.elapsed().as_secs_f64();
                 reps_per_plan[p].push(rep);
+            }
+        }
+        {
+            let mut provenance = self.provenance.lock().expect("provenance lock poisoned");
+            for (plan, prov) in sweep.plans.iter().zip(&prov_per_plan) {
+                if !prov.is_empty() {
+                    provenance
+                        .entry(cell_key(kind, &plan.label()))
+                        .or_default()
+                        .extend(&prov.records());
+                }
             }
         }
         sweep
@@ -286,6 +316,7 @@ impl ModelFaultRunner {
         test: &LabeledDataset,
         clean_preds: &[u32],
         clean_accuracy: f32,
+        prov: &mut ProvenanceBuilder,
     ) -> ModelFaultRepetition {
         match plan.mode {
             InjectionMode::Exhaustive => {
@@ -295,6 +326,7 @@ impl ModelFaultRunner {
                     "exhaustive weight campaigns require a single-model technique"
                 );
                 let instances = plan.weight_instances(fitted.networks_mut()[0]);
+                prov.extend(&weight_provenance(&instances));
                 let mut acc_sum = 0.0f64;
                 let mut ad_sum = 0.0f64;
                 let mut made_nonfinite = 0usize;
@@ -332,6 +364,7 @@ impl ModelFaultRunner {
                 for (net, instance) in fitted.networks_mut().into_iter().zip(&applied) {
                     apply_weight_faults(net, instance);
                 }
+                prov.extend(&weight_provenance(&applied));
                 ModelFaultRepetition {
                     clean_accuracy,
                     faulty_accuracy: accuracy(&preds, test.labels()),
@@ -343,6 +376,11 @@ impl ModelFaultRunner {
     }
 
     /// Scores an activation plan: hook every member, predict, unhook.
+    ///
+    /// The hooks count the flips they actually inject (the activation
+    /// fault space depends on the evaluation batching, so the count is
+    /// only knowable at forward time); the total lands in `prov` keyed by
+    /// the plan's layer scope and bit range.
     fn score_activation_plan(
         &self,
         fitted: &mut FittedModel,
@@ -350,20 +388,35 @@ impl ModelFaultRunner {
         test: &LabeledDataset,
         clean_preds: &[u32],
         clean_accuracy: f32,
+        prov: &mut ProvenanceBuilder,
     ) -> ModelFaultRepetition {
         let InjectionMode::Stochastic { seed, .. } = plan.mode else {
             panic!("activation fault spaces depend on the data; use stochastic mode")
         };
+        let fired = Arc::new(AtomicU64::new(0));
         for (m, net) in fitted.networks_mut().into_iter().enumerate() {
             let member_plan = plan
                 .clone()
                 .reseed(seed ^ (m as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
-            install_activation_faults(net, &member_plan);
+            net.set_activation_hook(counting_activation_hook(&member_plan, Arc::clone(&fired)));
         }
         let preds = fitted.predict(test.images());
         for net in fitted.networks_mut() {
             net.clear_activation_hook();
         }
+        let target = match &plan.selector {
+            TensorSelector::All => "all layers".to_string(),
+            TensorSelector::Layers(l) => format!("layers{l:?}"),
+            TensorSelector::Params(_) => unreachable!("rejected by the hook builder"),
+        };
+        prov.add(
+            "bitflip",
+            &target,
+            plan.bits.lo(),
+            plan.bits.hi(),
+            "-",
+            fired.load(Ordering::Relaxed),
+        );
         self.metrics.counter("activation_trials").inc();
         ModelFaultRepetition {
             clean_accuracy,
@@ -405,6 +458,32 @@ impl ModelFaultRunner {
                 wall_seconds: result.wall_seconds,
             })
             .collect();
+        let provenance = self.provenance.lock().expect("provenance lock poisoned");
+        for (index, result) in results.iter().enumerate() {
+            let Some(builder) = provenance.get(&cell_key(result.technique, &result.fault_label))
+            else {
+                continue;
+            };
+            let source = if result.fault_label.starts_with("activations") {
+                "activations"
+            } else {
+                "weights"
+            };
+            for r in builder.records() {
+                manifest.provenance.push(ProvenanceRecord {
+                    cell: index,
+                    source: source.to_string(),
+                    kind: r.kind,
+                    target: r.target,
+                    bit_lo: r.bit_lo,
+                    bit_hi: r.bit_hi,
+                    bucket: r.bucket,
+                    count: r.count,
+                    ad_mean: result.ad.mean as f64,
+                });
+            }
+        }
+        drop(provenance);
         let mut metrics = self.metrics.snapshot();
         metrics.merge(&tdfm_obs::global().snapshot());
         manifest.metrics = metrics;
@@ -529,6 +608,51 @@ mod tests {
         let trials = runner.metrics_snapshot().counter("weight_trials");
         assert!(trials.unwrap_or(0) > 0, "no trials recorded");
         assert!((0.0..=1.0).contains(&results[0].faulty_accuracy.mean));
+    }
+
+    #[test]
+    fn manifest_records_weight_and_activation_provenance() {
+        let runner = ModelFaultRunner::new();
+        let plans = vec![
+            ModelFaultPlan::weights()
+                .bits(BitRange::EXPONENT)
+                .mode(InjectionMode::Stochastic { flips: 3, seed: 7 }),
+            ModelFaultPlan::activations().mode(InjectionMode::Stochastic { flips: 2, seed: 7 }),
+        ];
+        let sweep = tiny_sweep(vec![TechniqueKind::Baseline], plans);
+        let results = runner.run_sweep(&sweep);
+        let manifest = runner.manifest("unit", &results);
+
+        let weight: Vec<_> = manifest
+            .provenance
+            .iter()
+            .filter(|r| r.source == "weights")
+            .collect();
+        let activation: Vec<_> = manifest
+            .provenance
+            .iter()
+            .filter(|r| r.source == "activations")
+            .collect();
+        assert!(!weight.is_empty() && !activation.is_empty());
+
+        // Weight records: one per (tensor, bit) hit; 3 flips x 2 reps.
+        assert!(weight.iter().all(|r| r.cell == 0
+            && r.kind == "bitflip"
+            && r.target.starts_with("tensor ")
+            && (23..=30).contains(&r.bit_lo)
+            && r.bit_lo == r.bit_hi));
+        assert_eq!(weight.iter().map(|r| r.count).sum::<u64>(), 3 * 2);
+
+        // Activation records: the counted flips that actually fired.
+        assert!(activation.iter().all(|r| r.cell == 1
+            && r.kind == "bitflip"
+            && r.target == "all layers"
+            && (r.bit_lo, r.bit_hi) == (0, 31)
+            && r.count > 0));
+        // Each cell's records carry that cell's AD.
+        for r in &manifest.provenance {
+            assert_eq!(r.ad_mean, results[r.cell].ad.mean as f64);
+        }
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! The injector itself: applies a [`FaultPlan`] to a dataset.
 
+use crate::provenance::{bucket_label, FaultRecord, ProvenanceBuilder};
 use crate::{FaultKind, FaultPlan};
 use tdfm_data::LabeledDataset;
 use tdfm_json::json_struct;
@@ -22,6 +23,10 @@ pub struct InjectionReport {
     /// whose labels were flipped — the ground truth that noise *detectors*
     /// are scored against.
     pub mislabelled_indices: Vec<usize>,
+    /// Aggregated provenance: per-kind fault counts, with mislabelling
+    /// victims bucketed by sample index (see [`crate::provenance`]). The
+    /// experiment runner lifts these into the run manifest.
+    pub records: Vec<FaultRecord>,
 }
 
 json_struct!(InjectionReport {
@@ -30,7 +35,8 @@ json_struct!(InjectionReport {
     removed,
     before,
     after,
-    mislabelled_indices
+    mislabelled_indices,
+    records = default
 });
 
 /// Deterministic fault injector (the TF-DM analogue).
@@ -73,9 +79,11 @@ impl Injector {
             ..Default::default()
         };
         let rng = Rng::seed_from(self.seed ^ 0xFA_017);
+        let mut provenance = ProvenanceBuilder::new();
         for (i, spec) in plan.specs().iter().enumerate() {
             let mut stream = rng.derive(i as u64);
             let count = spec.count(current.len());
+            let kind = spec.kind.name();
             match spec.kind {
                 FaultKind::Mislabelling => {
                     let (next, victims) = mislabel(&current, count, &mut stream);
@@ -84,26 +92,38 @@ impl Injector {
                     // dataset length, and the report must state what
                     // actually happened (detectors are scored against it).
                     report.mislabelled += victims.len();
+                    for &v in &victims {
+                        provenance.add(kind, "-", 0, 0, &bucket_label(v), 1);
+                    }
                     report.mislabelled_indices.extend(victims);
                 }
                 FaultKind::PairFlipMislabelling => {
                     let (next, victims) = pair_flip(&current, count, &mut stream);
                     current = next;
                     report.mislabelled += victims.len();
+                    for &v in &victims {
+                        provenance.add(kind, "-", 0, 0, &bucket_label(v), 1);
+                    }
                     report.mislabelled_indices.extend(victims);
                 }
                 FaultKind::Repetition => {
                     current = repeat(&current, count, &mut stream);
                     report.repeated += count;
+                    // Duplicates are drawn with replacement and appended;
+                    // their sources are not per-sample ground truth, so
+                    // the record stays dataset-wide.
+                    provenance.add(kind, "-", 0, 0, "-", count as u64);
                 }
                 FaultKind::Removal => {
                     let removable = count.min(current.len().saturating_sub(1));
                     current = remove(&current, removable, &mut stream);
                     report.removed += removable;
+                    provenance.add(kind, "-", 0, 0, "-", removable as u64);
                 }
             }
         }
         report.after = current.len();
+        report.records = provenance.records();
         (current, report)
     }
 }

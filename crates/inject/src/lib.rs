@@ -38,6 +38,8 @@
 mod fault;
 mod injector;
 pub mod model;
+pub mod provenance;
 
 pub use fault::{FaultKind, FaultPlan, FaultSpec};
 pub use injector::{split_clean, InjectionReport, Injector};
+pub use provenance::{FaultRecord, ProvenanceBuilder};

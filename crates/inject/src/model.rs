@@ -428,6 +428,29 @@ pub fn install_activation_faults(net: &mut Network, plan: &ModelFaultPlan) {
 ///
 /// See [`install_activation_faults`].
 pub fn activation_hook(plan: &ModelFaultPlan) -> ActivationHook {
+    hook_with_counter(plan, None)
+}
+
+/// [`activation_hook`] plus a fired-flip counter: every bit actually
+/// flipped in a hooked tensor bumps `counter`, so a harness can report
+/// how many activation faults a scoring pass really injected (the hook
+/// draws per forward call, so the count is not knowable from the plan
+/// alone).
+///
+/// # Panics
+///
+/// See [`install_activation_faults`].
+pub fn counting_activation_hook(
+    plan: &ModelFaultPlan,
+    counter: std::sync::Arc<std::sync::atomic::AtomicU64>,
+) -> ActivationHook {
+    hook_with_counter(plan, Some(counter))
+}
+
+fn hook_with_counter(
+    plan: &ModelFaultPlan,
+    counter: Option<std::sync::Arc<std::sync::atomic::AtomicU64>>,
+) -> ActivationHook {
     assert_eq!(plan.site, FaultSite::Activations, "not an activation plan");
     let layers = match &plan.selector {
         TensorSelector::All => None,
@@ -455,6 +478,9 @@ pub fn activation_hook(plan: &ModelFaultPlan) -> ActivationHook {
         for _ in 0..flips {
             let element = rng.below(n);
             data[element] = bitflip_f32(data[element], bits.sample(&mut rng));
+        }
+        if let Some(counter) = &counter {
+            counter.fetch_add(flips as u64, std::sync::atomic::Ordering::Relaxed);
         }
     })
 }
@@ -625,6 +651,28 @@ mod tests {
             .mode(InjectionMode::Stochastic { flips: 64, seed: 1 });
         install_activation_faults(&mut net, &plan);
         assert_eq!(net.logits(&x, 2).data(), clean.data());
+    }
+
+    #[test]
+    fn counting_hook_reports_fired_flips() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        use std::sync::Arc;
+        let mut net = tiny_net();
+        let mut rng = Rng::seed_from(14);
+        let x = Tensor::randn(&[4, 1, 4, 4], 1.0, &mut rng);
+        let plan = ModelFaultPlan::activations()
+            .bits(BitRange::MANTISSA)
+            .mode(InjectionMode::Stochastic { flips: 2, seed: 5 });
+        let fired = Arc::new(AtomicU64::new(0));
+        net.set_activation_hook(counting_activation_hook(&plan, Arc::clone(&fired)));
+        let _ = net.logits(&x, 4);
+        let after_one = fired.load(Ordering::Relaxed);
+        // Every hooked layer output gets exactly `flips` flips per forward.
+        assert!(after_one > 0, "hook never fired");
+        assert_eq!(after_one % 2, 0);
+        let _ = net.logits(&x, 4);
+        assert_eq!(fired.load(Ordering::Relaxed), after_one * 2);
+        net.clear_activation_hook();
     }
 
     #[test]

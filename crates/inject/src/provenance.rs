@@ -1,0 +1,224 @@
+//! Injection provenance: aggregated records of which faults fired where.
+//!
+//! An [`crate::InjectionReport`] says *how many* faults an injection
+//! performed; provenance says *where they landed*, in a shape coarse
+//! enough to ship in every run manifest. Each [`FaultRecord`] is one
+//! aggregated count keyed by fault kind, target (a parameter tensor or
+//! layer for model faults, `"-"` for dataset-wide data faults), the
+//! inclusive bit range flipped, and a sample-index bucket (data faults
+//! bucket their victim positions into [`SAMPLE_BUCKET`]-wide ranges so a
+//! manifest stays small however large the dataset is).
+//!
+//! The experiment runners in `tdfm-core` collect these per cell, join
+//! them against the cell's accuracy delta, and write the result into the
+//! run manifest's provenance section — the manifest then answers "which
+//! faults mattered", not just "how many fired".
+
+use crate::model::FaultInstance;
+use std::collections::BTreeMap;
+use tdfm_json::json_struct;
+
+/// Width of the sample-index buckets data-fault records use. Victim
+/// position `i` lands in bucket `i / SAMPLE_BUCKET`, labelled
+/// `"idx 64-127"` style.
+pub const SAMPLE_BUCKET: usize = 64;
+
+/// One aggregated provenance record: `count` faults of `kind` landed on
+/// `target`, within `bit_lo..=bit_hi` (bit-flips) and `bucket` (data
+/// faults). Fields that do not apply hold `"-"` (targets/buckets) or
+/// `0..=0` (bit ranges of data faults).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultRecord {
+    /// Fault kind: a data [`crate::FaultKind`] name (`"Mislabelling"`,
+    /// `"PairFlip"`, `"Repetition"`, `"Removal"`) or `"bitflip"` for
+    /// model faults.
+    pub kind: String,
+    /// What was hit: `"tensor 3"` / `"all layers"` / `"layers[1, 2]"` for
+    /// model faults, `"-"` for data faults (the dataset as a whole).
+    pub target: String,
+    /// Lowest bit flipped (inclusive; 0 for data faults).
+    pub bit_lo: u32,
+    /// Highest bit flipped (inclusive; 0 for data faults).
+    pub bit_hi: u32,
+    /// Sample-index bucket (`"idx 0-63"`) for faults with known victim
+    /// positions, `"-"` otherwise.
+    pub bucket: String,
+    /// Number of faults that actually fired with this key.
+    pub count: u64,
+}
+
+json_struct!(FaultRecord {
+    kind,
+    target,
+    bit_lo,
+    bit_hi,
+    bucket,
+    count
+});
+
+/// Label of the sample-index bucket containing position `index`.
+pub fn bucket_label(index: usize) -> String {
+    let lo = (index / SAMPLE_BUCKET) * SAMPLE_BUCKET;
+    format!("idx {}-{}", lo, lo + SAMPLE_BUCKET - 1)
+}
+
+/// Accumulates [`FaultRecord`]s, merging counts that share a key.
+///
+/// Iteration order of [`ProvenanceBuilder::records`] is the `BTreeMap`
+/// order of the key tuple, so provenance sections are deterministic
+/// however the counts arrived (worker threads, repeated repetitions).
+#[derive(Debug, Clone, Default)]
+pub struct ProvenanceBuilder {
+    counts: BTreeMap<(String, String, u32, u32, String), u64>,
+}
+
+impl ProvenanceBuilder {
+    /// An empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `count` faults under the given key.
+    pub fn add(
+        &mut self,
+        kind: &str,
+        target: &str,
+        bit_lo: u32,
+        bit_hi: u32,
+        bucket: &str,
+        count: u64,
+    ) {
+        if count == 0 {
+            return;
+        }
+        *self
+            .counts
+            .entry((
+                kind.to_string(),
+                target.to_string(),
+                bit_lo,
+                bit_hi,
+                bucket.to_string(),
+            ))
+            .or_insert(0) += count;
+    }
+
+    /// Merges whole records (e.g. another builder's output).
+    pub fn extend(&mut self, records: &[FaultRecord]) {
+        for r in records {
+            self.add(&r.kind, &r.target, r.bit_lo, r.bit_hi, &r.bucket, r.count);
+        }
+    }
+
+    /// `true` when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// The aggregated records, in deterministic key order.
+    pub fn records(&self) -> Vec<FaultRecord> {
+        self.counts
+            .iter()
+            .map(
+                |((kind, target, bit_lo, bit_hi, bucket), &count)| FaultRecord {
+                    kind: kind.clone(),
+                    target: target.clone(),
+                    bit_lo: *bit_lo,
+                    bit_hi: *bit_hi,
+                    bucket: bucket.clone(),
+                    count,
+                },
+            )
+            .collect()
+    }
+}
+
+/// Aggregates concrete weight-fault instances into per-(tensor, bit)
+/// records — the provenance of a weight campaign. Exhaustive campaigns
+/// collapse from `numel × bits` instances to at most `tensors × 32`
+/// records.
+pub fn weight_provenance(instances: &[FaultInstance]) -> Vec<FaultRecord> {
+    let mut builder = ProvenanceBuilder::new();
+    for instance in instances {
+        for flip in &instance.flips {
+            builder.add(
+                "bitflip",
+                &format!("tensor {}", flip.tensor),
+                flip.bit,
+                flip.bit,
+                "-",
+                1,
+            );
+        }
+    }
+    builder.records()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::WeightFlip;
+
+    #[test]
+    fn bucket_labels_are_aligned_ranges() {
+        assert_eq!(bucket_label(0), "idx 0-63");
+        assert_eq!(bucket_label(63), "idx 0-63");
+        assert_eq!(bucket_label(64), "idx 64-127");
+        assert_eq!(bucket_label(1000), "idx 960-1023");
+    }
+
+    #[test]
+    fn builder_merges_and_orders_deterministically() {
+        let mut b = ProvenanceBuilder::new();
+        b.add("Mislabelling", "-", 0, 0, "idx 64-127", 3);
+        b.add("Mislabelling", "-", 0, 0, "idx 0-63", 2);
+        b.add("Mislabelling", "-", 0, 0, "idx 64-127", 1);
+        b.add("Removal", "-", 0, 0, "-", 0); // zero counts are dropped
+        let records = b.records();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].bucket, "idx 0-63");
+        assert_eq!(records[0].count, 2);
+        assert_eq!(records[1].bucket, "idx 64-127");
+        assert_eq!(records[1].count, 4);
+    }
+
+    #[test]
+    fn weight_provenance_aggregates_by_tensor_and_bit() {
+        let flip = |tensor, element, bit| WeightFlip {
+            tensor,
+            element,
+            bit,
+        };
+        let instances = vec![
+            FaultInstance {
+                flips: vec![flip(0, 0, 30), flip(0, 1, 30), flip(1, 0, 5)],
+            },
+            FaultInstance {
+                flips: vec![flip(0, 2, 30)],
+            },
+        ];
+        let records = weight_provenance(&instances);
+        assert_eq!(records.len(), 2);
+        // BTreeMap order: ("bitflip", "tensor 0", 30, ...) < ("bitflip", "tensor 1", 5, ...).
+        assert_eq!(records[0].target, "tensor 0");
+        assert_eq!(records[0].bit_lo, 30);
+        assert_eq!(records[0].count, 3);
+        assert_eq!(records[1].target, "tensor 1");
+        assert_eq!(records[1].count, 1);
+    }
+
+    #[test]
+    fn fault_records_round_trip_through_json() {
+        let records = vec![FaultRecord {
+            kind: "bitflip".into(),
+            target: "tensor 2".into(),
+            bit_lo: 23,
+            bit_hi: 30,
+            bucket: "-".into(),
+            count: 7,
+        }];
+        let json = tdfm_json::to_string(&records);
+        let back: Vec<FaultRecord> = tdfm_json::from_str(&json).unwrap();
+        assert_eq!(back, records);
+    }
+}

@@ -12,6 +12,7 @@ mod hot_path_alloc;
 mod lib_unwrap;
 mod nan_laundering;
 mod nondeterministic_time;
+mod raw_eprintln;
 mod sparsity_skip;
 mod unsafe_safety;
 
@@ -42,6 +43,7 @@ pub fn all_rules() -> Vec<Box<dyn Rule>> {
         Box::new(nondeterministic_time::NondeterministicTime),
         Box::new(env_read::EnvRead),
         Box::new(unsafe_safety::UnsafeNeedsSafetyComment),
+        Box::new(raw_eprintln::RawEprintln),
     ]
 }
 

@@ -1,0 +1,95 @@
+//! `raw-eprintln` — `eprintln!`/`eprint!` in library code. The project
+//! routes diagnostics through the structured sink (`event!` with a
+//! `Level`), which honours `TDFM_LOG` filtering and lands in `TDFM_TRACE`
+//! JSONL; a raw stderr write bypasses both, so it can neither be silenced
+//! in quiet runs nor recovered from a trace afterwards.
+//!
+//! CLI front ends (`src/bin/`, `crates/bench/src/bin/`, the bench
+//! runners) are out of scope — stderr *is* their user interface. The one
+//! library exception is the sink itself (`crates/obs/src/sink.rs`), which
+//! must write stderr by definition and carries inline
+//! `tdfm-lint: allow(...)` markers with the reasons.
+
+use super::{matches_texts, scope, Rule};
+use crate::config::Scope;
+use crate::diag::Diagnostic;
+use crate::engine::FileCtx;
+
+pub struct RawEprintln;
+
+const SUGGESTION: &str = "emit a structured event instead (`event!(Level::Warn, ...)` / `Level::Error`) so TDFM_LOG can filter it and TDFM_TRACE records it; if this site genuinely must write raw stderr (it is the sink, or user-facing CLI output), add `// tdfm-lint: allow(raw-eprintln, <reason>)` or scope it out in lint.toml";
+
+impl Rule for RawEprintln {
+    fn id(&self) -> &'static str {
+        "raw-eprintln"
+    }
+
+    fn default_scope(&self) -> Scope {
+        scope(
+            &[],
+            &["src/bin/", "crates/bench/src/bin/", "crates/bench/benches/"],
+        )
+    }
+
+    fn check(&self, ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
+        let sig = ctx.significant();
+        for at in 0..sig.len() {
+            for mac in ["eprintln", "eprint"] {
+                if matches_texts(ctx, &sig, at, &[mac, "!"]) {
+                    out.push(ctx.diag(
+                        sig[at],
+                        self.id(),
+                        format!("`{mac}!` writes raw stderr from library code, bypassing the structured sink (TDFM_LOG filtering, TDFM_TRACE capture)"),
+                        SUGGESTION,
+                    ));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Config;
+    use crate::engine::lint_source;
+
+    fn diags(path: &str, src: &str) -> Vec<Diagnostic> {
+        lint_source(path, src, &Config::default())
+            .into_iter()
+            .filter(|d| d.rule == "raw-eprintln")
+            .collect()
+    }
+
+    #[test]
+    fn flags_eprintln_and_eprint_in_library_code() {
+        let src = "fn f() { eprintln!(\"oops\"); eprint!(\"partial\"); }";
+        assert_eq!(diags("crates/core/src/experiment.rs", src).len(), 2);
+    }
+
+    #[test]
+    fn cli_binaries_are_out_of_scope() {
+        let src = "fn main() { eprintln!(\"error: {e}\"); }";
+        assert!(diags("src/bin/tdfm.rs", src).is_empty());
+        assert!(diags("crates/bench/src/bin/motivating.rs", src).is_empty());
+        assert!(diags("crates/bench/benches/training_step.rs", src).is_empty());
+    }
+
+    #[test]
+    fn structured_events_and_println_are_fine() {
+        let src = "fn f() { event!(Level::Error, \"boom\"); println!(\"report\"); }";
+        assert!(diags("crates/core/src/experiment.rs", src).is_empty());
+    }
+
+    #[test]
+    fn tests_may_write_stderr() {
+        let src = "#[cfg(test)]\nmod t { fn f() { eprintln!(\"debugging\"); } }";
+        assert!(diags("crates/core/src/experiment.rs", src).is_empty());
+    }
+
+    #[test]
+    fn inline_allow_with_reason_suppresses() {
+        let src = "fn f() {\n    // tdfm-lint: allow(raw-eprintln, the sink itself must write stderr)\n    eprintln!(\"x\");\n}";
+        assert!(diags("crates/obs/src/sink.rs", src).is_empty());
+    }
+}

@@ -104,6 +104,11 @@ fn env_read_fixture_flags_scattered_var_read() {
 }
 
 #[test]
+fn raw_eprintln_fixture_flags_the_stderr_write() {
+    check("raw_eprintln.rs", &[("raw-eprintln", 5, 5)]);
+}
+
+#[test]
 fn unsafe_fixture_flags_missing_safety_comment() {
     check("unsafe_safety.rs", &[("unsafe-needs-safety-comment", 5, 5)]);
 }

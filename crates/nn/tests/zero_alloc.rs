@@ -8,24 +8,26 @@
 //! The test pins the thread count to 1 so the parallel helpers take their
 //! inline (allocation-free) serial path, and it uses a private scratch arena
 //! so concurrently-running tests cannot donate or steal buffers.
+//!
+//! The gate flag and counter live in `tdfm_obs::memory` (shared with run
+//! manifests); only the unavoidable unsafe shim around the `System`
+//! allocator lives here.
 
 use std::alloc::{GlobalAlloc, Layout, System};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use tdfm_nn::layer::{Layer, Mode};
 use tdfm_nn::layers::{Conv2d, Dense, Flatten, MaxPool2d, ReLU, Sequential};
+use tdfm_obs::memory;
 use tdfm_tensor::ops::Conv2dSpec;
 use tdfm_tensor::rng::Rng;
 use tdfm_tensor::{parallel, Scratch, Tensor};
 
-/// Counts allocations (and growing reallocations) while `COUNTING` is set.
-/// Deallocations are deliberately not counted: returning warm buffers is
-/// fine, taking new ones is the bug this test exists to catch.
+/// Counts allocations (and growing reallocations) while the
+/// `tdfm_obs::memory` gate is open. Deallocations are deliberately not
+/// counted: returning warm buffers is fine, taking new ones is the bug
+/// this test exists to catch.
 struct CountingAlloc;
-
-static COUNTING: AtomicBool = AtomicBool::new(false);
-static ALLOCS: AtomicU64 = AtomicU64::new(0);
 
 // SAFETY: every method forwards verbatim to the `System` allocator and only
 // adds side-effect-free atomic bookkeeping, so `GlobalAlloc`'s contract
@@ -34,9 +36,7 @@ static ALLOCS: AtomicU64 = AtomicU64::new(0);
 unsafe impl GlobalAlloc for CountingAlloc {
     // SAFETY: caller obligations are passed through unchanged to `System`.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        if COUNTING.load(Ordering::Relaxed) {
-            ALLOCS.fetch_add(1, Ordering::Relaxed);
-        }
+        memory::note_alloc();
         // SAFETY: `layout` is the caller's, forwarded untouched.
         unsafe { System.alloc(layout) }
     }
@@ -50,9 +50,7 @@ unsafe impl GlobalAlloc for CountingAlloc {
 
     // SAFETY: caller obligations are passed through unchanged to `System`.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        if COUNTING.load(Ordering::Relaxed) {
-            ALLOCS.fetch_add(1, Ordering::Relaxed);
-        }
+        memory::note_alloc();
         // SAFETY: `ptr`/`layout` come from this allocator's own alloc path
         // (which is `System`'s), and `new_size` is the caller's.
         unsafe { System.realloc(ptr, layout, new_size) }
@@ -88,17 +86,17 @@ fn steady_state_conv_dense_passes_do_not_allocate() {
         arena.recycle(gx);
     }
 
-    ALLOCS.store(0, Ordering::SeqCst);
-    COUNTING.store(true, Ordering::SeqCst);
+    memory::reset_allocations();
+    memory::set_counting(true);
     for _ in 0..2 {
         let y = net.forward(&x, Mode::Train);
         let gx = net.backward(&grad);
         arena.recycle(y);
         arena.recycle(gx);
     }
-    COUNTING.store(false, Ordering::SeqCst);
+    memory::set_counting(false);
 
-    let allocs = ALLOCS.load(Ordering::SeqCst);
+    let allocs = memory::allocations();
     assert_eq!(
         allocs, 0,
         "steady-state forward/backward passes performed {allocs} heap allocations"

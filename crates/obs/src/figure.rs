@@ -1,0 +1,583 @@
+//! Deterministic, zero-dependency SVG figures: line/scatter charts and
+//! grid heatmaps.
+//!
+//! The renderer exists so the paper-style figures (AD vs fault rate per
+//! technique, fault-rate × bit-position heatmaps) can be committed and
+//! drift-gated like the result JSONs. That forces a determinism
+//! discipline stricter than "looks the same":
+//!
+//! * **No wall-clock, no randomness** — output is a pure function of the
+//!   chart description; there are no timestamps, generator comments or
+//!   random ids.
+//! * **Fixed geometry** — the viewBox is computed only from the input's
+//!   shape (series/row/column counts), never from the environment.
+//! * **Stable float formatting** — every coordinate and label goes
+//!   through fixed-precision `format!`, which is platform-independent,
+//!   so re-rendering on any machine (and at any `TDFM_THREADS`) is
+//!   byte-identical.
+//! * **Input-order iteration** — series, rows and columns render in the
+//!   order given; nothing passes through a hash map.
+//!
+//! Colors are the Okabe–Ito palette (colorblind-safe, print-safe), the
+//! same one the bench bar charts use.
+
+use std::fmt::Write as _;
+
+/// Okabe–Ito qualitative palette.
+const PALETTE: [&str; 8] = [
+    "#0072B2", "#E69F00", "#009E73", "#D55E00", "#CC79A7", "#56B4E9", "#F0E442", "#999999",
+];
+
+/// Escapes the five XML-special characters.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            '\'' => out.push_str("&apos;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Fixed-precision coordinate: two decimals is sub-pixel at this scale.
+fn px(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+/// The smallest "nice" value (1, 2, 2.5 or 5 times a power of ten) that
+/// is `>= v`; the y-axis upper bound.
+fn nice_ceil(v: f64) -> f64 {
+    if !(v.is_finite()) || v <= 0.0 {
+        return 1.0;
+    }
+    let exp = v.log10().floor();
+    let base = 10f64.powf(exp);
+    for mult in [1.0, 2.0, 2.5, 5.0, 10.0] {
+        if mult * base >= v - 1e-12 {
+            return mult * base;
+        }
+    }
+    10.0 * base
+}
+
+/// One plotted series: a label, `(x, y)` points, and optional symmetric
+/// error half-widths (empty = no error bars; otherwise one per point).
+#[derive(Debug, Clone, Default)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// Points in drawing order.
+    pub points: Vec<(f64, f64)>,
+    /// 95%-CI half-widths per point; empty for none.
+    pub err: Vec<f64>,
+}
+
+/// A line/scatter chart with optional error bars and a legend.
+#[derive(Debug, Clone, Default)]
+pub struct LineChart {
+    /// Chart title.
+    pub title: String,
+    /// X-axis caption.
+    pub x_label: String,
+    /// Y-axis caption.
+    pub y_label: String,
+    /// Explicit x ticks as `(position, label)`; empty = ticks at every
+    /// distinct x value, labelled with the value itself.
+    pub x_ticks: Vec<(f64, String)>,
+    /// The plotted series, drawn (and colored) in order.
+    pub series: Vec<Series>,
+}
+
+impl LineChart {
+    /// Renders the chart as a standalone SVG document.
+    pub fn render(&self) -> String {
+        const PLOT_W: f64 = 430.0;
+        const PLOT_H: f64 = 300.0;
+        const LEFT: f64 = 62.0;
+        const TOP: f64 = 44.0;
+        const BOTTOM: f64 = 58.0;
+        let legend_w = 170.0;
+        let width = LEFT + PLOT_W + 14.0 + legend_w;
+        let height = TOP + PLOT_H + BOTTOM;
+
+        let ticks: Vec<(f64, String)> = if self.x_ticks.is_empty() {
+            let mut xs: Vec<f64> = self
+                .series
+                .iter()
+                .flat_map(|s| s.points.iter().map(|p| p.0))
+                .collect();
+            xs.sort_by(f64::total_cmp);
+            xs.dedup();
+            xs.into_iter().map(|x| (x, format!("{x}"))).collect()
+        } else {
+            self.x_ticks.clone()
+        };
+        let (x_min, x_max) = match (ticks.first(), ticks.last()) {
+            (Some(a), Some(b)) if b.0 > a.0 => (a.0, b.0),
+            (Some(a), _) => (a.0 - 0.5, a.0 + 0.5),
+            _ => (0.0, 1.0),
+        };
+        let y_max = nice_ceil(
+            self.series
+                .iter()
+                .flat_map(|s| {
+                    s.points
+                        .iter()
+                        .enumerate()
+                        .map(|(i, p)| p.1 + s.err.get(i).copied().unwrap_or(0.0))
+                })
+                .fold(0.0, f64::max),
+        );
+        let sx = |x: f64| LEFT + (x - x_min) / (x_max - x_min) * PLOT_W;
+        let sy = |y: f64| TOP + PLOT_H - (y / y_max) * PLOT_H;
+
+        let mut svg = String::new();
+        let _ = writeln!(
+            svg,
+            "<svg xmlns=\"http://www.w3.org/2000/svg\" viewBox=\"0 0 {} {}\" \
+             font-family=\"Helvetica, Arial, sans-serif\">",
+            px(width),
+            px(height)
+        );
+        let _ = writeln!(
+            svg,
+            "<text x=\"{}\" y=\"22\" font-size=\"15\" text-anchor=\"middle\" \
+             font-weight=\"bold\">{}</text>",
+            px(LEFT + PLOT_W / 2.0),
+            esc(&self.title)
+        );
+
+        // Frame, gridlines and y ticks (five divisions of the nice max).
+        let _ = writeln!(
+            svg,
+            "<rect x=\"{}\" y=\"{}\" width=\"{}\" height=\"{}\" fill=\"none\" \
+             stroke=\"#333333\" stroke-width=\"1\"/>",
+            px(LEFT),
+            px(TOP),
+            px(PLOT_W),
+            px(PLOT_H)
+        );
+        for i in 0..=5u32 {
+            let y_val = y_max * f64::from(i) / 5.0;
+            let y = sy(y_val);
+            if i > 0 && i < 5 {
+                let _ = writeln!(
+                    svg,
+                    "<line x1=\"{}\" y1=\"{}\" x2=\"{}\" y2=\"{}\" stroke=\"#DDDDDD\" \
+                     stroke-width=\"0.5\"/>",
+                    px(LEFT),
+                    px(y),
+                    px(LEFT + PLOT_W),
+                    px(y)
+                );
+            }
+            let _ = writeln!(
+                svg,
+                "<text x=\"{}\" y=\"{}\" font-size=\"11\" text-anchor=\"end\">{:.2}</text>",
+                px(LEFT - 6.0),
+                px(y + 4.0),
+                y_val
+            );
+        }
+        for (x_val, label) in &ticks {
+            let x = sx(*x_val);
+            let _ = writeln!(
+                svg,
+                "<line x1=\"{}\" y1=\"{}\" x2=\"{}\" y2=\"{}\" stroke=\"#333333\" \
+                 stroke-width=\"1\"/>",
+                px(x),
+                px(TOP + PLOT_H),
+                px(x),
+                px(TOP + PLOT_H + 4.0)
+            );
+            let _ = writeln!(
+                svg,
+                "<text x=\"{}\" y=\"{}\" font-size=\"11\" text-anchor=\"middle\">{}</text>",
+                px(x),
+                px(TOP + PLOT_H + 18.0),
+                esc(label)
+            );
+        }
+        let _ = writeln!(
+            svg,
+            "<text x=\"{}\" y=\"{}\" font-size=\"12\" text-anchor=\"middle\">{}</text>",
+            px(LEFT + PLOT_W / 2.0),
+            px(TOP + PLOT_H + 40.0),
+            esc(&self.x_label)
+        );
+        let _ = writeln!(
+            svg,
+            "<text x=\"16\" y=\"{}\" font-size=\"12\" text-anchor=\"middle\" \
+             transform=\"rotate(-90 16 {})\">{}</text>",
+            px(TOP + PLOT_H / 2.0),
+            px(TOP + PLOT_H / 2.0),
+            esc(&self.y_label)
+        );
+
+        // Series: error bars under the polyline, markers on top.
+        for (si, series) in self.series.iter().enumerate() {
+            let color = PALETTE[si % PALETTE.len()];
+            for (i, &(x, y)) in series.points.iter().enumerate() {
+                let Some(&e) = series.err.get(i) else {
+                    continue;
+                };
+                if e <= 0.0 {
+                    continue;
+                }
+                let (cx, lo, hi) = (sx(x), sy((y - e).max(0.0)), sy(y + e));
+                let _ = writeln!(
+                    svg,
+                    "<line x1=\"{cx}\" y1=\"{lo}\" x2=\"{cx}\" y2=\"{hi}\" stroke=\"{color}\" \
+                     stroke-width=\"1\"/>\
+                     <line x1=\"{l}\" y1=\"{lo}\" x2=\"{r}\" y2=\"{lo}\" stroke=\"{color}\" \
+                     stroke-width=\"1\"/>\
+                     <line x1=\"{l}\" y1=\"{hi}\" x2=\"{r}\" y2=\"{hi}\" stroke=\"{color}\" \
+                     stroke-width=\"1\"/>",
+                    cx = px(cx),
+                    lo = px(lo),
+                    hi = px(hi),
+                    l = px(cx - 3.5),
+                    r = px(cx + 3.5),
+                );
+            }
+            if series.points.len() > 1 {
+                let path: Vec<String> = series
+                    .points
+                    .iter()
+                    .map(|&(x, y)| format!("{},{}", px(sx(x)), px(sy(y))))
+                    .collect();
+                let _ = writeln!(
+                    svg,
+                    "<polyline points=\"{}\" fill=\"none\" stroke=\"{color}\" \
+                     stroke-width=\"1.8\"/>",
+                    path.join(" ")
+                );
+            }
+            for &(x, y) in &series.points {
+                let _ = writeln!(
+                    svg,
+                    "<circle cx=\"{}\" cy=\"{}\" r=\"3.2\" fill=\"{color}\"/>",
+                    px(sx(x)),
+                    px(sy(y))
+                );
+            }
+        }
+
+        // Legend, right of the plot.
+        for (si, series) in self.series.iter().enumerate() {
+            let color = PALETTE[si % PALETTE.len()];
+            let y = TOP + 10.0 + si as f64 * 20.0;
+            let _ = writeln!(
+                svg,
+                "<line x1=\"{}\" y1=\"{}\" x2=\"{}\" y2=\"{}\" stroke=\"{color}\" \
+                 stroke-width=\"1.8\"/>\
+                 <circle cx=\"{}\" cy=\"{}\" r=\"3.2\" fill=\"{color}\"/>\
+                 <text x=\"{}\" y=\"{}\" font-size=\"11\">{}</text>",
+                px(LEFT + PLOT_W + 18.0),
+                px(y),
+                px(LEFT + PLOT_W + 42.0),
+                px(y),
+                px(LEFT + PLOT_W + 30.0),
+                px(y),
+                px(LEFT + PLOT_W + 48.0),
+                px(y + 4.0),
+                esc(&series.label)
+            );
+        }
+        svg.push_str("</svg>\n");
+        svg
+    }
+}
+
+/// A grid heatmap: rows × columns of optional values on a sequential
+/// white → vermillion color scale (missing cells render gray).
+#[derive(Debug, Clone, Default)]
+pub struct Heatmap {
+    /// Chart title.
+    pub title: String,
+    /// Caption under the column labels.
+    pub x_label: String,
+    /// Caption left of the row labels.
+    pub y_label: String,
+    /// Column headers, in order.
+    pub col_labels: Vec<String>,
+    /// Row headers, in order.
+    pub row_labels: Vec<String>,
+    /// `cells[row][col]`; `None` renders as "no data".
+    pub cells: Vec<Vec<Option<f64>>>,
+    /// Multiplies values in cell text (e.g. 100.0 to print percents).
+    pub value_scale: f64,
+}
+
+impl Heatmap {
+    /// Sequential color for `v` on `[0, vmax]`: white at 0 to Okabe–Ito
+    /// vermillion `#D55E00` at `vmax`.
+    fn color(v: f64, vmax: f64) -> String {
+        let t = if vmax > 0.0 {
+            (v / vmax).clamp(0.0, 1.0)
+        } else {
+            0.0
+        };
+        let lerp = |a: f64, b: f64| (a + (b - a) * t).round() as u8;
+        format!(
+            "#{:02X}{:02X}{:02X}",
+            lerp(255.0, 0xD5 as f64),
+            lerp(255.0, 0x5E as f64),
+            lerp(255.0, 0x00 as f64)
+        )
+    }
+
+    /// Renders the heatmap as a standalone SVG document.
+    pub fn render(&self) -> String {
+        let rows = self.row_labels.len();
+        let cols = self.col_labels.len();
+        // Wide grids (e.g. 32 bit positions) get narrow, text-free cells.
+        let cell_w: f64 = if cols > 12 { 18.0 } else { 64.0 };
+        let cell_h: f64 = 26.0;
+        let left: f64 = 150.0;
+        let top: f64 = 64.0;
+        let width = left + cols as f64 * cell_w + 30.0;
+        let height = top + rows as f64 * cell_h + 74.0;
+        let vmax = self
+            .cells
+            .iter()
+            .flatten()
+            .flatten()
+            .fold(0.0f64, |m, &v| m.max(v));
+
+        let mut svg = String::new();
+        let _ = writeln!(
+            svg,
+            "<svg xmlns=\"http://www.w3.org/2000/svg\" viewBox=\"0 0 {} {}\" \
+             font-family=\"Helvetica, Arial, sans-serif\">",
+            px(width),
+            px(height)
+        );
+        let _ = writeln!(
+            svg,
+            "<text x=\"{}\" y=\"24\" font-size=\"15\" text-anchor=\"middle\" \
+             font-weight=\"bold\">{}</text>",
+            px(left + cols as f64 * cell_w / 2.0),
+            esc(&self.title)
+        );
+        for (c, label) in self.col_labels.iter().enumerate() {
+            let _ = writeln!(
+                svg,
+                "<text x=\"{}\" y=\"{}\" font-size=\"10\" text-anchor=\"middle\">{}</text>",
+                px(left + (c as f64 + 0.5) * cell_w),
+                px(top - 8.0),
+                esc(label)
+            );
+        }
+        for (r, label) in self.row_labels.iter().enumerate() {
+            let _ = writeln!(
+                svg,
+                "<text x=\"{}\" y=\"{}\" font-size=\"10\" text-anchor=\"end\">{}</text>",
+                px(left - 8.0),
+                px(top + (r as f64 + 0.5) * cell_h + 3.0),
+                esc(label)
+            );
+        }
+        for r in 0..rows {
+            for c in 0..cols {
+                let value = self
+                    .cells
+                    .get(r)
+                    .and_then(|row| row.get(c))
+                    .copied()
+                    .flatten();
+                let x = left + c as f64 * cell_w;
+                let y = top + r as f64 * cell_h;
+                let fill = match value {
+                    Some(v) => Self::color(v, vmax),
+                    None => "#EEEEEE".to_string(),
+                };
+                let _ = writeln!(
+                    svg,
+                    "<rect x=\"{}\" y=\"{}\" width=\"{}\" height=\"{}\" fill=\"{fill}\" \
+                     stroke=\"#FFFFFF\" stroke-width=\"1\"/>",
+                    px(x),
+                    px(y),
+                    px(cell_w),
+                    px(cell_h)
+                );
+                if cell_w >= 40.0 {
+                    let text = match value {
+                        Some(v) => format!("{:.2}", v * self.value_scale),
+                        None => "-".to_string(),
+                    };
+                    // Dark cells get white text for contrast.
+                    let dark = value.is_some_and(|v| vmax > 0.0 && v / vmax > 0.55);
+                    let _ = writeln!(
+                        svg,
+                        "<text x=\"{}\" y=\"{}\" font-size=\"10\" text-anchor=\"middle\" \
+                         fill=\"{}\">{}</text>",
+                        px(x + cell_w / 2.0),
+                        px(y + cell_h / 2.0 + 3.0),
+                        if dark { "#FFFFFF" } else { "#333333" },
+                        esc(&text)
+                    );
+                }
+            }
+        }
+        let _ = writeln!(
+            svg,
+            "<text x=\"{}\" y=\"{}\" font-size=\"12\" text-anchor=\"middle\">{}</text>",
+            px(left + cols as f64 * cell_w / 2.0),
+            px(top + rows as f64 * cell_h + 24.0),
+            esc(&self.x_label)
+        );
+        let _ = writeln!(
+            svg,
+            "<text x=\"16\" y=\"{}\" font-size=\"12\" text-anchor=\"middle\" \
+             transform=\"rotate(-90 16 {})\">{}</text>",
+            px(top + rows as f64 * cell_h / 2.0),
+            px(top + rows as f64 * cell_h / 2.0),
+            esc(&self.y_label)
+        );
+
+        // Color-bar legend: ten swatches from 0 to vmax.
+        let bar_y = top + rows as f64 * cell_h + 38.0;
+        for i in 0..10u32 {
+            let _ = writeln!(
+                svg,
+                "<rect x=\"{}\" y=\"{}\" width=\"16\" height=\"10\" fill=\"{}\"/>",
+                px(left + f64::from(i) * 16.0),
+                px(bar_y),
+                Self::color(vmax * f64::from(i) / 9.0, vmax)
+            );
+        }
+        let _ = writeln!(
+            svg,
+            "<text x=\"{}\" y=\"{}\" font-size=\"10\" text-anchor=\"middle\">0</text>\
+             <text x=\"{}\" y=\"{}\" font-size=\"10\" text-anchor=\"middle\">{:.2}</text>",
+            px(left),
+            px(bar_y + 22.0),
+            px(left + 160.0),
+            px(bar_y + 22.0),
+            vmax * self.value_scale
+        );
+        svg.push_str("</svg>\n");
+        svg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chart() -> LineChart {
+        LineChart {
+            title: "AD vs fault rate".to_string(),
+            x_label: "fault %".to_string(),
+            y_label: "accuracy delta".to_string(),
+            x_ticks: vec![],
+            series: vec![
+                Series {
+                    label: "Baseline".to_string(),
+                    points: vec![(10.0, 0.1), (30.0, 0.2), (50.0, 0.4)],
+                    err: vec![0.02, 0.03, 0.05],
+                },
+                Series {
+                    label: "Ensemble <LC>".to_string(),
+                    points: vec![(10.0, 0.05), (30.0, 0.1), (50.0, 0.15)],
+                    err: vec![],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn line_chart_renders_deterministically() {
+        let a = chart().render();
+        let b = chart().render();
+        assert_eq!(a, b);
+        assert!(a.starts_with("<svg xmlns"), "{}", &a[..60]);
+        assert!(a.ends_with("</svg>\n"));
+        assert!(a.contains("polyline"));
+        assert!(a.contains("Baseline"));
+        // XML-special characters in labels are escaped.
+        assert!(a.contains("Ensemble &lt;LC&gt;"));
+        assert!(!a.contains("Ensemble <LC>"));
+    }
+
+    #[test]
+    fn line_chart_has_no_timestamps_or_ids() {
+        let svg = chart().render();
+        assert!(!svg.contains("id="), "ids invite nondeterminism: {svg}");
+        for needle in ["date", "generator", "creat"] {
+            assert!(
+                !svg.to_lowercase().contains(needle),
+                "suspicious `{needle}` in output"
+            );
+        }
+    }
+
+    #[test]
+    fn single_point_series_render_markers_and_error_bars() {
+        let chart = LineChart {
+            title: "one point".to_string(),
+            x_ticks: vec![(0.0, "Baseline".to_string()), (1.0, "LS".to_string())],
+            series: vec![Series {
+                label: "AD".to_string(),
+                points: vec![(0.0, 0.1), (1.0, 0.2)],
+                err: vec![0.01, 0.02],
+            }],
+            ..LineChart::default()
+        };
+        let svg = chart.render();
+        assert!(svg.contains("circle"));
+        assert!(svg.contains(">Baseline</text>"));
+    }
+
+    #[test]
+    fn nice_ceil_picks_round_upper_bounds() {
+        assert_eq!(nice_ceil(0.43), 0.5);
+        assert_eq!(nice_ceil(0.5), 0.5);
+        assert_eq!(nice_ceil(0.09), 0.1);
+        assert_eq!(nice_ceil(1.2), 2.0);
+        assert_eq!(nice_ceil(0.0), 1.0);
+        assert_eq!(nice_ceil(f64::NAN), 1.0);
+    }
+
+    #[test]
+    fn heatmap_renders_missing_cells_and_color_scale() {
+        let map = Heatmap {
+            title: "AD".to_string(),
+            x_label: "technique".to_string(),
+            y_label: "plan".to_string(),
+            col_labels: vec!["BL".to_string(), "LS".to_string()],
+            row_labels: vec!["w x1".to_string(), "w x4".to_string()],
+            cells: vec![vec![Some(0.1), Some(0.9)], vec![Some(0.0), None]],
+            value_scale: 100.0,
+        };
+        let a = map.render();
+        assert_eq!(a, map.render(), "heatmap must be deterministic");
+        // vmax cell is pure vermillion, zero is white, missing is gray.
+        assert!(a.contains("#D55E00"), "{a}");
+        assert!(a.contains("#FFFFFF"));
+        assert!(a.contains("#EEEEEE"));
+        assert!(a.contains(">90.00<"), "value text scaled to percent: {a}");
+        assert!(a.contains(">-<"), "missing cell placeholder: {a}");
+    }
+
+    #[test]
+    fn wide_heatmaps_drop_cell_text() {
+        let map = Heatmap {
+            title: "bits".to_string(),
+            col_labels: (0..32).map(|b| b.to_string()).collect(),
+            row_labels: vec!["x1".to_string()],
+            cells: vec![(0..32).map(|b| Some(b as f64 / 31.0)).collect()],
+            value_scale: 1.0,
+            ..Heatmap::default()
+        };
+        let svg = map.render();
+        assert!(!svg.contains(">0.50<"), "narrow cells must skip text");
+        assert!(svg.contains(">31</text>"), "column headers stay: {svg}");
+    }
+}

@@ -51,14 +51,19 @@
 //! tdfm_obs::global().counter("cells_completed").add(4);
 //! ```
 
+pub mod figure;
 pub mod manifest;
+pub mod memory;
 pub mod metrics;
+pub mod profile;
 pub mod report;
 mod sink;
 mod span;
 
-pub use manifest::{ManifestCell, RunManifest};
+pub use figure::{Heatmap, LineChart, Series};
+pub use manifest::{ManifestCell, ProvenanceRecord, RunManifest};
 pub use metrics::{global, MetricsSnapshot, Registry};
+pub use profile::{Profile, SpanStats};
 pub use report::render_report;
 pub use sink::{configure, emit, enabled, flush, fv, take_captured, timing_enabled};
 pub use sink::{IntoField, Level, ObsConfig};

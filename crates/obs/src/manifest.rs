@@ -49,6 +49,48 @@ json_struct!(ManifestCell {
     wall_seconds
 });
 
+/// One injection-provenance record of a run: how many faults of one kind
+/// landed on one target of one cell, joined with that cell's mean
+/// accuracy delta — so the manifest records which faults *mattered*, not
+/// just how many fired. Written by the experiment runners from the
+/// injector-level records; all identity fields are plain strings for the
+/// same schema-independence reasons as [`ManifestCell`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProvenanceRecord {
+    /// Index of the [`ManifestCell`] these faults belong to.
+    pub cell: usize,
+    /// Fault axis: `"data"`, `"weights"` or `"activations"`.
+    pub source: String,
+    /// Fault kind (`"Mislabelling"`, `"bitflip"`, ...).
+    pub kind: String,
+    /// What was hit (`"tensor 3"`, `"all layers"`, `"-"` for data faults).
+    pub target: String,
+    /// Lowest bit flipped (inclusive; 0 for data faults).
+    pub bit_lo: u32,
+    /// Highest bit flipped (inclusive; 0 for data faults).
+    pub bit_hi: u32,
+    /// Sample-index bucket (`"idx 0-63"`) or `"-"`.
+    pub bucket: String,
+    /// Faults that fired with this key, summed over the cell's
+    /// repetitions.
+    pub count: u64,
+    /// The owning cell's mean accuracy delta — the join that turns raw
+    /// counts into "did these faults move the model".
+    pub ad_mean: f64,
+}
+
+json_struct!(ProvenanceRecord {
+    cell,
+    source,
+    kind,
+    target,
+    bit_lo,
+    bit_hi,
+    bucket,
+    count,
+    ad_mean
+});
+
 /// The manifest of one run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RunManifest {
@@ -64,6 +106,16 @@ pub struct RunManifest {
     pub cells: Vec<ManifestCell>,
     /// Counter and histogram snapshot at the end of the run.
     pub metrics: MetricsSnapshot,
+    /// Per-cell injection provenance (which faults fired where, joined
+    /// with each cell's AD). Empty for runs whose harness predates the
+    /// field — it parses as a default on old manifests.
+    pub provenance: Vec<ProvenanceRecord>,
+    /// Peak resident set size of the process at manifest time, bytes
+    /// (`VmHWM` on Linux; 0 where unavailable).
+    pub peak_rss_bytes: u64,
+    /// Heap allocations observed by the counting allocator, when a
+    /// harness opted in (0 otherwise).
+    pub allocations: u64,
 }
 
 json_struct!(RunManifest {
@@ -72,7 +124,10 @@ json_struct!(RunManifest {
     scale,
     thread_budget,
     cells,
-    metrics
+    metrics,
+    provenance = default,
+    peak_rss_bytes = default,
+    allocations = default
 });
 
 impl RunManifest {
@@ -89,6 +144,9 @@ impl RunManifest {
             thread_budget,
             cells: Vec::new(),
             metrics: MetricsSnapshot::default(),
+            provenance: Vec::new(),
+            peak_rss_bytes: crate::memory::peak_rss_bytes(),
+            allocations: crate::memory::allocations(),
         }
     }
 
@@ -174,6 +232,51 @@ mod tests {
         let back = RunManifest::load(&path).unwrap();
         assert_eq!(back, m);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn provenance_and_memory_fields_round_trip() {
+        let mut m = sample();
+        m.peak_rss_bytes = 123_456_789;
+        m.allocations = 42;
+        m.provenance.push(ProvenanceRecord {
+            cell: 0,
+            source: "data".into(),
+            kind: "Mislabelling".into(),
+            target: "-".into(),
+            bit_lo: 0,
+            bit_hi: 0,
+            bucket: "idx 0-63".into(),
+            count: 17,
+            ad_mean: 0.25,
+        });
+        let back: RunManifest = tdfm_json::from_str(&m.to_json()).unwrap();
+        assert_eq!(back, m);
+        assert_eq!(back.provenance[0].count, 17);
+    }
+
+    #[test]
+    fn manifests_without_new_fields_still_parse() {
+        // A manifest written before provenance / memory accounting existed
+        // must load with defaults, not fail.
+        let mut m = sample();
+        m.provenance.clear();
+        let mut json = m.to_json();
+        for field in ["\"provenance\"", "\"peak_rss_bytes\"", "\"allocations\""] {
+            assert!(json.contains(field));
+        }
+        // Strip the new fields out of the serialised form.
+        let value: tdfm_json::Value = tdfm_json::from_str(&json).unwrap();
+        let tdfm_json::Value::Object(mut map) = value else {
+            panic!("manifest is an object")
+        };
+        map.retain(|(k, _)| !matches!(k.as_str(), "provenance" | "peak_rss_bytes" | "allocations"));
+        json = tdfm_json::to_string(&tdfm_json::Value::Object(map));
+        let back: RunManifest = tdfm_json::from_str(&json).unwrap();
+        assert!(back.provenance.is_empty());
+        assert_eq!(back.peak_rss_bytes, 0);
+        assert_eq!(back.allocations, 0);
+        assert_eq!(back.cells, m.cells);
     }
 
     #[test]

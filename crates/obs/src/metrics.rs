@@ -9,8 +9,9 @@
 //!
 //! Histograms use fixed power-of-two buckets over nanoseconds
 //! ([`HIST_BUCKETS`] of them), which keeps recording allocation-free and
-//! makes snapshots mergeable; quantiles are reported as the upper bound of
-//! the bucket containing the requested rank.
+//! makes snapshots mergeable; quantiles are linearly interpolated within
+//! the bucket containing the requested rank (and clamped to the observed
+//! maximum, so a single-recording histogram reports its exact value).
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -85,6 +86,16 @@ impl Histogram {
         (1u64 << (i + 1).min(63)) as f64 * 1e-9
     }
 
+    /// Lower bound of bucket `i` in seconds (bucket 0 starts at zero:
+    /// 0 ns and 1 ns recordings both land there).
+    fn bucket_lower_seconds(i: usize) -> f64 {
+        if i == 0 {
+            0.0
+        } else {
+            (1u64 << i.min(63)) as f64 * 1e-9
+        }
+    }
+
     /// Records one duration.
     pub fn record(&self, d: Duration) {
         let nanos = u64::try_from(d.as_nanos()).unwrap_or(u64::MAX);
@@ -120,20 +131,36 @@ impl Histogram {
         self.max_nanos.load(Ordering::Relaxed) as f64 * 1e-9
     }
 
-    /// The `q`-quantile (`0 < q <= 1`) as the upper bound of the bucket
-    /// holding that rank, in seconds. Returns 0 when empty.
+    /// The `q`-quantile (`0 < q <= 1`) in seconds, estimated by linear
+    /// interpolation inside the power-of-two bucket holding that rank: the
+    /// rank's recordings are assumed uniform over the bucket, so rank `r`
+    /// of `n` in-bucket recordings sits at fraction `(r - 0.5) / n` of the
+    /// bucket's width. The estimate is clamped to the observed maximum —
+    /// a single-recording histogram therefore reports its exact value for
+    /// every quantile instead of its bucket's upper bound. Returns 0 when
+    /// empty.
     pub fn quantile_seconds(&self, q: f64) -> f64 {
         let count = self.count();
         if count == 0 {
             return 0.0;
         }
         let rank = ((q.clamp(0.0, 1.0) * count as f64).ceil() as u64).max(1);
+        if rank >= count {
+            // The top rank is the observed maximum itself; interpolating
+            // would report the middle of its bucket instead.
+            return self.max_seconds();
+        }
         let mut seen = 0u64;
         for (i, bucket) in self.buckets.iter().enumerate() {
-            seen += bucket.load(Ordering::Relaxed);
-            if seen >= rank {
-                return Self::bucket_upper_seconds(i);
+            let in_bucket = bucket.load(Ordering::Relaxed);
+            if in_bucket > 0 && seen + in_bucket >= rank {
+                let lo = Self::bucket_lower_seconds(i);
+                let hi = Self::bucket_upper_seconds(i);
+                let frac = ((rank - seen) as f64 - 0.5) / in_bucket as f64;
+                let estimate = lo + frac * (hi - lo);
+                return estimate.min(self.max_seconds());
             }
+            seen += in_bucket;
         }
         self.max_seconds()
     }
@@ -172,11 +199,11 @@ pub struct HistogramSnapshot {
     pub count: u64,
     /// Mean duration, seconds.
     pub mean_seconds: f64,
-    /// Median bucket upper bound, seconds.
+    /// Median, interpolated within its bucket, seconds.
     pub p50_seconds: f64,
-    /// 90th-percentile bucket upper bound, seconds.
+    /// 90th percentile, interpolated within its bucket, seconds.
     pub p90_seconds: f64,
-    /// 99th-percentile bucket upper bound, seconds.
+    /// 99th percentile, interpolated within its bucket, seconds.
     pub p99_seconds: f64,
     /// Largest recording, seconds.
     pub max_seconds: f64,
@@ -358,10 +385,50 @@ mod tests {
         assert_eq!(h.count(), 4);
         let mean = h.mean_seconds();
         assert!((mean - 1007e-6 / 4.0).abs() < 1e-9, "mean {mean}");
-        // p50 falls in the bucket of the 2 µs sample.
-        assert!(h.quantile_seconds(0.5) >= 2e-6);
-        assert!(h.quantile_seconds(1.0) >= 1e-3);
+        // p50 interpolates inside the bucket of the 2 µs sample
+        // ([1024 ns, 2048 ns)) instead of snapping to its upper bound.
+        let p50 = h.quantile_seconds(0.5);
+        assert!((1024e-9..2048e-9).contains(&p50), "p50 {p50}");
+        // The top rank is the exact maximum, not a bucket bound.
+        assert!((h.quantile_seconds(1.0) - 1e-3).abs() < 1e-9);
         assert!(h.max_seconds() >= 1e-3);
+    }
+
+    #[test]
+    fn quantiles_interpolate_within_the_winning_bucket() {
+        // 100 recordings spread over bucket [1024 ns, 2048 ns).
+        let h = Histogram::new();
+        for i in 0..100u64 {
+            h.record(Duration::from_nanos(1024 + i * 10));
+        }
+        let p50 = h.quantile_seconds(0.50);
+        let p90 = h.quantile_seconds(0.90);
+        // Rank 50 of 100 sits at fraction (50 - 0.5)/100 of the bucket.
+        let expected_p50 = 1024e-9 + 0.495 * 1024e-9;
+        assert!((p50 - expected_p50).abs() < 1e-12, "p50 {p50}");
+        assert!(p50 < p90, "interpolated ranks are monotonic");
+        // High ranks clamp to the observed maximum (2014 ns) rather than
+        // extrapolating past every recording.
+        assert!((h.quantile_seconds(0.99) - 2014e-9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_recording_reports_its_exact_value_at_every_quantile() {
+        let h = Histogram::new();
+        h.record(Duration::from_nanos(1500));
+        for q in [0.5, 0.9, 0.99, 1.0] {
+            let got = h.quantile_seconds(q);
+            assert!((got - 1500e-9).abs() < 1e-12, "q={q} got {got}");
+        }
+    }
+
+    #[test]
+    fn empty_histogram_quantiles_are_exactly_zero() {
+        let h = Histogram::new();
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile_seconds(q), 0.0, "q={q}");
+        }
+        assert_eq!(h.snapshot("empty").p50_seconds, 0.0);
     }
 
     #[test]

@@ -1,0 +1,361 @@
+//! Post-hoc span-tree profiling over `TDFM_TRACE` JSONL files.
+//!
+//! A trace records one `span_close` event per [`crate::Span`] drop, and —
+//! because the close is emitted *before* the span pops its thread-local
+//! stack — each close carries the full dotted path of the span it ends
+//! plus a precise `seconds` field. That is enough to reconstruct the span
+//! hierarchy after the fact: aggregate closes by path, and a path is the
+//! direct child of the path obtained by dropping its last segment.
+//!
+//! From the aggregate the profiler computes, per span path:
+//!
+//! * **total time** — wall-clock seconds spent inside the span, children
+//!   included (the sum of its close durations), and
+//! * **self time** — total time minus the total time of its direct
+//!   children, i.e. the time attributable to the span's own code.
+//!
+//! Self times are a partition of the wall clock: summed over every path
+//! they reconcile (up to float rounding) with the total time of the root
+//! spans. `tdfm report --profile` renders the tree and a self-time table;
+//! `--collapsed` emits the `a;b;c <microseconds>` collapsed-stack format
+//! that flamegraph tooling consumes directly.
+//!
+//! Span names must not contain `.` — the dotted path is the hierarchy
+//! encoding ([`crate::Span::enter`] asserts this).
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::path::Path;
+use tdfm_json::Value;
+
+/// Aggregated timing for one span path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanStats {
+    /// Dotted path, e.g. `"cell.repetition.fit"`.
+    pub path: String,
+    /// Number of `span_close` records at this path.
+    pub calls: u64,
+    /// Summed wall-clock seconds, children included.
+    pub total_seconds: f64,
+    /// `total_seconds` minus the direct children's `total_seconds`.
+    pub self_seconds: f64,
+}
+
+impl SpanStats {
+    /// Nesting depth (root spans are depth 0).
+    pub fn depth(&self) -> usize {
+        self.path.matches('.').count()
+    }
+
+    /// The last path segment (the span's own name).
+    pub fn name(&self) -> &str {
+        self.path.rsplit('.').next().unwrap_or(&self.path)
+    }
+}
+
+/// A reconstructed span tree with self/total time attribution.
+#[derive(Debug, Clone, Default)]
+pub struct Profile {
+    /// Per-path statistics, sorted by path (so parents precede children).
+    pub spans: Vec<SpanStats>,
+    /// Span paths that opened more often than they closed (crashed or
+    /// truncated traces), with the open-minus-close surplus.
+    pub unclosed: Vec<(String, u64)>,
+}
+
+impl Profile {
+    /// Profiles the trace file at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first unreadable or malformed line; a
+    /// `span_close` record without a span path or a numeric
+    /// `fields.seconds` is malformed.
+    pub fn from_path(path: impl AsRef<Path>) -> Result<Profile, String> {
+        let path = path.as_ref();
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        Self::parse(path, &text)
+    }
+
+    /// Profiles trace text (`path` only labels error messages).
+    ///
+    /// # Errors
+    ///
+    /// See [`Profile::from_path`].
+    pub fn parse(path: &Path, text: &str) -> Result<Profile, String> {
+        let mut totals: BTreeMap<String, (u64, f64)> = BTreeMap::new();
+        let mut opens: BTreeMap<String, u64> = BTreeMap::new();
+        for (lineno, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let record = tdfm_json::parse(line)
+                .map_err(|e| format!("{}:{}: invalid JSON: {e}", path.display(), lineno + 1))?;
+            let event = record.get("event").and_then(Value::as_str).ok_or_else(|| {
+                format!(
+                    "{}:{}: record is missing required field `event`",
+                    path.display(),
+                    lineno + 1
+                )
+            })?;
+            match event {
+                "span_open" => {
+                    let span = span_path(&record, path, lineno)?;
+                    *opens.entry(span).or_default() += 1;
+                }
+                "span_close" => {
+                    let span = span_path(&record, path, lineno)?;
+                    let seconds = record
+                        .get("fields")
+                        .and_then(|f| f.get("seconds"))
+                        .and_then(Value::as_f64)
+                        .ok_or_else(|| {
+                            format!(
+                                "{}:{}: span_close without numeric `fields.seconds`",
+                                path.display(),
+                                lineno + 1
+                            )
+                        })?;
+                    let entry = totals.entry(span).or_insert((0, 0.0));
+                    entry.0 += 1;
+                    entry.1 += seconds;
+                }
+                _ => {}
+            }
+        }
+
+        // Self time: subtract each path's total from its parent's. Paths
+        // are aggregated, so this is exact per parent (every child close
+        // happened inside *some* close of the parent path).
+        let mut spans: Vec<SpanStats> = totals
+            .iter()
+            .map(|(path, &(calls, total))| SpanStats {
+                path: path.clone(),
+                calls,
+                total_seconds: total,
+                self_seconds: total,
+            })
+            .collect();
+        let child_totals: Vec<(Option<String>, f64)> = spans
+            .iter()
+            .map(|s| (parent_path(&s.path), s.total_seconds))
+            .collect();
+        for (parent, total) in child_totals {
+            let Some(parent) = parent else { continue };
+            if let Ok(i) = spans.binary_search_by(|s| s.path.as_str().cmp(parent.as_str())) {
+                spans[i].self_seconds -= total;
+            }
+        }
+
+        let unclosed: Vec<(String, u64)> = opens
+            .into_iter()
+            .filter_map(|(path, n)| {
+                let closed = totals.get(&path).map(|&(c, _)| c).unwrap_or(0);
+                (n > closed).then(|| (path, n - closed))
+            })
+            .collect();
+        Ok(Profile { spans, unclosed })
+    }
+
+    /// Summed total time of the root spans (paths without a parent) — the
+    /// profiled wall clock.
+    pub fn root_total_seconds(&self) -> f64 {
+        self.spans
+            .iter()
+            .filter(|s| !s.path.contains('.'))
+            .map(|s| s.total_seconds)
+            .sum()
+    }
+
+    /// Summed self time over every path. Reconciles with
+    /// [`Profile::root_total_seconds`] up to float rounding: self times
+    /// partition the root spans' wall clock.
+    pub fn total_self_seconds(&self) -> f64 {
+        self.spans.iter().map(|s| s.self_seconds).sum()
+    }
+
+    /// Renders the span tree plus a table of the heaviest self-time paths.
+    pub fn render_table(&self, label: &Path) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "== profile: {} ==", label.display());
+        if self.spans.is_empty() {
+            let _ = writeln!(out, "no span_close records in trace");
+            return out;
+        }
+        let wall = self.root_total_seconds();
+        let _ = writeln!(
+            out,
+            "root span wall clock: {wall:.6}s across {} span path(s)",
+            self.spans.len()
+        );
+
+        let _ = writeln!(out, "span tree (total incl. children / self):");
+        for s in &self.spans {
+            let indent = "  ".repeat(s.depth());
+            let _ = writeln!(
+                out,
+                "  {:<40} x{:<7} total {:>11.6}s  self {:>11.6}s",
+                format!("{indent}{}", s.name()),
+                s.calls,
+                s.total_seconds,
+                s.self_seconds
+            );
+        }
+
+        let mut by_self: Vec<&SpanStats> = self.spans.iter().collect();
+        by_self.sort_by(|a, b| {
+            b.self_seconds
+                .total_cmp(&a.self_seconds)
+                .then_with(|| a.path.cmp(&b.path))
+        });
+        let _ = writeln!(out, "self time by span path:");
+        for s in &by_self {
+            let share = if wall > 0.0 {
+                100.0 * s.self_seconds / wall
+            } else {
+                0.0
+            };
+            let _ = writeln!(
+                out,
+                "  {:>11.6}s  {:>5.1}%  x{:<7} {}",
+                s.self_seconds, share, s.calls, s.path
+            );
+        }
+
+        for (path, n) in &self.unclosed {
+            let _ = writeln!(out, "WARNING: {path} opened {n} time(s) without closing");
+        }
+        out
+    }
+
+    /// Renders collapsed stacks: one `seg;seg;seg <value>` line per path,
+    /// value = self time in integer microseconds (the unit flamegraph
+    /// scripts expect). Lines are sorted by path; negative-rounding self
+    /// times clamp to zero.
+    pub fn render_collapsed(&self) -> String {
+        let mut out = String::new();
+        for s in &self.spans {
+            let micros = (s.self_seconds.max(0.0) * 1e6).round() as u64;
+            let _ = writeln!(out, "{} {}", s.path.replace('.', ";"), micros);
+        }
+        out
+    }
+}
+
+fn span_path(record: &Value, path: &Path, lineno: usize) -> Result<String, String> {
+    record
+        .get("span")
+        .and_then(Value::as_str)
+        .filter(|s| !s.is_empty())
+        .map(str::to_string)
+        .ok_or_else(|| {
+            format!(
+                "{}:{}: span record without a span path",
+                path.display(),
+                lineno + 1
+            )
+        })
+}
+
+fn parent_path(path: &str) -> Option<String> {
+    path.rsplit_once('.').map(|(parent, _)| parent.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn line(event: &str, span: &str, seconds: Option<f64>) -> String {
+        let fields = match seconds {
+            Some(s) => format!("{{\"seconds\":{s}}}"),
+            None => "{}".to_string(),
+        };
+        format!(
+            "{{\"ts_ms\":1,\"level\":\"debug\",\"span\":\"{span}\",\"event\":\"{event}\",\"fields\":{fields}}}"
+        )
+    }
+
+    fn profile(lines: &[String]) -> Profile {
+        Profile::parse(&PathBuf::from("test.jsonl"), &lines.join("\n")).unwrap()
+    }
+
+    #[test]
+    fn self_time_subtracts_direct_children() {
+        let p = profile(&[
+            line("span_open", "grid", None),
+            line("span_open", "grid.cell", None),
+            line("span_close", "grid.cell", Some(3.0)),
+            line("span_open", "grid.cell", None),
+            line("span_close", "grid.cell", Some(2.0)),
+            line("span_close", "grid", Some(10.0)),
+        ]);
+        assert_eq!(p.spans.len(), 2);
+        let grid = &p.spans[0];
+        assert_eq!(grid.path, "grid");
+        assert_eq!(grid.calls, 1);
+        assert_eq!(grid.total_seconds, 10.0);
+        assert_eq!(grid.self_seconds, 5.0);
+        let cell = &p.spans[1];
+        assert_eq!(cell.path, "grid.cell");
+        assert_eq!(cell.calls, 2);
+        assert_eq!(cell.total_seconds, 5.0);
+        assert_eq!(cell.self_seconds, 5.0);
+        assert!(p.unclosed.is_empty());
+    }
+
+    #[test]
+    fn self_times_partition_the_root_wall_clock() {
+        let p = profile(&[
+            line("span_close", "a.b.c", Some(1.0)),
+            line("span_close", "a.b", Some(2.5)),
+            line("span_close", "a.d", Some(0.5)),
+            line("span_close", "a", Some(4.0)),
+            line("span_close", "z", Some(1.0)),
+        ]);
+        assert_eq!(p.root_total_seconds(), 5.0);
+        assert!((p.total_self_seconds() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unclosed_spans_are_reported() {
+        let p = profile(&[
+            line("span_open", "fit", None),
+            line("span_open", "fit", None),
+            line("span_close", "fit", Some(1.0)),
+        ]);
+        assert_eq!(p.unclosed, vec![("fit".to_string(), 1)]);
+    }
+
+    #[test]
+    fn collapsed_output_is_flamegraph_shaped() {
+        let p = profile(&[
+            line("span_close", "a.b", Some(0.0021)),
+            line("span_close", "a", Some(0.005)),
+        ]);
+        assert_eq!(p.render_collapsed(), "a 2900\na;b 2100\n");
+    }
+
+    #[test]
+    fn malformed_close_is_an_error() {
+        let text = line("span_close", "fit", None);
+        let err = Profile::parse(&PathBuf::from("t.jsonl"), &text).unwrap_err();
+        assert!(err.contains("seconds"), "{err}");
+        let text = line("span_close", "", Some(1.0));
+        let err = Profile::parse(&PathBuf::from("t.jsonl"), &text).unwrap_err();
+        assert!(err.contains("span"), "{err}");
+    }
+
+    #[test]
+    fn table_lists_tree_and_self_times() {
+        let p = profile(&[
+            line("span_close", "grid.cell", Some(3.0)),
+            line("span_close", "grid", Some(4.0)),
+        ]);
+        let table = p.render_table(&PathBuf::from("t.jsonl"));
+        assert!(table.contains("root span wall clock: 4.000000s"), "{table}");
+        assert!(table.contains("grid.cell"), "{table}");
+        assert!(table.contains("75.0%"), "{table}");
+    }
+}

@@ -16,6 +16,9 @@ use tdfm_json::Value;
 /// How many slowest cells a manifest section lists.
 const SLOWEST: usize = 5;
 
+/// How many provenance records a manifest section lists.
+const PROVENANCE_TOP: usize = 10;
+
 /// Renders a summary of the given manifest / trace files.
 ///
 /// A file with a `.jsonl` extension — or whose first line is a complete
@@ -119,6 +122,46 @@ fn render_manifest(out: &mut String, path: &Path, m: &RunManifest) {
         let _ = writeln!(out, "counters:");
         for c in counters {
             let _ = writeln!(out, "  {:<24} {:>10}", c.name, c.value);
+        }
+    }
+    if m.peak_rss_bytes > 0 || m.allocations > 0 {
+        let _ = writeln!(
+            out,
+            "memory: peak RSS {:.1} MiB, {} heap allocation(s) counted",
+            m.peak_rss_bytes as f64 / (1024.0 * 1024.0),
+            m.allocations
+        );
+    }
+    if !m.provenance.is_empty() {
+        let _ = writeln!(
+            out,
+            "injection provenance ({} record(s), top {} by |AD|·count):",
+            m.provenance.len(),
+            PROVENANCE_TOP.min(m.provenance.len())
+        );
+        let mut ranked: Vec<_> = m.provenance.iter().collect();
+        // Damage-weighted count surfaces the faults that both fired often
+        // and sat in a cell whose predictions actually moved.
+        ranked.sort_by(|a, b| {
+            let weight = |r: &crate::manifest::ProvenanceRecord| r.ad_mean.abs() * r.count as f64;
+            weight(b)
+                .total_cmp(&weight(a))
+                .then(a.cell.cmp(&b.cell))
+                .then(a.kind.cmp(&b.kind))
+                .then(a.target.cmp(&b.target))
+                .then(a.bucket.cmp(&b.bucket))
+        });
+        for r in ranked.iter().take(PROVENANCE_TOP) {
+            let target = if r.kind == "bitflip" {
+                format!("{} bits {}-{}", r.target, r.bit_lo, r.bit_hi)
+            } else {
+                r.target.clone()
+            };
+            let _ = writeln!(
+                out,
+                "  [{:>3}] {:<11} {:<12} {:<22} {:<12} x{:<8} AD {:+.4}",
+                r.cell, r.source, r.kind, target, r.bucket, r.count, r.ad_mean
+            );
         }
     }
     out.push('\n');
@@ -297,5 +340,36 @@ mod tests {
     #[test]
     fn empty_input_list_is_an_error() {
         assert!(render_report(&Vec::<std::path::PathBuf>::new()).is_err());
+    }
+
+    #[test]
+    fn manifest_report_shows_provenance_and_memory() {
+        use crate::manifest::{ProvenanceRecord, RunManifest};
+        let mut m = RunManifest::new("prov", "tiny", 2);
+        m.peak_rss_bytes = 64 * 1024 * 1024;
+        m.allocations = 12;
+        let record = |cell, kind: &str, bucket: &str, count, ad_mean| ProvenanceRecord {
+            cell,
+            source: "data".into(),
+            kind: kind.into(),
+            target: "-".into(),
+            bit_lo: 0,
+            bit_hi: 0,
+            bucket: bucket.into(),
+            count,
+            ad_mean,
+        };
+        // The damaging cell must outrank the quiet one despite fewer faults.
+        m.provenance
+            .push(record(1, "Mislabelling", "idx 0-63", 5, 0.4));
+        m.provenance.push(record(0, "Removal", "-", 100, 0.001));
+        let path = tmp("prov.manifest.json", &m.to_json());
+        let report = render_report(&[&path]).unwrap();
+        assert!(report.contains("peak RSS 64.0 MiB"), "{report}");
+        assert!(report.contains("12 heap allocation(s)"), "{report}");
+        let mislabel = report.find("Mislabelling").unwrap();
+        let removal = report.find("Removal").unwrap();
+        assert!(mislabel < removal, "damage-weighted order\n{report}");
+        assert!(report.contains("idx 0-63"), "{report}");
     }
 }

@@ -138,6 +138,7 @@ fn init_from_env() -> u8 {
         let trace = trace_path.and_then(|path| match File::create(&path) {
             Ok(f) => Some(f),
             Err(e) => {
+                // tdfm-lint: allow(raw-eprintln, the sink cannot route its own bootstrap failure through itself; stderr is the only channel left)
                 eprintln!("tdfm-obs: cannot create TDFM_TRACE file {path:?}: {e}");
                 None
             }
@@ -224,6 +225,7 @@ pub fn emit(level: Level, event: &str, fields: &[(&str, Value)]) {
         }
         match &mut state.capture {
             Some(buf) => buf.push(line),
+            // tdfm-lint: allow(raw-eprintln, this IS the sink's stderr back end — the TDFM_LOG-filtered human channel every event! call lands in)
             None => eprintln!("{line}"),
         }
     }

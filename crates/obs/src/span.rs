@@ -50,6 +50,11 @@ impl Span {
         if !spans_active() {
             return Span(None);
         }
+        debug_assert!(
+            !name.contains('.'),
+            "span names must not contain '.': the dotted path is the \
+             hierarchy encoding the profiler reconstructs"
+        );
         SPAN_STACK.with(|stack| stack.borrow_mut().push(name));
         if enabled(Level::Debug) {
             crate::sink::emit(Level::Debug, "span_open", fields);

@@ -141,6 +141,126 @@ fn tdfm_log_filter_suppresses_lower_levels_without_evaluating_fields() {
 }
 
 #[test]
+fn concurrent_trace_writes_never_interleave() {
+    // 8 threads hammer the JSONL writer; every line of the resulting file
+    // must parse as one complete record (no torn or interleaved writes)
+    // and every record must be accounted for.
+    let _guard = lock();
+    const THREADS: usize = 8;
+    const PER_THREAD: usize = 250;
+    let dir = std::env::temp_dir().join("tdfm-obs-integration");
+    std::fs::create_dir_all(&dir).unwrap();
+    let trace_path = dir.join("torture.jsonl");
+    let _ = std::fs::remove_file(&trace_path);
+    configure(ObsConfig {
+        trace_path: Some(trace_path.clone()),
+        ..ObsConfig::default()
+    })
+    .unwrap();
+
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            scope.spawn(move || {
+                for i in 0..PER_THREAD {
+                    event!(
+                        Level::Info,
+                        "torture",
+                        thread = t,
+                        i = i,
+                        pad = "xxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxx",
+                    );
+                }
+            });
+        }
+    });
+    tdfm_obs::flush();
+    quiet();
+
+    let text = std::fs::read_to_string(&trace_path).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), THREADS * PER_THREAD);
+    let mut seen = vec![[false; PER_THREAD]; THREADS];
+    for line in &lines {
+        let record =
+            tdfm_json::parse(line).unwrap_or_else(|e| panic!("torn trace line ({e}): {line}"));
+        assert_eq!(
+            record.get("event").and_then(tdfm_json::Value::as_str),
+            Some("torture"),
+            "{line}"
+        );
+        let fields = record.get("fields").expect("fields object");
+        let t = fields
+            .get("thread")
+            .and_then(tdfm_json::Value::as_f64)
+            .unwrap() as usize;
+        let i = fields.get("i").and_then(tdfm_json::Value::as_f64).unwrap() as usize;
+        assert!(!seen[t][i], "duplicate record thread={t} i={i}");
+        seen[t][i] = true;
+    }
+    assert!(seen.iter().flatten().all(|&s| s), "records went missing");
+}
+
+#[test]
+fn profile_reconstructs_span_tree_from_trace() {
+    // A trace with nested spans must profile back into a tree whose
+    // self-time totals reconcile with the root span's wall clock.
+    let _guard = lock();
+    let dir = std::env::temp_dir().join("tdfm-obs-integration");
+    std::fs::create_dir_all(&dir).unwrap();
+    let trace_path = dir.join("profile.jsonl");
+    let _ = std::fs::remove_file(&trace_path);
+    configure(ObsConfig {
+        trace_path: Some(trace_path.clone()),
+        ..ObsConfig::default()
+    })
+    .unwrap();
+
+    {
+        let _run = span!("run");
+        for _ in 0..2 {
+            let _cell = span!("cell");
+            {
+                let _fit = span!("fit");
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    tdfm_obs::flush();
+    quiet();
+
+    let profile = tdfm_obs::Profile::from_path(&trace_path).unwrap();
+    let root_wall = profile.root_total_seconds();
+    let self_total = profile.total_self_seconds();
+    assert!(root_wall > 0.0);
+    // Every moment of the root span is attributed to exactly one span
+    // path, so self times sum back to the root wall clock (span_close
+    // carries precise per-span seconds; allow float rounding only).
+    assert!(
+        (self_total - root_wall).abs() < 1e-6 * root_wall.max(1.0),
+        "self-time sum {self_total}s does not reconcile with root wall {root_wall}s"
+    );
+
+    let table = profile.render_table(&trace_path);
+    assert!(table.contains("run"), "{table}");
+    assert!(table.contains("cell"), "{table}");
+    let collapsed = profile.render_collapsed();
+    assert!(collapsed.contains("run;cell;fit"), "{collapsed}");
+    // Collapsed stacks carry self time in integer microseconds and must
+    // cover the same total.
+    let micros: u64 = collapsed
+        .lines()
+        .filter_map(|l| l.rsplit_once(' '))
+        .map(|(_, n)| n.parse::<u64>().unwrap())
+        .sum();
+    assert!(
+        (micros as f64 / 1e6 - root_wall).abs() < 2e-5 * 6.0 + 1e-4,
+        "collapsed micros {micros} vs root wall {root_wall}s"
+    );
+}
+
+#[test]
 fn disabled_instrumentation_overhead_is_negligible() {
     let _guard = lock();
     quiet();

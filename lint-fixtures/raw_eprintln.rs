@@ -1,0 +1,6 @@
+//! A raw stderr write in library code: it bypasses the structured sink,
+//! so `TDFM_LOG` cannot silence it and `TDFM_TRACE` never records it.
+
+pub fn warn_about(path: &str) {
+    eprintln!("cannot read {path}");
+}

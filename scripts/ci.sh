@@ -64,6 +64,14 @@ test -s "$smoke_dir/motivating.manifest.json"
 ./target/release/tdfm report \
     "$smoke_dir/motivating.manifest.json" "$smoke_dir/trace.jsonl"
 
+echo "== profile smoke: span tree + collapsed stacks from the trace =="
+# The same trace must reconstruct into a span-tree profile (the profiler
+# exits non-zero on malformed or unbalanced traces) in both renderings.
+./target/release/tdfm report --profile "$smoke_dir/trace.jsonl" > /dev/null
+./target/release/tdfm report --collapsed "$smoke_dir/trace.jsonl" \
+    > "$smoke_dir/trace.collapsed"
+test -s "$smoke_dir/trace.collapsed"
+
 echo "== model-fault smoke: harness + manifest + tdfm report =="
 # The second fault axis at tiny scale: all seven techniques (incl. FAT)
 # under weight and activation bit-flip sweeps. The manifest must validate
@@ -85,5 +93,23 @@ TDFM_SCALE=smoke TDFM_RESULTS="$drift_dir" ./target/release/motivating > /dev/nu
 TDFM_SCALE=smoke TDFM_RESULTS="$drift_dir" ./target/release/model_faults > /dev/null
 ./target/release/tdfm diff-results results/motivating.json "$drift_dir/motivating.json"
 ./target/release/tdfm diff-results results/model_faults.json "$drift_dir/model_faults.json"
+
+echo "== figure drift gate: committed SVGs reproduce byte-identically =="
+# Figures are pure functions of the committed result JSONs, so they must
+# regenerate byte-for-byte — at any thread count. A `cmp` failure means
+# either the renderer changed (re-run `tdfm figures` and commit) or
+# nondeterminism crept into the pipeline (a bug; see DESIGN.md "SVG
+# determinism rules").
+figs_dir="$smoke_dir/figures"
+for threads in 1 4; do
+    rm -rf "$figs_dir"
+    TDFM_THREADS=$threads ./target/release/tdfm figures \
+        results/model_faults.json --out "$figs_dir" > /dev/null
+    TDFM_THREADS=$threads ./target/release/tdfm figures \
+        results/motivating.json --out "$figs_dir" > /dev/null
+    for svg in results/figures/*.svg; do
+        cmp "$svg" "$figs_dir/$(basename "$svg")"
+    done
+done
 
 echo "CI gate passed."

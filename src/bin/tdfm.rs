@@ -8,6 +8,8 @@
 //! tdfm detect [OPTIONS]               run the label-noise detector
 //! tdfm sweep --config FILE            run a JSON list of cells (+ manifest)
 //! tdfm report FILE...                 summarise manifests / JSONL traces
+//! tdfm report --profile TRACE...      span-tree profile of a JSONL trace
+//! tdfm figures FILE [--out DIR]       render result JSONs to SVG figures
 //! tdfm diff-results A B               compare result JSONs, timings ignored
 //! tdfm lint [--json]                  static analysis (kernel invariants)
 //! tdfm help                           this text
@@ -58,6 +60,15 @@ enum Command {
     },
     Report {
         paths: Vec<String>,
+        /// Reconstruct the span tree of a JSONL trace instead of the
+        /// manifest summary.
+        profile: bool,
+        /// Emit flamegraph-compatible collapsed stacks (implies profile).
+        collapsed: bool,
+    },
+    Figures {
+        input: String,
+        out: String,
     },
     DiffResults {
         recorded: String,
@@ -236,11 +247,51 @@ fn parse_command(args: &[String]) -> Result<Command, String> {
             Ok(Command::Sweep { config, output })
         }
         "report" => {
-            if rest.is_empty() {
+            let mut profile = false;
+            let mut collapsed = false;
+            let mut paths = Vec::new();
+            for arg in rest {
+                match arg.as_str() {
+                    "--profile" => profile = true,
+                    "--collapsed" => collapsed = true,
+                    other if other.starts_with("--") => {
+                        return Err(format!("unknown flag '{other}'"));
+                    }
+                    _ => paths.push(arg.clone()),
+                }
+            }
+            if paths.is_empty() {
                 return Err("report requires at least one manifest or trace file".to_string());
             }
             Ok(Command::Report {
-                paths: rest.to_vec(),
+                paths,
+                profile: profile || collapsed,
+                collapsed,
+            })
+        }
+        "figures" => {
+            let mut input = None;
+            let mut out = None;
+            let mut it = rest.iter();
+            while let Some(arg) = it.next() {
+                match arg.as_str() {
+                    "--out" => {
+                        let value = it
+                            .next()
+                            .ok_or_else(|| "flag '--out' requires a value".to_string())?;
+                        out = Some(value.clone());
+                    }
+                    other if other.starts_with("--") => {
+                        return Err(format!("unknown flag '{other}'"));
+                    }
+                    _ if input.is_none() => input = Some(arg.clone()),
+                    other => return Err(format!("unexpected argument '{other}'")),
+                }
+            }
+            let input = input.ok_or_else(|| "figures requires a results file".to_string())?;
+            Ok(Command::Figures {
+                input,
+                out: out.unwrap_or_else(|| "results/figures".to_string()),
             })
         }
         "diff-results" => match rest {
@@ -431,8 +482,33 @@ fn cmd_sweep(config_path: &str, output: Option<&str>) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_report(paths: &[String]) -> Result<(), String> {
-    print!("{}", tdfm::obs::render_report(paths)?);
+fn cmd_report(paths: &[String], profile: bool, collapsed: bool) -> Result<(), String> {
+    if !profile {
+        print!("{}", tdfm::obs::render_report(paths)?);
+        return Ok(());
+    }
+    for path in paths {
+        let prof = tdfm::obs::Profile::from_path(path)?;
+        if collapsed {
+            print!("{}", prof.render_collapsed());
+        } else {
+            print!("{}", prof.render_table(std::path::Path::new(path)));
+        }
+    }
+    Ok(())
+}
+
+fn cmd_figures(input: &str, out: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(input).map_err(|e| format!("cannot read {input}: {e}"))?;
+    let figures =
+        tdfm::bench::figures::render_figures(&text).map_err(|e| format!("{input}: {e}"))?;
+    let dir = std::path::Path::new(out);
+    std::fs::create_dir_all(dir).map_err(|e| format!("cannot create {out}: {e}"))?;
+    for (name, svg) in &figures {
+        let path = dir.join(name);
+        std::fs::write(&path, svg).map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+        println!("wrote {}", path.display());
+    }
     Ok(())
 }
 
@@ -545,7 +621,12 @@ fn main() {
             Ok(())
         }
         Ok(Command::Sweep { config, output }) => cmd_sweep(&config, output.as_deref()),
-        Ok(Command::Report { paths }) => cmd_report(&paths),
+        Ok(Command::Report {
+            paths,
+            profile,
+            collapsed,
+        }) => cmd_report(&paths, profile, collapsed),
+        Ok(Command::Figures { input, out }) => cmd_figures(&input, &out),
         Ok(Command::DiffResults { recorded, fresh }) => cmd_diff_results(&recorded, &fresh),
         Ok(Command::Lint(lint)) => cmd_lint(&lint),
         Ok(Command::Help) => {
@@ -572,6 +653,13 @@ USAGE:
                                    run a JSON list of experiment cells
                                    (writes <output>.manifest.json too)
   tdfm report FILE...              summarise run manifests / JSONL traces
+  tdfm report --profile TRACE...   span-tree profile of a JSONL trace
+                                   (self/total time per span path;
+                                   --collapsed emits flamegraph-style
+                                   collapsed stacks instead)
+  tdfm figures FILE [--out DIR]    render a committed results JSON to
+                                   deterministic SVG figures
+                                   (default DIR: results/figures)
   tdfm diff-results A B            compare two result JSONs with timing
                                    fields normalised; exit 1 on drift
                                    (the CI gate for committed results)
@@ -675,6 +763,7 @@ mod tests {
     #[test]
     fn report_requires_paths() {
         assert!(parse_command(&argv("report")).is_err());
+        assert!(parse_command(&argv("report --profile")).is_err());
         let cmd = parse_command(&argv("report results/table4.manifest.json trace.jsonl")).unwrap();
         assert_eq!(
             cmd,
@@ -682,7 +771,54 @@ mod tests {
                 paths: vec![
                     "results/table4.manifest.json".to_string(),
                     "trace.jsonl".to_string()
-                ]
+                ],
+                profile: false,
+                collapsed: false,
+            }
+        );
+    }
+
+    #[test]
+    fn report_profile_flags() {
+        let cmd = parse_command(&argv("report --profile trace.jsonl")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Report {
+                paths: vec!["trace.jsonl".to_string()],
+                profile: true,
+                collapsed: false,
+            }
+        );
+        // --collapsed implies profile.
+        let cmd = parse_command(&argv("report trace.jsonl --collapsed")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Report {
+                paths: vec!["trace.jsonl".to_string()],
+                profile: true,
+                collapsed: true,
+            }
+        );
+        assert!(parse_command(&argv("report --flamegraph trace.jsonl")).is_err());
+    }
+
+    #[test]
+    fn figures_parses_input_and_out() {
+        assert!(parse_command(&argv("figures")).is_err());
+        assert!(parse_command(&argv("figures a.json b.json")).is_err());
+        assert!(parse_command(&argv("figures a.json --out")).is_err());
+        assert_eq!(
+            parse_command(&argv("figures results/model_faults.json")).unwrap(),
+            Command::Figures {
+                input: "results/model_faults.json".to_string(),
+                out: "results/figures".to_string(),
+            }
+        );
+        assert_eq!(
+            parse_command(&argv("figures a.json --out /tmp/figs")).unwrap(),
+            Command::Figures {
+                input: "a.json".to_string(),
+                out: "/tmp/figs".to_string(),
             }
         );
     }

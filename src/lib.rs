@@ -26,6 +26,8 @@
 //!   manifests (`TDFM_LOG`, `TDFM_TRACE`, `tdfm report`).
 //! * [`core`] — the five TDFM techniques, the accuracy-delta metric, the
 //!   experiment runner and the overhead study.
+//! * [`bench`] — the harness behind every committed result, drift
+//!   comparison, and the SVG figure pipeline (`tdfm figures`).
 //!
 //! # Quickstart
 //!
@@ -56,6 +58,7 @@
 //! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
 //! paper-vs-measured record of every table and figure.
 
+pub use tdfm_bench as bench;
 pub use tdfm_core as core;
 pub use tdfm_data as data;
 pub use tdfm_inject as inject;
