@@ -13,13 +13,17 @@
 //! * An array of [`ModelFaultResult`]s (`model_faults.json`) renders a
 //!   technique × fault-plan AD heatmap and a fault-rate × bit-position AD
 //!   heatmap of the unprotected baseline.
+//! * An array of [`ShardFaultResult`]s (`shard_faults.json`) renders an
+//!   aggregator × fault-rate AD heatmap (the Byzantine-robustness
+//!   picture: Mean's row heats up with the victim rate, the robust rows
+//!   stay cold).
 //!
 //! Everything downstream of the parsed JSON is a pure function, so the
 //! committed SVGs are byte-identical across regenerations, machines and
 //! `TDFM_THREADS` settings — CI drift-gates them like result JSONs.
 
 use std::collections::BTreeMap;
-use tdfm_core::{ExperimentResult, ModelFaultResult};
+use tdfm_core::{ExperimentResult, ModelFaultResult, ShardFaultResult};
 use tdfm_obs::{Heatmap, LineChart, Series};
 
 /// Renders every figure a results document supports.
@@ -41,6 +45,11 @@ pub fn render_figures(text: &str) -> Result<Vec<(String, String)>, String> {
     if let Ok(results) = tdfm_json::from_str::<Vec<ModelFaultResult>>(text) {
         if !results.is_empty() {
             return Ok(model_fault_figures(&results));
+        }
+    }
+    if let Ok(results) = tdfm_json::from_str::<Vec<ShardFaultResult>>(text) {
+        if !results.is_empty() {
+            return Ok(shard_fault_figures(&results));
         }
     }
     Err(
@@ -263,6 +272,53 @@ fn model_fault_figures(results: &[ModelFaultResult]) -> Vec<(String, String)> {
     ]
 }
 
+/// Drops the `"shard N: "` prefix of a [`tdfm_inject::ShardFaultPlan`]
+/// label so heatmap columns read as fault rates (`"Mislabelling 50%"`,
+/// `"clean"`).
+fn shard_fault_rate(label: &str) -> String {
+    label
+        .split_once(": ")
+        .map_or(label, |(_, rate)| rate)
+        .to_string()
+}
+
+fn shard_fault_figures(results: &[ShardFaultResult]) -> Vec<(String, String)> {
+    // Aggregators and fault labels in first-appearance (sweep) order.
+    let mut aggregators: Vec<String> = Vec::new();
+    let mut faults: Vec<String> = Vec::new();
+    for r in results {
+        if !aggregators.contains(&r.aggregator) {
+            aggregators.push(r.aggregator.clone());
+        }
+        if !faults.contains(&r.fault_label) {
+            faults.push(r.fault_label.clone());
+        }
+    }
+    let heatmap = Heatmap {
+        title: "Sharded-training AD by aggregator and shard fault rate".to_string(),
+        x_label: "fault on the victim shard".to_string(),
+        y_label: "aggregator".to_string(),
+        col_labels: faults.iter().map(|f| shard_fault_rate(f)).collect(),
+        row_labels: aggregators.clone(),
+        cells: aggregators
+            .iter()
+            .map(|a| {
+                faults
+                    .iter()
+                    .map(|f| {
+                        results
+                            .iter()
+                            .find(|r| r.aggregator == *a && r.fault_label == *f)
+                            .map(|r| r.ad.mean as f64)
+                    })
+                    .collect()
+            })
+            .collect(),
+        value_scale: 100.0,
+    };
+    vec![("shard_faults_aggregators.svg".to_string(), heatmap.render())]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -403,6 +459,64 @@ mod tests {
         let bits = &figures[1].1;
         assert!(bits.contains("Baseline AD by fault plan and bit position"));
         assert!(bits.contains(">31<"));
+    }
+
+    fn shard_result(aggregator: &str, fault_label: &str, ad: f32) -> ShardFaultResult {
+        ShardFaultResult {
+            dataset: DatasetKind::Cifar10,
+            model: ModelKind::ConvNet,
+            aggregator: aggregator.to_string(),
+            workers: 8,
+            fault_label: fault_label.to_string(),
+            scale: Scale::Tiny,
+            seed: 8,
+            repetitions: Vec::new(),
+            clean_accuracy: ConfidenceInterval {
+                mean: 0.8,
+                half_width: 0.0,
+            },
+            faulty_accuracy: ConfidenceInterval {
+                mean: 0.8 - ad,
+                half_width: 0.0,
+            },
+            ad: ConfidenceInterval {
+                mean: ad,
+                half_width: 0.01,
+            },
+            localization_hits: 1,
+            wall_seconds: 0.5,
+        }
+    }
+
+    #[test]
+    fn shard_fault_results_render_the_aggregator_heatmap() {
+        let results = vec![
+            shard_result("Mean", "clean", 0.0),
+            shard_result("Mean", "shard 1: Mislabelling 50%", 0.25),
+            shard_result("TrimmedMean(f=1)", "clean", 0.0),
+            shard_result("TrimmedMean(f=1)", "shard 1: Mislabelling 50%", 0.02),
+        ];
+        let text = tdfm_json::to_string(&results);
+        let figures = render_figures(&text).unwrap();
+        assert_eq!(figures.len(), 1);
+        let (name, svg) = &figures[0];
+        assert_eq!(name, "shard_faults_aggregators.svg");
+        assert!(svg.contains("aggregator"));
+        assert!(svg.contains("Mean"));
+        // Column labels are rates, with the shard prefix stripped.
+        assert!(svg.contains("Mislabelling 50%"));
+        assert!(!svg.contains("shard 1:"));
+        // Determinism, like the other renderers.
+        assert_eq!(render_figures(&text).unwrap(), figures);
+    }
+
+    #[test]
+    fn shard_fault_rate_strips_the_shard_prefix() {
+        assert_eq!(
+            shard_fault_rate("shard 1: Mislabelling 50%"),
+            "Mislabelling 50%"
+        );
+        assert_eq!(shard_fault_rate("clean"), "clean");
     }
 
     #[test]

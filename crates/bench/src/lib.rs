@@ -18,6 +18,7 @@
 //! | `motivating`   | Section II + III-D (Pneumonia example)         |
 //! | `fault_combos` | Section IV-C (combined fault types)            |
 //! | `ablation`     | DESIGN.md §4 (ensemble diversity, KD, LC, LS)  |
+//! | `shard_faults` | DESIGN.md §2.10 (Byzantine-robust aggregation) |
 
 pub mod compare;
 pub mod figures;
@@ -96,6 +97,31 @@ pub fn write_model_fault_manifest(
 
 /// Serialises a batch of model-fault results to one JSON array document.
 pub fn model_fault_results_to_json(results: &[tdfm_core::ModelFaultResult]) -> String {
+    let inner: Vec<String> = results.iter().map(|r| r.to_json()).collect();
+    format!("[\n{}\n]", inner.join(",\n"))
+}
+
+/// [`write_manifest`] for the sharded-training runner: writes
+/// `<stem>.manifest.json` under [`results_dir`]; `tdfm report` reads it
+/// with the same code path as the data-fault manifests.
+///
+/// # Errors
+///
+/// Returns any filesystem error encountered.
+pub fn write_shard_fault_manifest(
+    stem: &str,
+    runner: &tdfm_core::ShardFaultRunner,
+    results: &[tdfm_core::ShardFaultResult],
+) -> std::io::Result<PathBuf> {
+    let dir = results_dir();
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join(format!("{stem}.manifest.json"));
+    runner.manifest(stem, results).write(&path)?;
+    Ok(path)
+}
+
+/// Serialises a batch of shard-fault results to one JSON array document.
+pub fn shard_fault_results_to_json(results: &[tdfm_core::ShardFaultResult]) -> String {
     let inner: Vec<String> = results.iter().map(|r| r.to_json()).collect();
     format!("[\n{}\n]", inner.join(",\n"))
 }

@@ -142,12 +142,10 @@ impl NoiseDetector {
                 suspects.push(i);
             }
         }
-        // Most suspicious first.
-        suspects.sort_by(|&a, &b| {
-            scores[b]
-                .partial_cmp(&scores[a])
-                .unwrap_or(std::cmp::Ordering::Equal)
-        });
+        // Most suspicious first. `total_cmp`, not `partial_cmp`: a NaN
+        // margin must not silently scramble the ranking (and ties break by
+        // ascending index, keeping the order deterministic).
+        suspects.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]).then(a.cmp(&b)));
         DetectionReport {
             suspects,
             scores,
@@ -259,6 +257,66 @@ impl Mitigation for DetectAndFilter {
     }
 }
 
+/// What shard localization found: per-shard disagreement scores and the
+/// shards ranked most-suspect first.
+#[derive(Debug, Clone)]
+pub struct ShardLocalizationReport {
+    /// Per-shard disagreement between the aggregated model's predictions
+    /// and the shard's own held-out labels (fraction in `[0, 1]`).
+    pub scores: Vec<f32>,
+    /// Shard indices ranked by descending score (ties break by ascending
+    /// index).
+    pub suspects: Vec<usize>,
+}
+
+json_struct!(ShardLocalizationReport { scores, suspects });
+
+impl ShardLocalizationReport {
+    /// The top-ranked suspect shard.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the report covers no shards.
+    pub fn top(&self) -> usize {
+        *self.suspects.first().expect("no shards were scored")
+    }
+}
+
+/// FedDebug-style faulty-shard localization: scores each worker's shard by
+/// the disagreement between the aggregated model's predictions and the
+/// shard's *own* labels on that shard's held-out slice.
+///
+/// A mislabelled shard keeps its bad labels in the held-out slice, while a
+/// robustly aggregated model predicts the consensus of the clean majority
+/// — so the faulty shard's disagreement stands out. Scores use
+/// `total_cmp` for the ranking, so a NaN score (an empty-prediction bug
+/// upstream) cannot scramble the suspect order.
+///
+/// # Panics
+///
+/// Panics if `holdouts` is empty.
+pub fn localize_faulty_shards(
+    net: &mut tdfm_nn::Network,
+    holdouts: &[LabeledDataset],
+) -> ShardLocalizationReport {
+    assert!(!holdouts.is_empty(), "no shards to localize over");
+    let scores: Vec<f32> = holdouts
+        .iter()
+        .map(|shard| {
+            let preds = net.predict(shard.images(), EVAL_BATCH);
+            let disagreements = preds
+                .iter()
+                .zip(shard.labels())
+                .filter(|(p, l)| p != l)
+                .count();
+            disagreements as f32 / shard.len() as f32
+        })
+        .collect();
+    let mut suspects: Vec<usize> = (0..holdouts.len()).collect();
+    suspects.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]).then(a.cmp(&b)));
+    ShardLocalizationReport { scores, suspects }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -343,5 +401,67 @@ mod tests {
     #[should_panic(expected = "at least two folds")]
     fn single_fold_rejected() {
         let _ = NoiseDetector::new(1, ModelKind::ConvNet);
+    }
+
+    #[test]
+    fn class_starved_shard_does_not_break_thresholds() {
+        // Sharding can starve a class entirely (satellite of the sharded-
+        // training work): a dataset whose histogram has zero entries for
+        // some class must still detect cleanly — the per-class threshold
+        // guard maps empty classes to +inf instead of dividing by zero.
+        let tt = DatasetKind::Cifar10.generate(Scale::Tiny, 14);
+        let starved_idx: Vec<usize> = (0..tt.train.len())
+            .filter(|&i| tt.train.labels()[i] != 0)
+            .collect();
+        let starved = tt.train.select(&starved_idx);
+        assert_eq!(starved.class_histogram()[0], 0, "class 0 must be absent");
+        let mut ctx = TrainContext::new(Scale::Tiny, 14);
+        ctx.fit.epochs = 2;
+        let report = NoiseDetector::default().detect(&starved, &ctx);
+        assert!(report.thresholds[0].is_infinite());
+        assert!(report.suspects.iter().all(|&s| s < starved.len()));
+    }
+
+    #[test]
+    fn localizer_ranks_fully_flipped_holdout_first() {
+        // Train a model on clean data, then hand the localizer holdout
+        // shards where one shard's labels are all wrong: that shard's
+        // disagreement must dominate.
+        let tt = DatasetKind::Pneumonia.generate(Scale::Tiny, 15);
+        let mut ctx = TrainContext::new(Scale::Tiny, 15);
+        ctx.tune_for(tt.train.len());
+        let mut fitted = Baseline.fit(ModelKind::ConvNet, &tt.train, &ctx);
+        let FittedModel::Single(net) = &mut fitted else {
+            panic!("baseline fits a single model");
+        };
+        let mut holdouts = tt.test.shards(4);
+        let flipped: Vec<u32> = holdouts[2]
+            .labels()
+            .iter()
+            .map(|&l| (l + 1) % holdouts[2].classes() as u32)
+            .collect();
+        holdouts[2] = holdouts[2].with_labels(flipped);
+        let report = localize_faulty_shards(net, &holdouts);
+        assert_eq!(report.top(), 2, "scores {:?}", report.scores);
+        assert_eq!(report.suspects.len(), 4);
+        assert!(report.scores.iter().all(|s| (0.0..=1.0).contains(s)));
+    }
+
+    #[test]
+    fn localizer_breaks_ties_by_ascending_shard() {
+        // Identical shards score identically, so the ranking must fall
+        // back to ascending shard index — the deterministic tie-break.
+        let tt = DatasetKind::Pneumonia.generate(Scale::Tiny, 16);
+        let mut ctx = TrainContext::new(Scale::Tiny, 16);
+        ctx.fit.epochs = 1;
+        let mut fitted = Baseline.fit(ModelKind::ConvNet, &tt.train, &ctx);
+        let FittedModel::Single(net) = &mut fitted else {
+            panic!("baseline fits a single model");
+        };
+        let shard = tt.test.shards(4).remove(0);
+        let holdouts = vec![shard.clone(), shard.clone(), shard];
+        let report = localize_faulty_shards(net, &holdouts);
+        assert_eq!(report.suspects, vec![0, 1, 2]);
+        assert_eq!(report.scores[0], report.scores[1]);
     }
 }

@@ -18,6 +18,10 @@
 //! * [`model_fault`] — the second fault axis (ROADMAP item 1): every
 //!   technique, including fault-aware training, scored under SEU bit-flip
 //!   sweeps in model weights and activations.
+//! * [`distributed`] — the production-scale axis (ROADMAP item 2):
+//!   Byzantine-robust sharded training with pluggable gradient aggregators
+//!   (mean, trimmed mean, median, CTMA with double momentum) and
+//!   FedDebug-style faulty-shard localization (see [`detect`]).
 //! * [`overhead`] — the training/inference overhead study (Section IV-E).
 //!
 //! # Examples
@@ -46,6 +50,7 @@
 //! ```
 
 pub mod detect;
+pub mod distributed;
 pub mod experiment;
 pub mod metrics;
 pub mod model_fault;
@@ -53,6 +58,11 @@ pub mod overhead;
 pub mod stats;
 pub mod technique;
 
+pub use detect::{localize_faulty_shards, ShardLocalizationReport};
+pub use distributed::{
+    fit_sharded, Aggregator, AggregatorKind, ShardFaultResult, ShardFaultRunner, ShardFaultSweep,
+    ShardedFitReport,
+};
 pub use experiment::{ExperimentConfig, ExperimentResult, Runner};
 pub use metrics::{accuracy, accuracy_delta, ConfidenceInterval, ConfusionMatrix};
 pub use model_fault::{ModelFaultResult, ModelFaultRunner, ModelFaultSweep};

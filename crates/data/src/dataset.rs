@@ -121,12 +121,51 @@ impl LabeledDataset {
     ///
     /// # Panics
     ///
-    /// Panics unless `0 < k < len`.
+    /// Panics unless `0 < k < len`: both sides must be non-empty, because a
+    /// zero-sample dataset cannot be materialised (`gather_rows` needs at
+    /// least one row). `k == 0` and `k >= len` are rejected with distinct
+    /// messages so sharding callers can tell which invariant they broke.
     pub fn split_at(&self, k: usize) -> (Self, Self) {
-        assert!(k > 0 && k < self.len(), "split point {k} out of range");
+        assert!(k > 0, "split point 0 would leave an empty head");
+        assert!(
+            k < self.len(),
+            "split point {k} would leave an empty tail (len = {})",
+            self.len()
+        );
         let head: Vec<usize> = (0..k).collect();
         let tail: Vec<usize> = (k..self.len()).collect();
         (self.select(&head), self.select(&tail))
+    }
+
+    /// Partitions the dataset into `n` contiguous shards in index order.
+    ///
+    /// Sizes differ by at most one: the first `len % n` shards get one extra
+    /// sample, deterministically, instead of truncating the remainder. A
+    /// shard may starve a class entirely (its class histogram then has zero
+    /// entries) — consumers must tolerate that.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `n > len` (every shard must be non-empty).
+    pub fn shards(&self, n: usize) -> Vec<Self> {
+        assert!(n > 0, "cannot shard into 0 parts");
+        assert!(
+            n <= self.len(),
+            "cannot shard {} samples into {n} non-empty parts",
+            self.len()
+        );
+        let base = self.len() / n;
+        let extra = self.len() % n;
+        let mut out = Vec::with_capacity(n);
+        let mut start = 0usize;
+        for w in 0..n {
+            let size = base + usize::from(w < extra);
+            let indices: Vec<usize> = (start..start + size).collect();
+            out.push(self.select(&indices));
+            start += size;
+        }
+        debug_assert_eq!(start, self.len());
+        out
     }
 }
 
@@ -162,6 +201,53 @@ mod tests {
         assert_eq!(b.len(), 3);
         assert_eq!(a.labels(), &[0]);
         assert_eq!(b.labels(), &[1, 2, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty head")]
+    fn split_at_zero_rejected() {
+        let _ = tiny().split_at(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty tail")]
+    fn split_at_len_rejected() {
+        let ds = tiny();
+        let _ = ds.split_at(ds.len());
+    }
+
+    #[test]
+    fn shards_distribute_remainder_to_first_shards() {
+        let images = Tensor::from_vec((0..10 * 4).map(|v| v as f32).collect(), &[10, 1, 2, 2]);
+        let ds = LabeledDataset::new(images, (0..10).map(|i| (i % 3) as u32).collect(), 3);
+        let shards = ds.shards(3);
+        assert_eq!(
+            shards.iter().map(LabeledDataset::len).collect::<Vec<_>>(),
+            vec![4, 3, 3]
+        );
+        // Contiguous, in index order, covering everything exactly once.
+        let all: Vec<u32> = shards.iter().flat_map(|s| s.labels().to_vec()).collect();
+        assert_eq!(all, ds.labels());
+    }
+
+    #[test]
+    fn shards_may_starve_a_class() {
+        let ds = tiny(); // labels [0, 1, 2, 1]
+        let shards = ds.shards(2);
+        assert_eq!(shards[0].class_histogram(), vec![1, 1, 0]);
+        assert_eq!(shards[1].class_histogram(), vec![0, 1, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "0 parts")]
+    fn shards_zero_rejected() {
+        let _ = tiny().shards(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty parts")]
+    fn shards_more_than_len_rejected() {
+        let _ = tiny().shards(5);
     }
 
     #[test]

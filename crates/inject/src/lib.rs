@@ -39,7 +39,9 @@ mod fault;
 mod injector;
 pub mod model;
 pub mod provenance;
+mod shard;
 
 pub use fault::{FaultKind, FaultPlan, FaultSpec};
 pub use injector::{split_clean, InjectionReport, Injector};
 pub use provenance::{FaultRecord, ProvenanceBuilder};
+pub use shard::ShardFaultPlan;

@@ -1,0 +1,231 @@
+//! Shard-scoped label faults for distributed data-parallel training.
+//!
+//! At production scale training data arrives *sharded*, and a fault
+//! typically afflicts one shard: one worker's labelling pipeline drifts,
+//! one feed is corrupted. [`ShardFaultPlan`] scopes the existing label
+//! injectors to a single shard of a [`LabeledDataset`] partition — the
+//! fault model the Byzantine-robust aggregators in `tdfm-core` defend
+//! against and the shard localizer is scored on.
+
+use crate::{FaultKind, FaultPlan, InjectionReport, Injector};
+use tdfm_data::LabeledDataset;
+use tdfm_json::json_struct;
+
+/// A label fault confined to one shard: mislabel that shard's labels at
+/// `rate` percent (uniform or pair-flip). `rate == 0` means clean.
+///
+/// Only the label-preserving fault kinds are allowed — shard workers must
+/// keep their sample counts, so `Repetition`/`Removal` are rejected.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShardFaultPlan {
+    /// Index of the victim shard.
+    pub shard: usize,
+    /// `Mislabelling` (uniform wrong class) or `PairFlipMislabelling`.
+    pub kind: FaultKind,
+    /// Percentage of the victim shard's labels flipped.
+    pub rate: f32,
+}
+
+json_struct!(ShardFaultPlan { shard, kind, rate });
+
+impl ShardFaultPlan {
+    /// A plan injecting nothing.
+    pub fn clean() -> Self {
+        Self {
+            shard: 0,
+            kind: FaultKind::Mislabelling,
+            rate: 0.0,
+        }
+    }
+
+    /// Uniform mislabelling of `rate`% of shard `shard`'s labels.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 <= rate <= 100`.
+    pub fn mislabel(shard: usize, rate: f32) -> Self {
+        Self::checked(shard, FaultKind::Mislabelling, rate)
+    }
+
+    /// Pair-flip mislabelling (`k -> k+1 mod K`) of `rate`% of shard
+    /// `shard`'s labels.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 <= rate <= 100`.
+    pub fn pair_flip(shard: usize, rate: f32) -> Self {
+        Self::checked(shard, FaultKind::PairFlipMislabelling, rate)
+    }
+
+    fn checked(shard: usize, kind: FaultKind, rate: f32) -> Self {
+        assert!(
+            (0.0..=100.0).contains(&rate),
+            "shard fault rate must be in [0, 100], got {rate}"
+        );
+        Self { shard, kind, rate }
+    }
+
+    /// `true` when the plan injects nothing.
+    pub fn is_clean(&self) -> bool {
+        self.rate == 0.0
+    }
+
+    /// Short label like `"shard 2: Mislabelling 50%"` or `"clean"`.
+    pub fn label(&self) -> String {
+        if self.is_clean() {
+            return "clean".to_string();
+        }
+        format!("shard {}: {} {}%", self.shard, self.kind, self.rate)
+    }
+
+    /// Applies the fault to the victim shard of an already-partitioned
+    /// dataset, leaving every other shard untouched.
+    ///
+    /// Injection is deterministic in `(seed, shards, plan)`; the returned
+    /// report's provenance records carry `"shard N"` as their target so a
+    /// manifest can answer *which shard* was hit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan is not clean and the shard index is out of range,
+    /// or if the fault kind is not a mislabelling kind (shard faults must
+    /// preserve shard sizes).
+    pub fn apply(
+        &self,
+        shards: &[LabeledDataset],
+        seed: u64,
+    ) -> (Vec<LabeledDataset>, InjectionReport) {
+        if self.is_clean() {
+            return (shards.to_vec(), InjectionReport::default());
+        }
+        assert!(
+            matches!(
+                self.kind,
+                FaultKind::Mislabelling | FaultKind::PairFlipMislabelling
+            ),
+            "shard faults must preserve shard sizes; {} does not",
+            self.kind
+        );
+        assert!(
+            self.shard < shards.len(),
+            "victim shard {} out of range for {} shards",
+            self.shard,
+            shards.len()
+        );
+        let plan = FaultPlan::single(self.kind, self.rate);
+        // Mix the shard index into the seed so moving the fault between
+        // shards changes the victim sample stream too.
+        let injector = Injector::new(seed ^ ((self.shard as u64 + 1) << 24));
+        let mut out = shards.to_vec();
+        let (faulty, mut report) = injector.apply(&out[self.shard], &plan);
+        out[self.shard] = faulty;
+        let target = format!("shard {}", self.shard);
+        for r in &mut report.records {
+            r.target.clone_from(&target);
+        }
+        (out, report)
+    }
+}
+
+impl std::fmt::Display for ShardFaultPlan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tdfm_tensor::Tensor;
+
+    fn shards(n_per: usize, parts: usize) -> Vec<LabeledDataset> {
+        let n = n_per * parts;
+        let images = Tensor::from_vec((0..n * 4).map(|v| v as f32).collect(), &[n, 1, 2, 2]);
+        let labels = (0..n).map(|i| (i % 4) as u32).collect();
+        LabeledDataset::new(images, labels, 4).shards(parts)
+    }
+
+    #[test]
+    fn only_the_victim_shard_changes() {
+        let original = shards(20, 4);
+        let plan = ShardFaultPlan::mislabel(2, 50.0);
+        let (faulty, report) = plan.apply(&original, 7);
+        assert_eq!(report.mislabelled, 10);
+        for (w, (a, b)) in original.iter().zip(&faulty).enumerate() {
+            if w == 2 {
+                assert_ne!(a.labels(), b.labels());
+            } else {
+                assert_eq!(a, b);
+            }
+            assert_eq!(a.len(), b.len(), "shard sizes must be preserved");
+        }
+    }
+
+    #[test]
+    fn provenance_names_the_shard() {
+        let original = shards(20, 4);
+        let (_, report) = ShardFaultPlan::pair_flip(1, 30.0).apply(&original, 3);
+        assert!(!report.records.is_empty());
+        assert!(report.records.iter().all(|r| r.target == "shard 1"));
+        assert!(report.records.iter().all(|r| r.kind == "PairFlip"));
+    }
+
+    #[test]
+    fn clean_plan_is_identity() {
+        let original = shards(10, 2);
+        let (faulty, report) = ShardFaultPlan::clean().apply(&original, 9);
+        assert_eq!(faulty, original);
+        assert_eq!(report, InjectionReport::default());
+        assert_eq!(ShardFaultPlan::clean().label(), "clean");
+    }
+
+    #[test]
+    fn application_is_deterministic_and_seed_sensitive() {
+        let original = shards(25, 2);
+        let plan = ShardFaultPlan::mislabel(0, 40.0);
+        let (a, _) = plan.apply(&original, 11);
+        let (b, _) = plan.apply(&original, 11);
+        assert_eq!(a, b);
+        let (c, _) = plan.apply(&original, 12);
+        assert_ne!(a[0].labels(), c[0].labels());
+    }
+
+    #[test]
+    fn labels_read_well() {
+        assert_eq!(
+            ShardFaultPlan::mislabel(2, 50.0).label(),
+            "shard 2: Mislabelling 50%"
+        );
+        assert_eq!(
+            ShardFaultPlan::pair_flip(0, 30.0).label(),
+            "shard 0: PairFlip 30%"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "preserve shard sizes")]
+    fn size_changing_kinds_rejected() {
+        let original = shards(10, 2);
+        let plan = ShardFaultPlan {
+            shard: 0,
+            kind: FaultKind::Removal,
+            rate: 10.0,
+        };
+        let _ = plan.apply(&original, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_shard_rejected() {
+        let original = shards(10, 2);
+        let _ = ShardFaultPlan::mislabel(5, 10.0).apply(&original, 0);
+    }
+
+    #[test]
+    fn round_trips_through_json() {
+        let plan = ShardFaultPlan::pair_flip(3, 50.0);
+        let json = tdfm_json::to_string(&plan);
+        let back: ShardFaultPlan = tdfm_json::from_str(&json).unwrap();
+        assert_eq!(back, plan);
+    }
+}

@@ -12,6 +12,7 @@ mod hot_path_alloc;
 mod lib_unwrap;
 mod nan_laundering;
 mod nondeterministic_time;
+mod partial_cmp_sort;
 mod raw_eprintln;
 mod sparsity_skip;
 mod unsafe_safety;
@@ -44,6 +45,7 @@ pub fn all_rules() -> Vec<Box<dyn Rule>> {
         Box::new(env_read::EnvRead),
         Box::new(unsafe_safety::UnsafeNeedsSafetyComment),
         Box::new(raw_eprintln::RawEprintln),
+        Box::new(partial_cmp_sort::PartialCmpSort),
     ]
 }
 

@@ -1,0 +1,131 @@
+//! `partial-cmp-sort` — `partial_cmp` inside a `sort_by` /
+//! `sort_unstable_by` comparator. `partial_cmp` on floats returns `None`
+//! for NaN, so the usual `.unwrap()` panics the first time a NaN reaches
+//! the sort — and the `unwrap_or` dodges produce an incoherent comparator
+//! that misorders silently. The trimmed-mean/median aggregators and the
+//! shard localizer all rank by float score; PR 6 fixed exactly this bug
+//! in `detect.rs` suspect ranking. `total_cmp` is a total order (NaN
+//! sorts to one end, deterministically) and is what every ranking in this
+//! codebase must use.
+
+use super::{matches_texts, scope, Rule};
+use crate::config::Scope;
+use crate::diag::Diagnostic;
+use crate::engine::FileCtx;
+
+pub struct PartialCmpSort;
+
+const MESSAGE: &str = "`partial_cmp` in a sort comparator is not a total order: NaN yields None, so the comparator panics on unwrap or misorders silently";
+const SUGGESTION: &str = "compare floats with `total_cmp` (total order, deterministic NaN placement), or add `// tdfm-lint: allow(partial-cmp-sort, <reason>)`";
+
+/// How many significant tokens of the sort call we scan for the
+/// comparator body before giving up. Generous for a one-line closure,
+/// small enough not to bridge into unrelated statements if the paren
+/// stream is malformed.
+const CALL_WINDOW: usize = 120;
+
+impl Rule for PartialCmpSort {
+    fn id(&self) -> &'static str {
+        "partial-cmp-sort"
+    }
+
+    fn applies_in_tests(&self) -> bool {
+        // A NaN-panicking comparator in a test helper flakes the suite
+        // just as surely as it breaks library ranking code.
+        true
+    }
+
+    fn default_scope(&self) -> Scope {
+        scope(&[], &[])
+    }
+
+    fn check(&self, ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
+        let sig = ctx.significant();
+        for at in 0..sig.len() {
+            let is_sort = matches_texts(ctx, &sig, at, &[".", "sort_by", "("])
+                || matches_texts(ctx, &sig, at, &[".", "sort_unstable_by", "("]);
+            if !is_sort {
+                continue;
+            }
+            // Scan only the sort call's own argument list: walk the paren
+            // depth from the call's `(` so a `partial_cmp` in a later
+            // statement cannot false-positive this sort.
+            let mut depth = 0usize;
+            for &j in sig[at + 2..].iter().take(CALL_WINDOW) {
+                match ctx.tokens[j].text {
+                    "(" => depth += 1,
+                    ")" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    "partial_cmp" => {
+                        out.push(ctx.diag(sig[at + 1], self.id(), MESSAGE, SUGGESTION));
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Config;
+    use crate::engine::lint_source;
+
+    fn diags(src: &str) -> Vec<Diagnostic> {
+        lint_source("crates/core/src/fake.rs", src, &Config::default())
+            .into_iter()
+            .filter(|d| d.rule == "partial-cmp-sort")
+            .collect()
+    }
+
+    #[test]
+    fn flags_partial_cmp_in_sort_by_and_sort_unstable_by() {
+        let src = "fn f(v: &mut Vec<f32>) { v.sort_by(|a, b| a.partial_cmp(b).unwrap()); }";
+        assert_eq!(diags(src).len(), 1);
+        let src = "fn f(v: &mut [f32]) { v.sort_unstable_by(|a, b| b.partial_cmp(a).unwrap()); }";
+        assert_eq!(diags(src).len(), 1);
+    }
+
+    #[test]
+    fn flags_the_keyed_tuple_shape() {
+        // The historical detect.rs suspect-ranking shape.
+        let src = "fn f(s: &[f32], idx: &mut Vec<usize>) { idx.sort_by(|&a, &b| s[b].partial_cmp(&s[a]).unwrap()); }";
+        assert_eq!(diags(src).len(), 1);
+    }
+
+    #[test]
+    fn total_cmp_comparators_are_quiet() {
+        let src = "fn f(v: &mut Vec<f32>) { v.sort_by(|a, b| a.total_cmp(b)); }";
+        assert!(diags(src).is_empty());
+    }
+
+    #[test]
+    fn partial_cmp_outside_the_sort_call_is_quiet() {
+        let src = "fn f(v: &mut Vec<u32>, x: f32, y: f32) { v.sort_by(|a, b| a.cmp(b)); let o = x.partial_cmp(&y); drop(o); }";
+        assert!(diags(src).is_empty());
+    }
+
+    #[test]
+    fn applies_inside_test_code() {
+        let src = "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { let mut v = vec![1.0f32]; v.sort_by(|a, b| a.partial_cmp(b).unwrap()); }\n}";
+        assert_eq!(diags(src).len(), 1);
+    }
+
+    #[test]
+    fn comments_and_strings_never_trigger() {
+        assert!(diags("// v.sort_by(|a, b| a.partial_cmp(b).unwrap())\nfn f() {}").is_empty());
+        assert!(diags("fn f() -> &'static str { \".sort_by( partial_cmp\" }").is_empty());
+    }
+
+    #[test]
+    fn suppression_comment_is_honoured() {
+        let src = "fn f(v: &mut Vec<f32>) {\n    // tdfm-lint: allow(partial-cmp-sort, NaN screened upstream)\n    v.sort_by(|a, b| a.partial_cmp(b).unwrap());\n}";
+        assert!(diags(src).is_empty());
+    }
+}

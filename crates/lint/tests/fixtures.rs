@@ -109,6 +109,13 @@ fn raw_eprintln_fixture_flags_the_stderr_write() {
 }
 
 #[test]
+fn partial_cmp_sort_fixture_flags_the_float_comparator() {
+    // The suspect-ranking comparator shape detect.rs shipped before the
+    // `total_cmp` fix (with the silently-misordering `unwrap_or` dodge).
+    check("partial_cmp_sort.rs", &[("partial-cmp-sort", 6, 12)]);
+}
+
+#[test]
 fn unsafe_fixture_flags_missing_safety_comment() {
     check("unsafe_safety.rs", &[("unsafe-needs-safety-comment", 5, 5)]);
 }

@@ -562,6 +562,81 @@ fn global_grad_norm(params: &[&mut crate::layer::Param]) -> f32 {
     sq.sqrt()
 }
 
+/// Gradients exported from one forward/backward pass — the unit a
+/// data-parallel shard worker ships to a gradient aggregator
+/// (`tdfm-core`'s `distributed` module).
+#[derive(Debug, Clone)]
+pub struct BatchGradients {
+    /// One gradient tensor per parameter, in `Network::params_mut` order.
+    pub grads: Vec<Tensor>,
+    /// The batch loss.
+    pub loss: f32,
+    /// Global L2 norm over the exported gradients (non-finite whenever any
+    /// exported gradient value is, so callers can screen workers cheaply).
+    pub grad_norm: f32,
+}
+
+impl BatchGradients {
+    /// `true` when the loss and every gradient value are finite.
+    pub fn is_finite(&self) -> bool {
+        self.loss.is_finite() && self.grad_norm.is_finite()
+    }
+}
+
+/// Runs one forward/backward pass on a batch and exports the resulting
+/// parameter gradients instead of stepping an optimiser.
+///
+/// The network's accumulated gradients are zeroed on exit, so exporting
+/// never bleeds state into a later `fit` or another export.
+///
+/// # Panics
+///
+/// Panics if `images` is not NCHW.
+pub fn export_batch_gradients(
+    net: &mut Network,
+    loss: &dyn Loss,
+    images: &Tensor,
+    target: &Target<'_>,
+) -> BatchGradients {
+    assert_eq!(images.shape().rank(), 4, "images must be NCHW");
+    let logits = net.forward(images, Mode::Train);
+    let out = loss.evaluate(&logits, target);
+    let grad_input = net.backward(&out.grad);
+    drop(grad_input);
+    let mut params = net.params_mut();
+    let grads: Vec<Tensor> = params.iter().map(|p| p.grad.clone()).collect();
+    let grad_norm = global_grad_norm(&params);
+    for p in params.iter_mut() {
+        p.zero_grad();
+    }
+    BatchGradients {
+        grads,
+        loss: out.loss,
+        grad_norm,
+    }
+}
+
+/// Loads externally produced gradients into the network's parameter slots,
+/// so a subsequent [`Optimizer::step`] applies them — the receive side of
+/// [`export_batch_gradients`].
+///
+/// # Panics
+///
+/// Panics if the gradient count or any gradient shape disagrees with the
+/// network's parameters.
+pub fn load_gradients(net: &mut Network, grads: &[Tensor]) {
+    let mut params = net.params_mut();
+    assert_eq!(
+        params.len(),
+        grads.len(),
+        "gradient/parameter count mismatch"
+    );
+    for (p, g) in params.iter_mut().zip(grads) {
+        assert_eq!(p.grad.shape(), g.shape(), "gradient shape mismatch");
+        p.grad.data_mut().copy_from_slice(g.data());
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1173,6 +1248,64 @@ mod tests {
                 ..FaultAwareConfig::default()
             },
         );
+    }
+
+    #[test]
+    fn exported_gradients_round_trip_through_load() {
+        // A step taken from exported-then-loaded gradients must equal the
+        // in-place backward + step bit-for-bit — the invariant that lets
+        // the distributed trainer reuse the single-worker optimiser.
+        let (x, y) = blob_data(8, 40);
+        let cfg = ModelConfig {
+            in_shape: (1, 4, 4),
+            classes: 2,
+            width: 2,
+            seed: 41,
+        };
+        let mut exported_net = ModelKind::ConvNet.build(&cfg);
+        let mut direct_net = ModelKind::ConvNet.build(&cfg);
+
+        let export =
+            export_batch_gradients(&mut exported_net, &CrossEntropy, &x, &Target::Hard(&y));
+        assert!(export.is_finite());
+        assert!(export.grad_norm > 0.0);
+        load_gradients(&mut exported_net, &export.grads);
+        let mut opt = crate::optim::Sgd::new(0.05, 0.0, 0.0);
+        opt.step(&mut exported_net.params_mut());
+
+        let logits = direct_net.forward(&x, Mode::Train);
+        let out = CrossEntropy.evaluate(&logits, &Target::Hard(&y));
+        let _ = direct_net.backward(&out.grad);
+        let mut opt2 = crate::optim::Sgd::new(0.05, 0.0, 0.0);
+        opt2.step(&mut direct_net.params_mut());
+
+        let weights = |net: &mut Network| -> Vec<Vec<u32>> {
+            net.params_mut()
+                .iter()
+                .map(|p| p.value.data().iter().map(|v| v.to_bits()).collect())
+                .collect()
+        };
+        assert_eq!(weights(&mut exported_net), weights(&mut direct_net));
+    }
+
+    #[test]
+    fn export_flags_non_finite_gradients() {
+        let (mut x, y) = blob_data(8, 42);
+        x.data_mut()[0] = f32::NAN;
+        let cfg = ModelConfig {
+            in_shape: (1, 4, 4),
+            classes: 2,
+            width: 2,
+            seed: 43,
+        };
+        let mut net = ModelKind::ConvNet.build(&cfg);
+        let export = export_batch_gradients(&mut net, &CrossEntropy, &x, &Target::Hard(&y));
+        assert!(!export.is_finite(), "NaN input must surface in the export");
+        // Export must leave no gradient residue behind.
+        assert!(net
+            .params_mut()
+            .iter()
+            .all(|p| p.grad.data().iter().all(|&g| g == 0.0)));
     }
 
     #[test]

@@ -1,0 +1,7 @@
+//! `partial_cmp` comparators panic or misorder on NaN; rankings must use
+//! `total_cmp`.
+
+pub fn rank_scores(scores: &mut [f32]) {
+    use std::cmp::Ordering;
+    scores.sort_by(|a, b| b.partial_cmp(a).unwrap_or(Ordering::Equal));
+}

@@ -82,6 +82,16 @@ test -s "$smoke_dir/model_faults.json"
 test -s "$smoke_dir/model_faults.manifest.json"
 ./target/release/tdfm report "$smoke_dir/model_faults.manifest.json"
 
+echo "== shard-fault smoke: sharded trainer + manifest + tdfm report =="
+# The distributed axis at tiny scale: four aggregators, one victim shard
+# at three mislabelling rates over eight shard workers. The manifest must
+# validate through the same `tdfm report` path as the other manifests.
+TDFM_SCALE=tiny TDFM_RESULTS="$smoke_dir" \
+    ./target/release/shard_faults > /dev/null
+test -s "$smoke_dir/shard_faults.json"
+test -s "$smoke_dir/shard_faults.manifest.json"
+./target/release/tdfm report "$smoke_dir/shard_faults.manifest.json"
+
 echo "== result drift gate: committed JSONs reproduce from their seeds =="
 # The committed result files are claims about the code; regenerate each at
 # its recorded scale and require a bit-identical match once wall-clock
@@ -93,6 +103,16 @@ TDFM_SCALE=smoke TDFM_RESULTS="$drift_dir" ./target/release/motivating > /dev/nu
 TDFM_SCALE=smoke TDFM_RESULTS="$drift_dir" ./target/release/model_faults > /dev/null
 ./target/release/tdfm diff-results results/motivating.json "$drift_dir/motivating.json"
 ./target/release/tdfm diff-results results/model_faults.json "$drift_dir/model_faults.json"
+# The sharded trainer's fixed sorted-order reduction claims byte-identical
+# output at any thread count: regenerate at both budgets and hold it to
+# that. Separate processes per setting — TDFM_THREADS is read once per
+# process.
+for threads in 1 4; do
+    TDFM_THREADS=$threads TDFM_SCALE=smoke TDFM_RESULTS="$drift_dir" \
+        ./target/release/shard_faults > /dev/null
+    ./target/release/tdfm diff-results \
+        results/shard_faults.json "$drift_dir/shard_faults.json"
+done
 
 echo "== figure drift gate: committed SVGs reproduce byte-identically =="
 # Figures are pure functions of the committed result JSONs, so they must
@@ -107,6 +127,8 @@ for threads in 1 4; do
         results/model_faults.json --out "$figs_dir" > /dev/null
     TDFM_THREADS=$threads ./target/release/tdfm figures \
         results/motivating.json --out "$figs_dir" > /dev/null
+    TDFM_THREADS=$threads ./target/release/tdfm figures \
+        results/shard_faults.json --out "$figs_dir" > /dev/null
     for svg in results/figures/*.svg; do
         cmp "$svg" "$figs_dir/$(basename "$svg")"
     done
