@@ -485,9 +485,12 @@ pub fn fit_sharded(
                 let lo = b * cfg.batch_size;
                 let hi = (lo + cfg.batch_size).min(shard.len());
                 let indices = st.order[lo..hi].to_vec();
+                // tdfm-lint: allow(lock-held-across-call, st is this worker's private state lock; shard accessors and gather_rows take no lock)
                 let images = shard.images().gather_rows(&indices);
+                // tdfm-lint: allow(lock-held-across-call, labels() is a lock-free slice accessor on the worker's own shard)
                 let labels: Vec<u32> = indices.iter().map(|&i| shard.labels()[i]).collect();
                 let started = Instant::now();
+                // tdfm-lint: allow(lock-held-across-call, the backward pass over st.net is exactly what the per-worker lock protects; no callee takes a lock)
                 let export = export_batch_gradients(
                     &mut st.net,
                     &CrossEntropy,
@@ -575,7 +578,9 @@ pub fn fit_sharded(
                 // Each replica owns an identical optimiser fed identical
                 // gradients, so no weight broadcast is needed.
                 let WorkerState { net, opt, .. } = &mut *st;
+                // tdfm-lint: allow(lock-held-across-call, load_gradients only writes the locked worker's own net; no lock below)
                 load_gradients(net, &grads);
+                // tdfm-lint: allow(lock-held-across-call, the optimiser step mutates the locked worker's own params; no lock below)
                 opt.step(&mut net.params_mut());
             });
             epoch_loss += round_loss;
@@ -1006,10 +1011,12 @@ impl ShardFaultRunner {
             .collect();
         let provenance = self.provenance.lock().expect("provenance lock poisoned");
         for (index, result) in results.iter().enumerate() {
+            // tdfm-lint: allow(lock-held-across-call, cell_key is a pure string formatter)
             let Some(builder) = provenance.get(&cell_key(&result.aggregator, &result.fault_label))
             else {
                 continue;
             };
+            // tdfm-lint: allow(lock-held-across-call, records() clones out of the builder without taking any lock)
             for r in builder.records() {
                 manifest.provenance.push(ProvenanceRecord {
                     cell: index,

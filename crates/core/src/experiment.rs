@@ -615,9 +615,11 @@ impl Runner {
             .collect();
         let provenance = self.provenance.lock().expect("provenance lock poisoned");
         for (index, result) in results.iter().enumerate() {
+            // tdfm-lint: allow(lock-held-across-call, cell_key is a pure string formatter)
             let Some(builder) = provenance.get(&cell_key(&result.config)) else {
                 continue;
             };
+            // tdfm-lint: allow(lock-held-across-call, records() clones out of the builder without taking any lock)
             for r in builder.records() {
                 manifest.provenance.push(ProvenanceRecord {
                     cell: index,

@@ -460,6 +460,7 @@ impl ModelFaultRunner {
             .collect();
         let provenance = self.provenance.lock().expect("provenance lock poisoned");
         for (index, result) in results.iter().enumerate() {
+            // tdfm-lint: allow(lock-held-across-call, cell_key is a pure string formatter)
             let Some(builder) = provenance.get(&cell_key(result.technique, &result.fault_label))
             else {
                 continue;
@@ -469,6 +470,7 @@ impl ModelFaultRunner {
             } else {
                 "weights"
             };
+            // tdfm-lint: allow(lock-held-across-call, records() clones out of the builder without taking any lock)
             for r in builder.records() {
                 manifest.provenance.push(ProvenanceRecord {
                     cell: index,

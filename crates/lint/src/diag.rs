@@ -13,7 +13,7 @@ pub struct Diagnostic {
     pub file: String,
     /// 1-based line.
     pub line: u32,
-    /// 1-based byte column.
+    /// 1-based character column (multi-byte UTF-8 counts once).
     pub col: u32,
     /// Rule id (`nan-laundering`, `sparsity-skip`, ...).
     pub rule: &'static str,

@@ -1,12 +1,16 @@
-//! Walks the workspace, prepares per-file context (token stream, test
-//! regions, suppressions), runs every applicable rule, and applies the
-//! inline-suppression filter.
+//! Walks the workspace, prepares per-file analysis units (token stream,
+//! AST, test regions, suppressions), builds the workspace call graph,
+//! runs every applicable rule — per-file passes on scope-selected files
+//! plus one workspace pass per rule — and applies the inline-suppression
+//! and test-code filters to every diagnostic, wherever it was emitted.
 
 use std::path::{Path, PathBuf};
 
+use crate::callgraph::CallGraph;
 use crate::config::Config;
 use crate::diag::Diagnostic;
 use crate::lexer::{lex, TokKind, Token};
+use crate::parser::{parse_file, File};
 use crate::rules::all_rules;
 
 /// Everything a rule gets to look at for one file.
@@ -14,6 +18,8 @@ pub struct FileCtx<'a> {
     /// Workspace-relative path with `/` separators.
     pub path: &'a str,
     pub tokens: &'a [Token<'a>],
+    /// The parsed (lossless) syntax tree over `tokens`.
+    pub ast: &'a File,
     /// Byte ranges covered by `#[cfg(test)]` items.
     test_regions: &'a [(usize, usize)],
     /// The whole file is test/bench/example code.
@@ -81,6 +87,79 @@ impl FileCtx<'_> {
             message: message.into(),
             suggestion: suggestion.into(),
         }
+    }
+}
+
+/// One fully-analysed file: source, tokens, AST, and the engine-level
+/// metadata (test regions, suppressions) the filters need.
+pub struct FileUnit<'a> {
+    pub path: &'a str,
+    pub tokens: Vec<Token<'a>>,
+    pub ast: File,
+    test_regions: Vec<(usize, usize)>,
+    is_test_file: bool,
+    suppressions: Vec<Suppression>,
+    bad: Vec<Diagnostic>,
+}
+
+impl<'a> FileUnit<'a> {
+    fn build(path: &'a str, src: &'a str) -> FileUnit<'a> {
+        let tokens = lex(src);
+        let ast = parse_file(&tokens);
+        let regions = test_regions(&tokens);
+        let mut bad = Vec::new();
+        let suppressions = parse_suppressions(&tokens, path, &mut bad);
+        FileUnit {
+            path,
+            tokens,
+            ast,
+            test_regions: regions,
+            is_test_file: is_test_path(path),
+            suppressions,
+            bad,
+        }
+    }
+
+    /// The borrowed view rules receive.
+    pub fn ctx(&'a self) -> FileCtx<'a> {
+        FileCtx {
+            path: self.path,
+            tokens: &self.tokens,
+            ast: &self.ast,
+            test_regions: &self.test_regions,
+            is_test_file: self.is_test_file,
+        }
+    }
+
+    /// Is the byte at `offset` inside test code?
+    pub fn in_test_code(&self, offset: usize) -> bool {
+        self.is_test_file
+            || self
+                .test_regions
+                .iter()
+                .any(|&(s, e)| offset >= s && offset < e)
+    }
+}
+
+/// The whole-workspace view for interprocedural rules: every unit plus
+/// the call graph over them. Unit indices and [`CallGraph`] file indices
+/// coincide.
+pub struct WorkspaceCtx<'a> {
+    pub units: &'a [FileUnit<'a>],
+    pub graph: CallGraph,
+}
+
+impl<'a> WorkspaceCtx<'a> {
+    /// The [`FileCtx`] view of unit `i`.
+    pub fn ctx(&'a self, i: usize) -> FileCtx<'a> {
+        self.units[i].ctx()
+    }
+
+    /// Is the fn node `f` (by callgraph index) defined in test code?
+    pub fn fn_in_test_code(&self, f: usize) -> bool {
+        let node = &self.graph.fns[f];
+        let unit = &self.units[node.file];
+        unit.in_test_code(unit.tokens[node.name_tok].start)
     }
 }
 
@@ -266,47 +345,79 @@ pub struct LintReport {
     pub files_checked: usize,
 }
 
-/// Lints one file's source text. `path` must be workspace-relative with
-/// `/` separators.
-pub fn lint_source(path: &str, src: &str, config: &Config) -> Vec<Diagnostic> {
-    let tokens = lex(src);
-    let regions = test_regions(&tokens);
-    let ctx = FileCtx {
-        path,
-        tokens: &tokens,
-        test_regions: &regions,
-        is_test_file: is_test_path(path),
+/// Lints a set of files as one workspace: per-file rule passes run on
+/// scope-selected files, each rule's workspace pass runs once over the
+/// call graph, and the suppression/test-code filters apply to every
+/// diagnostic based on the file it landed in. `files` are
+/// `(workspace-relative path, source)` pairs.
+pub fn lint_files(files: &[(String, String)], config: &Config) -> Vec<Diagnostic> {
+    let units: Vec<FileUnit<'_>> = files
+        .iter()
+        .map(|(path, src)| FileUnit::build(path, src))
+        .collect();
+    let pairs: Vec<(&[Token<'_>], &File)> = units
+        .iter()
+        .map(|u| (u.tokens.as_slice(), &u.ast))
+        .collect();
+    let ws = WorkspaceCtx {
+        units: &units,
+        graph: CallGraph::build(&pairs),
     };
-    let mut bad = Vec::new();
-    let suppressions = parse_suppressions(&tokens, path, &mut bad);
 
-    let mut diags = Vec::new();
+    let mut raw: Vec<(bool, Diagnostic)> = Vec::new(); // (applies_in_tests, diag)
     for rule in all_rules() {
         let scope = config
             .rules
             .get(rule.id())
             .cloned()
             .unwrap_or_else(|| rule.default_scope());
-        if !scope.selects(path) {
-            continue;
-        }
         let mut found = Vec::new();
-        rule.check(&ctx, &mut found);
-        for d in found {
-            if !rule.applies_in_tests() && ctx.in_test_code(byte_of(&tokens, d.line, d.col)) {
-                continue;
-            }
-            let suppressed = suppressions
-                .iter()
-                .any(|s| s.rule == rule.id() && s.target_line == d.line && !s.reason.is_empty());
-            if !suppressed {
-                diags.push(d);
+        for unit in &units {
+            if scope.selects(unit.path) {
+                rule.check(&unit.ctx(), &mut found);
             }
         }
+        rule.check_workspace(&ws, &scope, &mut found);
+        raw.extend(found.into_iter().map(|d| (rule.applies_in_tests(), d)));
     }
-    diags.extend(bad);
-    diags.sort_by(|a, b| (a.line, a.col, a.rule).cmp(&(b.line, b.col, b.rule)));
+
+    let unit_of = |file: &str| units.iter().find(|u| u.path == file);
+    let mut diags: Vec<Diagnostic> = raw
+        .into_iter()
+        .filter_map(|(in_tests, d)| {
+            let Some(unit) = unit_of(&d.file) else {
+                return Some(d); // foreign path: keep verbatim
+            };
+            if !in_tests && unit.in_test_code(byte_of(&unit.tokens, d.line, d.col)) {
+                return None;
+            }
+            let suppressed = unit
+                .suppressions
+                .iter()
+                .any(|s| s.rule == d.rule && s.target_line == d.line && !s.reason.is_empty());
+            if suppressed {
+                None
+            } else {
+                Some(d)
+            }
+        })
+        .collect();
+    for unit in &units {
+        diags.extend(unit.bad.iter().cloned());
+    }
+    diags.sort_by(|a, b| {
+        (a.file.as_str(), a.line, a.col, a.rule).cmp(&(b.file.as_str(), b.line, b.col, b.rule))
+    });
+    diags.dedup_by(|a, b| {
+        (a.file.as_str(), a.line, a.col, a.rule) == (b.file.as_str(), b.line, b.col, b.rule)
+    });
     diags
+}
+
+/// Lints one file's source text. `path` must be workspace-relative with
+/// `/` separators. (Single-element [`lint_files`] — no cross-file edges.)
+pub fn lint_source(path: &str, src: &str, config: &Config) -> Vec<Diagnostic> {
+    lint_files(&[(path.to_string(), src.to_string())], config)
 }
 
 /// Maps a (line, col) back to a byte offset via the token stream.
@@ -364,21 +475,18 @@ fn rel_path(root: &Path, path: &Path) -> String {
         .replace('\\', "/")
 }
 
-/// Lints every workspace `.rs` file under `root`.
+/// Lints every workspace `.rs` file under `root` as one unit (the call
+/// graph spans all of them).
 pub fn lint_workspace(root: &Path, config: &Config) -> Result<LintReport, String> {
-    let files = collect_files(root, config)?;
-    let mut diagnostics = Vec::new();
-    for file in &files {
+    let paths = collect_files(root, config)?;
+    let mut files = Vec::with_capacity(paths.len());
+    for file in &paths {
         let src = std::fs::read_to_string(file)
             .map_err(|e| format!("cannot read {}: {e}", file.display()))?;
-        let rel = rel_path(root, file);
-        diagnostics.extend(lint_source(&rel, &src, config));
+        files.push((rel_path(root, file), src));
     }
-    diagnostics.sort_by(|a, b| {
-        (a.file.as_str(), a.line, a.col, a.rule).cmp(&(b.file.as_str(), b.line, b.col, b.rule))
-    });
     Ok(LintReport {
-        diagnostics,
+        diagnostics: lint_files(&files, config),
         files_checked: files.len(),
     })
 }
@@ -451,5 +559,29 @@ mod tests {
         let diags = lint_str("crates/nn/src/x.rs", src);
         assert_eq!(diags.len(), 1);
         assert_eq!(diags[0].rule, "bad-suppression");
+    }
+
+    #[test]
+    fn multi_file_lint_spans_the_call_graph() {
+        // An allocation one call deep: the kernel file is in
+        // hot-path-alloc's scope, the helper file is not — only the
+        // interprocedural pass can flag the helper's allocation.
+        let files = vec![
+            (
+                "crates/tensor/src/ops/gemm.rs".to_string(),
+                "pub fn kernel(n: usize) { helper_scratch(n); }".to_string(),
+            ),
+            (
+                "crates/tensor/src/helper.rs".to_string(),
+                "pub fn helper_scratch(n: usize) -> Vec<f32> { Vec::with_capacity(n) }".to_string(),
+            ),
+        ];
+        let diags = lint_files(&files, &Config::default());
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.rule == "hot-path-alloc" && d.file == "crates/tensor/src/helper.rs"),
+            "{diags:?}"
+        );
     }
 }

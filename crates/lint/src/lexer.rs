@@ -52,7 +52,9 @@ pub struct Token<'a> {
     pub start: usize,
     /// 1-based line of the first byte.
     pub line: u32,
-    /// 1-based byte column of the first byte within its line.
+    /// 1-based **character** column of the first byte within its line
+    /// (multi-byte UTF-8 sequences count once, so a `§` in a doc comment
+    /// does not shift every downstream column).
     pub col: u32,
 }
 
@@ -144,12 +146,14 @@ impl<'a> Lexer<'a> {
                 line,
                 col,
             });
-            // Columns/lines advance over the bytes just consumed.
+            // Columns/lines advance over the bytes just consumed. UTF-8
+            // continuation bytes (0b10xxxxxx) do not advance the column:
+            // diagnostic columns count characters, not bytes.
             for &b in &self.bytes[start..self.pos] {
                 if b == b'\n' {
                     self.line += 1;
                     self.col = 1;
-                } else {
+                } else if b & 0xC0 != 0x80 {
                     self.col += 1;
                 }
             }
@@ -577,5 +581,16 @@ mod tests {
         let toks = lex("ab\n  cd");
         let cd = toks.last().expect("stream is non-empty");
         assert_eq!((cd.line, cd.col), (2, 3));
+    }
+
+    #[test]
+    fn columns_count_characters_not_bytes() {
+        // `§` is 2 bytes, `日本語` is 9 bytes / 3 chars: tokens after them
+        // must sit at character columns, not byte columns.
+        let toks = lex("// §2.8\nlet x = \"日本語\"; y");
+        let x = toks.iter().find(|t| t.text == "x").expect("x");
+        assert_eq!((x.line, x.col), (2, 5));
+        let y = toks.iter().find(|t| t.text == "y").expect("y");
+        assert_eq!((y.line, y.col), (2, 16), "cols after the 3-char string");
     }
 }

@@ -2,40 +2,69 @@
 //! # tdfm-lint
 //!
 //! A zero-dependency static analyzer that mechanically enforces the
-//! kernel/determinism invariants PRs 1–3 fixed by hand:
+//! kernel/determinism invariants earlier PRs fixed by hand:
 //!
 //! | rule id | bug class it pins down |
 //! |---|---|
 //! | `nan-laundering` | `f32::max(NaN, 0.0) == 0.0` hiding poisoned activations (PR 3's ReLU/max-pool fix) |
 //! | `sparsity-skip` | the `a == 0.0` GEMM skip that turned `0 * NaN` into `0` (PR 3) |
-//! | `hot-path-alloc` | heap allocation creeping back into the packed kernels (PR 3's `Scratch` arena) |
+//! | `hot-path-alloc` | heap allocation in — or now *reachable from* — the packed kernels (PR 3's `Scratch` arena) |
 //! | `lib-unwrap` | panics that don't name their invariant (PR 1's non-finite-loss policy) |
 //! | `nondeterministic-time` | wall-clock reads leaking into golden outputs (PR 1's `normalize_timings`) |
 //! | `env-read` | scattered env reads drifting from the cached read-once sites (PR 3's `TDFM_THREADS` fix) |
 //! | `unsafe-needs-safety-comment` | `unsafe` without a `// SAFETY:` justification |
+//! | `raw-eprintln` | raw stderr writes bypassing the structured sink (PR 4's trace capture) |
+//! | `partial-cmp-sort` | NaN-incoherent sort comparators (PR 6's suspect-ranking fix) |
+//! | `hashmap-iter-order` | hash iteration order leaking into emitted bytes |
+//! | `unjoined-spawn` | detached threads racing process exit (PR 6's shard join loop) |
+//! | `lock-held-across-call` | workspace calls made under a held mutex guard |
+//! | `unordered-float-reduce` | non-associative float sums in hash order |
 //! | `bad-suppression` | malformed/reasonless `// tdfm-lint: allow(...)` comments (not suppressible) |
 //!
-//! Rules match a real token stream from a small lossless Rust lexer
-//! ([`lexer`]), so comments and string literals can never trigger (or
-//! hide) a diagnostic. Path scoping comes from the committed `lint.toml`
-//! ([`config`]); one-off sites use inline suppressions with a mandatory
-//! reason:
+//! ## Architecture
+//!
+//! Three layers, all zero-dependency:
+//!
+//! 1. **Lexer** ([`lexer`]) — lossless tokens with byte offsets and
+//!    1-based (line, character-column) positions; comments and string
+//!    literals can never trigger (or hide) a diagnostic.
+//! 2. **Parser** ([`parser`]) — a recursive-descent pass over the token
+//!    stream producing a lightweight lossless AST (fn items with bodies,
+//!    statements, calls/method calls, loops, closures; macros stay
+//!    opaque). Every node's span re-concatenates byte-identically to the
+//!    input — property-tested over the whole workspace in
+//!    `tests/parser_roundtrip.rs`.
+//! 3. **Semantics** — a workspace [`callgraph`] (name-based with impl
+//!    qualifiers and a std-prelude denylist) and intra-procedural
+//!    [`dataflow`] helpers ("does this binding reach `.join()`? does it
+//!    escape?"). Rules run per file (AST visitors) and once per
+//!    workspace ([`rules::Rule::check_workspace`]) for interprocedural
+//!    findings like an allocation two calls below a kernel.
+//!
+//! Path scoping comes from the committed `lint.toml` ([`config`]);
+//! one-off sites use inline suppressions with a mandatory reason:
 //!
 //! ```text
 //! let m = row.fold(f32::NEG_INFINITY, |m, &x| m.max(x)); // tdfm-lint: allow(nan-laundering, max-shift only; NaN still propagates through exp below)
 //! ```
 //!
-//! Run it as `tdfm lint [--json]`; it exits non-zero on any finding.
+//! Run it as `tdfm lint [--json] [--sarif <path>]`; it exits non-zero on
+//! any finding.
 
+pub mod callgraph;
 pub mod config;
+pub mod dataflow;
 pub mod diag;
 pub mod engine;
 pub mod lexer;
+pub mod parser;
 pub mod rules;
+pub mod sarif;
 
 pub use config::{Config, Scope};
 pub use diag::{report_json, report_text, Diagnostic};
-pub use engine::{lint_source, lint_workspace, LintReport};
+pub use engine::{lint_files, lint_source, lint_workspace, LintReport};
+pub use sarif::report_sarif;
 
 use std::path::Path;
 

@@ -4,23 +4,56 @@
 //! was one `OnceLock`-cached read per variable, and this rule keeps new
 //! scattered reads from reintroducing the drift.
 //!
+//! Detection is AST-based: a call whose callee path ends in `env::var` /
+//! `env::var_os`. That keeps `use std::env::var;` imports quiet (the old
+//! token matcher could not tell an import from a read) while still
+//! catching reads inside closures and macro arguments (the latter via the
+//! lexical rescan of opaque regions).
+//!
 //! The allowlist (in `lint.toml`) is exactly the documented sites:
 //! `TDFM_THREADS` (tensor/parallel.rs), `TDFM_LOG`/`TDFM_TRACE`
 //! (obs/sink.rs), `TDFM_SCALE` (data/scale.rs), `TDFM_RESULTS`
 //! (bench/lib.rs).
 
-use super::{matches_texts, scope, Rule};
+use super::{matches_texts, opaque_sig, scope, Rule};
 use crate::config::Scope;
 use crate::diag::Diagnostic;
 use crate::engine::FileCtx;
+use crate::parser::{ExprKind, Span};
 
 pub struct EnvRead;
 
 const SUGGESTION: &str = "read the variable once in its documented config site (OnceLock-cached) and pass the value through APIs; if this *is* a new documented site, add it to `[rules.env-read] exclude` in lint.toml and document it in README's environment table";
 
+/// If `callee` ends in `env::var` or `env::var_os`, the reader name and
+/// the anchor token (the `env` segment, matching the old diagnostics).
+fn env_reader(ctx: &FileCtx<'_>, callee: Span) -> Option<(&'static str, usize)> {
+    let sig: Vec<usize> = (callee.lo..callee.hi.min(ctx.tokens.len()))
+        .filter(|&i| !ctx.tokens[i].is_trivia())
+        .collect();
+    for reader in ["var", "var_os"] {
+        if sig.len() >= 3 {
+            let tail = &sig[sig.len() - 3..];
+            let texts: Vec<&str> = tail.iter().map(|&i| ctx.tokens[i].text).collect();
+            if texts == ["env", "::", reader] {
+                return Some((if reader == "var" { "var" } else { "var_os" }, tail[0]));
+            }
+        }
+    }
+    None
+}
+
+fn message(reader: &str) -> String {
+    format!("`env::{reader}` outside the documented read-once config sites — scattered reads of the same variable drift apart")
+}
+
 impl Rule for EnvRead {
     fn id(&self) -> &'static str {
         "env-read"
+    }
+
+    fn summary(&self) -> &'static str {
+        "environment variable read outside the documented read-once config sites"
     }
 
     fn default_scope(&self) -> Scope {
@@ -36,16 +69,21 @@ impl Rule for EnvRead {
     }
 
     fn check(&self, ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
-        let sig = ctx.significant();
-        for at in 0..sig.len() {
+        ctx.ast.walk_exprs(&mut |e| {
+            if let ExprKind::Call { callee } = &e.kind {
+                if let Some((reader, anchor)) = env_reader(ctx, *callee) {
+                    out.push(ctx.diag(anchor, self.id(), message(reader), SUGGESTION));
+                }
+            }
+        });
+        // Reads buried in macro arguments: token-window rescan. Verbatim
+        // items are deliberately excluded — `use std::env::var;` is an
+        // import, not a read.
+        let osig = opaque_sig(ctx, false);
+        for at in 0..osig.len() {
             for reader in ["var", "var_os"] {
-                if matches_texts(ctx, &sig, at, &["env", "::", reader]) {
-                    out.push(ctx.diag(
-                        sig[at],
-                        self.id(),
-                        format!("`env::{reader}` outside the documented read-once config sites — scattered reads of the same variable drift apart"),
-                        SUGGESTION,
-                    ));
+                if matches_texts(ctx, &osig, at, &["env", "::", reader]) {
+                    out.push(ctx.diag(osig[at], self.id(), message(reader), SUGGESTION));
                 }
             }
         }
@@ -68,6 +106,20 @@ mod tests {
     #[test]
     fn flags_env_var_in_undocumented_sites() {
         let src = "fn f() { let v = std::env::var(\"TDFM_THREADS\"); }";
+        assert_eq!(diags("crates/core/src/experiment.rs", src).len(), 1);
+    }
+
+    #[test]
+    fn imports_are_not_reads() {
+        let src = "use std::env::var;\nfn f() {}";
+        assert!(diags("crates/core/src/experiment.rs", src).is_empty());
+    }
+
+    #[test]
+    fn reads_inside_closures_and_macros_are_flagged() {
+        let src = "fn f() { let v = opt.unwrap_or_else(|| std::env::var(\"X\").unwrap()); }";
+        assert_eq!(diags("crates/core/src/experiment.rs", src).len(), 1);
+        let src = "fn f() { let m = format!(\"{:?}\", std::env::var(\"X\")); }";
         assert_eq!(diags("crates/core/src/experiment.rs", src).len(), 1);
     }
 

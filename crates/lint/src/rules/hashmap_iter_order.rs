@@ -1,0 +1,198 @@
+//! `hashmap-iter-order` — ordered output driven by `HashMap`/`HashSet`
+//! iteration. Hash iteration order changes between processes (SipHash
+//! keying), so a `for (k, v) in counts` loop that pushes lines into a
+//! results file produces byte-different goldens run to run — the exact
+//! class of nondeterminism the byte-for-byte grid diffs exist to catch.
+//! This repo's convention is `BTreeMap` everywhere an ordering can leak
+//! into output; this rule fences the convention.
+//!
+//! A `for` loop is flagged when both hold:
+//! * its iterated expression mentions a hash-typed name — a binding whose
+//!   parameter type or `let` statement names `HashMap`/`HashSet`
+//!   ([`crate::dataflow::hash_typed_names`]) — or names the type
+//!   directly, and
+//! * its body writes ordered output: `push` / `push_str` / `extend` /
+//!   `append` method calls, or a formatting/write macro
+//!   (`write!`, `writeln!`, `print!`, `println!`, `format!`).
+//!
+//! Membership tests, counting, and other order-free consumption stay
+//! quiet; float reductions over hash iteration have their own rule
+//! (`unordered-float-reduce`).
+
+use super::{scope, Rule};
+use crate::config::Scope;
+use crate::dataflow::hash_typed_names;
+use crate::diag::Diagnostic;
+use crate::engine::FileCtx;
+use crate::lexer::TokKind;
+use crate::parser::{Expr, ExprKind, Span};
+
+pub struct HashMapIterOrder;
+
+const MESSAGE: &str = "ordered output driven by HashMap/HashSet iteration — hash order differs across runs, so emitted bytes are nondeterministic";
+const SUGGESTION: &str = "use a BTreeMap, or collect and sort the keys before emitting; if the consumer is provably order-insensitive, add `// tdfm-lint: allow(hashmap-iter-order, <reason>)`";
+
+/// Method names that append to an ordered collector.
+const ORDERED_SINKS: &[&str] = &["append", "extend", "push", "push_str"];
+/// Macros that format into ordered text.
+const WRITE_MACROS: &[&str] = &[
+    "eprint", "eprintln", "format", "print", "println", "write", "writeln",
+];
+
+/// Does the token span mention one of `names`, or the hash types
+/// themselves (`HashMap::new()` iterated inline)?
+fn mentions_hash(
+    ctx: &FileCtx<'_>,
+    span: Span,
+    names: &std::collections::BTreeSet<String>,
+) -> bool {
+    (span.lo..span.hi.min(ctx.tokens.len())).any(|i| {
+        let t = &ctx.tokens[i];
+        t.kind == TokKind::Ident
+            && (names.contains(t.text) || t.text == "HashMap" || t.text == "HashSet")
+    })
+}
+
+/// Does the loop body append to an ordered sink?
+fn writes_ordered_output(body: &Expr) -> bool {
+    let mut hit = false;
+    body.walk(&mut |e| {
+        if hit {
+            return;
+        }
+        match &e.kind {
+            ExprKind::MethodCall { method, .. } if ORDERED_SINKS.contains(&method.as_str()) => {
+                hit = true;
+            }
+            ExprKind::Macro { name } if WRITE_MACROS.contains(&name.as_str()) => hit = true,
+            _ => {}
+        }
+    });
+    hit
+}
+
+impl Rule for HashMapIterOrder {
+    fn id(&self) -> &'static str {
+        "hashmap-iter-order"
+    }
+
+    fn summary(&self) -> &'static str {
+        "HashMap/HashSet iteration drives ordered output, making emitted bytes nondeterministic"
+    }
+
+    fn default_scope(&self) -> Scope {
+        scope(&[], &[])
+    }
+
+    fn check(&self, ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
+        for func in ctx.ast.fns() {
+            let Some(body) = &func.body else { continue };
+            let hashed = hash_typed_names(ctx.tokens, func);
+            body.walk(&mut |e| {
+                let ExprKind::For { iter, .. } = &e.kind else {
+                    return;
+                };
+                if !mentions_hash(ctx, *iter, &hashed) {
+                    return;
+                }
+                let Some(loop_body) = e.body_block() else {
+                    return;
+                };
+                if writes_ordered_output(loop_body) {
+                    // Anchor on the iterated hash name itself.
+                    let anchor = (iter.lo..iter.hi.min(ctx.tokens.len()))
+                        .find(|&i| {
+                            let t = &ctx.tokens[i];
+                            t.kind == TokKind::Ident
+                                && (hashed.contains(t.text)
+                                    || t.text == "HashMap"
+                                    || t.text == "HashSet")
+                        })
+                        .unwrap_or(iter.lo);
+                    out.push(ctx.diag(anchor, self.id(), MESSAGE, SUGGESTION));
+                }
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Config;
+    use crate::engine::lint_source;
+
+    fn diags(src: &str) -> Vec<Diagnostic> {
+        lint_source("crates/core/src/report.rs", src, &Config::default())
+            .into_iter()
+            .filter(|d| d.rule == "hashmap-iter-order")
+            .collect()
+    }
+
+    #[test]
+    fn flags_hash_param_iteration_feeding_push() {
+        let src = r#"
+fn render(counts: &HashMap<String, u32>, out: &mut String) {
+    for (k, v) in counts.iter() {
+        out.push_str(k);
+    }
+}
+"#;
+        let d = diags(src);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!((d[0].line, d[0].col), (3, 19));
+    }
+
+    #[test]
+    fn flags_let_bound_hashset_feeding_writeln() {
+        let src = r#"
+fn dump(xs: &[u32]) -> String {
+    let seen: HashSet<u32> = xs.iter().copied().collect();
+    let mut s = String::new();
+    for x in &seen {
+        writeln!(s, "{x}").unwrap();
+    }
+    s
+}
+"#;
+        assert_eq!(diags(src).len(), 1);
+    }
+
+    #[test]
+    fn order_free_consumption_is_quiet() {
+        let src = r#"
+fn total(counts: &HashMap<String, u32>) -> u32 {
+    let mut n = 0;
+    for (_, v) in counts.iter() {
+        n += v;
+    }
+    n
+}
+"#;
+        assert!(diags(src).is_empty());
+    }
+
+    #[test]
+    fn btreemap_iteration_is_quiet() {
+        let src = r#"
+fn render(counts: &BTreeMap<String, u32>, out: &mut String) {
+    for (k, v) in counts.iter() {
+        out.push_str(k);
+    }
+}
+"#;
+        assert!(diags(src).is_empty());
+    }
+
+    #[test]
+    fn vec_iteration_feeding_push_is_quiet() {
+        let src = r#"
+fn render(rows: &[String], out: &mut String) {
+    for r in rows {
+        out.push_str(r);
+    }
+}
+"#;
+        assert!(diags(src).is_empty());
+    }
+}

@@ -4,19 +4,71 @@
 //! counting allocator in `crates/nn/tests/zero_alloc.rs`); this rule is
 //! the static complement that catches the allocation at review time
 //! instead of at test time.
+//!
+//! Two passes:
+//!
+//! * **Per-file** over the kernel files themselves: `Vec::` constructors,
+//!   `vec![...]` and `Box::new` are matched lexically (paths and macros),
+//!   `.to_vec()` / `.collect()` / `.clone()` as AST method calls — which
+//!   also resolves turbofish forms (`.collect::<Vec<f32>>()`) the old
+//!   token-window matcher missed.
+//! * **Workspace** over the call graph: every fn reachable from a kernel
+//!   fn is scanned for the same allocation forms, so moving the
+//!   allocation into a helper one file away no longer hides it. The
+//!   diagnostic lands on the helper and names the kernel-to-helper call
+//!   chain.
 
-use super::{matches_texts, scope, Rule};
+use super::{matches_texts, method_args, opaque_sig, scope, Rule};
 use crate::config::Scope;
 use crate::diag::Diagnostic;
-use crate::engine::FileCtx;
+use crate::engine::{FileCtx, WorkspaceCtx};
+use crate::parser::{ExprKind, Span};
 
 pub struct HotPathAlloc;
 
 const SUGGESTION: &str = "take a `Scratch` arena buffer (`scratch.take_f32(len)`) or a caller-provided slice instead; see crates/tensor/src/scratch.rs. If the allocation is provably cold, add `// tdfm-lint: allow(hot-path-alloc, <reason>)`";
 
+/// Allocation form starting at `sig[at]`, by the lexical patterns the
+/// token-window engine used. `(what, anchor offset into the pattern)`.
+fn lexical_alloc(ctx: &FileCtx<'_>, sig: &[usize], at: usize) -> Option<&'static str> {
+    if matches_texts(ctx, sig, at, &["Vec", "::"]) {
+        Some("`Vec::` constructor")
+    } else if matches_texts(ctx, sig, at, &["vec", "!"]) {
+        Some("`vec![...]`")
+    } else if matches_texts(ctx, sig, at, &["Box", "::", "new"]) {
+        Some("`Box::new`")
+    } else if matches_texts(ctx, sig, at, &[".", "to_vec", "("]) {
+        Some("`.to_vec()`")
+    } else if matches_texts(ctx, sig, at, &[".", "collect", "("]) {
+        Some("`.collect()`")
+    } else if matches_texts(ctx, sig, at, &[".", "clone", "(", ")"]) {
+        Some("`.clone()`")
+    } else {
+        None
+    }
+}
+
+/// Every allocation site inside the token span `within`, as
+/// `(anchor token, what)` — the full lexical sweep, used for fn bodies
+/// reached through the call graph.
+fn alloc_sites(ctx: &FileCtx<'_>, within: Span) -> Vec<(usize, &'static str)> {
+    let sig: Vec<usize> = ctx
+        .significant()
+        .into_iter()
+        .filter(|&i| within.contains(i))
+        .collect();
+    (0..sig.len())
+        .filter_map(|at| lexical_alloc(ctx, &sig, at).map(|what| (sig[at], what)))
+        .collect()
+}
+
 impl Rule for HotPathAlloc {
     fn id(&self) -> &'static str {
         "hot-path-alloc"
+    }
+
+    fn summary(&self) -> &'static str {
+        "heap allocation inside (or reachable from) a zero-allocation kernel hot path"
     }
 
     fn default_scope(&self) -> Scope {
@@ -32,28 +84,93 @@ impl Rule for HotPathAlloc {
     }
 
     fn check(&self, ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
+        let mut flag = |idx: usize, what: &str| {
+            out.push(ctx.diag(
+                idx,
+                self.id(),
+                format!("{what} allocates inside a zero-allocation kernel hot path"),
+                SUGGESTION,
+            ));
+        };
+        // Path and macro forms are lexical by nature.
         let sig = ctx.significant();
         for at in 0..sig.len() {
-            let what = if matches_texts(ctx, &sig, at, &["Vec", "::"]) {
-                Some("`Vec::` constructor")
+            if matches_texts(ctx, &sig, at, &["Vec", "::"]) {
+                flag(sig[at], "`Vec::` constructor");
             } else if matches_texts(ctx, &sig, at, &["vec", "!"]) {
-                Some("`vec![...]`")
+                flag(sig[at], "`vec![...]`");
             } else if matches_texts(ctx, &sig, at, &["Box", "::", "new"]) {
-                Some("`Box::new`")
-            } else if matches_texts(ctx, &sig, at, &[".", "to_vec", "("]) {
-                Some("`.to_vec()`")
-            } else if matches_texts(ctx, &sig, at, &[".", "collect", "("]) {
-                Some("`.collect()`")
-            } else if matches_texts(ctx, &sig, at, &[".", "clone", "(", ")"]) {
-                Some("`.clone()`")
-            } else {
-                None
-            };
-            if let Some(what) = what {
+                flag(sig[at], "`Box::new`");
+            }
+        }
+        // Method forms resolve through the AST (turbofish included).
+        ctx.ast.walk_exprs(&mut |e| {
+            if let ExprKind::MethodCall {
+                method,
+                method_tok,
+                dot_tok,
+            } = &e.kind
+            {
+                match method.as_str() {
+                    "to_vec" => flag(*dot_tok, "`.to_vec()`"),
+                    "collect" => flag(*dot_tok, "`.collect()`"),
+                    "clone" => {
+                        // Only the argument-less tensor-clone pattern;
+                        // `clone_from(&x)` and custom `clone(arg)` differ.
+                        if let Some((_, None)) = method_args(ctx, *method_tok) {
+                            flag(*dot_tok, "`.clone()`");
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        });
+        // Method forms inside opaque regions (macro args) keep the old
+        // lexical matching.
+        let osig = opaque_sig(ctx, true);
+        for at in 0..osig.len() {
+            if let Some(what) = lexical_alloc(ctx, &osig, at) {
+                if what.starts_with("`.") {
+                    flag(osig[at], what);
+                }
+            }
+        }
+    }
+
+    /// The interprocedural pass: BFS from every kernel fn, scan reached
+    /// out-of-scope fns for allocations, report with the call chain.
+    fn check_workspace(&self, ws: &WorkspaceCtx<'_>, scope: &Scope, out: &mut Vec<Diagnostic>) {
+        let graph = &ws.graph;
+        let roots: Vec<usize> = (0..graph.fns.len())
+            .filter(|&f| scope.selects(ws.units[graph.fns[f].file].path) && !ws.fn_in_test_code(f))
+            .collect();
+        if roots.is_empty() {
+            return;
+        }
+        let reach = graph.reachable(&roots);
+        for &f in reach.keys() {
+            let node = &graph.fns[f];
+            if scope.selects(ws.units[node.file].path) {
+                continue; // the per-file pass owns in-scope files
+            }
+            if ws.fn_in_test_code(f) {
+                continue;
+            }
+            let Some(body) = node.body else { continue };
+            let ctx = ws.ctx(node.file);
+            let sites = alloc_sites(&ctx, body);
+            if sites.is_empty() {
+                continue;
+            }
+            let chain = graph.chain(&reach, f);
+            for (idx, what) in sites {
                 out.push(ctx.diag(
-                    sig[at],
+                    idx,
                     self.id(),
-                    format!("{what} allocates inside a zero-allocation kernel hot path"),
+                    format!(
+                        "{what} allocates in `{}`, which a zero-allocation kernel reaches via {chain}",
+                        node.name
+                    ),
                     SUGGESTION,
                 ));
             }
@@ -65,7 +182,7 @@ impl Rule for HotPathAlloc {
 mod tests {
     use super::*;
     use crate::config::Config;
-    use crate::engine::lint_source;
+    use crate::engine::{lint_files, lint_source};
 
     fn diags(src: &str) -> Vec<Diagnostic> {
         lint_source("crates/tensor/src/ops/gemm.rs", src, &Config::default())
@@ -92,9 +209,21 @@ fn kernel() {
     }
 
     #[test]
+    fn turbofish_collect_is_still_a_collect() {
+        let d = diags("fn k(it: I) { let v = it.collect::<Vec<f32>>(); }");
+        assert_eq!(d.len(), 1, "{d:?}");
+    }
+
+    #[test]
     fn clone_with_arguments_is_not_the_tensor_clone_pattern() {
         // `.clone_from(&x)` or a custom `clone(arg)` is not `.clone()`.
         assert!(diags("fn k() { a.clone_from(&b); }").is_empty());
+    }
+
+    #[test]
+    fn method_allocation_inside_a_macro_is_still_seen() {
+        let d = diags("fn k() { debug_assert!(xs.to_vec().len() > 0); }");
+        assert_eq!(d.len(), 1, "{d:?}");
     }
 
     #[test]
@@ -111,5 +240,46 @@ fn kernel() {
             &Config::default(),
         );
         assert!(all.iter().all(|d| d.rule != "hot-path-alloc"));
+    }
+
+    #[test]
+    fn reached_helper_diagnostic_names_the_chain() {
+        let files = vec![
+            (
+                "crates/tensor/src/ops/conv.rs".to_string(),
+                "pub fn conv2d() { im2col_pack(); }".to_string(),
+            ),
+            (
+                "crates/tensor/src/pack.rs".to_string(),
+                "pub fn im2col_pack() { let cols = vec![0.0f32; 1024]; }".to_string(),
+            ),
+        ];
+        let d: Vec<Diagnostic> = lint_files(&files, &Config::default())
+            .into_iter()
+            .filter(|d| d.rule == "hot-path-alloc")
+            .collect();
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].file, "crates/tensor/src/pack.rs");
+        assert!(
+            d[0].message.contains("conv2d -> im2col_pack"),
+            "{:?}",
+            d[0].message
+        );
+    }
+
+    #[test]
+    fn helpers_reached_only_from_tests_stay_quiet() {
+        let files = vec![
+            (
+                "crates/tensor/src/ops/gemm.rs".to_string(),
+                "#[cfg(test)]\nmod t { fn case() { alloc_helper(); } }".to_string(),
+            ),
+            (
+                "crates/tensor/src/util.rs".to_string(),
+                "pub fn alloc_helper() -> Vec<f32> { Vec::new() }".to_string(),
+            ),
+        ];
+        let d = lint_files(&files, &Config::default());
+        assert!(d.iter().all(|x| x.rule != "hot-path-alloc"), "{d:?}");
     }
 }

@@ -4,26 +4,46 @@
 //! non-finite-loss work) is that every intentional panic names the
 //! violated invariant.
 //!
-//! * `.unwrap()` is always flagged.
+//! * `.unwrap()` is always flagged (AST method call with no arguments, so
+//!   chains split across lines resolve too).
 //! * `.expect("...")` is flagged when the message does not read like an
 //!   invariant: shorter than 12 characters or a single word.
 //! * `expect(` with a non-string argument is ignored — that is a custom
 //!   method (e.g. the JSON parser's `Parser::expect(b'{')`), not
 //!   `Option::expect`.
+//! * Calls inside macro arguments (`assert!(v.unwrap() == 3)`) are
+//!   re-scanned with the token-window matcher ([`super::opaque_sig`]).
 
-use super::{matches_texts, scope, tok, Rule};
+use super::{matches_texts, method_args, opaque_sig, scope, tok, Rule};
 use crate::config::Scope;
 use crate::diag::Diagnostic;
 use crate::engine::FileCtx;
 use crate::lexer::TokKind;
+use crate::parser::ExprKind;
 
 pub struct LibUnwrap;
 
 const MIN_EXPECT_MESSAGE: usize = 12;
 
+const UNWRAP_MESSAGE: &str =
+    "`unwrap()` in library code panics without naming the violated invariant";
+const UNWRAP_SUGGESTION: &str =
+    "propagate a Result, or use `expect(\"<the invariant that makes this infallible>\")`";
+const EXPECT_SUGGESTION: &str =
+    "spell out why the value is always present, e.g. `expect(\"cache lock poisoned\")`";
+
+fn expect_message_too_terse(msg: &str) -> bool {
+    let body = msg.trim_matches('"');
+    body.len() < MIN_EXPECT_MESSAGE || !body.contains(' ')
+}
+
 impl Rule for LibUnwrap {
     fn id(&self) -> &'static str {
         "lib-unwrap"
+    }
+
+    fn summary(&self) -> &'static str {
+        "library-code unwrap()/terse expect() panics without naming the violated invariant"
     }
 
     fn default_scope(&self) -> Scope {
@@ -39,28 +59,61 @@ impl Rule for LibUnwrap {
     }
 
     fn check(&self, ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
-        let sig = ctx.significant();
-        for at in 0..sig.len() {
-            if matches_texts(ctx, &sig, at, &[".", "unwrap", "(", ")"]) {
-                out.push(ctx.diag(
-                    sig[at + 1],
-                    self.id(),
-                    "`unwrap()` in library code panics without naming the violated invariant",
-                    "propagate a Result, or use `expect(\"<the invariant that makes this infallible>\")`",
-                ));
+        ctx.ast.walk_exprs(&mut |e| {
+            let ExprKind::MethodCall {
+                method, method_tok, ..
+            } = &e.kind
+            else {
+                return;
+            };
+            match method.as_str() {
+                "unwrap" => {
+                    if let Some((_, None)) = method_args(ctx, *method_tok) {
+                        out.push(ctx.diag(
+                            *method_tok,
+                            self.id(),
+                            UNWRAP_MESSAGE,
+                            UNWRAP_SUGGESTION,
+                        ));
+                    }
+                }
+                "expect" => {
+                    let Some((_, Some(arg))) = method_args(ctx, *method_tok) else {
+                        return;
+                    };
+                    if ctx.tokens[arg].kind != TokKind::Str {
+                        return; // non-string arg: a custom `expect` method
+                    }
+                    let msg = ctx.tokens[arg].text;
+                    if expect_message_too_terse(msg) {
+                        out.push(ctx.diag(
+                            *method_tok,
+                            self.id(),
+                            format!("expect message {msg} does not name the invariant that makes this infallible"),
+                            EXPECT_SUGGESTION,
+                        ));
+                    }
+                }
+                _ => {}
+            }
+        });
+        // Opaque regions: the original token-window patterns.
+        let osig = opaque_sig(ctx, true);
+        for at in 0..osig.len() {
+            if matches_texts(ctx, &osig, at, &[".", "unwrap", "(", ")"]) {
+                out.push(ctx.diag(osig[at + 1], self.id(), UNWRAP_MESSAGE, UNWRAP_SUGGESTION));
                 continue;
             }
-            if matches_texts(ctx, &sig, at, &[".", "expect", "("]) {
-                let Some((msg, TokKind::Str)) = tok(ctx, &sig, at + 3) else {
-                    continue; // non-literal or non-string arg: custom method
+            if matches_texts(ctx, &osig, at, &[".", "expect", "("]) {
+                let Some((msg, TokKind::Str)) = tok(ctx, &osig, at + 3) else {
+                    continue;
                 };
-                let body = msg.trim_matches('"');
-                if body.len() < MIN_EXPECT_MESSAGE || !body.contains(' ') {
+                if expect_message_too_terse(msg) {
                     out.push(ctx.diag(
-                        sig[at + 1],
+                        osig[at + 1],
                         self.id(),
                         format!("expect message {msg} does not name the invariant that makes this infallible"),
-                        "spell out why the value is always present, e.g. `expect(\"cache lock poisoned\")`",
+                        EXPECT_SUGGESTION,
                     ));
                 }
             }
@@ -103,6 +156,16 @@ mod tests {
     #[test]
     fn unwrap_or_variants_are_not_unwrap() {
         assert!(diags("fn f() { v.unwrap_or_else(|| 0); v.unwrap_or(1); }").is_empty());
+    }
+
+    #[test]
+    fn unwrap_split_across_lines_is_still_unwrap() {
+        assert_eq!(diags("fn f() {\n    v\n        .unwrap();\n}").len(), 1);
+    }
+
+    #[test]
+    fn unwrap_inside_a_macro_is_still_seen() {
+        assert_eq!(diags("fn f() { assert!(v.unwrap() == 3); }").len(), 1);
     }
 
     #[test]

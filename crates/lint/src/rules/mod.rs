@@ -1,27 +1,50 @@
 //! The rule registry. Each rule is the mechanised form of a bug class a
 //! previous PR fixed by hand — see `DESIGN.md` §"Static analysis" for the
 //! rule ↔ historical-bug table.
+//!
+//! Rules see two levels of structure:
+//!
+//! * **Per-file** ([`Rule::check`]): a [`FileCtx`] carrying the lossless
+//!   token stream *and* the parsed AST ([`crate::parser`]). Call-shaped
+//!   rules query AST nodes (method calls resolve through turbofish and
+//!   multi-line chains); genuinely lexical rules (comment adjacency,
+//!   comparison patterns) still walk tokens. Because macros and
+//!   `static`/`const` items are opaque to the parser, migrated rules
+//!   rescan those regions lexically ([`opaque_sig`]) so nothing that the
+//!   token-window engine caught is lost.
+//! * **Workspace** ([`Rule::check_workspace`]): a [`WorkspaceCtx`] with
+//!   every file's unit plus the call graph — `hot-path-alloc` follows
+//!   calls out of the kernels, `lock-held-across-call` asks which callees
+//!   are workspace-defined.
 
 use crate::config::Scope;
 use crate::diag::Diagnostic;
-use crate::engine::FileCtx;
+use crate::engine::{FileCtx, WorkspaceCtx};
 use crate::lexer::TokKind;
+use crate::parser::{ExprKind, Item, ItemKind, Span};
 
 mod env_read;
+mod hashmap_iter_order;
 mod hot_path_alloc;
 mod lib_unwrap;
+mod lock_held_across_call;
 mod nan_laundering;
 mod nondeterministic_time;
 mod partial_cmp_sort;
 mod raw_eprintln;
 mod sparsity_skip;
+mod unjoined_spawn;
+mod unordered_float_reduce;
 mod unsafe_safety;
 
-/// One lint rule: an id, a default path scope, and a token-pattern check.
+/// One lint rule: an id, a default path scope, and checks at file and
+/// workspace granularity.
 pub trait Rule {
     /// Stable kebab-case id used in diagnostics, suppressions and
     /// `lint.toml` sections.
     fn id(&self) -> &'static str;
+    /// One-line description of the bug class, used as SARIF rule metadata.
+    fn summary(&self) -> &'static str;
     /// Whether findings inside test code (test files, `#[cfg(test)]`
     /// items) count. Default: library code only.
     fn applies_in_tests(&self) -> bool {
@@ -29,9 +52,15 @@ pub trait Rule {
     }
     /// Built-in path scope, overridable per rule in `lint.toml`.
     fn default_scope(&self) -> Scope;
-    /// Emits raw findings; the engine applies test-code and suppression
-    /// filtering afterwards.
+    /// Emits raw findings for one scope-selected file; the engine applies
+    /// test-code and suppression filtering afterwards.
     fn check(&self, ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>);
+    /// Runs once per lint over the whole workspace (call graph included).
+    /// `scope` is the rule's effective scope; rules that fan out across
+    /// files apply it themselves. Default: nothing.
+    fn check_workspace(&self, ws: &WorkspaceCtx<'_>, scope: &Scope, out: &mut Vec<Diagnostic>) {
+        let _ = (ws, scope, out);
+    }
 }
 
 /// Every shipped rule, in diagnostic-stable order.
@@ -46,6 +75,10 @@ pub fn all_rules() -> Vec<Box<dyn Rule>> {
         Box::new(unsafe_safety::UnsafeNeedsSafetyComment),
         Box::new(raw_eprintln::RawEprintln),
         Box::new(partial_cmp_sort::PartialCmpSort),
+        Box::new(hashmap_iter_order::HashMapIterOrder),
+        Box::new(unjoined_spawn::UnjoinedSpawn),
+        Box::new(lock_held_across_call::LockHeldAcrossCall),
+        Box::new(unordered_float_reduce::UnorderedFloatReduce),
     ]
 }
 
@@ -77,4 +110,60 @@ fn matches_texts(ctx: &FileCtx<'_>, sig: &[usize], at: usize, pattern: &[&str]) 
 fn tok<'a>(ctx: &'a FileCtx<'_>, sig: &[usize], at: usize) -> Option<(&'a str, TokKind)> {
     sig.get(at)
         .map(|&i| (ctx.tokens[i].text, ctx.tokens[i].kind))
+}
+
+/// Significant-token indices inside the regions the AST cannot see into:
+/// opaque macro bodies and — when `include_verbatim` — `Verbatim` items
+/// (statics, consts, `macro_rules!` definitions). AST-migrated rules
+/// rescan exactly these indices with their old token-window matchers, so
+/// `x.max(0.0)` inside an `assert!` or a `static` initialiser is still
+/// caught. Rules whose pattern would misfire on imports (`env-read`,
+/// `nondeterministic-time` — a `use std::env::var;` is not a read) pass
+/// `include_verbatim = false`.
+fn opaque_sig(ctx: &FileCtx<'_>, include_verbatim: bool) -> Vec<usize> {
+    let mut spans: Vec<Span> = Vec::new();
+    ctx.ast.walk_exprs(&mut |e| {
+        if matches!(e.kind, ExprKind::Macro { .. }) {
+            spans.push(e.span);
+        }
+    });
+    fn verbatim_spans(item: &Item, out: &mut Vec<Span>) {
+        match &item.kind {
+            ItemKind::Verbatim => out.push(item.span),
+            ItemKind::Mod { items, .. } | ItemKind::Impl { items } | ItemKind::Trait { items } => {
+                for it in items {
+                    verbatim_spans(it, out);
+                }
+            }
+            ItemKind::Fn(_) => {}
+        }
+    }
+    if include_verbatim {
+        for item in &ctx.ast.items {
+            verbatim_spans(item, &mut spans);
+        }
+    }
+    let mut out: Vec<usize> = (0..ctx.tokens.len())
+        .filter(|&i| !ctx.tokens[i].is_trivia() && spans.iter().any(|s| s.contains(i)))
+        .collect();
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+/// For a `MethodCall` node: `(open paren index, first-arg token)` when the
+/// token right after the method name (no turbofish) is `(`. Mirrors the
+/// old token-window arg inspection, which AST children cannot provide
+/// (literal-only arguments collapse into the node's gap).
+fn method_args(ctx: &FileCtx<'_>, method_tok: usize) -> Option<(usize, Option<usize>)> {
+    let next = (method_tok + 1..ctx.tokens.len()).find(|&i| !ctx.tokens[i].is_trivia())?;
+    if ctx.tokens[next].text != "(" {
+        return None;
+    }
+    let first = (next + 1..ctx.tokens.len()).find(|&i| !ctx.tokens[i].is_trivia());
+    let first_arg = match first {
+        Some(i) if ctx.tokens[i].text != ")" => Some(i),
+        _ => None,
+    };
+    Some((next, first_arg))
 }

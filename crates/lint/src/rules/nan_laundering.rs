@@ -5,10 +5,14 @@
 //! the reliability metrics) breaks every time one of these slips in.
 //!
 //! Heuristics, in order:
-//! * `f32::max` / `f64::min` path calls are always float — flagged.
-//! * `.max(` / `.min(` is flagged only when its source line mentions a
-//!   float literal or a float type (`0.0`, `1e-3`, `f32`), so integer tile
-//!   arithmetic (`NR.min(n - j0)`) stays quiet.
+//! * `f32::max` / `f64::min` path mentions are always float — flagged
+//!   (lexically: a fn-pointer mention launders just as well as a call).
+//! * `.max(` / `.min(` method calls come from the AST (so a call split
+//!   across lines or buried in a fold closure still resolves) and are
+//!   flagged only when the call's source line mentions a float literal or
+//!   a float type (`0.0`, `1e-3`, `f32`), so integer tile arithmetic
+//!   (`NR.min(n - j0)`) stays quiet. Calls inside macro arguments are
+//!   re-scanned lexically ([`super::opaque_sig`]).
 //! * A line that also calls `is_nan` is exempt: the author has visibly
 //!   routed NaN around the call (the shipped ReLU pattern).
 //! * **Null encoding**: an `is_finite` branch whose non-finite arm emits
@@ -18,11 +22,12 @@
 //!   results file that merely looks sparse; each such site needs an
 //!   explicit allow with its compatibility rationale.
 
-use super::{matches_texts, scope, Rule};
+use super::{matches_texts, opaque_sig, scope, Rule};
 use crate::config::Scope;
 use crate::diag::Diagnostic;
 use crate::engine::FileCtx;
 use crate::lexer::TokKind;
+use crate::parser::ExprKind;
 
 pub struct NanLaundering;
 
@@ -44,6 +49,10 @@ impl Rule for NanLaundering {
         "nan-laundering"
     }
 
+    fn summary(&self) -> &'static str {
+        "float min/max or JSON-null encoding silently absorbs NaN, hiding fault propagation"
+    }
+
     fn default_scope(&self) -> Scope {
         scope(
             &[
@@ -57,22 +66,14 @@ impl Rule for NanLaundering {
     }
 
     fn check(&self, ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
+        // Path forms and the null-encoding window are lexical by nature.
         let sig = ctx.significant();
         for at in 0..sig.len() {
-            let flagged = if matches_texts(ctx, &sig, at, &["f32", "::", "max"])
-                || matches_texts(ctx, &sig, at, &["f32", "::", "min"])
-                || matches_texts(ctx, &sig, at, &["f64", "::", "max"])
-                || matches_texts(ctx, &sig, at, &["f64", "::", "min"])
-            {
-                true
-            } else if matches_texts(ctx, &sig, at, &[".", "max", "("])
-                || matches_texts(ctx, &sig, at, &[".", "min", "("])
-            {
-                ctx.line_has_float_marker(sig[at])
-            } else {
-                false
-            };
-            if flagged && !ctx.line_has_nan_guard(sig[at]) {
+            let path_form = ["f32", "f64"].iter().any(|ty| {
+                matches_texts(ctx, &sig, at, &[ty, "::", "max"])
+                    || matches_texts(ctx, &sig, at, &[ty, "::", "min"])
+            });
+            if path_form && !ctx.line_has_nan_guard(sig[at]) {
                 out.push(ctx.diag(sig[at], self.id(), MESSAGE, SUGGESTION));
             }
             if matches_texts(ctx, &sig, at, &["is_finite"])
@@ -81,6 +82,31 @@ impl Rule for NanLaundering {
                 })
             {
                 out.push(ctx.diag(sig[at], self.id(), NULL_MESSAGE, NULL_SUGGESTION));
+            }
+        }
+        // Method calls resolve through the AST.
+        ctx.ast.walk_exprs(&mut |e| {
+            if let ExprKind::MethodCall {
+                method, dot_tok, ..
+            } = &e.kind
+            {
+                if matches!(method.as_str(), "max" | "min")
+                    && ctx.line_has_float_marker(*dot_tok)
+                    && !ctx.line_has_nan_guard(*dot_tok)
+                {
+                    out.push(ctx.diag(*dot_tok, self.id(), MESSAGE, SUGGESTION));
+                }
+            }
+        });
+        // Method forms inside opaque regions keep the token-window match.
+        let osig = opaque_sig(ctx, true);
+        for at in 0..osig.len() {
+            if (matches_texts(ctx, &osig, at, &[".", "max", "("])
+                || matches_texts(ctx, &osig, at, &[".", "min", "("]))
+                && ctx.line_has_float_marker(osig[at])
+                && !ctx.line_has_nan_guard(osig[at])
+            {
+                out.push(ctx.diag(osig[at], self.id(), MESSAGE, SUGGESTION));
             }
         }
     }
@@ -107,6 +133,20 @@ mod tests {
             1
         );
         assert_eq!(diags("fn f(x: f32) -> f32 { f32::max(x, 0.0) }").len(), 1);
+    }
+
+    #[test]
+    fn multi_line_method_chains_are_resolved() {
+        // The old token matcher needed `.max(` on one line; the AST sees
+        // the chain however it wraps. The float marker is on the dot line.
+        let src = "fn f(x: f32) -> f32 {\n    x\n        .max(0.0f32)\n}";
+        assert_eq!(diags(src).len(), 1, "{:?}", diags(src));
+    }
+
+    #[test]
+    fn max_inside_a_macro_argument_is_still_seen() {
+        let d = diags("fn f(x: f32) { assert!(x.max(0.0) >= 0.0); }");
+        assert_eq!(d.len(), 1, "{d:?}");
     }
 
     #[test]

@@ -5,23 +5,56 @@
 //! know to strip (PR 1 learned this the hard way when parallel grids had
 //! to reproduce serial output exactly).
 //!
+//! Detection is AST-based: a call whose callee path ends in
+//! `Instant::now` / `SystemTime::now` (so `use std::time::Instant;`
+//! imports never double-report a site), plus a lexical rescan of macro
+//! arguments.
+//!
 //! The allowlist lives in `lint.toml` (`[rules.nondeterministic-time]
 //! exclude`): the bench harness, the observability crate, the trainer's
 //! epoch walls, and the experiment runner's manifest timings — every one
 //! of them feeds fields that `normalize_timings` strips.
 
-use super::{matches_texts, scope, Rule};
+use super::{matches_texts, opaque_sig, scope, Rule};
 use crate::config::Scope;
 use crate::diag::Diagnostic;
 use crate::engine::FileCtx;
+use crate::parser::{ExprKind, Span};
 
 pub struct NondeterministicTime;
 
 const SUGGESTION: &str = "route timing through tdfm-obs (`OpTimer`/span) or tdfm-bench's harness so it lands in fields `normalize_timings` strips; if this module is a legitimate timing site, add it to `[rules.nondeterministic-time] exclude` in lint.toml";
 
+/// If `callee` ends in `Instant::now` / `SystemTime::now`, the clock name
+/// and the anchor token (the type segment, matching the old diagnostics).
+fn clock_read(ctx: &FileCtx<'_>, callee: Span) -> Option<(&'static str, usize)> {
+    let sig: Vec<usize> = (callee.lo..callee.hi.min(ctx.tokens.len()))
+        .filter(|&i| !ctx.tokens[i].is_trivia())
+        .collect();
+    if sig.len() < 3 {
+        return None;
+    }
+    let tail = &sig[sig.len() - 3..];
+    let texts: Vec<&str> = tail.iter().map(|&i| ctx.tokens[i].text).collect();
+    for source in ["Instant", "SystemTime"] {
+        if texts == [source, "::", "now"] {
+            return Some((source, tail[0]));
+        }
+    }
+    None
+}
+
+fn message(source: &str) -> String {
+    format!("`{source}::now()` outside an allowlisted timing module leaks wall-clock nondeterminism into outputs")
+}
+
 impl Rule for NondeterministicTime {
     fn id(&self) -> &'static str {
         "nondeterministic-time"
+    }
+
+    fn summary(&self) -> &'static str {
+        "wall-clock read outside the allowlisted timing modules leaks nondeterminism"
     }
 
     fn default_scope(&self) -> Scope {
@@ -34,16 +67,19 @@ impl Rule for NondeterministicTime {
     }
 
     fn check(&self, ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
-        let sig = ctx.significant();
-        for at in 0..sig.len() {
+        ctx.ast.walk_exprs(&mut |e| {
+            if let ExprKind::Call { callee } = &e.kind {
+                if let Some((source, anchor)) = clock_read(ctx, *callee) {
+                    out.push(ctx.diag(anchor, self.id(), message(source), SUGGESTION));
+                }
+            }
+        });
+        // Clock reads buried in macro arguments.
+        let osig = opaque_sig(ctx, false);
+        for at in 0..osig.len() {
             for source in ["Instant", "SystemTime"] {
-                if matches_texts(ctx, &sig, at, &[source, "::", "now"]) {
-                    out.push(ctx.diag(
-                        sig[at],
-                        self.id(),
-                        format!("`{source}::now()` outside an allowlisted timing module leaks wall-clock nondeterminism into outputs"),
-                        SUGGESTION,
-                    ));
+                if matches_texts(ctx, &osig, at, &[source, "::", "now"]) {
+                    out.push(ctx.diag(osig[at], self.id(), message(source), SUGGESTION));
                 }
             }
         }
@@ -81,5 +117,11 @@ mod tests {
     fn imports_alone_are_not_flagged() {
         // Flagging `use std::time::Instant;` would double-report each site.
         assert!(diags("crates/core/src/stats.rs", "use std::time::Instant;").is_empty());
+    }
+
+    #[test]
+    fn clock_reads_inside_macros_are_flagged() {
+        let src = "fn f() { log!(\"{:?}\", Instant::now()); }";
+        assert_eq!(diags("crates/core/src/stats.rs", src).len(), 1);
     }
 }

@@ -29,6 +29,10 @@ impl Rule for PartialCmpSort {
         "partial-cmp-sort"
     }
 
+    fn summary(&self) -> &'static str {
+        "`partial_cmp` in a sort comparator panics or misorders when NaN reaches the sort"
+    }
+
     fn applies_in_tests(&self) -> bool {
         // A NaN-panicking comparator in a test helper flakes the suite
         // just as surely as it breaks library ranking code.

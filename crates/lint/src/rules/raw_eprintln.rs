@@ -24,6 +24,10 @@ impl Rule for RawEprintln {
         "raw-eprintln"
     }
 
+    fn summary(&self) -> &'static str {
+        "raw stderr write from library code bypasses the structured sink and trace capture"
+    }
+
     fn default_scope(&self) -> Scope {
         scope(
             &[],

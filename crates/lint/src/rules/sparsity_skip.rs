@@ -20,6 +20,10 @@ impl Rule for SparsitySkip {
         "sparsity-skip"
     }
 
+    fn summary(&self) -> &'static str {
+        "floating-point zero guard in a kernel erases NaN/Inf propagation (0 * NaN must stay NaN)"
+    }
+
     fn default_scope(&self) -> Scope {
         scope(&["crates/tensor/src/ops/"], &[])
     }

@@ -1,0 +1,197 @@
+//! `unjoined-spawn` — `thread::spawn` whose `JoinHandle` is provably
+//! dropped without a `join()`. A detached worker races process exit: the
+//! shard trainers in `distributed.rs` would silently lose their final
+//! gradient flush if a refactor dropped the join loop, and a faulty-shard
+//! localization run would read half-written span files. Scoped threads
+//! (`std::thread::scope(|s| s.spawn(..))`) join on scope exit and are
+//! exempt — `.spawn(` method calls never match.
+//!
+//! Dataflow ([`crate::dataflow`]) decides, conservatively:
+//! * spawn in statement position, or bound to `_` / `let _h` then
+//!   `drop`ped or never used → flagged;
+//! * handle reaches `.join()` as a receiver (any chain: `h.join()`,
+//!   `handles[i].join()`) → quiet;
+//! * handle escapes — pushed into a Vec, returned, passed to a fn, stored
+//!   in a struct — → quiet (the join may live elsewhere; the call graph
+//!   cannot prove it does not).
+
+use super::{scope, Rule};
+use crate::config::Scope;
+use crate::dataflow::{escapes, node_stack_at, reaches_method};
+use crate::diag::Diagnostic;
+use crate::engine::FileCtx;
+use crate::parser::{Expr, ExprKind, Span};
+
+pub struct UnjoinedSpawn;
+
+const MESSAGE: &str = "`thread::spawn` handle is dropped without `join()` — the detached thread races process exit and its work (or panic) is silently lost";
+const SUGGESTION: &str = "keep the JoinHandle and `join()` it (collect into a Vec and join at the end, as distributed.rs does), or use `std::thread::scope` so joining is structural; if detaching is intended, add `// tdfm-lint: allow(unjoined-spawn, <reason>)`";
+
+/// If `callee` ends in `thread::spawn`, the anchor token (`spawn`).
+fn spawn_call(ctx: &FileCtx<'_>, callee: Span) -> Option<usize> {
+    let sig: Vec<usize> = (callee.lo..callee.hi.min(ctx.tokens.len()))
+        .filter(|&i| !ctx.tokens[i].is_trivia())
+        .collect();
+    if sig.len() < 3 {
+        return None;
+    }
+    let tail = &sig[sig.len() - 3..];
+    let texts: Vec<&str> = tail.iter().map(|&i| ctx.tokens[i].text).collect();
+    (texts == ["thread", "::", "spawn"]).then(|| tail[2])
+}
+
+/// Is the next significant token after `span` a `;`? Distinguishes a
+/// statement-position spawn (handle discarded) from a tail-position one
+/// (handle returned to the caller).
+fn followed_by_semicolon(ctx: &FileCtx<'_>, span: Span) -> bool {
+    (span.hi..ctx.tokens.len())
+        .find(|&i| !ctx.tokens[i].is_trivia())
+        .is_some_and(|i| ctx.tokens[i].text == ";")
+}
+
+impl Rule for UnjoinedSpawn {
+    fn id(&self) -> &'static str {
+        "unjoined-spawn"
+    }
+
+    fn summary(&self) -> &'static str {
+        "thread::spawn handle dropped without join() — the detached thread races process exit"
+    }
+
+    fn default_scope(&self) -> Scope {
+        scope(&[], &[])
+    }
+
+    fn check(&self, ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
+        for func in ctx.ast.fns() {
+            let Some(body) = &func.body else { continue };
+            body.walk(&mut |e| {
+                let ExprKind::Call { callee } = &e.kind else {
+                    return;
+                };
+                let Some(anchor) = spawn_call(ctx, *callee) else {
+                    return;
+                };
+                if self.handle_is_lost(ctx, body, e, anchor) {
+                    out.push(ctx.diag(anchor, self.id(), MESSAGE, SUGGESTION));
+                }
+            });
+        }
+    }
+}
+
+impl UnjoinedSpawn {
+    /// Walks outward from the spawn call to the decisive enclosing node.
+    fn handle_is_lost(&self, ctx: &FileCtx<'_>, body: &Expr, call: &Expr, anchor: usize) -> bool {
+        let stack = node_stack_at(body, anchor);
+        // Position of the spawn call itself in the stack (spans can tie —
+        // match on identity).
+        let Some(pos) = stack.iter().position(|n| std::ptr::eq(*n, call)) else {
+            return false;
+        };
+        for node in stack[..pos].iter().rev() {
+            match &node.kind {
+                ExprKind::Let { name, .. } => {
+                    return match name.as_deref() {
+                        // Destructured or `_`-bound: no usable handle.
+                        None | Some("_") => true,
+                        Some(h) => {
+                            !reaches_method(body, ctx.tokens, h, &["join"])
+                                && !escapes(body, ctx.tokens, h, node)
+                        }
+                    };
+                }
+                // The handle flows into a macro, a call argument, a method
+                // argument, or a composite (struct literal, array, index):
+                // it escapes — the join may happen elsewhere.
+                ExprKind::Macro { .. } | ExprKind::Call { .. } | ExprKind::MethodCall { .. } => {
+                    return false;
+                }
+                ExprKind::Leaf if !node.children.is_empty() => return false,
+                ExprKind::Block => {
+                    // Statement position discards the handle; tail
+                    // position returns it.
+                    return followed_by_semicolon(ctx, call.span);
+                }
+                _ => continue,
+            }
+        }
+        // The spawn is the whole body expression: returned.
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Config;
+    use crate::engine::lint_source;
+
+    fn diags(src: &str) -> Vec<Diagnostic> {
+        lint_source("crates/nn/src/distributed.rs", src, &Config::default())
+            .into_iter()
+            .filter(|d| d.rule == "unjoined-spawn")
+            .collect()
+    }
+
+    #[test]
+    fn statement_position_spawn_is_flagged() {
+        let d = diags("fn f() { std::thread::spawn(work); }");
+        assert_eq!(d.len(), 1, "{d:?}");
+    }
+
+    #[test]
+    fn underscore_binding_is_flagged() {
+        assert_eq!(
+            diags("fn f() { let _ = std::thread::spawn(work); }").len(),
+            1
+        );
+    }
+
+    #[test]
+    fn named_binding_never_used_is_flagged() {
+        assert_eq!(
+            diags("fn f() { let h = std::thread::spawn(work); other(); }").len(),
+            1
+        );
+    }
+
+    #[test]
+    fn dropped_binding_is_flagged() {
+        assert_eq!(
+            diags("fn f() { let h = std::thread::spawn(work); drop(h); }").len(),
+            1
+        );
+    }
+
+    #[test]
+    fn joined_binding_is_quiet() {
+        assert!(
+            diags("fn f() { let h = std::thread::spawn(work); h.join().unwrap(); }").is_empty()
+        );
+    }
+
+    #[test]
+    fn handle_pushed_into_a_vec_is_quiet() {
+        let src = "fn f(hs: &mut Vec<JoinHandle<()>>) { hs.push(std::thread::spawn(work)); }";
+        assert!(diags(src).is_empty());
+        let src =
+            "fn f(hs: &mut Vec<JoinHandle<()>>) { let h = std::thread::spawn(work); hs.push(h); }";
+        assert!(diags(src).is_empty());
+    }
+
+    #[test]
+    fn returned_handle_is_quiet() {
+        assert!(diags("fn f() -> JoinHandle<()> { std::thread::spawn(work) }").is_empty());
+        assert!(
+            diags("fn f() -> JoinHandle<()> { let h = std::thread::spawn(work); h }").is_empty()
+        );
+    }
+
+    #[test]
+    fn scoped_spawn_is_exempt() {
+        // `s.spawn(..)` is a method call on the scope — joins structurally.
+        let src = "fn f() { std::thread::scope(|s| { s.spawn(work); }); }";
+        assert!(diags(src).is_empty());
+    }
+}

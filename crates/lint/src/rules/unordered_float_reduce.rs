@@ -1,0 +1,156 @@
+//! `unordered-float-reduce` — `.sum()` / `.product()` / `.fold()` over
+//! `HashMap`/`HashSet` iteration with float elements. Float addition is
+//! not associative: summing the same values in a different order moves
+//! the last few ulps, and hash iteration order changes every run — so a
+//! per-class loss aggregated from a `HashMap<Label, f32>` drifts between
+//! byte-identical experiment invocations. The distributed trainer's
+//! gradient reductions are ordered by construction (shard index); this
+//! rule fences everything that is not.
+//!
+//! A reduction is flagged when its receiver chain mentions a hash-typed
+//! name ([`crate::dataflow::hash_typed_names`]) or the hash types
+//! themselves, and the reduction is float-flavoured: the call's tokens
+//! (receiver, turbofish, arguments) or its source line carry a float
+//! literal or `f32`/`f64`.
+
+use super::{scope, Rule};
+use crate::config::Scope;
+use crate::dataflow::hash_typed_names;
+use crate::diag::Diagnostic;
+use crate::engine::FileCtx;
+use crate::lexer::TokKind;
+use crate::parser::{ExprKind, Span};
+
+pub struct UnorderedFloatReduce;
+
+const MESSAGE: &str = "float reduction over HashMap/HashSet iteration — float addition is non-associative and hash order changes per run, so the result drifts";
+const SUGGESTION: &str = "reduce in a deterministic order: BTreeMap, or sort keys first (the distributed trainer reduces by shard index for exactly this reason); if ulp drift is provably acceptable here, add `// tdfm-lint: allow(unordered-float-reduce, <reason>)`";
+
+fn span_mentions(
+    ctx: &FileCtx<'_>,
+    span: Span,
+    names: &std::collections::BTreeSet<String>,
+) -> bool {
+    (span.lo..span.hi.min(ctx.tokens.len())).any(|i| {
+        let t = &ctx.tokens[i];
+        t.kind == TokKind::Ident
+            && (names.contains(t.text) || t.text == "HashMap" || t.text == "HashSet")
+    })
+}
+
+fn span_has_float(ctx: &FileCtx<'_>, span: Span) -> bool {
+    (span.lo..span.hi.min(ctx.tokens.len())).any(|i| {
+        let t = &ctx.tokens[i];
+        t.is_float_literal() || (t.kind == TokKind::Ident && (t.text == "f32" || t.text == "f64"))
+    })
+}
+
+impl Rule for UnorderedFloatReduce {
+    fn id(&self) -> &'static str {
+        "unordered-float-reduce"
+    }
+
+    fn summary(&self) -> &'static str {
+        "non-associative float reduction over unordered hash iteration drifts between runs"
+    }
+
+    fn default_scope(&self) -> Scope {
+        scope(&[], &[])
+    }
+
+    fn check(&self, ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
+        for func in ctx.ast.fns() {
+            let Some(body) = &func.body else { continue };
+            let hashed = hash_typed_names(ctx.tokens, func);
+            body.walk(&mut |e| {
+                let ExprKind::MethodCall {
+                    method, dot_tok, ..
+                } = &e.kind
+                else {
+                    return;
+                };
+                if !matches!(method.as_str(), "sum" | "product" | "fold") {
+                    return;
+                }
+                let Some(recv) = e.children.first() else {
+                    return;
+                };
+                if !span_mentions(ctx, recv.span, &hashed) {
+                    return;
+                }
+                // Float-flavoured: the call's own tokens (receiver chain,
+                // turbofish, fold init) or the dot's source line.
+                if span_has_float(ctx, e.span) || ctx.line_has_float_marker(*dot_tok) {
+                    out.push(ctx.diag(*dot_tok, self.id(), MESSAGE, SUGGESTION));
+                }
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Config;
+    use crate::engine::lint_source;
+
+    fn diags(src: &str) -> Vec<Diagnostic> {
+        lint_source("crates/core/src/stats.rs", src, &Config::default())
+            .into_iter()
+            .filter(|d| d.rule == "unordered-float-reduce")
+            .collect()
+    }
+
+    #[test]
+    fn flags_float_sum_over_hashmap_values() {
+        let src = r#"
+fn total(losses: &HashMap<u32, f32>) -> f32 {
+    losses.values().sum::<f32>()
+}
+"#;
+        let d = diags(src);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!((d[0].line, d[0].col), (3, 20));
+    }
+
+    #[test]
+    fn flags_fold_with_float_init_over_hashset() {
+        let src = r#"
+fn norm(xs: &[f32]) -> f32 {
+    let uniq: HashSet<u32> = xs.iter().map(|x| x.to_bits()).collect();
+    uniq.iter().fold(0.0f32, |a, b| a + f32::from_bits(*b))
+}
+"#;
+        assert_eq!(diags(src).len(), 1);
+    }
+
+    #[test]
+    fn integer_count_over_hashmap_is_quiet() {
+        let src = r#"
+fn count(m: &HashMap<u32, u32>) -> u32 {
+    m.values().sum()
+}
+"#;
+        assert!(diags(src).is_empty());
+    }
+
+    #[test]
+    fn float_sum_over_a_slice_is_quiet() {
+        let src = r#"
+fn total(xs: &[f32]) -> f32 {
+    xs.iter().sum::<f32>()
+}
+"#;
+        assert!(diags(src).is_empty());
+    }
+
+    #[test]
+    fn btreemap_reduction_is_quiet() {
+        let src = r#"
+fn total(losses: &BTreeMap<u32, f32>) -> f32 {
+    losses.values().sum::<f32>()
+}
+"#;
+        assert!(diags(src).is_empty());
+    }
+}

@@ -19,6 +19,10 @@ impl Rule for UnsafeNeedsSafetyComment {
         "unsafe-needs-safety-comment"
     }
 
+    fn summary(&self) -> &'static str {
+        "`unsafe` without a preceding `// SAFETY:` comment stating why the contract holds"
+    }
+
     fn applies_in_tests(&self) -> bool {
         true
     }

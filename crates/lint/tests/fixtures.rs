@@ -11,7 +11,7 @@ use std::collections::BTreeMap;
 use std::path::PathBuf;
 
 use tdfm_lint::rules::all_rules;
-use tdfm_lint::{lint_source, Config, Scope};
+use tdfm_lint::{lint_files, lint_source, Config, Scope};
 
 fn fixtures_dir() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../lint-fixtures")
@@ -118,6 +118,72 @@ fn partial_cmp_sort_fixture_flags_the_float_comparator() {
 #[test]
 fn unsafe_fixture_flags_missing_safety_comment() {
     check("unsafe_safety.rs", &[("unsafe-needs-safety-comment", 5, 5)]);
+}
+
+#[test]
+fn hashmap_iter_order_fixture_flags_the_report_loop() {
+    check("hashmap_iter_order.rs", &[("hashmap-iter-order", 6, 19)]);
+}
+
+#[test]
+fn unjoined_spawn_fixture_flags_the_dropped_handle() {
+    check("unjoined_spawn.rs", &[("unjoined-spawn", 6, 22)]);
+}
+
+#[test]
+fn lock_held_across_call_fixture_flags_only_the_pre_drop_call() {
+    // `build_span` runs under the guard and is flagged; `emit` runs after
+    // the explicit `drop(guard)` and is not.
+    check(
+        "lock_held_across_call.rs",
+        &[("lock-held-across-call", 6, 16)],
+    );
+}
+
+#[test]
+fn unordered_float_reduce_fixture_flags_the_hash_order_sum() {
+    check(
+        "unordered_float_reduce.rs",
+        &[("unordered-float-reduce", 5, 20)],
+    );
+}
+
+/// The interprocedural case needs two files and an asymmetric scope: the
+/// rule covers only the caller ("kernel") file, and the allocation in the
+/// helper is found through the call graph, with the chain in the message.
+#[test]
+fn hot_path_alloc_crosses_files_through_the_call_graph() {
+    let read = |name: &str| {
+        let path = fixtures_dir().join(name);
+        let src = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("fixture {} unreadable: {e}", path.display()));
+        (format!("lint-fixtures/{name}"), src)
+    };
+    let files = vec![
+        read("hot_path_alloc_caller.rs"),
+        read("hot_path_alloc_helper.rs"),
+    ];
+    let mut config = fixture_config();
+    config.rules.insert(
+        "hot-path-alloc".to_string(),
+        Scope {
+            include: vec!["lint-fixtures/hot_path_alloc_caller.rs".to_string()],
+            exclude: vec![],
+        },
+    );
+    let diags: Vec<_> = lint_files(&files, &config)
+        .into_iter()
+        .filter(|d| d.rule == "hot-path-alloc")
+        .collect();
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    let d = &diags[0];
+    assert_eq!(d.file, "lint-fixtures/hot_path_alloc_helper.rs");
+    assert_eq!((d.line, d.col), (10, 5));
+    assert!(
+        d.message.contains("kernel -> pack_input -> buffer"),
+        "chain missing from message: {}",
+        d.message
+    );
 }
 
 #[test]

@@ -221,6 +221,7 @@ pub fn emit(level: Level, event: &str, fields: &[(&str, Value)]) {
             line.push(' ');
             line.push_str(key);
             line.push('=');
+            // tdfm-lint: allow(lock-held-across-call, render_field is a pure formatter; the sink state lock is the only lock in this crate)
             line.push_str(&render_field(value));
         }
         match &mut state.capture {

@@ -128,11 +128,13 @@ pub fn with_inner_threads<T>(n: usize, f: impl FnOnce() -> T) -> T {
 /// Splits `0..n` into at most `parts` contiguous, nearly equal ranges.
 pub fn split_ranges(n: usize, parts: usize) -> Vec<Range<usize>> {
     if n == 0 {
+        // tdfm-lint: allow(hot-path-alloc, Vec::new of an empty vec never touches the heap)
         return Vec::new();
     }
     let parts = parts.clamp(1, n);
     let base = n / parts;
     let extra = n % parts;
+    // tdfm-lint: allow(hot-path-alloc, O(threads) range list built once per parallel region, not per element)
     let mut out = Vec::with_capacity(parts);
     let mut start = 0;
     for i in 0..parts {
@@ -186,6 +188,7 @@ pub fn parallel_chunks_mut<T: Send>(
         }
         return;
     }
+    // tdfm-lint: allow(hot-path-alloc, per-region fan-out work list: O(chunks) entries built once, not per element)
     let pieces: Vec<(usize, &mut [T])> = data.chunks_mut(chunk).enumerate().collect();
     let pieces = Mutex::new(pieces);
     std::thread::scope(|scope| {
@@ -228,10 +231,12 @@ pub fn parallel_map_reduce<T: Send>(
                 let map = &map;
                 scope.spawn(move || map(range))
             })
+            // tdfm-lint: allow(hot-path-alloc, O(threads) handle list built once per reduction)
             .collect();
         handles
             .into_iter()
             .map(|h| h.join().expect("worker panicked"))
+            // tdfm-lint: allow(hot-path-alloc, O(threads) partial results gathered once per reduction)
             .collect()
     });
     results.into_iter().reduce(reduce)

@@ -1,0 +1,10 @@
+//! Hash iteration order leaking into emitted bytes: a per-class report
+//! built by walking a `HashMap` straight into the output string.
+
+pub fn report(counts: &HashMap<String, u32>) -> String {
+    let mut out = String::new();
+    for (k, v) in counts.iter() {
+        out.push_str(&format!("{k}={v}\n"));
+    }
+    out
+}

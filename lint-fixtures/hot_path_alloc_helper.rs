@@ -1,0 +1,11 @@
+//! Reached from `hot_path_alloc_caller.rs`: the allocation here is
+//! charged to the kernel's zero-allocation budget, two hops away.
+
+pub fn pack_input(xs: &mut [f32]) {
+    let scratch = buffer(xs.len());
+    let _ = scratch;
+}
+
+fn buffer(n: usize) -> Vec<f32> {
+    vec![0.0; n]
+}

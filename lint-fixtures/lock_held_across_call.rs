@@ -1,0 +1,15 @@
+//! A mutex guard held across a call back into workspace code: every other
+//! worker queues on the lock for the whole span build.
+
+pub fn flush(state: &Mutex<Vec<u64>>) {
+    let guard = state.lock().expect("sink poisoned");
+    let span = build_span(guard[0]);
+    drop(guard);
+    emit(span);
+}
+
+fn build_span(d: u64) -> u64 {
+    d
+}
+
+fn emit(_s: u64) {}

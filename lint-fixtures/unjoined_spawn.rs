@@ -1,0 +1,10 @@
+//! A spawned worker whose handle is dropped on the floor: the process can
+//! exit (or the round can end) while the thread still runs.
+
+pub fn fan_out(n: usize) {
+    for w in 0..n {
+        std::thread::spawn(move || work(w));
+    }
+}
+
+fn work(_w: usize) {}

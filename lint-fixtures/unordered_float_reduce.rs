@@ -1,0 +1,6 @@
+//! Summing floats straight out of a `HashMap`: float addition is not
+//! associative, so hash order changes the total between runs.
+
+pub fn total_loss(losses: &HashMap<u32, f32>) -> f32 {
+    losses.values().sum::<f32>()
+}

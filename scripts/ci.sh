@@ -21,12 +21,28 @@ else
     trap 'rm -rf "$smoke_dir"' EXIT
 fi
 
+echo "== tdfm lint self-test (fixtures, parser round-trip) =="
+# The analyzer's own suite first: pinned fixture diagnostics for every
+# rule and the byte-identical parser round-trip over the workspace. A
+# drifting rule fails here with a named fixture, not as a mystery finding
+# (or silence) in the sweep below.
+cargo test -q -p tdfm-lint
+
 echo "== tdfm lint (project static analysis) =="
 # The repo's own analyzer (crates/lint): NaN laundering, sparsity skips,
-# kernel allocations, bare unwraps, wall-clock and env reads, unsafe
-# without SAFETY comments. Must be clean before anything is built in
-# release mode; the JSON report is kept as a CI artefact either way.
-if ! cargo run -q --bin tdfm -- lint --json > "$smoke_dir/lint.json"; then
+# kernel allocations (now interprocedural via the call graph), bare
+# unwraps, wall-clock and env reads, unsafe without SAFETY comments, and
+# the determinism/concurrency pack (hash iteration order, detached
+# spawns, locks held across calls, hash-order float reductions). Must be
+# clean before anything is built in release mode; the JSON report, the
+# SARIF document and the wall-time manifest are kept as CI artefacts
+# either way. The 10s time budget keeps the analyzer cheap enough to run
+# on every push; a blown budget fails this stage.
+if ! cargo run -q --bin tdfm -- lint --json \
+        --sarif "$smoke_dir/lint.sarif" \
+        --manifest "$smoke_dir/lint-manifest.json" \
+        --time-budget 10 \
+        > "$smoke_dir/lint.json"; then
     # Re-run in human-readable form so the failure log shows file:line:col.
     cargo run -q --bin tdfm -- lint || true
     echo "tdfm lint failed (JSON report: $smoke_dir/lint.json)" >&2
