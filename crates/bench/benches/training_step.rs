@@ -16,7 +16,7 @@
 //! In compare mode the baseline file is **not** rewritten.
 
 use tdfm_bench::compare::compare_suites;
-use tdfm_bench::harness::{bench, group, BenchSuite};
+use tdfm_bench::harness::{bench, group, BenchSuite, ScalingCurve, ScalingPoint};
 use tdfm_bench::write_json;
 use tdfm_core::technique::{TechniqueKind, TrainContext};
 use tdfm_data::{DatasetKind, Scale};
@@ -24,18 +24,21 @@ use tdfm_inject::split_clean;
 use tdfm_nn::loss::CrossEntropy;
 use tdfm_nn::models::ModelKind;
 use tdfm_nn::trainer::{fit, FitConfig, TargetSource};
+use tdfm_tensor::{ops, simd, Tensor};
 
 /// Options parsed from the bench binary's own CLI tail (after cargo's
 /// `--bench training_step --`). Cargo's libtest flag `--bench` is ignored.
 struct Options {
     compare: Option<String>,
     threshold: f64,
+    scaling_out: Option<String>,
 }
 
 fn parse_args() -> Options {
     let mut opts = Options {
         compare: None,
         threshold: 0.10,
+        scaling_out: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -49,12 +52,102 @@ fn parse_args() -> Options {
                     .parse()
                     .unwrap_or_else(|_| panic!("invalid --threshold {raw:?}"));
             }
+            "--scaling-out" => {
+                opts.scaling_out = Some(args.next().expect("--scaling-out needs a path"));
+            }
             // Flags cargo-bench forwards from libtest conventions.
             "--bench" => {}
-            other => panic!("unknown argument {other:?} (expected --compare/--threshold)"),
+            other => {
+                panic!("unknown argument {other:?} (expected --compare/--threshold/--scaling-out)")
+            }
         }
     }
     opts
+}
+
+/// The elementwise / reduction micro-benchmarks: the vector kernels the
+/// SIMD dispatch covers, at a size (1M elements / 256×4096) where the
+/// measurement is bandwidth-and-lane-bound rather than call-overhead-bound.
+fn bench_kernels(suite: &mut BenchSuite) {
+    const N: usize = 1 << 20;
+    let mut rng = tdfm_tensor::rng::Rng::seed_from(0xBE7C);
+    let x = Tensor::randn(&[N], 1.0, &mut rng);
+    let mut y = Tensor::randn(&[N], 1.0, &mut rng);
+    let mut relu_out = vec![0.0f32; N];
+    let mut mask = vec![0u32; N];
+
+    group("elementwise");
+    suite.push(&bench("elementwise/axpy_1m", || {
+        simd::axpy(0.5, x.data(), y.data_mut());
+    }));
+    suite.push(&bench("elementwise/scale_1m", || {
+        simd::scale(y.data_mut(), 1.0009);
+    }));
+    suite.push(&bench("elementwise/momentum_update_1m", || {
+        simd::momentum_update(y.data_mut(), x.data(), relu_out.as_slice(), 0.9, 1e-4);
+    }));
+    suite.push(&bench("elementwise/relu_fwd_1m", || {
+        simd::relu_forward(x.data(), &mut relu_out, &mut mask);
+    }));
+    suite.push(&bench("elementwise/relu_bwd_1m", || {
+        simd::relu_backward(x.data(), &mask, &mut relu_out);
+    }));
+
+    let t = Tensor::randn(&[256, 4096], 2.0, &mut rng);
+    group("reduction");
+    suite.push(&bench("reduction/softmax_256x4096", || {
+        ops::softmax_rows(&t, 1.0)
+    }));
+    suite.push(&bench("reduction/log_softmax_256x4096", || {
+        ops::log_softmax_rows(&t)
+    }));
+    suite.push(&bench("reduction/sum_rows_256x4096", || ops::sum_rows(&t)));
+}
+
+/// The multi-thread scaling cells: one-epoch fits pinned to 1/2/4 worker
+/// threads. The per-cell timings go into the suite (so the compare gate
+/// covers thread scaling like any other benchmark) and come back as
+/// [`ScalingCurve`]s for the `--scaling-out` artefact.
+fn bench_scaling(suite: &mut BenchSuite) -> Vec<ScalingCurve> {
+    const THREADS: [usize; 3] = [1, 2, 4];
+    let data = DatasetKind::Cifar10.generate(Scale::Tiny, 0);
+    let mut curves = Vec::new();
+    group("scaling");
+    for model in [ModelKind::ConvNet, ModelKind::ResNet18] {
+        let mut curve = ScalingCurve {
+            name: model.name().to_string(),
+            simd: simd::simd_name().to_string(),
+            points: Vec::new(),
+        };
+        for threads in THREADS {
+            tdfm_tensor::parallel::set_num_threads(threads);
+            let report = bench(&format!("scaling/{}/t{threads}", model.name()), || {
+                let ctx = TrainContext::new(Scale::Tiny, 0);
+                let mut net = model.build(&ctx.model_config(&data.train));
+                fit(
+                    &mut net,
+                    &CrossEntropy,
+                    data.train.images(),
+                    &TargetSource::Hard(data.train.labels().to_vec()),
+                    &FitConfig {
+                        epochs: 1,
+                        batch_size: 16,
+                        ..FitConfig::default()
+                    },
+                )
+            });
+            curve.points.push(ScalingPoint {
+                threads: threads as u32,
+                mean_seconds: report.mean.as_secs_f64(),
+                min_seconds: report.min.as_secs_f64(),
+            });
+            suite.push(&report);
+        }
+        curves.push(curve);
+    }
+    // Back to the default resolution order (TDFM_THREADS / auto).
+    tdfm_tensor::parallel::set_num_threads(0);
+    curves
 }
 
 fn main() {
@@ -100,6 +193,16 @@ fn main() {
             )
         });
         suite.push(&report);
+    }
+
+    bench_kernels(&mut suite);
+    let curves = bench_scaling(&mut suite);
+    if let Some(path) = &opts.scaling_out {
+        let json = tdfm_json::to_string_pretty(&curves);
+        match std::fs::write(path, &json) {
+            Ok(()) => println!("\nwrote scaling curves to {path}"),
+            Err(e) => eprintln!("could not write scaling curves to {path}: {e}"),
+        }
     }
 
     if let Some(baseline_path) = &opts.compare {

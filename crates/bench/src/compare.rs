@@ -140,6 +140,7 @@ mod tests {
                 mean_seconds: *min * 1.1,
                 min_seconds: *min,
                 iters: 10,
+                simd: "scalar".to_string(),
             });
         }
         s

@@ -85,13 +85,19 @@ pub struct BenchRecord {
     pub min_seconds: f64,
     /// Number of measured iterations.
     pub iters: u32,
+    /// SIMD level the kernels dispatched to while this cell ran
+    /// (`"avx2"`, `"sse2"` or `"scalar"`) — provenance, so a baseline
+    /// recorded on one machine is never silently compared across
+    /// instruction sets. Empty in pre-SIMD baselines (defaulted on read).
+    pub simd: String,
 }
 
 json_struct!(BenchRecord {
     name,
     mean_seconds,
     min_seconds,
-    iters
+    iters,
+    simd = default
 });
 
 /// A machine-readable benchmark baseline: every report of one `benches/`
@@ -131,13 +137,15 @@ impl BenchSuite {
         }
     }
 
-    /// Appends one benchmark's report.
+    /// Appends one benchmark's report, stamping the SIMD level the
+    /// kernels are currently dispatching to.
     pub fn push(&mut self, report: &BenchReport) {
         self.reports.push(BenchRecord {
             name: report.name.clone(),
             mean_seconds: report.mean.as_secs_f64(),
             min_seconds: report.min.as_secs_f64(),
             iters: report.iters,
+            simd: tdfm_tensor::simd::simd_name().to_string(),
         });
     }
 
@@ -146,6 +154,62 @@ impl BenchSuite {
     pub fn to_json(&mut self) -> String {
         self.metrics = tdfm_obs::global().snapshot();
         tdfm_json::to_string_pretty(self)
+    }
+}
+
+/// One thread-count cell of a [`ScalingCurve`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScalingPoint {
+    /// Worker-thread count the cell was pinned to (`set_num_threads`).
+    pub threads: u32,
+    /// Mean wall-clock seconds per iteration at that count.
+    pub mean_seconds: f64,
+    /// Fastest observed iteration, in seconds.
+    pub min_seconds: f64,
+}
+
+json_struct!(ScalingPoint {
+    threads,
+    mean_seconds,
+    min_seconds
+});
+
+/// Throughput-vs-threads measurements of one workload — the scaling
+/// artefact `training_step --scaling-out` writes (a JSON array of these)
+/// and `tdfm figures` renders as a speedup curve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScalingCurve {
+    /// Workload label (e.g. the model name).
+    pub name: String,
+    /// SIMD level of the run, as in [`BenchRecord::simd`].
+    pub simd: String,
+    /// One point per thread count, in measurement order.
+    pub points: Vec<ScalingPoint>,
+}
+
+json_struct!(ScalingCurve {
+    name,
+    simd = default,
+    points
+});
+
+impl ScalingCurve {
+    /// `(threads, speedup)` pairs relative to the single-thread cell,
+    /// computed over `min_seconds`. Empty when the curve has no
+    /// single-thread point to normalise against.
+    pub fn speedups(&self) -> Vec<(u32, f64)> {
+        let Some(base) = self.points.iter().find(|p| p.threads == 1) else {
+            return Vec::new();
+        };
+        self.points
+            .iter()
+            .map(|p| {
+                (
+                    p.threads,
+                    base.min_seconds / p.min_seconds.max(f64::MIN_POSITIVE),
+                )
+            })
+            .collect()
     }
 }
 
@@ -177,10 +241,64 @@ mod tests {
         assert_eq!(back.reports.len(), 1);
         assert_eq!(back.reports[0].name, "suite_noop");
         assert!(back.reports[0].iters >= 3);
+        // Every record carries the dispatch level it was measured under.
+        let levels = ["avx2", "sse2", "scalar"];
+        assert!(levels.contains(&back.reports[0].simd.as_str()));
         assert!(back
             .metrics
             .histograms
             .iter()
             .any(|h| h.name == "bench.suite_noop"));
+    }
+
+    #[test]
+    fn pre_simd_baselines_still_parse() {
+        // Committed baselines from before the `simd` field must load with
+        // the field defaulted, so the compare gate keeps working across
+        // the transition.
+        let old = r#"{"name": "x", "mean_seconds": 0.2, "min_seconds": 0.1, "iters": 5}"#;
+        let rec: BenchRecord = tdfm_json::from_str(old).unwrap();
+        assert_eq!(rec.simd, "");
+        assert_eq!(rec.iters, 5);
+    }
+
+    #[test]
+    fn scaling_curve_round_trips_and_normalises() {
+        let curve = ScalingCurve {
+            name: "ConvNet".to_string(),
+            simd: "avx2".to_string(),
+            points: vec![
+                ScalingPoint {
+                    threads: 1,
+                    mean_seconds: 0.044,
+                    min_seconds: 0.040,
+                },
+                ScalingPoint {
+                    threads: 4,
+                    mean_seconds: 0.022,
+                    min_seconds: 0.020,
+                },
+            ],
+        };
+        let json = tdfm_json::to_string(&vec![curve.clone()]);
+        let back: Vec<ScalingCurve> = tdfm_json::from_str(&json).unwrap();
+        assert_eq!(back, vec![curve.clone()]);
+        let speedups = curve.speedups();
+        assert_eq!(speedups[0], (1, 1.0));
+        assert_eq!(speedups[1], (4, 2.0));
+    }
+
+    #[test]
+    fn scaling_speedups_need_a_single_thread_base() {
+        let curve = ScalingCurve {
+            name: "x".to_string(),
+            simd: String::new(),
+            points: vec![ScalingPoint {
+                threads: 2,
+                mean_seconds: 0.1,
+                min_seconds: 0.1,
+            }],
+        };
+        assert!(curve.speedups().is_empty());
     }
 }

@@ -1,10 +1,18 @@
 //! `unsafe-needs-safety-comment` — every `unsafe` block, fn, or impl must
 //! be preceded by a `// SAFETY:` comment stating why the contract holds.
-//! The workspace has exactly two unsafe sites (the counting allocator in
-//! `zero_alloc.rs` and the env mutation in `parallel.rs`'s tests); this
-//! rule makes sure any future one arrives with its justification attached.
-//! Unlike the other rules it applies inside test code too — the existing
-//! unsafe lives there.
+//! This rule makes sure every unsafe site (the SIMD kernels in
+//! `tensor/src/simd.rs` and `ops/gemm.rs`, the aligned allocator in
+//! `align.rs`, the counting allocator in `zero_alloc.rs`, the env
+//! mutation in `parallel.rs`'s tests) arrives with its justification
+//! attached. Unlike the other rules it applies inside test code too —
+//! some of the existing unsafe lives there.
+//!
+//! The comment must live in the same statement as the `unsafe` keyword:
+//! anything up to the nearest `;`, `{` or `}` counts, so the idiomatic
+//! placements all work — above a `#[target_feature(enable = "avx2")]`
+//! attribute stack, above the `let` binding whose initialiser is the
+//! unsafe block, or above a match arm's pattern. A comment in a
+//! *previous* statement (or an enclosing block) never leaks through.
 
 use super::{scope, Rule};
 use crate::config::Scope;
@@ -48,20 +56,22 @@ impl Rule for UnsafeNeedsSafetyComment {
     }
 }
 
-/// Walks backwards from the `unsafe` token over trivia; the immediately
-/// preceding comment run (comments separated only by whitespace) must
-/// contain `SAFETY:`.
+/// Walks backwards from the `unsafe` token looking for a comment that
+/// contains `SAFETY:` within the same statement — the walk skips
+/// attributes, visibility modifiers, `let` bindings, match-arm patterns
+/// and any other same-statement tokens, and stops at the nearest `;`,
+/// `{` or `}` so a contract documented on a *previous* statement (or in
+/// an enclosing block) never satisfies a later `unsafe`.
 fn has_safety_comment_before(ctx: &FileCtx<'_>, idx: usize) -> bool {
     for t in ctx.tokens[..idx].iter().rev() {
         match t.kind {
-            TokKind::Whitespace => continue,
             TokKind::LineComment | TokKind::BlockComment => {
                 if t.text.contains("SAFETY:") {
                     return true;
                 }
-                // Keep scanning: a multi-line comment run counts as one.
             }
-            _ => return false,
+            TokKind::Punct if matches!(t.text, ";" | "{" | "}") => return false,
+            _ => continue,
         }
     }
     false
@@ -117,5 +127,39 @@ mod tests {
     fn the_word_in_comments_or_strings_is_not_unsafe_code() {
         assert!(diags("// unsafe is discussed here\nfn f() {}").is_empty());
         assert!(diags("fn f() -> &'static str { \"unsafe\" }").is_empty());
+    }
+
+    #[test]
+    fn safety_comment_above_target_feature_attribute_passes() {
+        // The idiomatic SIMD kernel shape: the contract is documented
+        // above the attribute, not squeezed between attribute and `unsafe`.
+        let src = "/// SAFETY: callers must check AVX2 via is_x86_feature_detected.\n#[target_feature(enable = \"avx2\")]\nunsafe fn kernel(x: &mut [f32]) {}";
+        assert!(diags(src).is_empty());
+    }
+
+    #[test]
+    fn safety_comment_above_stacked_attributes_passes() {
+        let src = "// SAFETY: lanes stay in bounds; caller checked the CPU.\n#[inline]\n#[target_feature(enable = \"sse2\")]\nunsafe fn kernel() {}";
+        assert!(diags(src).is_empty());
+    }
+
+    #[test]
+    fn safety_comment_above_pub_crate_fn_passes() {
+        let src = "// SAFETY: callers uphold the alignment contract.\n#[target_feature(enable = \"avx2\")]\npub(crate) unsafe fn kernel() {}";
+        assert!(diags(src).is_empty());
+    }
+
+    #[test]
+    fn undocumented_target_feature_fn_is_still_flagged() {
+        let src = "#[target_feature(enable = \"avx2\")]\nunsafe fn kernel() {}";
+        assert_eq!(diags(src).len(), 1);
+    }
+
+    #[test]
+    fn non_attribute_brackets_do_not_leak_a_comment_through() {
+        // The `]` here closes an index expression, not an attribute; the
+        // comment above it must not satisfy the rule.
+        let src = "fn f(xs: &[u8]) -> u8 {\n    // SAFETY: unrelated.\n    let _ = xs[0];\n    unsafe { *xs.get_unchecked(0) }\n}";
+        assert_eq!(diags(src).len(), 1);
     }
 }

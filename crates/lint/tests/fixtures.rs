@@ -121,6 +121,16 @@ fn unsafe_fixture_flags_missing_safety_comment() {
 }
 
 #[test]
+fn target_feature_fixture_accepts_contract_above_attributes() {
+    // Only the kernel with no SAFETY comment anywhere is flagged; the one
+    // documented above its `#[target_feature]` attribute passes.
+    check(
+        "unsafe_safety_target_feature.rs",
+        &[("unsafe-needs-safety-comment", 15, 5)],
+    );
+}
+
+#[test]
 fn hashmap_iter_order_fixture_flags_the_report_loop() {
     check("hashmap_iter_order.rs", &[("hashmap-iter-order", 6, 19)]);
 }

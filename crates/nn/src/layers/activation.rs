@@ -1,17 +1,20 @@
 //! Activation functions.
 
 use crate::layer::{Layer, Mode};
-use tdfm_tensor::{Scratch, ScratchHandle, Tensor};
+use tdfm_tensor::{simd, Scratch, ScratchHandle, Tensor};
 
 /// Rectified linear unit: `y = max(0, x)`.
 ///
 /// The only activation the seven architectures of the study use between
-/// layers (softmax lives inside the losses). The sign mask and the output
-/// buffer are reused across batches, so steady-state forward/backward
-/// passes allocate nothing.
+/// layers (softmax lives inside the losses). Forward and backward run
+/// through the vector kernels in `tdfm_tensor::simd`: NaN activations pass
+/// through unlaundered (IEEE faithfulness) and the sign mask is stored as
+/// all-ones/all-zeros words so the backward pass is one bitwise AND. The
+/// mask and the output buffer are reused across batches, so steady-state
+/// forward/backward passes allocate nothing.
 #[derive(Debug)]
 pub struct ReLU {
-    mask: Vec<bool>,
+    mask: Vec<u32>,
     scratch: ScratchHandle,
 }
 
@@ -34,13 +37,12 @@ impl Default for ReLU {
 impl Layer for ReLU {
     fn forward(&mut self, input: &Tensor, _mode: Mode) -> Tensor {
         self.mask.clear();
-        self.mask.extend(input.data().iter().map(|&x| x > 0.0));
+        self.mask.resize(input.numel(), 0);
         let mut out = self.scratch.tensor_uninit(input.shape().dims());
-        for (o, &x) in out.data_mut().iter_mut().zip(input.data()) {
-            // `f32::max` would launder NaN into 0.0; a poisoned activation
-            // must keep poisoning the forward pass (IEEE faithfulness).
-            *o = if x.is_nan() { x } else { x.max(0.0) };
-        }
+        // The kernel keeps NaN activations intact (`f32::max` would
+        // launder them into 0.0; a poisoned activation must keep poisoning
+        // the forward pass) and records the x > 0.0 mask in one sweep.
+        simd::relu_forward(input.data(), out.data_mut(), &mut self.mask);
         out
     }
 
@@ -51,14 +53,7 @@ impl Layer for ReLU {
             "backward called with mismatched shape (or before forward)"
         );
         let mut out = self.scratch.tensor_uninit(grad_output.shape().dims());
-        for ((o, &g), &m) in out
-            .data_mut()
-            .iter_mut()
-            .zip(grad_output.data())
-            .zip(&self.mask)
-        {
-            *o = if m { g } else { 0.0 };
-        }
+        simd::relu_backward(grad_output.data(), &self.mask, out.data_mut());
         out
     }
 

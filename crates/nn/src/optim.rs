@@ -72,16 +72,13 @@ impl Optimizer for Sgd {
             "parameter list changed between steps"
         );
         for (p, v) in params.iter_mut().zip(self.velocity.iter_mut()) {
-            let m = self.momentum;
-            let wd = self.weight_decay;
-            for ((vi, &gi), wi) in v
-                .data_mut()
-                .iter_mut()
-                .zip(p.grad.data())
-                .zip(p.value.data().iter())
-            {
-                *vi = m * *vi + gi + wd * *wi;
-            }
+            tdfm_tensor::simd::momentum_update(
+                v.data_mut(),
+                p.grad.data(),
+                p.value.data(),
+                self.momentum,
+                self.weight_decay,
+            );
             p.value.axpy(-self.lr, v);
             p.zero_grad();
         }

@@ -12,8 +12,11 @@
 //! * [`ops`] — panel-packed, register-tiled matrix multiplication, im2col
 //!   convolution (forward/backward, with strides, padding and groups for
 //!   depthwise convolutions), max/average pooling, reductions and softmax.
+//! * [`simd`] — runtime-dispatched AVX2/SSE2/scalar kernels behind every
+//!   hot loop, byte-identical across levels (`TDFM_SIMD` overrides).
 //! * [`Scratch`] — a reusable buffer arena threaded through the kernels so
-//!   steady-state training allocates nothing per batch.
+//!   steady-state training allocates nothing per batch; its raw `f32`
+//!   checkouts are 32-byte aligned for the vector kernels.
 //! * [`rng`] — deterministic random-number helpers so every experiment in
 //!   the study is reproducible from a single seed.
 //! * [`bitops`] — IEEE-754 bit manipulation ([`bitops::bitflip_f32`]) used
@@ -30,14 +33,17 @@
 //! assert_eq!(c.data(), a.data());
 //! ```
 
+mod align;
 pub mod bitops;
 pub mod ops;
 pub mod parallel;
 pub mod rng;
 mod scratch;
 mod shape;
+pub mod simd;
 mod tensor;
 
+pub use align::{AlignedVec, SIMD_ALIGN};
 pub use scratch::{Scratch, ScratchBuf, ScratchBufU32, ScratchHandle, ScratchStats};
 pub use shape::{Shape, MAX_RANK};
 pub use tensor::Tensor;

@@ -124,13 +124,29 @@ pub fn im2col(
                         continue;
                     }
                     let src_row = &plane[ii as usize * w..(ii as usize + 1) * w];
-                    for (oj, d) in dst.iter_mut().enumerate() {
-                        let jj = (oj * stride + kj) as isize - pad as isize;
-                        *d = if jj < 0 || jj >= w as isize {
-                            0.0
-                        } else {
-                            src_row[jj as usize]
-                        };
+                    if stride == 1 {
+                        // Contiguous case: jj = oj + kj - pad walks the
+                        // source row at unit stride, so the valid span is
+                        // one memcpy flanked by zero padding.
+                        // hi >= lo always: both are saturating-clamped
+                        // images of pad-kj <= w+pad-kj under min(ow).
+                        let lo = pad.saturating_sub(kj).min(ow);
+                        let hi = (w + pad).saturating_sub(kj).min(ow);
+                        dst[..lo].fill(0.0);
+                        if hi > lo {
+                            let src0 = lo + kj - pad;
+                            dst[lo..hi].copy_from_slice(&src_row[src0..src0 + (hi - lo)]);
+                        }
+                        dst[hi..].fill(0.0);
+                    } else {
+                        for (oj, d) in dst.iter_mut().enumerate() {
+                            let jj = (oj * stride + kj) as isize - pad as isize;
+                            *d = if jj < 0 || jj >= w as isize {
+                                0.0
+                            } else {
+                                src_row[jj as usize]
+                            };
+                        }
                     }
                 }
             }
@@ -171,12 +187,28 @@ pub fn col2im(
                     if ii < 0 || ii >= h as isize {
                         continue;
                     }
-                    for oj in 0..ow {
-                        let jj = (oj * stride + kj) as isize - pad as isize;
-                        if jj < 0 || jj >= w as isize {
-                            continue;
+                    if stride == 1 {
+                        // Adjoint of im2col's memcpy span: one vectorised
+                        // `+=` over the contiguous valid range. Each output
+                        // element is touched once per (c,ki,kj,oi) visit in
+                        // the same order as the scalar loop, so bytes match.
+                        let lo = pad.saturating_sub(kj).min(ow);
+                        let hi = (w + pad).saturating_sub(kj).min(ow);
+                        if hi > lo {
+                            let dst0 = plane_start + ii as usize * w + (lo + kj - pad);
+                            crate::simd::add_assign(
+                                &mut out[dst0..dst0 + (hi - lo)],
+                                &row[oi * ow + lo..oi * ow + hi],
+                            );
                         }
-                        out[plane_start + ii as usize * w + jj as usize] += row[oi * ow + oj];
+                    } else {
+                        for oj in 0..ow {
+                            let jj = (oj * stride + kj) as isize - pad as isize;
+                            if jj < 0 || jj >= w as isize {
+                                continue;
+                            }
+                            out[plane_start + ii as usize * w + jj as usize] += row[oi * ow + oj];
+                        }
                     }
                 }
             }
@@ -354,10 +386,7 @@ pub fn conv2d_forward_with(
         if let Some(b) = bias {
             let bd = b.data();
             for (oc, plane) in y.chunks_mut(d.oh * d.ow).enumerate() {
-                let bv = bd[oc];
-                for v in plane {
-                    *v += bv;
-                }
+                crate::simd::add_scalar(plane, bd[oc]);
             }
         }
     });
@@ -467,8 +496,9 @@ pub fn conv2d_backward_with(
     });
 
     // Weight and bias gradients: map-reduce over samples. Each worker
-    // accumulates into pooled buffers; the winning buffer becomes the
-    // gradient tensor without a copy.
+    // accumulates into pooled buffers; the reduced sums are copied into
+    // pooled tensors at the end (both sides of the copy reuse warm arena
+    // buffers, so steady state stays allocation-free).
     let weight_packed = use_packed(d.og, ohow, kdim);
     let per_sample_work = d.o * ohow * kdim;
     let reduced = parallel_map_reduce(
@@ -519,21 +549,21 @@ pub fn conv2d_backward_with(
             (gw, gb)
         },
         |(mut gw_a, mut gb_a), (gw_b, gb_b)| {
-            for (a, b) in gw_a.iter_mut().zip(gw_b.iter()) {
-                *a += b;
-            }
-            for (a, b) in gb_a.iter_mut().zip(gb_b.iter()) {
-                *a += b;
-            }
+            crate::simd::add_assign(&mut gw_a, &gw_b);
+            crate::simd::add_assign(&mut gb_a, &gb_b);
             (gw_a, gb_a)
         },
     )
     .expect("batch dimension is non-zero");
 
+    let mut grad_weight = scratch.tensor_uninit(weight.shape().dims());
+    grad_weight.data_mut().copy_from_slice(&reduced.0);
+    let mut grad_bias = scratch.tensor_uninit(&[d.o]);
+    grad_bias.data_mut().copy_from_slice(&reduced.1);
     ConvGrads {
         grad_input,
-        grad_weight: Tensor::from_vec(reduced.0.into_vec(), weight.shape().dims()),
-        grad_bias: Tensor::from_vec(reduced.1.into_vec(), &[d.o]),
+        grad_weight,
+        grad_bias,
     }
 }
 

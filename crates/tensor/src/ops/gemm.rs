@@ -6,16 +6,23 @@
 //!
 //! * a *packed* path — `B` is repacked into [`NR`]-wide column panels
 //!   (contiguous per `p` step, zero-padded at the right edge) and an
-//!   [`MR`]×[`NR`] block of `C` is accumulated in registers. Independent
-//!   `j` lanes let the compiler vectorise the inner loop, which a strict-FP
-//!   dot product (`acc += x*y` over `p`) never can.
+//!   [`MR`]×[`NR`] block of `C` is accumulated in registers. The `NR`
+//!   independent `j` lanes map directly onto one 8-lane `__m256` (or two
+//!   `__m128`s): the microkernel dispatches through [`crate::simd`] to an
+//!   explicitly vectorised AVX2/SSE2 body, with the scalar tile as
+//!   fallback — which a strict-FP dot product (`acc += x*y` over `p`)
+//!   could never be.
 //! * a *direct* path — the classic loops, used when the operand is too
-//!   small to amortise packing.
+//!   small to amortise packing; its row-sweep inner loop goes through the
+//!   shared [`crate::simd::axpy`] kernel.
 //!
 //! Bit-identity holds because every output element is accumulated in
-//! ascending-`p` order starting from `+0.0` on both paths: the same
+//! ascending-`p` order starting from `+0.0` on all paths: the same
 //! sequence of f32 rounding steps, whether the partial sum lives in a
-//! register or in memory. Products are **never skipped** — `0 × NaN` must
+//! scalar register, a vector lane, or memory. The vector bodies use
+//! separate `mul` + `add` (never FMA — fusing would round once where the
+//! scalar loop rounds twice and break byte-identity across SIMD levels;
+//! see DESIGN.md §2.1a). Products are **never skipped** — `0 × NaN` must
 //! stay `NaN` so injected faults propagate (adding a `±0.0` product is an
 //! exact identity on finite partial sums, so finite results are unchanged
 //! relative to the historical zero-skipping kernels).
@@ -148,6 +155,10 @@ fn micro_tile<const MRC: usize>(
 /// handing disjoint row blocks to worker threads). With
 /// `accumulate == false` the output is fully overwritten, so it may start
 /// uninitialised.
+///
+/// Dispatches once per block to the runtime-selected SIMD level; all three
+/// bodies produce byte-identical output (see the module docs).
+#[allow(unsafe_code)] // dispatch into the target_feature bodies below
 pub(crate) fn gemm_packed_block(
     a: &[f32],
     rows: usize,
@@ -160,6 +171,32 @@ pub(crate) fn gemm_packed_block(
     debug_assert_eq!(a.len(), rows * k);
     debug_assert_eq!(out.len(), rows * n);
     debug_assert!(packed.len() >= packed_len(k, n));
+    match crate::simd::simd_level() {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: simd_level() returns Avx2 only when AVX2 was detected at
+        // runtime on this CPU.
+        crate::simd::SimdLevel::Avx2 => unsafe {
+            x86::gemm_packed_block_avx2(a, rows, k, n, packed, out, accumulate)
+        },
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: SSE2 is unconditionally present on x86-64.
+        crate::simd::SimdLevel::Sse2 => unsafe {
+            x86::gemm_packed_block_sse2(a, rows, k, n, packed, out, accumulate)
+        },
+        _ => gemm_packed_block_scalar(a, rows, k, n, packed, out, accumulate),
+    }
+}
+
+/// The scalar tile sweep — canonical semantics for all SIMD levels.
+fn gemm_packed_block_scalar(
+    a: &[f32],
+    rows: usize,
+    k: usize,
+    n: usize,
+    packed: &[f32],
+    out: &mut [f32],
+    accumulate: bool,
+) {
     let panels = n.div_ceil(NR);
     let mut i0 = 0;
     while i0 < rows {
@@ -178,6 +215,213 @@ pub(crate) fn gemm_packed_block(
             }
         }
         i0 += mr;
+    }
+}
+
+/// Explicitly vectorised tile sweeps. Each mirrors
+/// [`gemm_packed_block_scalar`] exactly: the `NR`-wide accumulator row
+/// becomes one `__m256` (AVX2) or an `__m128` pair (SSE2), and every lane
+/// performs the scalar element's `mul` + `add` sequence in the same
+/// ascending-`p` order — no FMA, no reassociation, so the bytes match.
+#[cfg(target_arch = "x86_64")]
+#[allow(unsafe_code)]
+mod x86 {
+    use super::{MR, NR};
+    use std::arch::x86_64::*;
+
+    /// SAFETY: callers must ensure AVX2 is supported by the executing CPU.
+    /// Slice bounds follow [`super::gemm_packed_block`]'s debug-asserted
+    /// contract (`a.len() == rows*k`, `out.len() == rows*n`,
+    /// `packed.len() >= packed_len(k, n)`).
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn gemm_packed_block_avx2(
+        a: &[f32],
+        rows: usize,
+        k: usize,
+        n: usize,
+        packed: &[f32],
+        out: &mut [f32],
+        accumulate: bool,
+    ) {
+        let panels = n.div_ceil(NR);
+        let mut i0 = 0;
+        while i0 < rows {
+            let mr = MR.min(rows - i0);
+            let a_rows = &a[i0 * k..(i0 + mr) * k];
+            for pj in 0..panels {
+                let j0 = pj * NR;
+                let jw = NR.min(n - j0);
+                let panel = &packed[pj * k * NR..(pj + 1) * k * NR];
+                let out_tile = &mut out[i0 * n + j0..];
+                // SAFETY: AVX2 is available (this fn's own contract).
+                unsafe {
+                    match mr {
+                        4 => micro_tile_avx2::<4>(a_rows, k, panel, out_tile, n, jw, accumulate),
+                        3 => micro_tile_avx2::<3>(a_rows, k, panel, out_tile, n, jw, accumulate),
+                        2 => micro_tile_avx2::<2>(a_rows, k, panel, out_tile, n, jw, accumulate),
+                        _ => micro_tile_avx2::<1>(a_rows, k, panel, out_tile, n, jw, accumulate),
+                    }
+                }
+            }
+            i0 += mr;
+        }
+    }
+
+    /// One `MRC`×[`NR`] register tile, AVX2: the scalar tile's `[f32; NR]`
+    /// accumulator row is one `__m256`.
+    ///
+    /// SAFETY: callers must ensure AVX2 is supported; `a.len() >= MRC*k`,
+    /// `panel.len() >= k*NR`, and `out` must cover the tile
+    /// (`(MRC-1)*n + jw` elements).
+    #[target_feature(enable = "avx2")]
+    unsafe fn micro_tile_avx2<const MRC: usize>(
+        a: &[f32],
+        k: usize,
+        panel: &[f32],
+        out: &mut [f32],
+        n: usize,
+        jw: usize,
+        accumulate: bool,
+    ) {
+        let mut acc = [_mm256_setzero_ps(); MRC];
+        for p in 0..k {
+            // SAFETY: p < k and panel.len() >= k*NR, so the 8 floats at
+            // panel[p*NR] are in bounds; loadu needs no alignment.
+            let b = unsafe { _mm256_loadu_ps(panel.as_ptr().add(p * NR)) };
+            for (r, acc_row) in acc.iter_mut().enumerate() {
+                let av = _mm256_set1_ps(a[r * k + p]);
+                // mul then add: each lane rounds exactly like the scalar
+                // `acc_row[c] += av * brow[c]` (two roundings, no FMA).
+                *acc_row = _mm256_add_ps(*acc_row, _mm256_mul_ps(av, b));
+            }
+        }
+        for (r, acc_row) in acc.iter().enumerate() {
+            let dst = &mut out[r * n..r * n + jw];
+            if jw == NR {
+                if accumulate {
+                    // SAFETY: dst is exactly NR == 8 floats.
+                    unsafe {
+                        let cur = _mm256_loadu_ps(dst.as_ptr());
+                        _mm256_storeu_ps(dst.as_mut_ptr(), _mm256_add_ps(cur, *acc_row));
+                    }
+                } else {
+                    // SAFETY: dst is exactly NR == 8 floats.
+                    unsafe { _mm256_storeu_ps(dst.as_mut_ptr(), *acc_row) };
+                }
+            } else {
+                let mut lanes = [0.0f32; NR];
+                // SAFETY: lanes is exactly 8 floats.
+                unsafe { _mm256_storeu_ps(lanes.as_mut_ptr(), *acc_row) };
+                if accumulate {
+                    for (o, v) in dst.iter_mut().zip(&lanes[..jw]) {
+                        *o += *v;
+                    }
+                } else {
+                    dst.copy_from_slice(&lanes[..jw]);
+                }
+            }
+        }
+    }
+
+    /// SAFETY: nothing beyond x86-64 (SSE2 is baseline). Slice
+    /// bounds follow [`super::gemm_packed_block`]'s contract.
+    #[target_feature(enable = "sse2")]
+    pub(super) unsafe fn gemm_packed_block_sse2(
+        a: &[f32],
+        rows: usize,
+        k: usize,
+        n: usize,
+        packed: &[f32],
+        out: &mut [f32],
+        accumulate: bool,
+    ) {
+        let panels = n.div_ceil(NR);
+        let mut i0 = 0;
+        while i0 < rows {
+            let mr = MR.min(rows - i0);
+            let a_rows = &a[i0 * k..(i0 + mr) * k];
+            for pj in 0..panels {
+                let j0 = pj * NR;
+                let jw = NR.min(n - j0);
+                let panel = &packed[pj * k * NR..(pj + 1) * k * NR];
+                let out_tile = &mut out[i0 * n + j0..];
+                // SAFETY: SSE2 is baseline on x86-64.
+                unsafe {
+                    match mr {
+                        4 => micro_tile_sse2::<4>(a_rows, k, panel, out_tile, n, jw, accumulate),
+                        3 => micro_tile_sse2::<3>(a_rows, k, panel, out_tile, n, jw, accumulate),
+                        2 => micro_tile_sse2::<2>(a_rows, k, panel, out_tile, n, jw, accumulate),
+                        _ => micro_tile_sse2::<1>(a_rows, k, panel, out_tile, n, jw, accumulate),
+                    }
+                }
+            }
+            i0 += mr;
+        }
+    }
+
+    /// One `MRC`×[`NR`] register tile, SSE2: the `[f32; NR]` accumulator
+    /// row is a pair of `__m128`s (lanes 0..4 and 4..8).
+    ///
+    /// SAFETY: callers must uphold the same bounds contract as [`micro_tile_avx2`];
+    /// SSE2 is baseline.
+    #[target_feature(enable = "sse2")]
+    unsafe fn micro_tile_sse2<const MRC: usize>(
+        a: &[f32],
+        k: usize,
+        panel: &[f32],
+        out: &mut [f32],
+        n: usize,
+        jw: usize,
+        accumulate: bool,
+    ) {
+        let mut acc = [[_mm_setzero_ps(); 2]; MRC];
+        for p in 0..k {
+            // SAFETY: p < k and panel.len() >= k*NR, so the 8 floats at
+            // panel[p*NR] are in bounds; loadu needs no alignment.
+            let (b0, b1) = unsafe {
+                let base = panel.as_ptr().add(p * NR);
+                (_mm_loadu_ps(base), _mm_loadu_ps(base.add(4)))
+            };
+            for (r, acc_row) in acc.iter_mut().enumerate() {
+                let av = _mm_set1_ps(a[r * k + p]);
+                acc_row[0] = _mm_add_ps(acc_row[0], _mm_mul_ps(av, b0));
+                acc_row[1] = _mm_add_ps(acc_row[1], _mm_mul_ps(av, b1));
+            }
+        }
+        for (r, acc_row) in acc.iter().enumerate() {
+            let dst = &mut out[r * n..r * n + jw];
+            if jw == NR {
+                if accumulate {
+                    // SAFETY: dst is exactly NR == 8 floats (two halves).
+                    unsafe {
+                        let cur0 = _mm_loadu_ps(dst.as_ptr());
+                        let cur1 = _mm_loadu_ps(dst.as_ptr().add(4));
+                        _mm_storeu_ps(dst.as_mut_ptr(), _mm_add_ps(cur0, acc_row[0]));
+                        _mm_storeu_ps(dst.as_mut_ptr().add(4), _mm_add_ps(cur1, acc_row[1]));
+                    }
+                } else {
+                    // SAFETY: dst is exactly NR == 8 floats (two halves).
+                    unsafe {
+                        _mm_storeu_ps(dst.as_mut_ptr(), acc_row[0]);
+                        _mm_storeu_ps(dst.as_mut_ptr().add(4), acc_row[1]);
+                    }
+                }
+            } else {
+                let mut lanes = [0.0f32; NR];
+                // SAFETY: lanes is exactly 8 floats (two halves).
+                unsafe {
+                    _mm_storeu_ps(lanes.as_mut_ptr(), acc_row[0]);
+                    _mm_storeu_ps(lanes.as_mut_ptr().add(4), acc_row[1]);
+                }
+                if accumulate {
+                    for (o, v) in dst.iter_mut().zip(&lanes[..jw]) {
+                        *o += *v;
+                    }
+                } else {
+                    dst.copy_from_slice(&lanes[..jw]);
+                }
+            }
+        }
     }
 }
 
@@ -202,9 +446,7 @@ pub(crate) fn gemm_direct(
         }
         for (p, &a_ip) in a_row.iter().enumerate() {
             let b_row = &b[p * n..(p + 1) * n];
-            for (o, &bv) in out_row.iter_mut().zip(b_row) {
-                *o += a_ip * bv;
-            }
+            crate::simd::axpy(a_ip, b_row, out_row);
         }
     }
 }
@@ -233,14 +475,17 @@ pub(crate) fn gemm_direct_atb(
         let b_row = &b[p * n..(p + 1) * n];
         for (i, &a_pi) in a_row.iter().enumerate() {
             let out_row = &mut out[i * n..(i + 1) * n];
-            for (o, &bv) in out_row.iter_mut().zip(b_row) {
-                *o += a_pi * bv;
-            }
+            crate::simd::axpy(a_pi, b_row, out_row);
         }
     }
 }
 
 /// Direct `out[m,n] (+)= a[m,k] · bᵀ` where `b` is stored `[n, k]`.
+///
+/// Stays scalar by design: its inner loop is a *serial* dot-product fold,
+/// and distributing that sum over vector lanes would reassociate it and
+/// change the bytes (see DESIGN.md §2.1a). Only skinny products take this
+/// path, so there is little to win.
 pub(crate) fn gemm_direct_abt(
     a: &[f32],
     b: &[f32],

@@ -28,15 +28,15 @@ pub fn softmax_rows(logits: &Tensor, temperature: f32) -> Tensor {
     for row in out.data_mut().chunks_mut(k) {
         // tdfm-lint: allow(nan-laundering, max-shift for numerical stability only; a NaN row element still reaches (x - max).exp() below and propagates)
         let max = row.iter().fold(f32::NEG_INFINITY, |m, &x| m.max(x));
+        // The exp + running sum is a *serial* fold — vector lanes would
+        // reassociate it — so it stays scalar; the normalisation sweep is
+        // elementwise and goes through the SIMD scale kernel.
         let mut sum = 0.0;
         for x in row.iter_mut() {
             *x = ((*x - max) / temperature).exp();
             sum += *x;
         }
-        let inv = 1.0 / sum;
-        for x in row.iter_mut() {
-            *x *= inv;
-        }
+        crate::simd::scale(row, 1.0 / sum);
     }
     out
 }
@@ -54,9 +54,9 @@ pub fn log_softmax_rows(logits: &Tensor) -> Tensor {
         // tdfm-lint: allow(nan-laundering, max-shift for numerical stability only; a NaN row element still reaches (x - max).exp() below and propagates)
         let max = row.iter().fold(f32::NEG_INFINITY, |m, &x| m.max(x));
         let log_sum = row.iter().map(|&x| (x - max).exp()).sum::<f32>().ln() + max;
-        for x in row.iter_mut() {
-            *x -= log_sum;
-        }
+        // `x - log_sum` == `x + (-log_sum)` exactly (IEEE negation is
+        // exact), so the shared add_scalar kernel preserves the bytes.
+        crate::simd::add_scalar(row, -log_sum);
     }
     out
 }
@@ -114,10 +114,11 @@ pub fn sum_rows(t: &Tensor) -> Tensor {
     assert_eq!(t.shape().rank(), 2, "sum_rows input must be [N, K]");
     let k = t.shape().dim(1);
     let mut out = Tensor::zeros(&[k]);
+    // Row-major accumulation: each output element folds its column in
+    // ascending-row order on every SIMD level (lanes span columns, which
+    // are independent, so no reassociation).
     for row in t.data().chunks(k) {
-        for (o, &v) in out.data_mut().iter_mut().zip(row) {
-            *o += v;
-        }
+        crate::simd::add_assign(out.data_mut(), row);
     }
     out
 }

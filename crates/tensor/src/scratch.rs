@@ -5,9 +5,18 @@
 //! buffers. Allocating them anew per batch is exactly the overhead the
 //! PyTorchFI-extension work (Gräfe et al.) identifies as dominating
 //! large-scale fault-injection campaigns. [`Scratch`] is a checkout /
-//! check-in pool of `Vec<f32>` (and `Vec<u32>`) buffers: once the pool is
-//! warm — after the first batch — steady-state training performs zero heap
-//! allocations in the dense/conv hot path.
+//! check-in pool of buffers: once the pool is warm — after the first batch
+//! — steady-state training performs zero heap allocations in the
+//! dense/conv hot path.
+//!
+//! Three element pools back the arena:
+//!
+//! * raw `f32` checkouts ([`Scratch::take`]) are [`AlignedVec`]s whose base
+//!   address is 32-byte aligned, so the AVX2 kernels' 8-lane accesses to
+//!   im2col columns and packed GEMM panels never straddle a cache line;
+//! * [`Tensor`] checkouts ([`Scratch::tensor_uninit`]) reuse plain
+//!   `Vec<f32>` buffers (tensors are `Vec`-backed);
+//! * `u32` checkouts ([`Scratch::take_u32`]) serve max-pool argmax caches.
 //!
 //! # Ownership rules
 //!
@@ -26,6 +35,7 @@
 //! The pool is bounded ([`Scratch::MAX_POOLED`] buffers per element type);
 //! check-ins beyond the bound free the buffer instead of growing the pool.
 
+use crate::align::{AlignedVec, SIMD_ALIGN};
 use crate::Tensor;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
@@ -54,6 +64,26 @@ impl ScratchStats {
     }
 }
 
+/// Best-fit checkout: the smallest pooled buffer whose capacity covers
+/// `len`, or — when none suffices — the largest, so its backing allocation
+/// grows and keeps circulating instead of piling up undersized.
+fn best_fit<T>(pool: &mut Vec<T>, len: usize, cap: impl Fn(&T) -> usize) -> Option<T> {
+    let mut best: Option<(usize, usize)> = None;
+    for (i, buf) in pool.iter().enumerate() {
+        let c = cap(buf);
+        if c >= len && best.is_none_or(|(_, bc)| c < bc) {
+            best = Some((i, c));
+        }
+    }
+    match best {
+        Some((i, _)) => Some(pool.swap_remove(i)),
+        None => {
+            let largest = (0..pool.len()).max_by_key(|&i| cap(&pool[i]));
+            largest.map(|i| pool.swap_remove(i))
+        }
+    }
+}
+
 /// A bounded checkout/check-in pool of reusable buffers.
 ///
 /// Thread-safe: kernels running on worker threads check buffers out and in
@@ -61,7 +91,8 @@ impl ScratchStats {
 /// while a buffer is in use.
 #[derive(Debug, Default)]
 pub struct Scratch {
-    f32_pool: Mutex<Vec<Vec<f32>>>,
+    f32_pool: Mutex<Vec<AlignedVec>>,
+    tensor_pool: Mutex<Vec<Vec<f32>>>,
     u32_pool: Mutex<Vec<Vec<u32>>>,
     hits: AtomicU64,
     misses: AtomicU64,
@@ -93,31 +124,58 @@ impl Scratch {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             pooled: (self.f32_pool.lock().expect("scratch pool poisoned").len()
+                + self
+                    .tensor_pool
+                    .lock()
+                    .expect("scratch pool poisoned")
+                    .len()
                 + self.u32_pool.lock().expect("scratch pool poisoned").len())
                 as u64,
         }
     }
 
-    fn checkout_f32(&self, len: usize) -> Vec<f32> {
-        let mut pool = self.f32_pool.lock().expect("scratch pool poisoned");
-        // Best fit: the smallest pooled buffer whose capacity suffices.
-        let mut best: Option<(usize, usize)> = None;
-        for (i, buf) in pool.iter().enumerate() {
-            let cap = buf.capacity();
-            if cap >= len && best.is_none_or(|(_, c)| cap < c) {
-                best = Some((i, cap));
+    fn checkout_aligned(&self, len: usize) -> AlignedVec {
+        let picked = {
+            let mut pool = self.f32_pool.lock().expect("scratch pool poisoned");
+            // tdfm-lint: allow(lock-held-across-call, best_fit only scans the locked pool itself; it takes no lock and cannot block)
+            best_fit(&mut pool, len, AlignedVec::capacity)
+        };
+        let mut buf = match picked {
+            Some(buf) => {
+                if buf.capacity() >= len {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    self.misses.fetch_add(1, Ordering::Relaxed);
+                }
+                buf
             }
-        }
-        let picked = match best {
-            Some((i, _)) => Some(pool.swap_remove(i)),
-            // No buffer is big enough: grow the largest so its backing
-            // allocation keeps circulating instead of piling up undersized.
             None => {
-                let largest = (0..pool.len()).max_by_key(|&i| pool[i].capacity());
-                largest.map(|i| pool.swap_remove(i))
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                AlignedVec::new()
             }
         };
-        drop(pool);
+        buf.resize_zeroed(len);
+        debug_assert!(
+            len == 0 || (buf.as_slice().as_ptr() as usize).is_multiple_of(SIMD_ALIGN),
+            "scratch checkout must be {SIMD_ALIGN}-byte aligned"
+        );
+        buf
+    }
+
+    fn checkin_aligned(&self, mut buf: AlignedVec) {
+        let mut pool = self.f32_pool.lock().expect("scratch pool poisoned");
+        if pool.len() < Self::MAX_POOLED {
+            buf.clear();
+            pool.push(buf);
+        }
+    }
+
+    fn checkout_tensor_vec(&self, len: usize) -> Vec<f32> {
+        let picked = {
+            let mut pool = self.tensor_pool.lock().expect("scratch pool poisoned");
+            // tdfm-lint: allow(lock-held-across-call, best_fit only scans the locked pool itself; it takes no lock and cannot block)
+            best_fit(&mut pool, len, |b: &Vec<f32>| b.capacity())
+        };
         match picked {
             Some(mut buf) => {
                 if buf.capacity() >= len {
@@ -136,30 +194,31 @@ impl Scratch {
         }
     }
 
-    fn checkin_f32(&self, mut buf: Vec<f32>) {
-        let mut pool = self.f32_pool.lock().expect("scratch pool poisoned");
+    fn checkin_tensor_vec(&self, mut buf: Vec<f32>) {
+        let mut pool = self.tensor_pool.lock().expect("scratch pool poisoned");
         if pool.len() < Self::MAX_POOLED {
             buf.clear();
             pool.push(buf);
         }
     }
 
-    /// Checks out an `f32` buffer of exactly `len` elements.
+    /// Checks out an `f32` buffer of exactly `len` elements, 32-byte
+    /// aligned for the vector kernels.
     ///
-    /// Contents are unspecified (stale values from earlier checkouts);
-    /// overwrite before reading. Use [`Scratch::take_zeroed`] when the
-    /// caller accumulates.
+    /// Contents are unspecified (the current implementation hands out
+    /// zeroed memory, but callers must not rely on it); overwrite before
+    /// reading. Use [`Scratch::take_zeroed`] when the caller accumulates.
     pub fn take(&self, len: usize) -> ScratchBuf<'_> {
         ScratchBuf {
             owner: self,
-            buf: self.checkout_f32(len),
+            buf: self.checkout_aligned(len),
         }
     }
 
-    /// [`Scratch::take`], with the buffer zero-filled.
+    /// [`Scratch::take`], with the buffer guaranteed zero-filled.
     pub fn take_zeroed(&self, len: usize) -> ScratchBuf<'_> {
         let mut b = self.take(len);
-        b.buf.fill(0.0);
+        b.buf.as_mut_slice().fill(0.0);
         b
     }
 
@@ -196,7 +255,7 @@ impl Scratch {
     /// directly.
     pub fn tensor_uninit(&self, dims: &[usize]) -> Tensor {
         let n: usize = dims.iter().product();
-        Tensor::from_vec(self.checkout_f32(n), dims)
+        Tensor::from_vec(self.checkout_tensor_vec(n), dims)
     }
 
     /// A zero-filled tensor whose buffer comes from the pool.
@@ -212,7 +271,7 @@ impl Scratch {
     /// being reused; recycling a tensor the arena never produced is fine
     /// (its buffer simply joins the pool).
     pub fn recycle(&self, tensor: Tensor) {
-        self.checkin_f32(tensor.into_vec());
+        self.checkin_tensor_vec(tensor.into_vec());
     }
 
     /// Checks a raw `u32` buffer back into the pool.
@@ -226,21 +285,14 @@ impl Scratch {
     }
 }
 
-/// RAII checkout of an `f32` buffer; checks itself back in on drop.
+/// RAII checkout of an aligned `f32` buffer; checks itself back in on drop.
 #[derive(Debug)]
 pub struct ScratchBuf<'a> {
     owner: &'a Scratch,
-    buf: Vec<f32>,
+    buf: AlignedVec,
 }
 
 impl ScratchBuf<'_> {
-    /// Detaches the buffer from the RAII guard (it will not be returned to
-    /// the pool automatically; wrap it in a tensor and
-    /// [`Scratch::recycle`] it later).
-    pub fn into_vec(mut self) -> Vec<f32> {
-        std::mem::take(&mut self.buf)
-    }
-
     /// Allocated capacity of the underlying buffer.
     pub fn capacity(&self) -> usize {
         self.buf.capacity()
@@ -250,20 +302,20 @@ impl ScratchBuf<'_> {
 impl std::ops::Deref for ScratchBuf<'_> {
     type Target = [f32];
     fn deref(&self) -> &[f32] {
-        &self.buf
+        self.buf.as_slice()
     }
 }
 
 impl std::ops::DerefMut for ScratchBuf<'_> {
     fn deref_mut(&mut self) -> &mut [f32] {
-        &mut self.buf
+        self.buf.as_mut_slice()
     }
 }
 
 impl Drop for ScratchBuf<'_> {
     fn drop(&mut self) {
         if self.buf.capacity() > 0 {
-            self.owner.checkin_f32(std::mem::take(&mut self.buf));
+            self.owner.checkin_aligned(std::mem::take(&mut self.buf));
         }
     }
 }
@@ -323,28 +375,68 @@ mod tests {
     }
 
     #[test]
+    fn checkouts_are_32_byte_aligned() {
+        let s = Scratch::new();
+        for len in [1usize, 7, 8, 64, 1000, 4097] {
+            let b = s.take(len);
+            assert_eq!(
+                b.as_ptr() as usize % SIMD_ALIGN,
+                0,
+                "take({len}) must hand out a {SIMD_ALIGN}-byte-aligned buffer"
+            );
+        }
+        // Pooled round trips stay aligned too.
+        let again = s.take(4097);
+        assert_eq!(again.as_ptr() as usize % SIMD_ALIGN, 0);
+    }
+
+    #[test]
     fn best_fit_prefers_smallest_sufficient_buffer() {
         let s = Scratch::new();
-        s.recycle(Tensor::zeros(&[1000]));
-        s.recycle(Tensor::zeros(&[10]));
+        // Warm the raw pool with a large and a small buffer (checked out
+        // simultaneously so the small one is not served by the large).
+        let warm_big = s.take(1000);
+        let warm_small = s.take(10);
+        drop(warm_big);
+        drop(warm_small);
         let b = s.take(8);
         // The 10-element buffer serves the request; the 1000 stays pooled.
         assert!(b.len() == 8 && b.capacity() < 1000);
         drop(b);
+        let misses_before = s.stats().misses;
         let big = s.take(900);
-        assert_eq!(s.stats().misses, 0);
+        assert_eq!(
+            s.stats().misses,
+            misses_before,
+            "1000-cap buffer serves 900"
+        );
         assert!(big.capacity() >= 1000);
+    }
+
+    #[test]
+    fn tensor_pool_best_fit_matches() {
+        let s = Scratch::new();
+        s.recycle(Tensor::zeros(&[1000]));
+        s.recycle(Tensor::zeros(&[10]));
+        let t = s.tensor_uninit(&[8]);
+        assert!(t.data().len() == 8 && t.into_vec().capacity() < 1000);
+        let big = s.tensor_uninit(&[900]);
+        assert_eq!(s.stats().misses, 0);
+        assert!(big.into_vec().capacity() >= 1000);
     }
 
     #[test]
     fn undersized_buffers_are_grown_not_abandoned() {
         let s = Scratch::new();
-        s.recycle(Tensor::zeros(&[4]));
-        let b = s.take(100); // counts as a miss (reallocation) but reuses the slot
+        drop(s.take(4)); // one miss: seeds the pool
+        let b = s.take(100); // a second miss (growth) but reuses the slot
         assert_eq!(b.len(), 100);
-        assert_eq!(s.stats().misses, 1);
+        assert_eq!(s.stats().misses, 2);
         drop(b);
         assert_eq!(s.stats().pooled, 1, "grown buffer returns to the pool");
+        let c = s.take(100);
+        assert_eq!(s.stats().hits, 1);
+        assert!(c.capacity() >= 100);
     }
 
     #[test]

@@ -198,16 +198,12 @@ impl Tensor {
     /// Panics if shapes differ.
     pub fn axpy(&mut self, alpha: f32, rhs: &Tensor) {
         assert_eq!(self.shape, rhs.shape, "shape mismatch in axpy");
-        for (a, &b) in self.data.iter_mut().zip(rhs.data.iter()) {
-            *a += alpha * b;
-        }
+        crate::simd::axpy(alpha, &rhs.data, &mut self.data);
     }
 
     /// Multiplies every element by `s` in place.
     pub fn scale(&mut self, s: f32) {
-        for x in &mut self.data {
-            *x *= s;
-        }
+        crate::simd::scale(&mut self.data, s);
     }
 
     /// Sets every element to zero (gradient reset between steps).

@@ -1,0 +1,203 @@
+//! SIMD-vs-scalar equivalence property sweeps.
+//!
+//! Every vector kernel in `tdfm_tensor::simd` (and the GEMM microkernel
+//! behind the matmul/conv ops) claims *byte-identical* output across SIMD
+//! levels — no FMA, no lane reassociation (DESIGN.md §2.1a). These sweeps
+//! pin that claim over randomised GEMM shapes and conv geometries, at
+//! every level the host CPU supports, including NaN/Inf propagation
+//! through the vector paths.
+//!
+//! `force_simd` flips a process-global, so every test in this binary runs
+//! under one shared lock.
+
+use tdfm_tensor::ops::{self, conv2d_backward_with, conv2d_forward_with, Conv2dSpec};
+use tdfm_tensor::rng::Rng;
+use tdfm_tensor::simd::{available_levels, force_simd};
+use tdfm_tensor::{Scratch, Tensor};
+
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+fn level_lock() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+}
+
+fn bits(t: &Tensor) -> Vec<u32> {
+    t.data().iter().map(|v| v.to_bits()).collect()
+}
+
+/// Like [`bits`], but collapses every NaN to one canonical bit pattern.
+///
+/// When two NaNs meet in an accumulator (`NaN + NaN`), x86 returns the
+/// *first* operand's payload — and LLVM may commute the scalar `acc + prod`
+/// while the intrinsics pin vector operand order — so NaN *payload* bits
+/// are not reproducible across levels. NaN *positions* are. The finite
+/// sweeps above use raw [`bits`]; the poison tests use this. Goldens
+/// contain no NaNs, so the drift gates are unaffected (DESIGN.md §2.1a).
+fn bits_nan_canonical(t: &Tensor) -> Vec<u32> {
+    t.data()
+        .iter()
+        .map(|v| if v.is_nan() { 0x7fc0_0000 } else { v.to_bits() })
+        .collect()
+}
+
+/// Runs `f` under every available SIMD level (best first, scalar last)
+/// and asserts all results are identical; returns the agreed result.
+fn assert_levels_agree<T, F>(label: &str, mut f: F) -> T
+where
+    T: PartialEq + std::fmt::Debug,
+    F: FnMut() -> T,
+{
+    let levels = available_levels();
+    force_simd(Some(levels[0]));
+    let want = f();
+    for &level in &levels[1..] {
+        force_simd(Some(level));
+        let got = f();
+        assert_eq!(
+            want,
+            got,
+            "{label}: {level:?} disagrees with {best:?}",
+            best = levels[0]
+        );
+    }
+    force_simd(None);
+    want
+}
+
+#[test]
+fn gemm_sweep_is_bit_identical_across_levels() {
+    let _guard = level_lock();
+    // ~32 randomised shapes spanning the packed and direct cost-model
+    // regimes, over all three matmul variants.
+    for seed in 0..32u64 {
+        let mut rng = Rng::seed_from(0x9E44 + seed);
+        let (m, k, n) = (1 + rng.below(33), 1 + rng.below(48), 1 + rng.below(40));
+        let a = Tensor::randn(&[m, k], 1.0, &mut rng);
+        let b = Tensor::randn(&[k, n], 1.0, &mut rng);
+        let at = Tensor::randn(&[k, m], 1.0, &mut rng);
+        let bt = Tensor::randn(&[n, k], 1.0, &mut rng);
+        assert_levels_agree(&format!("matmul {m}x{k}x{n} seed {seed}"), || {
+            bits(&ops::matmul(&a, &b))
+        });
+        assert_levels_agree(&format!("matmul_at_b {m}x{k}x{n} seed {seed}"), || {
+            bits(&ops::matmul_at_b(&at, &b))
+        });
+        assert_levels_agree(&format!("matmul_a_bt {m}x{k}x{n} seed {seed}"), || {
+            bits(&ops::matmul_a_bt(&a, &bt))
+        });
+    }
+}
+
+#[test]
+fn conv_sweep_is_bit_identical_across_levels() {
+    let _guard = level_lock();
+    // 16 randomised geometries: kernel sizes, strides, padding, groups,
+    // checked through forward and all three backward gradients.
+    for seed in 0..16u64 {
+        let mut rng = Rng::seed_from(0xC04 + seed);
+        let groups = [1, 1, 1, 2][rng.below(4)];
+        let cg = 1 + rng.below(3);
+        let c = cg * groups;
+        let o = groups * (1 + rng.below(4));
+        let kh = 1 + rng.below(3);
+        let kw = 1 + rng.below(3);
+        let stride = 1 + rng.below(2);
+        let pad = rng.below(kh.min(kw));
+        let h = kh + rng.below(8);
+        let w = kw + rng.below(8);
+        let n = 1 + rng.below(3);
+        let spec = Conv2dSpec {
+            stride,
+            pad,
+            groups,
+        };
+        let input = Tensor::randn(&[n, c, h, w], 1.0, &mut rng);
+        let weight = Tensor::randn(&[o, cg, kh, kw], 0.5, &mut rng);
+        let bias = Tensor::randn(&[o], 0.1, &mut rng);
+        let label =
+            format!("conv n{n} c{c} {h}x{w} k{kh}x{kw} s{stride} p{pad} g{groups} seed {seed}");
+        assert_levels_agree(&label, || {
+            // A fresh arena per run keeps buffer histories identical.
+            let scratch = Scratch::new();
+            let out = conv2d_forward_with(&input, &weight, Some(&bias), spec, &scratch);
+            let grads = conv2d_backward_with(&input, &weight, &out, spec, &scratch);
+            (
+                bits(&out),
+                bits(&grads.grad_input),
+                bits(&grads.grad_weight),
+                bits(&grads.grad_bias),
+            )
+        });
+    }
+}
+
+#[test]
+fn reductions_are_bit_identical_across_levels() {
+    let _guard = level_lock();
+    for seed in 0..8u64 {
+        let mut rng = Rng::seed_from(0x5EED + seed);
+        let n = 1 + rng.below(16);
+        let k = 1 + rng.below(40);
+        let t = Tensor::randn(&[n, k], 4.0, &mut rng);
+        assert_levels_agree(&format!("softmax {n}x{k} seed {seed}"), || {
+            bits(&ops::softmax_rows(&t, 2.0))
+        });
+        assert_levels_agree(&format!("log_softmax {n}x{k} seed {seed}"), || {
+            bits(&ops::log_softmax_rows(&t))
+        });
+        assert_levels_agree(&format!("sum_rows {n}x{k} seed {seed}"), || {
+            bits(&ops::sum_rows(&t))
+        });
+    }
+}
+
+#[test]
+fn nan_and_inf_propagate_through_vector_gemm() {
+    let _guard = level_lock();
+    // NaN in A must reach every output column; 0 × Inf must produce NaN —
+    // on every SIMD level (no sparsity skips, no max-laundering in lanes).
+    let (m, k, n) = (9, 12, 21); // multi-tile on both axes
+    let mut a = Tensor::zeros(&[m, k]);
+    a.data_mut()[k + 3] = f32::NAN; // row 1
+    let mut b = Tensor::ones(&[k, n]);
+    b.data_mut()[2 * n + 5] = f32::INFINITY; // 0 × inf = NaN in column 5
+    assert_levels_agree("gemm nan/inf", || bits_nan_canonical(&ops::matmul(&a, &b)));
+    force_simd(None);
+    let out = ops::matmul(&a, &b);
+    for j in 0..n {
+        assert!(out.data()[n + j].is_nan(), "NaN row must poison column {j}");
+    }
+    for i in 0..m {
+        assert!(
+            out.data()[i * n + 5].is_nan(),
+            "0 x inf must be NaN in row {i}"
+        );
+    }
+    assert_eq!(out.data()[0], 0.0, "finite zeros stay exact");
+}
+
+#[test]
+fn nan_and_inf_propagate_through_vector_conv() {
+    let _guard = level_lock();
+    let mut rng = Rng::seed_from(77);
+    let spec = Conv2dSpec {
+        stride: 1,
+        pad: 1,
+        groups: 1,
+    };
+    let mut input = Tensor::randn(&[1, 2, 8, 8], 1.0, &mut rng);
+    input.data_mut()[3 * 8 + 4] = f32::NAN; // poison one pixel
+    let weight = Tensor::randn(&[3, 2, 3, 3], 0.5, &mut rng);
+    let got = assert_levels_agree("conv nan", || {
+        let scratch = Scratch::new();
+        bits_nan_canonical(&conv2d_forward_with(&input, &weight, None, spec, &scratch))
+    });
+    let nan_outputs = got.iter().filter(|&&b| f32::from_bits(b).is_nan()).count();
+    assert!(
+        nan_outputs > 0,
+        "poisoned input pixel must reach the output under every level"
+    );
+}

@@ -1,0 +1,19 @@
+//! `#[target_feature]` kernels: the SAFETY contract belongs above the
+//! attribute stack, and the rule must accept that placement — while still
+//! flagging a kernel that ships with no contract at all.
+
+/// SAFETY: callers must verify AVX2 support via `is_x86_feature_detected!`
+/// before taking this path; lane loads stay within `x.len()`.
+#[target_feature(enable = "avx2")]
+pub unsafe fn documented_kernel(x: &mut [f32]) {
+    for v in x {
+        *v *= 2.0;
+    }
+}
+
+#[target_feature(enable = "avx2")]
+pub unsafe fn undocumented_kernel(x: &mut [f32]) {
+    for v in x {
+        *v *= 2.0;
+    }
+}

@@ -57,17 +57,33 @@ echo "== workspace build + tests (all crates) =="
 cargo build --release --workspace
 cargo test -q --workspace
 
-echo "== bench regression gate: training_step --compare =="
-# Re-runs the trainer bench suite and diffs it against the committed
-# baseline. The gate fails only on a broad slowdown: the geometric mean of
-# the per-benchmark current/baseline ratios (over min_seconds) must stay
-# within the threshold. The threshold is deliberately generous because CI
-# runners differ from the machine the baseline was recorded on; local runs
-# can tighten it (e.g. TDFM_BENCH_THRESHOLD=0.10) when chasing a specific
-# regression.
+echo "== full test suite with the SIMD kernels disabled (TDFM_SIMD=off) =="
+# The scalar fallback is a first-class code path, not dead weight: every
+# test must pass with the vector kernels forced off. The binaries are
+# already built, so this re-runs execution only.
+TDFM_SIMD=off cargo test -q --workspace
+
+echo "== bench regression gate: training_step --compare (+ scaling) =="
+# Re-runs the trainer bench suite — including the elementwise/reduction
+# kernel cells and the multi-thread scaling cells (TDFM_THREADS 1/2/4) —
+# and diffs it against the committed baseline. The gate fails only on a
+# broad slowdown: the geometric mean of the per-benchmark
+# current/baseline ratios (over min_seconds) must stay within the
+# threshold. The threshold is deliberately generous because CI runners
+# differ from the machine the baseline was recorded on; local runs can
+# tighten it (e.g. TDFM_BENCH_THRESHOLD=0.10) when chasing a specific
+# regression. The scaling cells come back as a scaling-curve JSON, kept
+# (with its rendered throughput-vs-threads SVG) as a CI artefact — the
+# curve plots this runner's measurements, so unlike the result figures it
+# is not drift-gated.
 cargo bench -q -p tdfm-bench --bench training_step -- \
     --compare "$PWD/results/BENCH_trainer.json" \
-    --threshold "${TDFM_BENCH_THRESHOLD:-0.50}"
+    --threshold "${TDFM_BENCH_THRESHOLD:-0.50}" \
+    --scaling-out "$smoke_dir/scaling.json"
+test -s "$smoke_dir/scaling.json"
+./target/release/tdfm figures "$smoke_dir/scaling.json" \
+    --out "$smoke_dir/figures-scaling" > /dev/null
+test -s "$smoke_dir/figures-scaling/scaling_threads.svg"
 
 echo "== obs smoke: trace + manifest + tdfm report =="
 # Run the smallest harness binary with tracing on, then make `tdfm report`
@@ -119,6 +135,12 @@ TDFM_SCALE=smoke TDFM_RESULTS="$drift_dir" ./target/release/motivating > /dev/nu
 TDFM_SCALE=smoke TDFM_RESULTS="$drift_dir" ./target/release/model_faults > /dev/null
 ./target/release/tdfm diff-results results/motivating.json "$drift_dir/motivating.json"
 ./target/release/tdfm diff-results results/model_faults.json "$drift_dir/model_faults.json"
+# The SIMD kernels claim byte-identical results against the scalar loops
+# (no FMA, no reassociation — DESIGN.md §2.1a): regenerate with the
+# vector paths forced off and hold the committed results to that too.
+TDFM_SIMD=off TDFM_SCALE=smoke TDFM_RESULTS="$drift_dir" \
+    ./target/release/motivating > /dev/null
+./target/release/tdfm diff-results results/motivating.json "$drift_dir/motivating.json"
 # The sharded trainer's fixed sorted-order reduction claims byte-identical
 # output at any thread count: regenerate at both budgets and hold it to
 # that. Separate processes per setting — TDFM_THREADS is read once per
@@ -129,6 +151,11 @@ for threads in 1 4; do
     ./target/release/tdfm diff-results \
         results/shard_faults.json "$drift_dir/shard_faults.json"
 done
+# And the cross product's far corner: scalar kernels at 4 threads.
+TDFM_SIMD=off TDFM_THREADS=4 TDFM_SCALE=smoke TDFM_RESULTS="$drift_dir" \
+    ./target/release/shard_faults > /dev/null
+./target/release/tdfm diff-results \
+    results/shard_faults.json "$drift_dir/shard_faults.json"
 
 echo "== figure drift gate: committed SVGs reproduce byte-identically =="
 # Figures are pure functions of the committed result JSONs, so they must
